@@ -1,0 +1,53 @@
+"""Ablation (Section 3.4) — UDP socket reuse.
+
+ZDNS keeps one long-lived raw UDP socket per routine; the ablation
+pays a per-query socket setup/teardown CPU cost instead, which eats
+into the 24-core budget and drops the saturation throughput."""
+
+from conftest import BENCH_SEED, emit, scaled
+
+from repro.ecosystem import EcosystemParams, build_internet
+from repro.framework import ScanConfig, ScanRunner
+from repro.workloads import DomainCorpus
+
+# run at CPU saturation: socket setup cost shifts the plateau
+THREADS = 25_000
+SAMPLE = 60_000
+
+
+def _run(reuse: bool, offset: int):
+    internet = build_internet(params=EcosystemParams(seed=BENCH_SEED), wire_mode="never")
+    config = ScanConfig(
+        module="A",
+        mode="cloudflare",
+        threads=THREADS,
+        source_prefix=28,
+        reuse_sockets=reuse,
+        seed=BENCH_SEED,
+    )
+    names = DomainCorpus().fqdns(scaled(SAMPLE), start=offset)
+    report = ScanRunner(internet, config).run(names)
+    return {
+        "reuse_sockets": reuse,
+        "successes_per_second": round(report.stats.steady_successes_per_second, 1),
+        "cpu_utilisation": round(report.cpu_utilisation, 3),
+    }
+
+
+def test_ablation_socket_reuse(run_once):
+    def experiment():
+        return [_run(True, 0), _run(False, scaled(SAMPLE))]
+
+    with_reuse, without_reuse = run_once(experiment)
+
+    lines = [
+        f"  long-lived sockets : {with_reuse['successes_per_second']:>9.0f} succ/s  "
+        f"cpu {100 * with_reuse['cpu_utilisation']:5.1f}%",
+        f"  socket per query   : {without_reuse['successes_per_second']:>9.0f} succ/s  "
+        f"cpu {100 * without_reuse['cpu_utilisation']:5.1f}%",
+    ]
+    emit("ablation_sockets", lines, {"with": with_reuse, "without": without_reuse})
+
+    # reuse wins, and the no-reuse run burns measurably more CPU
+    assert with_reuse["successes_per_second"] > 1.2 * without_reuse["successes_per_second"]
+    assert without_reuse["cpu_utilisation"] > with_reuse["cpu_utilisation"]

@@ -1,0 +1,56 @@
+"""Section 6 — CAA ecosystem case study.
+
+Paper findings to reproduce on the scaled base-domain corpus:
+
+* 1.69% of NOERROR domains hold CAA; ccTLDs are ~20% likelier than
+  gTLDs and contribute ~48% of all CAA records;
+* .pl alone holds ~25% of ccTLD CAA records; the top 10 ccTLDs ~70%;
+* tags: issue 96.8%, issuewild 55.27%, iodef 6.87%, rare invalid tags;
+* Let's Encrypt appears in 92.4% of issue tags; Comodo and Digicert in
+  over half of CAA domains."""
+
+from conftest import BENCH_SEED, emit, scaled
+
+from repro.analysis import run_caa_study
+from repro.ecosystem import EcosystemParams, build_internet
+from repro.workloads import CorpusConfig, DomainCorpus
+
+SAMPLE = 40_000
+
+
+def test_case6_caa(run_once):
+    def experiment():
+        internet = build_internet(params=EcosystemParams(seed=BENCH_SEED), wire_mode="never")
+        corpus = DomainCorpus(CorpusConfig(seed=BENCH_SEED))
+        bases = list(corpus.base_domains(scaled(SAMPLE)))
+        return run_caa_study(internet, bases, threads=4000, seed=BENCH_SEED)
+
+    findings = run_once(experiment)
+    data = findings.to_json()
+
+    lines = [
+        f"  NOERROR domains:          {data['domains_noerror']}",
+        f"  CAA rate:                 {data['caa_rate_pct']}%  (paper: 1.69%)",
+        f"  ccTLD share of CAA:       {data['cctld_share_of_caa_pct']}%  (paper: 48%)",
+        f"  .pl share of ccTLD CAA:   {data['pl_share_of_cc_caa_pct']}%  (paper: 25%)",
+        f"  top-10 ccTLD share:       {data['top10_cc_share_pct']}%  (paper: 70%)",
+        f"  via CNAME chain:          {data['via_cname']}",
+        f"  issue/issuewild/iodef:    {data['pct_issue']}% / {data['pct_issuewild']}% / "
+        f"{data['pct_iodef']}%  (paper: 96.8 / 55.27 / 6.87)",
+        f"  Let's Encrypt in issue:   {data['pct_issue_letsencrypt']}%  (paper: 92.4%)",
+        f"  Comodo / Digicert:        {data['pct_domains_comodo']}% / "
+        f"{data['pct_domains_digicert']}%  (paper: >50% each)",
+    ]
+    emit("case6_caa", lines, data)
+
+    assert 1.0 < data["caa_rate_pct"] < 2.6
+    assert 35 < data["cctld_share_of_caa_pct"] < 70
+    assert 12 < data["pl_share_of_cc_caa_pct"] < 42
+    assert data["top10_cc_share_pct"] > 55
+    assert data["pct_issue"] > 90
+    assert 40 < data["pct_issuewild"] < 70
+    assert data["pct_iodef"] < 15
+    assert data["pct_issue_letsencrypt"] > 85
+    assert data["pct_domains_comodo"] > 40
+    assert data["pct_domains_digicert"] > 40
+    assert data["via_cname"] >= 1

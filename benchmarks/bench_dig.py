@@ -1,0 +1,44 @@
+"""Section 4.2 (dig) — the exposed-lookup-chain baseline.
+
+Paper: batch-mode ``dig +trace`` averages 0.5 traces/second; forking
+individual dig processes peaks near 120 successful lookups/second.
+Both orders of magnitude below any ZDNS configuration."""
+
+from conftest import BENCH_SEED, emit, scaled
+
+from repro.baselines import DigBaseline
+from repro.ecosystem import EcosystemParams, build_internet
+from repro.workloads import DomainCorpus
+
+
+def test_dig_baseline(run_once):
+    def experiment():
+        corpus = DomainCorpus()
+        internet = build_internet(params=EcosystemParams(seed=BENCH_SEED), wire_mode="never")
+        batch = DigBaseline(internet, seed=BENCH_SEED).run_batch_trace(
+            list(corpus.fqdns(scaled(30, floor=20)))
+        )
+        internet2 = build_internet(params=EcosystemParams(seed=BENCH_SEED), wire_mode="never")
+        forked = DigBaseline(internet2, seed=BENCH_SEED).run_forked(
+            list(corpus.fqdns(scaled(2000), start=1000)), internet2.cloudflare_ip
+        )
+        return batch, forked
+
+    batch, forked = run_once(experiment)
+
+    lines = [
+        f"  dig batch +trace : {batch.stats.lookups_per_second:6.2f} traces/s   (paper: 0.5)",
+        f"  dig forked       : {forked.stats.steady_successes_per_second:6.1f} succ/s     (paper: 120)",
+    ]
+    emit(
+        "dig_baseline",
+        lines,
+        {
+            "batch_traces_per_second": round(batch.stats.lookups_per_second, 3),
+            "forked_successes_per_second": round(forked.stats.steady_successes_per_second, 1),
+        },
+    )
+
+    assert batch.stats.lookups_per_second < 2.0
+    assert 30 < forked.stats.steady_successes_per_second < 600
+    assert forked.stats.steady_successes_per_second > 20 * batch.stats.lookups_per_second

@@ -1,0 +1,85 @@
+"""Extension (Section 7 future work) — encrypted DNS transports.
+
+The paper anticipates that DoH/DoT will hurt throughput (no UDP socket
+reuse, TLS handshakes, crypto CPU) and proposes reusing TLS connections
+across resolutions.  This bench quantifies both: UDP vs DoT without
+connection reuse vs DoT with reuse, same workload and thread count."""
+
+from conftest import BENCH_SEED, emit, scaled
+
+from repro.core import ClientCostModel, ExternalMachine, ResolverConfig, SimDriver
+from repro.ecosystem import EcosystemParams, build_internet
+from repro.framework.stats import ScanStats
+from repro.net import CPUModel, SimEncryptedSocket, SimUDPSocket, SourceIPPool
+from repro.dnslib import RRType
+from repro.workloads import DomainCorpus
+
+THREADS = 8000
+SAMPLE = 40_000
+
+
+def _run(transport: str, offset: int) -> dict:
+    internet = build_internet(params=EcosystemParams(seed=BENCH_SEED), wire_mode="never")
+    sim = internet.sim
+    cpu = CPUModel(sim, cores=24)
+    driver = SimDriver(internet.network, cpu=cpu, costs=ClientCostModel(), seed=BENCH_SEED)
+    pool = SourceIPPool(prefix_length=28)
+    config = ResolverConfig(retries=2)
+    stats = ScanStats(threads_requested=THREADS, threads_running=THREADS)
+    names = iter(list(DomainCorpus().fqdns(scaled(SAMPLE), start=offset)))
+    resolver_ip = internet.cloudflare_ip
+
+    def make_socket():
+        if transport == "udp":
+            return SimUDPSocket(internet.network, pool)
+        return SimEncryptedSocket(
+            internet.network, pool, cpu=cpu, reuse_connections=(transport == "dot-reuse")
+        )
+
+    def worker(socket, start_delay):
+        yield start_delay  # ramp-up spread, as in ScanRunner
+        while True:
+            try:
+                raw = next(names)
+            except StopIteration:
+                socket.close()
+                return
+            machine = ExternalMachine([resolver_ip], config)
+            result = yield from driver.execute(machine.resolve(raw, RRType.A), socket)
+            stats.record(str(result.status), sim.now, result.queries_sent, result.retries_used)
+
+    futures = [
+        sim.spawn(worker(make_socket(), 0.5 * i / THREADS)) for i in range(THREADS)
+    ]
+    sim.run()
+    for future in futures:
+        future.result()
+    return {
+        "transport": transport,
+        "successes_per_second": round(stats.steady_successes_per_second, 1),
+        "success_rate": round(stats.success_rate, 4),
+        "cpu_utilisation": round(cpu.utilisation(stats.duration), 3),
+    }
+
+
+def test_ext_encrypted_transports(run_once):
+    def experiment():
+        rows = []
+        for i, transport in enumerate(["udp", "dot-noreuse", "dot-reuse"]):
+            rows.append(_run(transport, i * scaled(SAMPLE)))
+        return rows
+
+    rows = run_once(experiment)
+
+    lines = [
+        f"  {row['transport']:<12}: {row['successes_per_second']:>9.0f} succ/s  "
+        f"{100 * row['success_rate']:5.1f}% ok  cpu {100 * row['cpu_utilisation']:5.1f}%"
+        for row in rows
+    ]
+    emit("ext_encrypted", lines, {"rows": rows})
+
+    by = {row["transport"]: row for row in rows}
+    # encryption without connection reuse is the worst configuration...
+    assert by["udp"]["successes_per_second"] > by["dot-noreuse"]["successes_per_second"]
+    # ...and connection reuse recovers a large share of the loss
+    assert by["dot-reuse"]["successes_per_second"] > by["dot-noreuse"]["successes_per_second"]

@@ -1,0 +1,82 @@
+"""Figure 2 — internal resolver cache performance.
+
+The paper sweeps the selective cache from 50K to 1M entries at 50K
+threads and finds successes/second more than *triples* while the cache
+hit rate moves by less than 5 points: under random eviction, a small
+cache keeps evicting hot upper-layer delegations (TLD / reverse-zone
+cuts), forcing full re-walks from the roots.
+
+Scaled here: the same sweep shape at a smaller workload, with cache
+sizes scaled to the number of distinct zones the scaled workload
+touches (documented in EXPERIMENTS.md).
+"""
+
+from conftest import BENCH_SEED, FULL, dense_ptr_targets, emit, scaled
+
+from repro.ecosystem import EcosystemParams, build_internet
+from repro.framework import ScanConfig, ScanRunner
+
+#: Paper sweep: 50K..1M entries against ~10M lookups.  Scaled sweep:
+#: sizes scale with the number of distinct reverse zones the scaled
+#: workload touches.
+CACHE_SIZES = [1500, 5000, 15_000, 60_000] if not FULL else [1500, 3000, 5000, 10_000, 15_000, 30_000, 60_000, 150_000]
+
+THREADS = 8000
+LOOKUPS = 40_000
+
+def _one_point(cache_size: int, offset: int) -> dict:
+    internet = build_internet(params=EcosystemParams(seed=BENCH_SEED), wire_mode="never")
+    config = ScanConfig(
+        module="PTRIP",
+        mode="iterative",
+        threads=THREADS,
+        source_prefix=28,
+        cache_size=cache_size,
+        cache_eviction="random",
+        seed=BENCH_SEED,
+    )
+    names = dense_ptr_targets(scaled(LOOKUPS), offset)
+    report = ScanRunner(internet, config).run(names)
+    stats = report.stats
+    return {
+        "cache_size": cache_size,
+        "successes_per_second": round(stats.steady_successes_per_second, 1),
+        "success_rate": round(stats.success_rate, 4),
+        "hit_rate": report.cache_stats["hit_rate"],
+        "evictions": report.cache_stats["evictions"],
+        "queries_per_lookup": round(stats.queries_sent / max(1, stats.total), 2),
+    }
+
+
+def test_fig2_cache_size(run_once):
+    def experiment():
+        series = []
+        offset = 0
+        for size in CACHE_SIZES:
+            point = _one_point(size, offset)
+            offset += scaled(LOOKUPS)
+            series.append(point)
+        return series
+
+    series = run_once(experiment)
+
+    lines = []
+    for point in series:
+        lines.append(
+            f"  cache {point['cache_size']:>8}: "
+            f"{point['successes_per_second']:>9.0f} succ/s  "
+            f"hit rate {100 * point['hit_rate']:5.1f}%  "
+            f"{point['queries_per_lookup']:.2f} queries/lookup  "
+            f"{point['evictions']} evictions"
+        )
+    emit("fig2_cache", lines, {"series": series})
+
+    smallest, largest = series[0], series[-1]
+    # throughput rises substantially with cache size... (the paper sees
+    # 3x at 250x our lookup count; the scaled sweep shows the same
+    # monotone mechanism at a smaller magnitude)
+    assert largest["successes_per_second"] > 1.35 * smallest["successes_per_second"]
+    # ...while the hit rate barely moves (paper: <5 points)
+    assert abs(largest["hit_rate"] - smallest["hit_rate"]) < 0.08
+    # ...while the workload needs fewer upstream queries per lookup
+    assert largest["queries_per_lookup"] < smallest["queries_per_lookup"]

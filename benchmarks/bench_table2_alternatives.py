@@ -1,0 +1,144 @@
+"""Table 2 — alternatives vs ZDNS.
+
+Rows: MassDNS (A/PTR x Google/Cloudflare), ZDNS against a co-located
+Unbound, ZDNS iterative, and ZDNS against the public resolvers.
+Headlines to reproduce:
+
+* MassDNS posts the highest raw successes/second but ~35% of its
+  lookups end in drops or SERVFAIL;
+* ZDNS's iterative resolver beats the co-located Unbound setup by
+  roughly 2.6-3.6x at equal hardware;
+* ZDNS through public resolvers sustains ~90K+ successes/s at 96-97%
+  success (here: whatever the CPU model's plateau gives at this scale).
+
+dig is benchmarked separately (bench_dig) because its numbers are
+orders of magnitude smaller.
+"""
+
+from conftest import BENCH_SEED, FULL, emit, scaled
+
+from repro.baselines import UNBOUND_IP, install_unbound, run_massdns
+from repro.ecosystem import EcosystemParams, build_internet
+from repro.framework import ScanConfig, ScanRunner
+from repro.net import CPUModel
+from repro.workloads import DomainCorpus, ptr_names
+
+SAMPLE = 60_000
+_OFFSET = [0]
+
+
+def _names(lookup: str, count: int):
+    offset = _OFFSET[0]
+    _OFFSET[0] += count
+    if lookup == "PTR":
+        return list(ptr_names(count, seed=BENCH_SEED, start=offset))
+    return list(DomainCorpus().fqdns(count, start=offset))
+
+
+def _internet():
+    return build_internet(params=EcosystemParams(seed=BENCH_SEED), wire_mode="never")
+
+
+def _row(tool, lookup, resolver, stats):
+    return {
+        "tool": tool,
+        "lookup": lookup,
+        "resolver": resolver,
+        "successes_per_second": round(stats.steady_successes_per_second, 1),
+        "success_rate": round(stats.success_rate, 4),
+    }
+
+
+def _massdns_row(lookup, resolver_name):
+    internet = _internet()
+    resolver_ip = internet.google_ip if resolver_name == "google" else internet.cloudflare_ip
+    # several full turnovers of the 50K-deep window, so the overload
+    # equilibrium (offered load >> resolver capacity) is reached
+    names = _names(lookup, scaled(250_000))
+    module = "PTRIP" if lookup == "PTR" else "A"
+    report = run_massdns(internet, names, resolver_ip, module=module, seed=BENCH_SEED)
+    return _row("massdns", lookup, resolver_name, report.stats)
+
+
+def _zdns_unbound_row(lookup):
+    internet = _internet()
+    cpu = CPUModel(internet.sim, cores=24)
+    install_unbound(internet, cpu)
+    # contention caps usable concurrency (paper: 5-10K threads)
+    threads = 10_000 if lookup == "PTR" else 5000
+    config = ScanConfig(
+        module="PTRIP" if lookup == "PTR" else "A",
+        mode="external",
+        resolver_ips=[UNBOUND_IP],
+        threads=threads,
+        retries=3,
+        seed=BENCH_SEED,
+    )
+    stats = ScanRunner(internet, config, cpu=cpu).run(_names(lookup, scaled(SAMPLE))).stats
+    return _row("zdns", lookup, "unbound", stats)
+
+
+def _zdns_row(lookup, mode, threads=20_000):
+    internet = _internet()
+    config = ScanConfig(
+        module="PTRIP" if lookup == "PTR" else "A",
+        mode=mode,
+        threads=threads,
+        source_prefix=28,
+        cache_size=600_000,
+        retries=3,
+        seed=BENCH_SEED,
+    )
+    stats = ScanRunner(internet, config).run(_names(lookup, scaled(SAMPLE))).stats
+    return _row("zdns", lookup, mode, stats)
+
+
+def test_table2_alternatives(run_once):
+    def experiment():
+        rows = []
+        # default: the Cloudflare row — no per-IP rate limit, so the
+        # overload failure mode is pure capacity shedding; the Google
+        # variant (rate-limit drops + massdns's 50 timeout retries) is
+        # much slower to simulate and lives behind REPRO_FULL
+        rows.append(_massdns_row("A", "cloudflare"))
+        if FULL:
+            rows.append(_massdns_row("PTR", "google"))
+            rows.append(_massdns_row("A", "google"))
+            rows.append(_massdns_row("PTR", "cloudflare"))
+        rows.append(_zdns_unbound_row("A"))
+        if FULL:
+            rows.append(_zdns_unbound_row("PTR"))
+        rows.append(_zdns_row("A", "iterative"))
+        rows.append(_zdns_row("PTR", "iterative"))
+        rows.append(_zdns_row("A", "google"))
+        rows.append(_zdns_row("A", "cloudflare"))
+        if FULL:
+            rows.append(_zdns_row("PTR", "google"))
+            rows.append(_zdns_row("PTR", "cloudflare"))
+        return rows
+
+    rows = run_once(experiment)
+
+    lines = ["tool     lookup resolver     success/s   %success"]
+    for row in rows:
+        lines.append(
+            f"  {row['tool']:<8} {row['lookup']:<5} {row['resolver']:<11} "
+            f"{row['successes_per_second']:>9.0f}   {100 * row['success_rate']:5.1f}%"
+        )
+    emit("table2_alternatives", lines, {"rows": rows})
+
+    by_key = {(r["tool"], r["lookup"], r["resolver"]): r for r in rows}
+    massdns = by_key[("massdns", "A", "cloudflare")]
+    zdns_google = by_key[("zdns", "A", "google")]
+    zdns_iter = by_key[("zdns", "A", "iterative")]
+    zdns_unbound = by_key[("zdns", "A", "unbound")]
+
+    zdns_cloudflare = by_key[("zdns", "A", "cloudflare")]
+    # MassDNS: more raw successes/s than ZDNS, much worse success rate
+    assert massdns["successes_per_second"] > zdns_cloudflare["successes_per_second"]
+    assert massdns["success_rate"] < zdns_cloudflare["success_rate"] - 0.1
+    # ZDNS iterative beats the co-located Unbound by the paper's margin
+    ratio = zdns_iter["successes_per_second"] / zdns_unbound["successes_per_second"]
+    assert ratio > 1.8, ratio
+    # ZDNS through a public resolver beats its own iteration (Table 2)
+    assert zdns_google["successes_per_second"] > zdns_iter["successes_per_second"]

@@ -1,0 +1,42 @@
+"""Table 3 — the certificate-transparency domain corpus.
+
+Censuses a corpus sample and reports the FQDN / base-domain / TLD
+breakdown by TLD class, whose *shares* must match the paper's
+234M-FQDN corpus (55.3% legacy gTLD, 38.7% ccTLD, 6.0% ngTLD; 2.5
+FQDNs per base domain)."""
+
+from conftest import BENCH_SEED, emit, scaled
+
+from repro.workloads import CorpusConfig, DomainCorpus, census
+
+PAPER_SHARES = {"legacy": 0.553, "cc": 0.387, "ng": 0.060}
+SAMPLE = 120_000
+
+
+def test_table3_dataset(run_once):
+    corpus = DomainCorpus(CorpusConfig(seed=BENCH_SEED))
+    result = run_once(census, corpus, scaled(SAMPLE))
+
+    total = result.total_fqdns
+    lines = ["class    fqdns     share (paper)   domains   tlds"]
+    for cls, label in (("legacy", "legacy gTLDs"), ("ng", "ngTLDs"), ("cc", "ccTLDs")):
+        fqdns, domains, tlds = result.row(cls)
+        lines.append(
+            f"  {label:<13} {fqdns:>8}  {100 * fqdns / total:5.1f}% "
+            f"({100 * PAPER_SHARES[cls]:.1f}%)  {domains:>8}  {tlds:>4}"
+        )
+    lines.append(
+        f"  {'all domains':<13} {total:>8}  100.0%          {result.total_domains:>8}"
+    )
+    lines.append(f"  fqdns per base domain: {total / result.total_domains:.2f} (paper: 2.51)")
+    emit(
+        "table3_dataset",
+        lines,
+        {"fqdns": result.fqdns, "domains": result.domains, "tlds": result.tlds},
+    )
+
+    for cls, share in PAPER_SHARES.items():
+        measured = result.fqdns[cls] / total
+        assert abs(measured - share) < 0.03, (cls, measured)
+    ratio = total / result.total_domains
+    assert 2.2 <= ratio <= 2.8

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""The toolkit on real sockets: scan a loopback DNS server.
+
+Starts an in-process UDP DNS server that serves the *same* simulated
+zone universe, then queries it with the live transport — the identical
+resolution machines, but over actual packets.  With network access, the
+same LiveDriver works against real resolvers.
+
+Run:  python examples/live_loopback.py
+"""
+
+from repro.core import ExternalMachine, LiveDriver, ResolverConfig
+from repro.dnslib import RRType
+from repro.ecosystem import EcosystemParams, PublicResolver, ZoneSynthesizer
+from repro.net import UDPServer, UDPTransport
+from repro.workloads import DomainCorpus
+
+
+def main() -> None:
+    synth = ZoneSynthesizer(EcosystemParams())
+    resolver_model = PublicResolver.cloudflare_like(synth)
+
+    def handler(query, client):
+        reply = resolver_model.handle_query(query, client[0], 0.0, "udp")
+        return reply.message if reply else None
+
+    corpus = DomainCorpus()
+    with UDPServer(handler) as server:
+        host, port = server.address
+        print(f"loopback resolver listening on {host}:{port}")
+        with UDPTransport() as transport:
+            driver = LiveDriver(transport, port_override=port)
+            config = ResolverConfig(external_timeout=2.0, retries=1)
+            successes = 0
+            total = 20
+            for raw in corpus.fqdns(total):
+                machine = ExternalMachine([host], config)
+                result = driver.execute(machine.resolve(raw, RRType.A))
+                successes += result.is_success
+                answers = ", ".join(r.rdata.to_text() for r in result.answers[:2])
+                print(f"  {raw:<28} {str(result.status):<9} {answers}")
+            print(f"\n{successes}/{total} lookups succeeded over real UDP sockets")
+
+
+if __name__ == "__main__":
+    main()

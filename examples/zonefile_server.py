@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Serve a user-supplied zone file and query it with the toolkit.
+
+Parses a master-format zone, serves it authoritatively over a real UDP
+socket on loopback, and scans it with the live driver — useful as a
+template for testing real deployments against known-good zone data.
+
+Run:  python examples/zonefile_server.py
+"""
+
+from repro.core import ExternalMachine, LiveDriver, ResolverConfig
+from repro.dnslib import RRType, parse_zone
+from repro.ecosystem.staticzone import StaticZoneServer
+from repro.net import UDPServer, UDPTransport
+
+ZONE_TEXT = """\
+$ORIGIN demo.test.
+$TTL 300
+@       IN SOA ns1.demo.test. hostmaster.demo.test. 2026070601 7200 900 1209600 300
+@       IN NS  ns1
+ns1     IN A   127.0.0.1
+@       IN A   192.0.2.80
+@       IN MX  10 mail
+mail    IN A   192.0.2.25
+www     IN CNAME @
+api     IN A   192.0.2.81
+@       IN TXT "v=spf1 mx -all"
+@       IN CAA 0 issue "letsencrypt.org"
+"""
+
+
+def main() -> None:
+    zone = parse_zone(ZONE_TEXT)
+    server = StaticZoneServer(zone)
+    print(f"zone {zone.origin.to_text()} with {len(zone.records)} records")
+
+    with UDPServer(server.live_handler) as udp_server:
+        host, port = udp_server.address
+        print(f"authoritative server on {host}:{port}\n")
+        with UDPTransport() as transport:
+            driver = LiveDriver(transport, port_override=port)
+            config = ResolverConfig(external_timeout=2.0, retries=1)
+            for qname, qtype in [
+                ("demo.test", RRType.A),
+                ("www.demo.test", RRType.A),
+                ("demo.test", RRType.MX),
+                ("demo.test", RRType.CAA),
+                ("missing.demo.test", RRType.A),
+            ]:
+                machine = ExternalMachine([host], config)
+                result = driver.execute(machine.resolve(qname, qtype))
+                answers = "; ".join(r.to_text() for r in result.answers) or "-"
+                print(f"  {qname:<22} {qtype.name:<4} -> {str(result.status):<9} {answers}")
+
+
+if __name__ == "__main__":
+    main()

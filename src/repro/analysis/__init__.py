@@ -1,0 +1,11 @@
+"""repro.analysis — the paper's two case studies as reusable analyses."""
+
+from .caastudy import CAAFindings, run_caa_study
+from .nsconsistency import NSConsistencyFindings, run_ns_consistency_study
+
+__all__ = [
+    "CAAFindings",
+    "NSConsistencyFindings",
+    "run_caa_study",
+    "run_ns_consistency_study",
+]

@@ -1,0 +1,157 @@
+"""ZDNS's selective cache.
+
+Section 3.4: caching leaf answers for unique-name workloads only causes
+thrashing, so ZDNS caches *only* NS delegations and their glue.  The
+cache here supports three policies for the ablation benchmark —
+``selective`` (paper behaviour), ``all`` (also cache leaf answers,
+Unbound-style) and ``none`` — and two eviction strategies: ``random``
+(a hash-map eviction like the Go implementation's, whose interaction
+with hot upper-layer entries produces Figure 2's cache-size
+sensitivity) and ``lru``.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from ..dnslib import Name, ResourceRecord
+
+
+@dataclass(frozen=True)
+class Delegation:
+    """A cached zone cut: nameserver names plus any glue addresses."""
+
+    zone: Name
+    ns_names: tuple[Name, ...]
+    glue: tuple[tuple[Name, str], ...]  # (ns name, IPv4) pairs
+
+    def addresses(self) -> list[str]:
+        return [ip for _, ip in self.glue]
+
+    def glue_for(self, ns_name: Name) -> list[str]:
+        return [ip for name, ip in self.glue if name == ns_name]
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    inserts: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class SelectiveCache:
+    """Bounded delegation cache with pluggable eviction."""
+
+    def __init__(
+        self,
+        capacity: int = 600_000,
+        policy: str = "selective",
+        eviction: str = "random",
+        seed: int = 0,
+    ):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        if policy not in ("selective", "all", "none"):
+            raise ValueError(f"unknown policy {policy!r}")
+        if eviction not in ("random", "lru"):
+            raise ValueError(f"unknown eviction {eviction!r}")
+        self.capacity = capacity
+        self.policy = policy
+        self.eviction = eviction
+        self.stats = CacheStats()
+        self._rng = random.Random(seed)
+        self._delegations: OrderedDict[tuple, Delegation] = OrderedDict()
+        self._keys: list[tuple] = []  # for O(1) random eviction
+        self._key_pos: dict[tuple, int] = {}
+        self._answers: OrderedDict[tuple, list[ResourceRecord]] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._delegations) + len(self._answers)
+
+    # -- delegations -----------------------------------------------------
+
+    def put_delegation(self, delegation: Delegation) -> None:
+        if self.policy == "none":
+            return
+        key = ("ns", delegation.zone.canonical_key())
+        if key not in self._delegations:
+            self._register_key(key)
+        self._delegations[key] = delegation
+        self.stats.inserts += 1
+        self._enforce_capacity()
+
+    def get_delegation(self, zone: Name) -> Delegation | None:
+        key = ("ns", zone.canonical_key())
+        entry = self._delegations.get(key)
+        if entry is not None and self.eviction == "lru":
+            self._delegations.move_to_end(key)
+        return entry
+
+    def best_delegation(self, qname: Name) -> Delegation | None:
+        """The deepest cached zone cut at or above ``qname``.
+
+        A hit means iteration can start below the root; a total miss
+        means a full walk from the root servers.
+        """
+        for ancestor in qname.ancestors():
+            entry = self.get_delegation(ancestor)
+            if entry is not None:
+                self.stats.hits += 1
+                return entry
+        self.stats.misses += 1
+        return None
+
+    # -- leaf answers (only with policy="all") ----------------------------
+
+    def put_answer(self, qname: Name, qtype: int, records: list[ResourceRecord]) -> None:
+        if self.policy != "all":
+            return
+        key = ("ans", qname.canonical_key(), int(qtype))
+        if key not in self._answers:
+            self._register_key(key)
+        self._answers[key] = list(records)
+        self.stats.inserts += 1
+        self._enforce_capacity()
+
+    def get_answer(self, qname: Name, qtype: int) -> list[ResourceRecord] | None:
+        if self.policy != "all":
+            return None
+        return self._answers.get(("ans", qname.canonical_key(), int(qtype)))
+
+    # -- eviction ---------------------------------------------------------
+
+    def _register_key(self, key: tuple) -> None:
+        self._key_pos[key] = len(self._keys)
+        self._keys.append(key)
+
+    def _drop_key(self, key: tuple) -> None:
+        position = self._key_pos.pop(key)
+        last = self._keys.pop()
+        if last != key:
+            self._keys[position] = last
+            self._key_pos[last] = position
+        self._delegations.pop(key, None)
+        self._answers.pop(key, None)
+
+    def _enforce_capacity(self) -> None:
+        while len(self) > self.capacity:
+            if self.eviction == "random":
+                victim = self._keys[self._rng.randrange(len(self._keys))]
+            else:  # lru: oldest entry of the larger table
+                if self._delegations and (
+                    not self._answers
+                    or len(self._delegations) >= len(self._answers)
+                ):
+                    victim = next(iter(self._delegations))
+                else:
+                    victim = next(iter(self._answers))
+            self._drop_key(victim)
+            self.stats.evictions += 1

@@ -1,0 +1,427 @@
+"""Sans-IO iterative resolution state machine.
+
+The resolver logic is a generator that *yields* :class:`SendQuery`
+effects and receives responses (or ``None`` on timeout).  Drivers in
+:mod:`repro.core.engine` execute those effects against the simulated
+network or real sockets; unit tests execute them against scripted
+responses.  This mirrors ZDNS's split between the DNS library and the
+framework, and keeps one implementation of the tricky logic —
+referrals, glue, CNAME chasing, TCP fallback, lame-delegation handling
+— shared by every transport.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+
+from ..dnslib import Message, Name, Rcode, ResourceRecord, RRType
+from .cache import Delegation, SelectiveCache
+from .config import ResolverConfig
+from .status import Status, status_from_rcode
+from .trace import Trace, TraceStep, message_to_json
+from .validation import sanitize_response, validate_response_shape
+
+
+@dataclass(frozen=True)
+class SendQuery:
+    """Effect: transmit one query and await its response."""
+
+    server_ip: str
+    name: Name
+    qtype: RRType
+    timeout: float
+    protocol: str = "udp"
+    recursion_desired: bool = False
+    qclass: int = 1  # IN; CH for e.g. version.bind
+
+
+@dataclass
+class LookupResult:
+    """Outcome of one full lookup."""
+
+    name: str
+    qtype: RRType
+    status: Status = Status.ERROR
+    answers: list[ResourceRecord] = field(default_factory=list)
+    authorities: list[ResourceRecord] = field(default_factory=list)
+    additionals: list[ResourceRecord] = field(default_factory=list)
+    trace: Trace = field(default_factory=Trace)
+    queries_sent: int = 0
+    retries_used: int = 0
+    resolver: str = ""
+    protocol: str = "udp"
+
+    @property
+    def is_success(self) -> bool:
+        return self.status.is_success
+
+    def to_json(self) -> dict:
+        """ZDNS-style output record (Appendix C shape)."""
+        data = {
+            "answers": [record.to_json() for record in self.answers],
+            "protocol": self.protocol,
+            "resolver": self.resolver,
+        }
+        if self.authorities:
+            data["authorities"] = [record.to_json() for record in self.authorities]
+        if self.additionals:
+            data["additionals"] = [record.to_json() for record in self.additionals]
+        out = {
+            "name": self.name,
+            "class": "IN",
+            "status": str(self.status),
+            "data": data,
+        }
+        if len(self.trace):
+            out["trace"] = self.trace.to_json()
+        return out
+
+
+class _Abort(Exception):
+    """Internal: unwind a resolution with a terminal status."""
+
+    def __init__(self, status: Status):
+        self.status = status
+
+
+def _match_answers(response: Message, name: Name, qtype: int) -> list[ResourceRecord]:
+    """Answer records owned by ``name`` of the queried (or CNAME) type."""
+    wanted = []
+    for record in response.answers:
+        if record.name != name:
+            continue
+        if int(record.rrtype) == int(qtype) or int(qtype) == int(RRType.ANY):
+            wanted.append(record)
+        elif int(record.rrtype) == int(RRType.CNAME):
+            wanted.append(record)
+    return wanted
+
+
+def _referral_zone(response: Message) -> Name | None:
+    for record in response.authorities:
+        if int(record.rrtype) == int(RRType.NS):
+            return record.name
+    return None
+
+
+def _delegation_from(response: Message, zone: Name) -> Delegation:
+    ns_names = tuple(
+        record.rdata.target
+        for record in response.authorities
+        if int(record.rrtype) == int(RRType.NS) and record.name == zone
+    )
+    glue = tuple(
+        (record.name, record.rdata.address)
+        for record in response.additionals
+        if int(record.rrtype) == int(RRType.A) and record.name in ns_names
+    )
+    return Delegation(zone=zone, ns_names=ns_names, glue=glue)
+
+
+class IterativeMachine:
+    """Performs full iterative resolution with selective caching."""
+
+    def __init__(
+        self,
+        cache: SelectiveCache,
+        root_ips: list[str],
+        config: ResolverConfig | None = None,
+        rng: random.Random | None = None,
+    ):
+        self.cache = cache
+        self.root_ips = list(root_ips)
+        self.config = config or ResolverConfig()
+        self.rng = rng or random.Random(0)
+
+    # ------------------------------------------------------------------
+
+    def resolve(self, name: Name | str, qtype: RRType):
+        """Generator: yields SendQuery, receives Message|None, returns
+        LookupResult."""
+        if isinstance(name, str):
+            name = Name.from_text(name)
+        result = LookupResult(
+            name=name.to_text(omit_final_dot=True), qtype=qtype, resolver="iterative"
+        )
+        budget = _Budget(self.config.max_queries)
+        try:
+            answers, status = yield from self._resolve_with_cnames(name, qtype, result, budget)
+            result.status = status
+            result.answers = answers
+        except _Abort as abort:
+            result.status = abort.status
+        result.queries_sent = budget.sent
+        result.retries_used = budget.retries
+        return result
+
+    # ------------------------------------------------------------------
+
+    def _resolve_with_cnames(self, name: Name, qtype: RRType, result, budget):
+        answers: list[ResourceRecord] = []
+        current = name
+        for _hop in range(self.config.max_cname_chase + 1):
+            step_answers, status = yield from self._resolve_once(current, qtype, result, budget)
+            answers.extend(step_answers)
+            if status != Status.NOERROR or int(qtype) in (int(RRType.CNAME), int(RRType.ANY)):
+                return answers, status
+            target = _cname_target(step_answers, current, qtype)
+            if target is None:
+                return answers, status
+            current = target
+        return answers, Status.ERROR  # CNAME chain too long
+
+    def _resolve_once(self, name: Name, qtype: RRType, result, budget, depth: int = 0):
+        """One iteration walk for a single owner name."""
+        if depth > self.config.max_glueless_depth:
+            raise _Abort(Status.ERROR)
+
+        cached = self.cache.best_delegation(name)
+        if cached is not None and cached.addresses():
+            zone = cached.zone
+            servers = cached.addresses()
+            result.trace.add(
+                TraceStep(
+                    name=name.to_text(omit_final_dot=True),
+                    layer=zone.to_text(omit_final_dot=True) or ".",
+                    depth=depth + len(zone.labels),
+                    name_server="cache",
+                    cached=True,
+                    try_count=0,
+                    qtype=int(qtype),
+                )
+            )
+        else:
+            zone = Name.root()
+            servers = list(self.root_ips)
+
+        for _layer_hop in range(self.config.max_referrals):
+            response, server_ip, protocol = yield from self._query_layer(
+                name, qtype, servers, result, budget, zone, depth
+            )
+            rcode = response.rcode
+
+            if rcode == Rcode.NXDOMAIN:
+                return [], Status.NXDOMAIN
+            if rcode != Rcode.NOERROR:
+                return [], status_from_rcode(rcode)
+
+            matched = _match_answers(response, name, int(qtype))
+            if matched:
+                return matched, Status.NOERROR
+            if response.answers and not matched:
+                return [], Status.NOERROR  # answers for someone else: no data for us
+
+            referral = _referral_zone(response)
+            if referral is not None and not response.flags.authoritative:
+                if not referral.is_subdomain_of(zone) or referral == zone:
+                    # upward or sideways referral: lame server
+                    return [], Status.ERROR
+                if not name.is_subdomain_of(referral):
+                    return [], Status.ERROR
+                delegation = _delegation_from(response, referral)
+                if delegation.ns_names:
+                    self.cache.put_delegation(delegation)
+                addresses = delegation.addresses()
+                if not addresses:
+                    addresses = yield from self._resolve_glueless(
+                        delegation, result, budget, depth
+                    )
+                    if not addresses:
+                        return [], Status.SERVFAIL
+                zone = referral
+                servers = addresses
+                continue
+
+            # authoritative NOERROR with no answers: NODATA
+            return [], Status.NOERROR
+
+        return [], Status.ITER_LIMIT
+
+    def _query_layer(self, name, qtype, servers, result, budget, zone, depth):
+        """Try the layer's servers (with retries) until one responds."""
+        order = list(servers)
+        self.rng.shuffle(order)
+        tries = self.config.retries + 1
+        last_failure = Status.ITERATIVE_TIMEOUT
+        attempt = 0
+        for attempt in range(tries):
+            server_ip = order[attempt % len(order)]
+            budget.spend()
+            step = TraceStep(
+                name=name.to_text(omit_final_dot=True),
+                layer=zone.to_text(omit_final_dot=True) or ".",
+                depth=depth + len(zone.labels) + 1,
+                name_server=f"{server_ip}:53",
+                cached=False,
+                try_count=attempt + 1,
+                qtype=int(qtype),
+            )
+            response = yield SendQuery(
+                server_ip=server_ip,
+                name=name,
+                qtype=qtype,
+                timeout=self.config.iteration_timeout,
+            )
+            if response is None:
+                step.status = str(Status.TIMEOUT)
+                result.trace.add(step)
+                budget.retries += 1
+                continue
+            if self.config.validate_responses:
+                reason = validate_response_shape(name, int(qtype), response)
+                if reason is not None:
+                    # malformed/hostile response: treat like packet loss
+                    step.status = str(Status.FORMERR)
+                    result.trace.add(step)
+                    budget.retries += 1
+                    last_failure = Status.FORMERR
+                    continue
+                if self.config.strict_bailiwick:
+                    response, _report = sanitize_response(response, name, int(qtype), zone)
+            if response.flags.truncated and not self.config.tcp_on_truncated:
+                step.status = str(Status.TRUNCATED)
+                result.trace.add(step)
+                raise _Abort(Status.TRUNCATED)
+            if response.flags.truncated and self.config.tcp_on_truncated:
+                budget.spend()
+                response_tcp = yield SendQuery(
+                    server_ip=server_ip,
+                    name=name,
+                    qtype=qtype,
+                    timeout=self.config.iteration_timeout,
+                    protocol="tcp",
+                )
+                if response_tcp is None:
+                    step.status = str(Status.TRUNCATED)
+                    result.trace.add(step)
+                    budget.retries += 1
+                    continue
+                response = response_tcp
+                step = replace(step, results=None)
+            if response.rcode in (Rcode.SERVFAIL, Rcode.REFUSED):
+                step.status = str(status_from_rcode(response.rcode))
+                result.trace.add(step)
+                last_failure = status_from_rcode(response.rcode)
+                budget.retries += 1
+                continue
+            step.status = str(status_from_rcode(response.rcode))
+            if self.config.record_trace_results:
+                step.results = message_to_json(response, f"{server_ip}:53")
+            result.trace.add(step)
+            return response, server_ip, "udp"
+        raise _Abort(last_failure)
+
+    def _resolve_glueless(self, delegation: Delegation, result, budget, depth):
+        """Referral without glue: resolve one NS name's address."""
+        for ns_name in delegation.ns_names:
+            answers, status = yield from self._resolve_once(
+                ns_name, RRType.A, result, budget, depth + 1
+            )
+            addresses = [
+                record.rdata.address
+                for record in answers
+                if int(record.rrtype) == int(RRType.A)
+            ]
+            if status == Status.NOERROR and addresses:
+                # refresh the cache with the learned glue
+                self.cache.put_delegation(
+                    Delegation(
+                        zone=delegation.zone,
+                        ns_names=delegation.ns_names,
+                        glue=tuple((ns_name, ip) for ip in addresses),
+                    )
+                )
+                return addresses
+        return []
+
+
+class ExternalMachine:
+    """Stub resolution against an external recursive resolver."""
+
+    def __init__(self, resolver_ips: list[str], config: ResolverConfig | None = None, rng=None):
+        if not resolver_ips:
+            raise ValueError("need at least one resolver address")
+        self.resolver_ips = list(resolver_ips)
+        self.config = config or ResolverConfig()
+        self.rng = rng or random.Random(0)
+
+    def resolve(self, name: Name | str, qtype: RRType):
+        if isinstance(name, str):
+            name = Name.from_text(name)
+        config = self.config
+        result = LookupResult(name=name.to_text(omit_final_dot=True), qtype=qtype)
+        tries = config.retries + 1
+        status = Status.TIMEOUT
+        for attempt in range(tries):
+            # load-balance across upstream resolvers per attempt
+            server_ip = self.resolver_ips[
+                self.rng.randrange(len(self.resolver_ips))
+                if len(self.resolver_ips) > 1
+                else 0
+            ]
+            result.resolver = f"{server_ip}:53"
+            result.queries_sent += 1
+            response = yield SendQuery(
+                server_ip=server_ip,
+                name=name,
+                qtype=qtype,
+                timeout=config.external_timeout,
+                recursion_desired=True,
+            )
+            if response is None:
+                result.retries_used += 1
+                continue
+            if response.flags.truncated and config.tcp_on_truncated:
+                result.queries_sent += 1
+                response = yield SendQuery(
+                    server_ip=server_ip,
+                    name=name,
+                    qtype=qtype,
+                    timeout=config.external_timeout,
+                    protocol="tcp",
+                    recursion_desired=True,
+                )
+                if response is None:
+                    result.retries_used += 1
+                    continue
+                result.protocol = "tcp"
+            status = status_from_rcode(response.rcode)
+            if (
+                config.retry_servfail
+                and status in (Status.SERVFAIL, Status.REFUSED)
+                and attempt + 1 < tries
+            ):
+                result.retries_used += 1
+                continue
+            result.answers = list(response.answers)
+            result.authorities = list(response.authorities)
+            result.additionals = list(response.additionals)
+            break
+        result.status = status
+        return result
+
+
+class _Budget:
+    """Per-lookup query budget: hard stop against referral loops."""
+
+    def __init__(self, limit: int):
+        self.limit = limit
+        self.sent = 0
+        self.retries = 0
+
+    def spend(self) -> None:
+        self.sent += 1
+        if self.sent > self.limit:
+            raise _Abort(Status.ITER_LIMIT)
+
+
+def _cname_target(answers: list[ResourceRecord], name: Name, qtype: RRType) -> Name | None:
+    """If the matched answers are only a CNAME, the chase target."""
+    has_final = any(int(r.rrtype) == int(qtype) for r in answers)
+    if has_final:
+        return None
+    for record in answers:
+        if int(record.rrtype) == int(RRType.CNAME) and record.name == name:
+            return record.rdata.target
+    return None

@@ -1,0 +1,81 @@
+"""Exposed lookup chains: the trace format of Appendix C.
+
+Every step of an iterative resolution is recorded as a JSON-exportable
+entry so that researchers can inspect the internal DNS operations that
+recursive resolvers normally hide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..dnslib import Message
+
+
+def message_to_json(message: Message, resolver: str, protocol: str = "udp") -> dict:
+    """The Appendix C ``results`` block for one exchanged response."""
+    return {
+        "answers": [record.to_json() for record in message.answers],
+        "authorities": [record.to_json() for record in message.authorities],
+        "additionals": [record.to_json() for record in message.additionals],
+        "flags": message.flags.to_json(),
+        "opcode": int(message.flags.opcode),
+        "protocol": protocol,
+        "resolver": resolver,
+    }
+
+
+@dataclass
+class TraceStep:
+    """One query in a lookup chain (Appendix C entry)."""
+
+    name: str
+    layer: str
+    depth: int
+    name_server: str
+    cached: bool
+    try_count: int
+    qtype: int
+    qclass: int = 1
+    results: dict | None = None
+    status: str = "NOERROR"
+
+    def to_json(self) -> dict:
+        entry = {
+            "name": self.name,
+            "layer": self.layer,
+            "depth": self.depth,
+            "name_server": self.name_server,
+            "cached": self.cached,
+            "try": self.try_count,
+            "type": self.qtype,
+            "class": self.qclass,
+            "status": self.status,
+        }
+        if self.results is not None:
+            entry["results"] = self.results
+        return entry
+
+
+@dataclass
+class Trace:
+    """The ordered lookup chain of one resolution."""
+
+    steps: list[TraceStep] = field(default_factory=list)
+
+    def add(self, step: TraceStep) -> None:
+        self.steps.append(step)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __iter__(self):
+        return iter(self.steps)
+
+    def to_json(self) -> list[dict]:
+        return [step.to_json() for step in self.steps]
+
+    @property
+    def query_count(self) -> int:
+        """Queries actually sent (cached steps sent nothing)."""
+        return sum(1 for step in self.steps if not step.cached)

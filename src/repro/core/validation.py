@@ -1,0 +1,120 @@
+"""Response validation (the "validation" duty of the ZDNS library,
+Section 3.2).
+
+Internet servers regularly return malformed or hostile responses; an
+iterative resolver must not ingest them blindly.  These checks cover
+the classic failure modes:
+
+* **bailiwick violations** — records for names outside the zone the
+  queried server is responsible for (cache-poisoning vector);
+* **answer mismatches** — answer records that belong neither to the
+  question name nor to its CNAME chain;
+* **structural anomalies** — responses that are not responses, echo a
+  different question, or carry absurd TTLs.
+
+The iterative machine applies :func:`sanitize_response` to every
+response before interpreting it; rejected records are dropped and
+counted rather than trusted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..dnslib import Message, Name, ResourceRecord, RRType
+
+#: TTLs above this (68 years) are treated as hostile/garbage.
+MAX_REASONABLE_TTL = 2**31 - 1
+
+
+@dataclass
+class ValidationReport:
+    """What sanitisation did to one response."""
+
+    ok: bool = True
+    dropped: list[str] = field(default_factory=list)
+
+    def reject(self, reason: str) -> None:
+        self.ok = False
+        self.dropped.append(reason)
+
+
+def in_bailiwick(name: Name, zone: Name) -> bool:
+    """Whether ``name`` lies at or below ``zone``."""
+    return name.is_subdomain_of(zone)
+
+
+def validate_response_shape(query_name: Name, qtype: int, response: Message) -> str | None:
+    """Structural checks; returns a rejection reason or None."""
+    if not response.flags.response:
+        return "not a response"
+    question = response.question
+    if question is not None:
+        if question.name != query_name:
+            return "question name mismatch"
+        if int(question.rrtype) != int(qtype) and int(qtype) != int(RRType.ANY):
+            return "question type mismatch"
+    return None
+
+
+def _record_ok(record: ResourceRecord, zone: Name, report: ValidationReport) -> bool:
+    if record.ttl > MAX_REASONABLE_TTL or record.ttl < 0:
+        report.reject(f"absurd TTL {record.ttl} on {record.name.to_text()}")
+        return False
+    if not in_bailiwick(record.name, zone):
+        report.reject(f"out-of-bailiwick record {record.name.to_text()} (zone {zone.to_text()})")
+        return False
+    return True
+
+
+def sanitize_response(
+    response: Message, query_name: Name, qtype: int, zone: Name
+) -> tuple[Message, ValidationReport]:
+    """Drop records the queried server has no authority to assert.
+
+    ``zone`` is the zone cut the server was queried for.  Answer and
+    authority records must be in-bailiwick; additionals (glue) must be
+    in-bailiwick too, or they are silently stripped — classic Kaminsky-
+    style poisoning defence.
+    """
+    report = ValidationReport()
+    reason = validate_response_shape(query_name, qtype, response)
+    if reason is not None:
+        report.reject(reason)
+        return response, report
+
+    answers = [r for r in response.answers if _record_ok(r, zone, report)]
+    authorities = [r for r in response.authorities if _record_ok(r, zone, report)]
+    additionals = []
+    for record in response.additionals:
+        if int(record.rrtype) == int(RRType.OPT):
+            additionals.append(record)  # EDNS pseudo-record is unnamed
+            continue
+        if _record_ok(record, zone, report):
+            additionals.append(record)
+
+    if len(answers) != len(response.answers) or len(authorities) != len(
+        response.authorities
+    ) or len(additionals) != len(response.additionals):
+        cleaned = Message(
+            id=response.id,
+            flags=response.flags,
+            questions=list(response.questions),
+            answers=answers,
+            authorities=authorities,
+            additionals=additionals,
+        )
+        return cleaned, report
+    return response, report
+
+
+def validate_answer_chain(response: Message, query_name: Name, qtype: int) -> bool:
+    """Every answer record must be owned by the question name or by a
+    target reached through the response's own CNAME chain."""
+    allowed = {query_name.canonical_key()}
+    for record in response.answers:
+        if record.name.canonical_key() not in allowed:
+            return False
+        if int(record.rrtype) == int(RRType.CNAME):
+            allowed.add(record.rdata.target.canonical_key())
+    return True

@@ -1,0 +1,59 @@
+"""repro.dnslib — a self-contained DNS wire-protocol library.
+
+The analogue of the miekg/dns layer ZDNS builds on: domain names,
+message encode/decode with compression, EDNS(0), and RDATA codecs for
+every record type the paper lists.
+"""
+
+from .edns import EDNSInfo, EDNSOption, add_edns, get_edns, max_payload
+from .message import (
+    EDNS_UDP_PAYLOAD,
+    MAX_UDP_PAYLOAD,
+    Flags,
+    Message,
+    Question,
+    ResourceRecord,
+)
+from .name import Name, NameError_, name_from_ipv4_ptr
+from .rdata import GenericRData, RData, rdata_class, registered_types
+from .text_format import PARSEABLE_TYPES, TextParseError, rdata_from_text
+from .types import DNSClass, Opcode, Rcode, RRType, type_from_text
+from .wire import WireError, WireReader, WireWriter
+from .zonefile import Zone, ZoneParseError, load_zone, parse_zone, zone_to_text
+
+__all__ = [
+    "DNSClass",
+    "EDNSInfo",
+    "EDNSOption",
+    "EDNS_UDP_PAYLOAD",
+    "Flags",
+    "GenericRData",
+    "MAX_UDP_PAYLOAD",
+    "Message",
+    "Name",
+    "NameError_",
+    "Opcode",
+    "PARSEABLE_TYPES",
+    "Question",
+    "RData",
+    "TextParseError",
+    "Zone",
+    "ZoneParseError",
+    "Rcode",
+    "ResourceRecord",
+    "RRType",
+    "WireError",
+    "WireReader",
+    "WireWriter",
+    "add_edns",
+    "get_edns",
+    "load_zone",
+    "max_payload",
+    "name_from_ipv4_ptr",
+    "parse_zone",
+    "rdata_class",
+    "rdata_from_text",
+    "registered_types",
+    "type_from_text",
+    "zone_to_text",
+]

@@ -1,0 +1,309 @@
+"""DNS message encoding and decoding (RFC 1035 section 4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from .name import Name
+from .rdata import RData, rdata_class
+from .types import DNSClass, Opcode, Rcode, RRType
+from .wire import WireError, WireReader, WireWriter
+
+#: Classic maximum UDP payload without EDNS.
+MAX_UDP_PAYLOAD = 512
+#: EDNS payload size ZDNS advertises.
+EDNS_UDP_PAYLOAD = 1232
+
+
+@dataclass(frozen=True)
+class Flags:
+    """The header flag bits (RFC 1035 section 4.1.1, plus AD/CD)."""
+
+    response: bool = False
+    opcode: Opcode = Opcode.QUERY
+    authoritative: bool = False
+    truncated: bool = False
+    recursion_desired: bool = False
+    recursion_available: bool = False
+    authenticated: bool = False  # AD
+    checking_disabled: bool = False  # CD
+    rcode: Rcode = Rcode.NOERROR
+
+    def to_int(self) -> int:
+        value = 0
+        if self.response:
+            value |= 0x8000
+        value |= (int(self.opcode) & 0xF) << 11
+        if self.authoritative:
+            value |= 0x0400
+        if self.truncated:
+            value |= 0x0200
+        if self.recursion_desired:
+            value |= 0x0100
+        if self.recursion_available:
+            value |= 0x0080
+        if self.authenticated:
+            value |= 0x0020
+        if self.checking_disabled:
+            value |= 0x0010
+        value |= int(self.rcode) & 0xF
+        return value
+
+    @classmethod
+    def from_int(cls, value: int) -> "Flags":
+        opcode = (value >> 11) & 0xF
+        rcode = value & 0xF
+        try:
+            opcode = Opcode(opcode)
+        except ValueError:
+            pass  # unassigned opcodes survive as raw integers
+        try:
+            rcode = Rcode(rcode)
+        except ValueError:
+            pass
+        return cls(
+            response=bool(value & 0x8000),
+            opcode=opcode,
+            authoritative=bool(value & 0x0400),
+            truncated=bool(value & 0x0200),
+            recursion_desired=bool(value & 0x0100),
+            recursion_available=bool(value & 0x0080),
+            authenticated=bool(value & 0x0020),
+            checking_disabled=bool(value & 0x0010),
+            rcode=rcode,
+        )
+
+    def to_json(self) -> dict:
+        """ZDNS-format flags block (Appendix C)."""
+        return {
+            "response": self.response,
+            "opcode": int(self.opcode),
+            "authoritative": self.authoritative,
+            "truncated": self.truncated,
+            "recursion_desired": self.recursion_desired,
+            "recursion_available": self.recursion_available,
+            "authenticated": self.authenticated,
+            "checking_disabled": self.checking_disabled,
+            "error_code": int(self.rcode),
+        }
+
+
+@dataclass(frozen=True)
+class Question:
+    """A query triple."""
+
+    name: Name
+    rrtype: RRType
+    rrclass: DNSClass = DNSClass.IN
+
+    def to_wire(self, writer: WireWriter) -> None:
+        writer.write_name(self.name)
+        writer.write_u16(int(self.rrtype))
+        writer.write_u16(int(self.rrclass))
+
+    @classmethod
+    def from_wire(cls, reader: WireReader) -> "Question":
+        name = reader.read_name()
+        rrtype = reader.read_u16()
+        rrclass = reader.read_u16()
+        try:
+            rrtype = RRType(rrtype)
+        except ValueError:
+            pass  # keep the raw integer for unknown types
+        try:
+            rrclass = DNSClass(rrclass)
+        except ValueError:
+            pass
+        return cls(name, rrtype, rrclass)
+
+    def __str__(self) -> str:
+        return f"{self.name.to_text()} {self.rrclass} {_type_text(self.rrtype)}"
+
+
+def _type_text(rrtype: int) -> str:
+    try:
+        return RRType(rrtype).name
+    except ValueError:
+        return f"TYPE{int(rrtype)}"
+
+
+def _class_text(rrclass: int) -> str:
+    try:
+        return DNSClass(rrclass).name
+    except ValueError:
+        return f"CLASS{int(rrclass)}"
+
+
+@dataclass(frozen=True)
+class ResourceRecord:
+    """A decoded resource record."""
+
+    name: Name
+    rrtype: int
+    rrclass: int
+    ttl: int
+    rdata: RData
+
+    def to_wire(self, writer: WireWriter) -> None:
+        writer.write_name(self.name)
+        writer.write_u16(int(self.rrtype))
+        writer.write_u16(int(self.rrclass))
+        writer.write_u32(self.ttl)
+        length_offset = len(writer)
+        writer.write_u16(0)
+        start = len(writer)
+        self.rdata.to_wire(writer)
+        writer.patch_u16(length_offset, len(writer) - start)
+
+    @classmethod
+    def from_wire(cls, reader: WireReader) -> "ResourceRecord":
+        name = reader.read_name()
+        rrtype = reader.read_u16()
+        rrclass = reader.read_u16()
+        ttl = reader.read_u32()
+        rdlength = reader.read_u16()
+        end = reader.offset + rdlength
+        rdata = rdata_class(rrtype).from_wire(reader, rdlength)
+        if reader.offset != end:
+            raise WireError(
+                f"{_type_text(rrtype)} rdata decoded {reader.offset - (end - rdlength)} "
+                f"of {rdlength} bytes"
+            )
+        try:
+            rrtype = RRType(rrtype)
+        except ValueError:
+            pass
+        return cls(name, rrtype, rrclass, ttl, rdata)
+
+    def to_text(self) -> str:
+        return (
+            f"{self.name.to_text()} {self.ttl} {_class_text(self.rrclass)} "
+            f"{_type_text(self.rrtype)} {self.rdata.to_text()}"
+        )
+
+    def to_json(self) -> dict:
+        """ZDNS answer-format JSON record (Appendix C)."""
+        return {
+            "name": self.name.to_text(omit_final_dot=True),
+            "type": _type_text(self.rrtype),
+            "class": _class_text(self.rrclass),
+            "ttl": self.ttl,
+            "answer": self.rdata.zdns_answer(),
+        }
+
+
+@dataclass
+class Message:
+    """A complete DNS message."""
+
+    id: int = 0
+    flags: Flags = field(default_factory=Flags)
+    questions: list[Question] = field(default_factory=list)
+    answers: list[ResourceRecord] = field(default_factory=list)
+    authorities: list[ResourceRecord] = field(default_factory=list)
+    additionals: list[ResourceRecord] = field(default_factory=list)
+
+    @classmethod
+    def make_query(
+        cls,
+        name: Name | str,
+        rrtype: RRType,
+        rrclass: DNSClass = DNSClass.IN,
+        txid: int = 0,
+        recursion_desired: bool = True,
+    ) -> "Message":
+        if isinstance(name, str):
+            name = Name.from_text(name)
+        return cls(
+            id=txid,
+            flags=Flags(recursion_desired=recursion_desired),
+            questions=[Question(name, rrtype, rrclass)],
+        )
+
+    def make_response(self, rcode: Rcode = Rcode.NOERROR, authoritative: bool = False) -> "Message":
+        """Skeleton response echoing id and question."""
+        return Message(
+            id=self.id,
+            flags=replace(
+                self.flags,
+                response=True,
+                authoritative=authoritative,
+                recursion_available=False,
+                rcode=rcode,
+            ),
+            questions=list(self.questions),
+        )
+
+    @property
+    def question(self) -> Question | None:
+        return self.questions[0] if self.questions else None
+
+    @property
+    def rcode(self) -> Rcode:
+        return self.flags.rcode
+
+    def records(self):
+        """All records across the three answer sections."""
+        yield from self.answers
+        yield from self.authorities
+        yield from self.additionals
+
+    def to_wire(self, max_size: int | None = None) -> bytes:
+        """Encode; if ``max_size`` is given and exceeded, return a
+        truncated message with TC=1 containing only the question."""
+        writer = WireWriter()
+        writer.write_u16(self.id)
+        writer.write_u16(self.flags.to_int())
+        writer.write_u16(len(self.questions))
+        writer.write_u16(len(self.answers))
+        writer.write_u16(len(self.authorities))
+        writer.write_u16(len(self.additionals))
+        for question in self.questions:
+            question.to_wire(writer)
+        for section in (self.answers, self.authorities, self.additionals):
+            for record in section:
+                record.to_wire(writer)
+        wire = writer.getvalue()
+        if max_size is not None and len(wire) > max_size:
+            truncated = Message(
+                id=self.id,
+                flags=replace(self.flags, truncated=True),
+                questions=list(self.questions),
+            )
+            return truncated.to_wire()
+        return wire
+
+    @classmethod
+    def from_wire(cls, data: bytes) -> "Message":
+        reader = WireReader(data)
+        if len(data) < 12:
+            raise WireError(f"message shorter than header: {len(data)} bytes")
+        msg_id = reader.read_u16()
+        flags = Flags.from_int(reader.read_u16())
+        counts = [reader.read_u16() for _ in range(4)]
+        message = cls(id=msg_id, flags=flags)
+        for _ in range(counts[0]):
+            message.questions.append(Question.from_wire(reader))
+        for section, count in zip(
+            (message.answers, message.authorities, message.additionals), counts[1:]
+        ):
+            for _ in range(count):
+                section.append(ResourceRecord.from_wire(reader))
+        return message
+
+    def to_text(self) -> str:
+        """dig-style presentation, used by tests and debugging."""
+        lines = [
+            f";; opcode: {self.flags.opcode}, status: {self.rcode}, id: {self.id}",
+            ";; QUESTION SECTION:",
+        ]
+        lines.extend(f";{q}" for q in self.questions)
+        for title, section in (
+            ("ANSWER", self.answers),
+            ("AUTHORITY", self.authorities),
+            ("ADDITIONAL", self.additionals),
+        ):
+            if section:
+                lines.append(f";; {title} SECTION:")
+                lines.extend(record.to_text() for record in section)
+        return "\n".join(lines)

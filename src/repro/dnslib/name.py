@@ -1,0 +1,201 @@
+"""Domain name handling.
+
+Names are held as tuples of label byte-strings, excluding the root label.
+Comparisons are case-insensitive per RFC 1035 section 2.3.3, but the
+original spelling is preserved for output.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+MAX_NAME_LENGTH = 255
+MAX_LABEL_LENGTH = 63
+
+
+class NameError_(ValueError):
+    """Raised for syntactically invalid domain names."""
+
+
+class Name:
+    """An absolute DNS domain name.
+
+    >>> Name.from_text("WWW.Example.COM") == Name.from_text("www.example.com")
+    True
+    """
+
+    __slots__ = ("labels", "_key", "_hash", "_text")
+
+    def __init__(self, labels: Iterable[bytes]):
+        labels = tuple(labels)
+        total = 1  # trailing root byte
+        for label in labels:
+            if not label:
+                raise NameError_("empty label")
+            if len(label) > MAX_LABEL_LENGTH:
+                raise NameError_(f"label too long: {len(label)} bytes")
+            total += len(label) + 1
+        if total > MAX_NAME_LENGTH:
+            raise NameError_(f"name too long: {total} bytes")
+        self.labels = labels
+        self._key = tuple(label.lower() for label in labels)
+        self._hash = hash(self._key)
+        self._text: str | None = None  # memoised presentation form
+
+    @classmethod
+    def root(cls) -> "Name":
+        return _ROOT
+
+    @classmethod
+    def from_text(cls, text: str | bytes) -> "Name":
+        """Parse a presentation-format name (``\\.`` escapes supported)."""
+        if isinstance(text, str):
+            text = text.encode("ascii", errors="strict")
+        if text in (b"", b"."):
+            return _ROOT
+        if text.endswith(b"."):
+            text = text[:-1]
+        labels: list[bytes] = []
+        current = bytearray()
+        i = 0
+        while i < len(text):
+            char = text[i : i + 1]
+            if char == b"\\":
+                if i + 1 >= len(text):
+                    raise NameError_("trailing escape")
+                nxt = text[i + 1 : i + 2]
+                if nxt.isdigit():
+                    if i + 3 >= len(text):
+                        raise NameError_("truncated decimal escape")
+                    current.append(int(text[i + 1 : i + 4]))
+                    i += 4
+                else:
+                    current += nxt
+                    i += 2
+                continue
+            if char == b".":
+                if not current:
+                    raise NameError_(f"empty label in {text!r}")
+                labels.append(bytes(current))
+                current = bytearray()
+            else:
+                current += char
+            i += 1
+        if not current:
+            raise NameError_(f"empty trailing label in {text!r}")
+        labels.append(bytes(current))
+        return cls(labels)
+
+    def to_text(self, omit_final_dot: bool = False) -> str:
+        if not self.labels:
+            return "" if omit_final_dot else "."
+        if self._text is None:
+            parts = []
+            for label in self.labels:
+                out = []
+                for byte in label:
+                    char = bytes((byte,))
+                    if char in b".\\":
+                        out.append("\\" + char.decode())
+                    elif 0x21 <= byte <= 0x7E:
+                        out.append(char.decode("ascii"))
+                    else:
+                        out.append(f"\\{byte:03d}")
+                parts.append("".join(out))
+            self._text = ".".join(parts) + "."
+        return self._text[:-1] if omit_final_dot else self._text
+
+    @property
+    def is_root(self) -> bool:
+        return not self.labels
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    def __iter__(self) -> Iterator[bytes]:
+        return iter(self.labels)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Name):
+            return NotImplemented
+        return self._key == other._key
+
+    def __lt__(self, other: "Name") -> bool:
+        # Canonical DNS ordering: compare label sequences right to left.
+        return self._key[::-1] < other._key[::-1]
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Name({self.to_text()!r})"
+
+    def __str__(self) -> str:
+        return self.to_text()
+
+    def parent(self) -> "Name":
+        """The name with its leftmost label removed.
+
+        >>> Name.from_text("a.b.com").parent()
+        Name('b.com.')
+        """
+        if self.is_root:
+            raise NameError_("root has no parent")
+        return Name(self.labels[1:])
+
+    def child(self, label: bytes | str) -> "Name":
+        if isinstance(label, str):
+            label = label.encode("ascii")
+        return Name((label,) + self.labels)
+
+    def concatenate(self, suffix: "Name") -> "Name":
+        return Name(self.labels + suffix.labels)
+
+    def is_subdomain_of(self, other: "Name") -> bool:
+        """True when ``self`` equals ``other`` or sits beneath it."""
+        if len(other._key) > len(self._key):
+            return False
+        if not other._key:
+            return True
+        return self._key[-len(other._key) :] == other._key
+
+    def relativize(self, origin: "Name") -> tuple[bytes, ...]:
+        """Labels of ``self`` below ``origin`` (self must be a subdomain)."""
+        if not self.is_subdomain_of(origin):
+            raise NameError_(f"{self} is not under {origin}")
+        count = len(self.labels) - len(origin.labels)
+        return self.labels[:count]
+
+    def ancestors(self) -> Iterator["Name"]:
+        """Yield self, parent, ..., root."""
+        name = self
+        while True:
+            yield name
+            if name.is_root:
+                return
+            name = name.parent()
+
+    def wire_length(self) -> int:
+        """Uncompressed encoded size in bytes."""
+        return 1 + sum(len(label) + 1 for label in self.labels)
+
+    def canonical_key(self) -> tuple[bytes, ...]:
+        """Lowercased labels; stable dictionary key for case-folded lookups."""
+        return self._key
+
+
+_ROOT = Name(())
+
+
+def name_from_ipv4_ptr(address: str) -> Name:
+    """Reverse-map an IPv4 dotted quad into in-addr.arpa.
+
+    >>> name_from_ipv4_ptr("1.2.3.4").to_text()
+    '4.3.2.1.in-addr.arpa.'
+    """
+    octets = address.split(".")
+    if len(octets) != 4 or not all(o.isdigit() and 0 <= int(o) <= 255 for o in octets):
+        raise NameError_(f"invalid IPv4 address {address!r}")
+    labels = [o.encode("ascii") for o in reversed(octets)]
+    labels += [b"in-addr", b"arpa"]
+    return Name(labels)

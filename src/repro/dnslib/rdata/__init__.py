@@ -1,0 +1,107 @@
+"""Record data (RDATA) codecs.
+
+Every record type carries a small dataclass-like ``RData`` subclass that
+knows how to encode itself to wire format, decode itself from a packet,
+render presentation format, and export the ZDNS-style JSON ``answer``
+value.  Unknown types fall back to :class:`GenericRData` (RFC 3597).
+"""
+
+from __future__ import annotations
+
+import binascii
+from typing import Callable, ClassVar, Type
+
+from ..types import RRType
+from ..wire import WireReader, WireWriter
+
+_REGISTRY: dict[int, Type["RData"]] = {}
+
+
+def register(rrtype: RRType) -> Callable[[Type["RData"]], Type["RData"]]:
+    """Class decorator binding an RData subclass to its type code."""
+
+    def bind(cls: Type["RData"]) -> Type["RData"]:
+        cls.rrtype = rrtype
+        _REGISTRY[int(rrtype)] = cls
+        return cls
+
+    return bind
+
+
+def rdata_class(rrtype: int) -> Type["RData"]:
+    """Look up the codec for a type code, falling back to GenericRData."""
+    return _REGISTRY.get(int(rrtype), GenericRData)
+
+
+def registered_types() -> frozenset[int]:
+    """Type codes that have a dedicated RDATA codec."""
+    return frozenset(_REGISTRY)
+
+
+class RData:
+    """Base class for decoded record data."""
+
+    rrtype: ClassVar[RRType]
+    __slots__ = ()
+
+    def to_wire(self, writer: WireWriter) -> None:
+        raise NotImplementedError
+
+    @classmethod
+    def from_wire(cls, reader: WireReader, rdlength: int) -> "RData":
+        raise NotImplementedError
+
+    def to_text(self) -> str:
+        raise NotImplementedError
+
+    def zdns_answer(self) -> object:
+        """Value placed in the ``answer`` field of ZDNS JSON output."""
+        return self.to_text()
+
+    def _fields(self) -> tuple:
+        return tuple(getattr(self, slot) for slot in self.__slots__)
+
+    def __eq__(self, other: object) -> bool:
+        if type(other) is not type(self):
+            return NotImplemented
+        return self._fields() == other._fields()
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._fields()))
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(f"{slot}={getattr(self, slot)!r}" for slot in self.__slots__)
+        return f"{type(self).__name__}({pairs})"
+
+
+class GenericRData(RData):
+    """Opaque RDATA for types without a specific codec (RFC 3597)."""
+
+    __slots__ = ("data",)
+
+    def __init__(self, data: bytes = b""):
+        self.data = data
+
+    def to_wire(self, writer: WireWriter) -> None:
+        writer.write(self.data)
+
+    @classmethod
+    def from_wire(cls, reader: WireReader, rdlength: int) -> "GenericRData":
+        return cls(reader.read(rdlength))
+
+    def to_text(self) -> str:
+        if not self.data:
+            return r"\# 0"
+        return rf"\# {len(self.data)} {binascii.hexlify(self.data).decode()}"
+
+
+# Populate the registry by importing the codec modules for their side effects.
+from . import address, dnssec, mail, misc, names, security, svcb, text  # noqa: E402,F401
+
+__all__ = [
+    "RData",
+    "GenericRData",
+    "register",
+    "rdata_class",
+    "registered_types",
+]

@@ -1,0 +1,387 @@
+"""DNSSEC-related record types: DNSKEY/CDNSKEY/KEY, DS/CDS, RRSIG/SIG,
+NSEC, NSEC3, NSEC3PARAM, NXT and CSYNC."""
+
+from __future__ import annotations
+
+import base64
+import binascii
+
+from ..name import Name
+from ..types import RRType
+from ..wire import WireError, WireReader, WireWriter
+from . import RData, register
+from ._util import decode_type_bitmap, encode_type_bitmap
+
+
+def _type_names(codes: tuple[int, ...]) -> str:
+    names = []
+    for code in codes:
+        try:
+            names.append(RRType(code).name)
+        except ValueError:
+            names.append(f"TYPE{code}")
+    return " ".join(names)
+
+
+class KeyRData(RData):
+    """DNSKEY-shaped records: flags, protocol, algorithm, key bytes."""
+
+    __slots__ = ("flags", "protocol", "algorithm", "public_key")
+
+    def __init__(self, flags: int, protocol: int, algorithm: int, public_key: bytes):
+        self.flags = flags
+        self.protocol = protocol
+        self.algorithm = algorithm
+        self.public_key = public_key
+
+    def to_wire(self, writer: WireWriter) -> None:
+        writer.write_u16(self.flags)
+        writer.write_u8(self.protocol)
+        writer.write_u8(self.algorithm)
+        writer.write(self.public_key)
+
+    @classmethod
+    def from_wire(cls, reader: WireReader, rdlength: int):
+        if rdlength < 4:
+            raise WireError("key rdata too short")
+        return cls(reader.read_u16(), reader.read_u8(), reader.read_u8(), reader.read(rdlength - 4))
+
+    def to_text(self) -> str:
+        key = base64.b64encode(self.public_key).decode("ascii")
+        return f"{self.flags} {self.protocol} {self.algorithm} {key}"
+
+    def zdns_answer(self) -> object:
+        return {
+            "flags": self.flags,
+            "protocol": self.protocol,
+            "algorithm": self.algorithm,
+            "public_key": base64.b64encode(self.public_key).decode("ascii"),
+        }
+
+
+@register(RRType.DNSKEY)
+class DNSKEY(KeyRData):
+    """DNS public key (RFC 4034)."""
+
+    __slots__ = ()
+
+
+@register(RRType.CDNSKEY)
+class CDNSKEY(KeyRData):
+    """Child copy of DNSKEY for delegation maintenance (RFC 7344)."""
+
+    __slots__ = ()
+
+
+@register(RRType.KEY)
+class KEY(KeyRData):
+    """Legacy security key (RFC 2535)."""
+
+    __slots__ = ()
+
+
+class DelegationSignerRData(RData):
+    """DS-shaped records: key tag, algorithm, digest type, digest."""
+
+    __slots__ = ("key_tag", "algorithm", "digest_type", "digest")
+
+    def __init__(self, key_tag: int, algorithm: int, digest_type: int, digest: bytes):
+        self.key_tag = key_tag
+        self.algorithm = algorithm
+        self.digest_type = digest_type
+        self.digest = digest
+
+    def to_wire(self, writer: WireWriter) -> None:
+        writer.write_u16(self.key_tag)
+        writer.write_u8(self.algorithm)
+        writer.write_u8(self.digest_type)
+        writer.write(self.digest)
+
+    @classmethod
+    def from_wire(cls, reader: WireReader, rdlength: int):
+        if rdlength < 4:
+            raise WireError("DS rdata too short")
+        return cls(reader.read_u16(), reader.read_u8(), reader.read_u8(), reader.read(rdlength - 4))
+
+    def to_text(self) -> str:
+        return (
+            f"{self.key_tag} {self.algorithm} {self.digest_type} "
+            f"{binascii.hexlify(self.digest).decode().upper()}"
+        )
+
+
+@register(RRType.DS)
+class DS(DelegationSignerRData):
+    """Delegation signer (RFC 4034)."""
+
+    __slots__ = ()
+
+
+@register(RRType.CDS)
+class CDS(DelegationSignerRData):
+    """Child copy of DS (RFC 7344)."""
+
+    __slots__ = ()
+
+
+class SignatureRData(RData):
+    """RRSIG/SIG shape (RFC 4034 section 3)."""
+
+    __slots__ = (
+        "type_covered",
+        "algorithm",
+        "labels",
+        "original_ttl",
+        "expiration",
+        "inception",
+        "key_tag",
+        "signer",
+        "signature",
+    )
+
+    def __init__(
+        self,
+        type_covered: int,
+        algorithm: int,
+        labels: int,
+        original_ttl: int,
+        expiration: int,
+        inception: int,
+        key_tag: int,
+        signer: Name,
+        signature: bytes,
+    ):
+        self.type_covered = type_covered
+        self.algorithm = algorithm
+        self.labels = labels
+        self.original_ttl = original_ttl
+        self.expiration = expiration
+        self.inception = inception
+        self.key_tag = key_tag
+        self.signer = signer
+        self.signature = signature
+
+    def to_wire(self, writer: WireWriter) -> None:
+        writer.write_u16(self.type_covered)
+        writer.write_u8(self.algorithm)
+        writer.write_u8(self.labels)
+        writer.write_u32(self.original_ttl)
+        writer.write_u32(self.expiration)
+        writer.write_u32(self.inception)
+        writer.write_u16(self.key_tag)
+        writer.write_name(self.signer, compress=False)
+        writer.write(self.signature)
+
+    @classmethod
+    def from_wire(cls, reader: WireReader, rdlength: int):
+        end = reader.offset + rdlength
+        type_covered = reader.read_u16()
+        algorithm = reader.read_u8()
+        labels = reader.read_u8()
+        original_ttl = reader.read_u32()
+        expiration = reader.read_u32()
+        inception = reader.read_u32()
+        key_tag = reader.read_u16()
+        signer = reader.read_name()
+        if reader.offset > end:
+            raise WireError("RRSIG signer overruns rdlength")
+        signature = reader.read(end - reader.offset)
+        return cls(
+            type_covered,
+            algorithm,
+            labels,
+            original_ttl,
+            expiration,
+            inception,
+            key_tag,
+            signer,
+            signature,
+        )
+
+    def to_text(self) -> str:
+        covered = _type_names((self.type_covered,))
+        sig = base64.b64encode(self.signature).decode("ascii")
+        return (
+            f"{covered} {self.algorithm} {self.labels} {self.original_ttl} "
+            f"{self.expiration} {self.inception} {self.key_tag} "
+            f"{self.signer.to_text()} {sig}"
+        )
+
+
+@register(RRType.RRSIG)
+class RRSIG(SignatureRData):
+    """Resource record signature (RFC 4034)."""
+
+    __slots__ = ()
+
+
+@register(RRType.SIG)
+class SIG(SignatureRData):
+    """Legacy signature (RFC 2535)."""
+
+    __slots__ = ()
+
+
+@register(RRType.NSEC)
+class NSEC(RData):
+    """Authenticated denial of existence (RFC 4034)."""
+
+    __slots__ = ("next_name", "types")
+
+    def __init__(self, next_name: Name, types: tuple[int, ...]):
+        self.next_name = next_name
+        self.types = tuple(sorted(set(int(t) for t in types)))
+
+    def to_wire(self, writer: WireWriter) -> None:
+        writer.write_name(self.next_name, compress=False)
+        writer.write(encode_type_bitmap(self.types))
+
+    @classmethod
+    def from_wire(cls, reader: WireReader, rdlength: int) -> "NSEC":
+        end = reader.offset + rdlength
+        next_name = reader.read_name()
+        if reader.offset > end:
+            raise WireError("NSEC name overruns rdlength")
+        types = decode_type_bitmap(reader.read(end - reader.offset))
+        return cls(next_name, types)
+
+    def to_text(self) -> str:
+        return f"{self.next_name.to_text()} {_type_names(self.types)}".rstrip()
+
+
+@register(RRType.NSEC3)
+class NSEC3(RData):
+    """Hashed authenticated denial of existence (RFC 5155)."""
+
+    __slots__ = ("hash_algorithm", "flags", "iterations", "salt", "next_hashed", "types")
+
+    def __init__(
+        self,
+        hash_algorithm: int,
+        flags: int,
+        iterations: int,
+        salt: bytes,
+        next_hashed: bytes,
+        types: tuple[int, ...],
+    ):
+        self.hash_algorithm = hash_algorithm
+        self.flags = flags
+        self.iterations = iterations
+        self.salt = salt
+        self.next_hashed = next_hashed
+        self.types = tuple(sorted(set(int(t) for t in types)))
+
+    def to_wire(self, writer: WireWriter) -> None:
+        writer.write_u8(self.hash_algorithm)
+        writer.write_u8(self.flags)
+        writer.write_u16(self.iterations)
+        writer.write_u8(len(self.salt))
+        writer.write(self.salt)
+        writer.write_u8(len(self.next_hashed))
+        writer.write(self.next_hashed)
+        writer.write(encode_type_bitmap(self.types))
+
+    @classmethod
+    def from_wire(cls, reader: WireReader, rdlength: int) -> "NSEC3":
+        end = reader.offset + rdlength
+        hash_algorithm = reader.read_u8()
+        flags = reader.read_u8()
+        iterations = reader.read_u16()
+        salt = reader.read(reader.read_u8())
+        next_hashed = reader.read(reader.read_u8())
+        if reader.offset > end:
+            raise WireError("NSEC3 fields overrun rdlength")
+        types = decode_type_bitmap(reader.read(end - reader.offset))
+        return cls(hash_algorithm, flags, iterations, salt, next_hashed, types)
+
+    def to_text(self) -> str:
+        salt = binascii.hexlify(self.salt).decode().upper() if self.salt else "-"
+        nxt = base64.b32encode(self.next_hashed).decode("ascii").rstrip("=")
+        return (
+            f"{self.hash_algorithm} {self.flags} {self.iterations} {salt} "
+            f"{nxt} {_type_names(self.types)}".rstrip()
+        )
+
+
+@register(RRType.NSEC3PARAM)
+class NSEC3PARAM(RData):
+    """NSEC3 zone parameters (RFC 5155)."""
+
+    __slots__ = ("hash_algorithm", "flags", "iterations", "salt")
+
+    def __init__(self, hash_algorithm: int, flags: int, iterations: int, salt: bytes):
+        self.hash_algorithm = hash_algorithm
+        self.flags = flags
+        self.iterations = iterations
+        self.salt = salt
+
+    def to_wire(self, writer: WireWriter) -> None:
+        writer.write_u8(self.hash_algorithm)
+        writer.write_u8(self.flags)
+        writer.write_u16(self.iterations)
+        writer.write_u8(len(self.salt))
+        writer.write(self.salt)
+
+    @classmethod
+    def from_wire(cls, reader: WireReader, rdlength: int) -> "NSEC3PARAM":
+        return cls(reader.read_u8(), reader.read_u8(), reader.read_u16(), reader.read(reader.read_u8()))
+
+    def to_text(self) -> str:
+        salt = binascii.hexlify(self.salt).decode().upper() if self.salt else "-"
+        return f"{self.hash_algorithm} {self.flags} {self.iterations} {salt}"
+
+
+@register(RRType.NXT)
+class NXT(RData):
+    """Legacy denial of existence (RFC 2535); bitmap kept opaque."""
+
+    __slots__ = ("next_name", "bitmap")
+
+    def __init__(self, next_name: Name, bitmap: bytes):
+        self.next_name = next_name
+        self.bitmap = bitmap
+
+    def to_wire(self, writer: WireWriter) -> None:
+        writer.write_name(self.next_name, compress=False)
+        writer.write(self.bitmap)
+
+    @classmethod
+    def from_wire(cls, reader: WireReader, rdlength: int) -> "NXT":
+        end = reader.offset + rdlength
+        next_name = reader.read_name()
+        if reader.offset > end:
+            raise WireError("NXT name overruns rdlength")
+        return cls(next_name, reader.read(end - reader.offset))
+
+    def to_text(self) -> str:
+        return f"{self.next_name.to_text()} {binascii.hexlify(self.bitmap).decode()}"
+
+
+@register(RRType.CSYNC)
+class CSYNC(RData):
+    """Child-to-parent synchronisation (RFC 7477)."""
+
+    __slots__ = ("serial", "flags", "types")
+
+    def __init__(self, serial: int, flags: int, types: tuple[int, ...]):
+        self.serial = serial
+        self.flags = flags
+        self.types = tuple(sorted(set(int(t) for t in types)))
+
+    def to_wire(self, writer: WireWriter) -> None:
+        writer.write_u32(self.serial)
+        writer.write_u16(self.flags)
+        writer.write(encode_type_bitmap(self.types))
+
+    @classmethod
+    def from_wire(cls, reader: WireReader, rdlength: int) -> "CSYNC":
+        end = reader.offset + rdlength
+        serial = reader.read_u32()
+        flags = reader.read_u16()
+        if reader.offset > end:
+            raise WireError("CSYNC fields overrun rdlength")
+        types = decode_type_bitmap(reader.read(end - reader.offset))
+        return cls(serial, flags, types)
+
+    def to_text(self) -> str:
+        return f"{self.serial} {self.flags} {_type_names(self.types)}".rstrip()

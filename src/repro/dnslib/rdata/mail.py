@@ -1,0 +1,218 @@
+"""Mail-routing and preference+name record types: MX, RT, KX, AFSDB, PX,
+RP, MINFO, SRV and NAPTR."""
+
+from __future__ import annotations
+
+from ..name import Name
+from ..types import RRType
+from ..wire import WireReader, WireWriter
+from . import RData, register
+from ._util import quote_text, read_character_string, write_character_string
+
+
+class PreferenceNameRData(RData):
+    """Common shape: 16-bit preference followed by a domain name."""
+
+    __slots__ = ("preference", "exchange")
+    _compressible = False
+
+    def __init__(self, preference: int, exchange: Name):
+        self.preference = preference
+        self.exchange = exchange
+
+    def to_wire(self, writer: WireWriter) -> None:
+        writer.write_u16(self.preference)
+        writer.write_name(self.exchange, compress=self._compressible)
+
+    @classmethod
+    def from_wire(cls, reader: WireReader, rdlength: int):
+        return cls(reader.read_u16(), reader.read_name())
+
+    def to_text(self) -> str:
+        return f"{self.preference} {self.exchange.to_text()}"
+
+
+@register(RRType.MX)
+class MX(PreferenceNameRData):
+    """Mail exchange (RFC 1035)."""
+
+    __slots__ = ()
+    _compressible = True
+
+    def zdns_answer(self) -> object:
+        return {
+            "preference": self.preference,
+            "exchange": self.exchange.to_text(omit_final_dot=True),
+        }
+
+
+@register(RRType.RT)
+class RT(PreferenceNameRData):
+    """Route through (RFC 1183)."""
+
+    __slots__ = ()
+
+
+@register(RRType.KX)
+class KX(PreferenceNameRData):
+    """Key exchanger (RFC 2230)."""
+
+    __slots__ = ()
+
+
+@register(RRType.AFSDB)
+class AFSDB(PreferenceNameRData):
+    """AFS database location (RFC 1183); preference is the subtype."""
+
+    __slots__ = ()
+
+
+@register(RRType.PX)
+class PX(RData):
+    """X.400 mail mapping (RFC 2163)."""
+
+    __slots__ = ("preference", "map822", "mapx400")
+
+    def __init__(self, preference: int, map822: Name, mapx400: Name):
+        self.preference = preference
+        self.map822 = map822
+        self.mapx400 = mapx400
+
+    def to_wire(self, writer: WireWriter) -> None:
+        writer.write_u16(self.preference)
+        writer.write_name(self.map822, compress=False)
+        writer.write_name(self.mapx400, compress=False)
+
+    @classmethod
+    def from_wire(cls, reader: WireReader, rdlength: int) -> "PX":
+        return cls(reader.read_u16(), reader.read_name(), reader.read_name())
+
+    def to_text(self) -> str:
+        return f"{self.preference} {self.map822.to_text()} {self.mapx400.to_text()}"
+
+
+@register(RRType.RP)
+class RP(RData):
+    """Responsible person (RFC 1183)."""
+
+    __slots__ = ("mbox", "txt")
+
+    def __init__(self, mbox: Name, txt: Name):
+        self.mbox = mbox
+        self.txt = txt
+
+    def to_wire(self, writer: WireWriter) -> None:
+        writer.write_name(self.mbox, compress=False)
+        writer.write_name(self.txt, compress=False)
+
+    @classmethod
+    def from_wire(cls, reader: WireReader, rdlength: int) -> "RP":
+        return cls(reader.read_name(), reader.read_name())
+
+    def to_text(self) -> str:
+        return f"{self.mbox.to_text()} {self.txt.to_text()}"
+
+
+@register(RRType.MINFO)
+class MINFO(RData):
+    """Mailbox information (RFC 1035, experimental)."""
+
+    __slots__ = ("rmailbx", "emailbx")
+
+    def __init__(self, rmailbx: Name, emailbx: Name):
+        self.rmailbx = rmailbx
+        self.emailbx = emailbx
+
+    def to_wire(self, writer: WireWriter) -> None:
+        writer.write_name(self.rmailbx, compress=True)
+        writer.write_name(self.emailbx, compress=True)
+
+    @classmethod
+    def from_wire(cls, reader: WireReader, rdlength: int) -> "MINFO":
+        return cls(reader.read_name(), reader.read_name())
+
+    def to_text(self) -> str:
+        return f"{self.rmailbx.to_text()} {self.emailbx.to_text()}"
+
+
+@register(RRType.SRV)
+class SRV(RData):
+    """Service location (RFC 2782)."""
+
+    __slots__ = ("priority", "weight", "port", "target")
+
+    def __init__(self, priority: int, weight: int, port: int, target: Name):
+        self.priority = priority
+        self.weight = weight
+        self.port = port
+        self.target = target
+
+    def to_wire(self, writer: WireWriter) -> None:
+        writer.write_u16(self.priority)
+        writer.write_u16(self.weight)
+        writer.write_u16(self.port)
+        writer.write_name(self.target, compress=False)
+
+    @classmethod
+    def from_wire(cls, reader: WireReader, rdlength: int) -> "SRV":
+        return cls(reader.read_u16(), reader.read_u16(), reader.read_u16(), reader.read_name())
+
+    def to_text(self) -> str:
+        return f"{self.priority} {self.weight} {self.port} {self.target.to_text()}"
+
+    def zdns_answer(self) -> object:
+        return {
+            "priority": self.priority,
+            "weight": self.weight,
+            "port": self.port,
+            "target": self.target.to_text(omit_final_dot=True),
+        }
+
+
+@register(RRType.NAPTR)
+class NAPTR(RData):
+    """Naming authority pointer (RFC 3403)."""
+
+    __slots__ = ("order", "preference", "flags", "service", "regexp", "replacement")
+
+    def __init__(
+        self,
+        order: int,
+        preference: int,
+        flags: bytes,
+        service: bytes,
+        regexp: bytes,
+        replacement: Name,
+    ):
+        self.order = order
+        self.preference = preference
+        self.flags = flags
+        self.service = service
+        self.regexp = regexp
+        self.replacement = replacement
+
+    def to_wire(self, writer: WireWriter) -> None:
+        writer.write_u16(self.order)
+        writer.write_u16(self.preference)
+        write_character_string(writer, self.flags)
+        write_character_string(writer, self.service)
+        write_character_string(writer, self.regexp)
+        writer.write_name(self.replacement, compress=False)
+
+    @classmethod
+    def from_wire(cls, reader: WireReader, rdlength: int) -> "NAPTR":
+        return cls(
+            reader.read_u16(),
+            reader.read_u16(),
+            read_character_string(reader),
+            read_character_string(reader),
+            read_character_string(reader),
+            reader.read_name(),
+        )
+
+    def to_text(self) -> str:
+        return (
+            f"{self.order} {self.preference} {quote_text(self.flags)} "
+            f"{quote_text(self.service)} {quote_text(self.regexp)} "
+            f"{self.replacement.to_text()}"
+        )

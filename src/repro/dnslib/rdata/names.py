@@ -1,0 +1,190 @@
+"""Record types whose RDATA is (mostly) a single domain name, plus SOA."""
+
+from __future__ import annotations
+
+from ..name import Name
+from ..types import RRType
+from ..wire import WireReader, WireWriter
+from . import RData, register
+
+
+class SingleNameRData(RData):
+    """Common implementation for types carrying one domain name."""
+
+    __slots__ = ("target",)
+    _compressible = False
+
+    def __init__(self, target: Name):
+        self.target = target
+
+    def to_wire(self, writer: WireWriter) -> None:
+        writer.write_name(self.target, compress=self._compressible)
+
+    @classmethod
+    def from_wire(cls, reader: WireReader, rdlength: int):
+        return cls(reader.read_name())
+
+    def to_text(self) -> str:
+        return self.target.to_text()
+
+
+@register(RRType.NS)
+class NS(SingleNameRData):
+    """Authoritative name server (RFC 1035)."""
+
+    __slots__ = ()
+    _compressible = True
+
+
+@register(RRType.CNAME)
+class CNAME(SingleNameRData):
+    """Canonical name alias (RFC 1035)."""
+
+    __slots__ = ()
+    _compressible = True
+
+
+@register(RRType.PTR)
+class PTR(SingleNameRData):
+    """Domain name pointer, e.g. reverse DNS (RFC 1035)."""
+
+    __slots__ = ()
+    _compressible = True
+
+
+@register(RRType.DNAME)
+class DNAME(SingleNameRData):
+    """Subtree redirection (RFC 6672); never compressed."""
+
+    __slots__ = ()
+
+
+@register(RRType.MB)
+class MB(SingleNameRData):
+    """Mailbox domain name (RFC 1035, experimental)."""
+
+    __slots__ = ()
+    _compressible = True
+
+
+@register(RRType.MD)
+class MD(SingleNameRData):
+    """Mail destination (RFC 1035, obsolete)."""
+
+    __slots__ = ()
+    _compressible = True
+
+
+@register(RRType.MF)
+class MF(SingleNameRData):
+    """Mail forwarder (RFC 1035, obsolete)."""
+
+    __slots__ = ()
+    _compressible = True
+
+
+@register(RRType.MG)
+class MG(SingleNameRData):
+    """Mail group member (RFC 1035, experimental)."""
+
+    __slots__ = ()
+    _compressible = True
+
+
+@register(RRType.MR)
+class MR(SingleNameRData):
+    """Mail rename (RFC 1035, experimental)."""
+
+    __slots__ = ()
+    _compressible = True
+
+
+@register(RRType.NSAPPTR)
+class NSAPPTR(SingleNameRData):
+    """NSAP pointer (RFC 1348)."""
+
+    __slots__ = ()
+
+
+@register(RRType.TALINK)
+class TALINK(RData):
+    """Trust anchor link (draft-ietf-dnsop-dnssec-trust-history)."""
+
+    __slots__ = ("previous", "next")
+
+    def __init__(self, previous: Name, next: Name):
+        self.previous = previous
+        self.next = next
+
+    def to_wire(self, writer: WireWriter) -> None:
+        writer.write_name(self.previous, compress=False)
+        writer.write_name(self.next, compress=False)
+
+    @classmethod
+    def from_wire(cls, reader: WireReader, rdlength: int) -> "TALINK":
+        return cls(reader.read_name(), reader.read_name())
+
+    def to_text(self) -> str:
+        return f"{self.previous.to_text()} {self.next.to_text()}"
+
+
+@register(RRType.SOA)
+class SOA(RData):
+    """Start of authority (RFC 1035)."""
+
+    __slots__ = ("mname", "rname", "serial", "refresh", "retry", "expire", "minimum")
+
+    def __init__(
+        self,
+        mname: Name,
+        rname: Name,
+        serial: int,
+        refresh: int = 7200,
+        retry: int = 900,
+        expire: int = 1209600,
+        minimum: int = 3600,
+    ):
+        self.mname = mname
+        self.rname = rname
+        self.serial = serial
+        self.refresh = refresh
+        self.retry = retry
+        self.expire = expire
+        self.minimum = minimum
+
+    def to_wire(self, writer: WireWriter) -> None:
+        writer.write_name(self.mname, compress=True)
+        writer.write_name(self.rname, compress=True)
+        for value in (self.serial, self.refresh, self.retry, self.expire, self.minimum):
+            writer.write_u32(value)
+
+    @classmethod
+    def from_wire(cls, reader: WireReader, rdlength: int) -> "SOA":
+        mname = reader.read_name()
+        rname = reader.read_name()
+        return cls(
+            mname,
+            rname,
+            reader.read_u32(),
+            reader.read_u32(),
+            reader.read_u32(),
+            reader.read_u32(),
+            reader.read_u32(),
+        )
+
+    def to_text(self) -> str:
+        return (
+            f"{self.mname.to_text()} {self.rname.to_text()} {self.serial} "
+            f"{self.refresh} {self.retry} {self.expire} {self.minimum}"
+        )
+
+    def zdns_answer(self) -> object:
+        return {
+            "mname": self.mname.to_text(omit_final_dot=True),
+            "rname": self.rname.to_text(omit_final_dot=True),
+            "serial": self.serial,
+            "refresh": self.refresh,
+            "retry": self.retry,
+            "expire": self.expire,
+            "min_ttl": self.minimum,
+        }

@@ -1,0 +1,242 @@
+"""Text-carrying record types: TXT, SPF, AVC, NINFO, HINFO, ISDN, X25,
+GPOS, plus the legacy opaque UINFO/UID/GID/UNSPEC and NULL types."""
+
+from __future__ import annotations
+
+import binascii
+
+from ..types import RRType
+from ..wire import WireError, WireReader, WireWriter
+from . import RData, register
+from ._util import quote_text, read_character_string, write_character_string
+
+
+class TextRData(RData):
+    """One or more <character-string>s (RFC 1035 TXT shape)."""
+
+    __slots__ = ("strings",)
+
+    def __init__(self, strings):
+        normalized = []
+        for item in strings:
+            if isinstance(item, str):
+                item = item.encode("utf-8")
+            if len(item) > 255:
+                raise ValueError("character-string longer than 255 bytes")
+            normalized.append(item)
+        self.strings = tuple(normalized)
+
+    @classmethod
+    def from_string(cls, text: str | bytes):
+        """Build from one logical string, splitting at 255-byte boundaries."""
+        if isinstance(text, str):
+            text = text.encode("utf-8")
+        return cls([text[i : i + 255] for i in range(0, max(len(text), 1), 255)])
+
+    def joined(self) -> bytes:
+        return b"".join(self.strings)
+
+    def to_wire(self, writer: WireWriter) -> None:
+        for chunk in self.strings:
+            write_character_string(writer, chunk)
+
+    @classmethod
+    def from_wire(cls, reader: WireReader, rdlength: int):
+        end = reader.offset + rdlength
+        strings = []
+        while reader.offset < end:
+            strings.append(read_character_string(reader))
+        if reader.offset != end:
+            raise WireError("TXT strings overrun rdlength")
+        return cls(strings)
+
+    def to_text(self) -> str:
+        return " ".join(quote_text(chunk) for chunk in self.strings)
+
+    def zdns_answer(self) -> object:
+        return self.joined().decode("utf-8", errors="replace")
+
+
+@register(RRType.TXT)
+class TXT(TextRData):
+    """Arbitrary text (RFC 1035)."""
+
+    __slots__ = ()
+
+
+@register(RRType.SPF)
+class SPF(TextRData):
+    """Sender Policy Framework (RFC 4408; type 99, now deprecated in
+    favour of TXT but still queried by measurement tools)."""
+
+    __slots__ = ()
+
+
+@register(RRType.AVC)
+class AVC(TextRData):
+    """Application visibility and control (Cisco)."""
+
+    __slots__ = ()
+
+
+@register(RRType.NINFO)
+class NINFO(TextRData):
+    """Zone status information (draft)."""
+
+    __slots__ = ()
+
+
+@register(RRType.HINFO)
+class HINFO(RData):
+    """Host information: CPU and OS strings (RFC 1035)."""
+
+    __slots__ = ("cpu", "os")
+
+    def __init__(self, cpu: bytes, os: bytes):
+        self.cpu = cpu
+        self.os = os
+
+    def to_wire(self, writer: WireWriter) -> None:
+        write_character_string(writer, self.cpu)
+        write_character_string(writer, self.os)
+
+    @classmethod
+    def from_wire(cls, reader: WireReader, rdlength: int) -> "HINFO":
+        return cls(read_character_string(reader), read_character_string(reader))
+
+    def to_text(self) -> str:
+        return f"{quote_text(self.cpu)} {quote_text(self.os)}"
+
+
+@register(RRType.ISDN)
+class ISDN(RData):
+    """ISDN address and optional subaddress (RFC 1183)."""
+
+    __slots__ = ("address", "subaddress")
+
+    def __init__(self, address: bytes, subaddress: bytes | None = None):
+        self.address = address
+        self.subaddress = subaddress
+
+    def to_wire(self, writer: WireWriter) -> None:
+        write_character_string(writer, self.address)
+        if self.subaddress is not None:
+            write_character_string(writer, self.subaddress)
+
+    @classmethod
+    def from_wire(cls, reader: WireReader, rdlength: int) -> "ISDN":
+        end = reader.offset + rdlength
+        address = read_character_string(reader)
+        subaddress = read_character_string(reader) if reader.offset < end else None
+        return cls(address, subaddress)
+
+    def to_text(self) -> str:
+        if self.subaddress is None:
+            return quote_text(self.address)
+        return f"{quote_text(self.address)} {quote_text(self.subaddress)}"
+
+
+@register(RRType.X25)
+class X25(RData):
+    """X.25 PSDN address (RFC 1183)."""
+
+    __slots__ = ("address",)
+
+    def __init__(self, address: bytes):
+        self.address = address
+
+    def to_wire(self, writer: WireWriter) -> None:
+        write_character_string(writer, self.address)
+
+    @classmethod
+    def from_wire(cls, reader: WireReader, rdlength: int) -> "X25":
+        return cls(read_character_string(reader))
+
+    def to_text(self) -> str:
+        return quote_text(self.address)
+
+
+@register(RRType.GPOS)
+class GPOS(RData):
+    """Geographical position (RFC 1712)."""
+
+    __slots__ = ("longitude", "latitude", "altitude")
+
+    def __init__(self, longitude: bytes, latitude: bytes, altitude: bytes):
+        self.longitude = longitude
+        self.latitude = latitude
+        self.altitude = altitude
+
+    def to_wire(self, writer: WireWriter) -> None:
+        write_character_string(writer, self.longitude)
+        write_character_string(writer, self.latitude)
+        write_character_string(writer, self.altitude)
+
+    @classmethod
+    def from_wire(cls, reader: WireReader, rdlength: int) -> "GPOS":
+        return cls(
+            read_character_string(reader),
+            read_character_string(reader),
+            read_character_string(reader),
+        )
+
+    def to_text(self) -> str:
+        return (
+            f"{self.longitude.decode('ascii', 'replace')} "
+            f"{self.latitude.decode('ascii', 'replace')} "
+            f"{self.altitude.decode('ascii', 'replace')}"
+        )
+
+
+class OpaqueRData(RData):
+    """Reserved/legacy types carried as opaque bytes."""
+
+    __slots__ = ("data",)
+
+    def __init__(self, data: bytes = b""):
+        self.data = data
+
+    def to_wire(self, writer: WireWriter) -> None:
+        writer.write(self.data)
+
+    @classmethod
+    def from_wire(cls, reader: WireReader, rdlength: int):
+        return cls(reader.read(rdlength))
+
+    def to_text(self) -> str:
+        return binascii.hexlify(self.data).decode()
+
+
+@register(RRType.UINFO)
+class UINFO(OpaqueRData):
+    """User info (reserved, IANA)."""
+
+    __slots__ = ()
+
+
+@register(RRType.UID)
+class UID(OpaqueRData):
+    """User ID (reserved, IANA)."""
+
+    __slots__ = ()
+
+
+@register(RRType.GID)
+class GID(OpaqueRData):
+    """Group ID (reserved, IANA)."""
+
+    __slots__ = ()
+
+
+@register(RRType.UNSPEC)
+class UNSPEC(OpaqueRData):
+    """Unspecified (reserved, IANA)."""
+
+    __slots__ = ()
+
+
+@register(RRType.NULL)
+class NULL(OpaqueRData):
+    """Null record (RFC 1035, experimental)."""
+
+    __slots__ = ()

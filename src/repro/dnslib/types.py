@@ -1,0 +1,150 @@
+"""DNS record type, class, opcode and rcode constants."""
+
+from __future__ import annotations
+
+import enum
+
+
+class RRType(enum.IntEnum):
+    """Resource-record type codes (every type the paper's footnote lists,
+    plus the infrastructure types needed to implement them)."""
+
+    A = 1
+    NS = 2
+    MD = 3
+    MF = 4
+    CNAME = 5
+    SOA = 6
+    MB = 7
+    MG = 8
+    MR = 9
+    NULL = 10
+    PTR = 12
+    HINFO = 13
+    MINFO = 14
+    MX = 15
+    TXT = 16
+    RP = 17
+    AFSDB = 18
+    X25 = 19
+    ISDN = 20
+    RT = 21
+    NSAPPTR = 23
+    SIG = 24
+    KEY = 25
+    PX = 26
+    GPOS = 27
+    AAAA = 28
+    LOC = 29
+    NXT = 30
+    EID = 31
+    NIMLOC = 32
+    SRV = 33
+    ATMA = 34
+    NAPTR = 35
+    KX = 36
+    CERT = 37
+    DNAME = 39
+    OPT = 41
+    DS = 43
+    SSHFP = 44
+    RRSIG = 46
+    NSEC = 47
+    DNSKEY = 48
+    DHCID = 49
+    NSEC3 = 50
+    NSEC3PARAM = 51
+    TLSA = 52
+    SMIMEA = 53
+    HIP = 55
+    NINFO = 56
+    TALINK = 58
+    CDS = 59
+    CDNSKEY = 60
+    OPENPGPKEY = 61
+    CSYNC = 62
+    SVCB = 64
+    HTTPS = 65
+    SPF = 99
+    UINFO = 100
+    UID = 101
+    GID = 102
+    UNSPEC = 103
+    NID = 104
+    L32 = 105
+    L64 = 106
+    LP = 107
+    EUI48 = 108
+    EUI64 = 109
+    TKEY = 249
+    TSIG = 250
+    IXFR = 251
+    AXFR = 252
+    ANY = 255
+    URI = 256
+    CAA = 257
+    AVC = 258
+
+    def __str__(self) -> str:  # "A", not "RRType.A"
+        return self.name
+
+
+#: Query-only types that never appear as stored RRsets.
+QUERY_ONLY_TYPES = frozenset({RRType.AXFR, RRType.IXFR, RRType.ANY, RRType.TKEY, RRType.TSIG})
+
+
+class DNSClass(enum.IntEnum):
+    """DNS class codes (RFC 1035; CH for version.bind queries)."""
+
+    IN = 1
+    CH = 3
+    HS = 4
+    NONE = 254
+    ANY = 255
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class Opcode(enum.IntEnum):
+    """Message opcodes (RFC 1035 / 1996 / 2136)."""
+
+    QUERY = 0
+    IQUERY = 1
+    STATUS = 2
+    NOTIFY = 4
+    UPDATE = 5
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class Rcode(enum.IntEnum):
+    """Response codes (RFC 1035 and extensions)."""
+
+    NOERROR = 0
+    FORMERR = 1
+    SERVFAIL = 2
+    NXDOMAIN = 3
+    NOTIMP = 4
+    REFUSED = 5
+    YXDOMAIN = 6
+    YXRRSET = 7
+    NXRRSET = 8
+    NOTAUTH = 9
+    NOTZONE = 10
+    BADVERS = 16
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def type_from_text(text: str) -> RRType:
+    """Parse a record type from its mnemonic or ``TYPExx`` form."""
+    text = text.strip().upper()
+    if text.startswith("TYPE") and text[4:].isdigit():
+        return RRType(int(text[4:]))
+    try:
+        return RRType[text]
+    except KeyError:
+        raise ValueError(f"unknown record type {text!r}") from None

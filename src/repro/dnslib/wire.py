@@ -1,0 +1,166 @@
+"""Low-level wire format primitives: cursor-based reading and writing with
+RFC 1035 section 4.1.4 name compression."""
+
+from __future__ import annotations
+
+import struct
+
+from .name import MAX_NAME_LENGTH, Name
+
+#: A compression pointer is two bytes whose top two bits are set.
+_POINTER_MASK = 0xC0
+_MAX_POINTER = 0x3FFF
+
+
+class WireError(ValueError):
+    """Raised when a packet cannot be decoded."""
+
+
+class WireWriter:
+    """Accumulates a DNS message, tracking name offsets for compression."""
+
+    def __init__(self, enable_compression: bool = True):
+        self._buf = bytearray()
+        self._offsets: dict[tuple[bytes, ...], int] = {}
+        self._compress = enable_compression
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+    def getvalue(self) -> bytes:
+        return bytes(self._buf)
+
+    def write(self, data: bytes) -> None:
+        self._buf += data
+
+    def write_u8(self, value: int) -> None:
+        self._buf.append(value & 0xFF)
+
+    def write_u16(self, value: int) -> None:
+        self._buf += struct.pack("!H", value & 0xFFFF)
+
+    def write_u32(self, value: int) -> None:
+        self._buf += struct.pack("!I", value & 0xFFFFFFFF)
+
+    def write_u48(self, value: int) -> None:
+        self._buf += struct.pack("!HI", (value >> 32) & 0xFFFF, value & 0xFFFFFFFF)
+
+    def patch_u16(self, offset: int, value: int) -> None:
+        """Overwrite a previously written 16-bit field (e.g. RDLENGTH)."""
+        self._buf[offset : offset + 2] = struct.pack("!H", value & 0xFFFF)
+
+    def write_name(self, name: Name, compress: bool | None = None) -> None:
+        """Write ``name``, emitting a compression pointer for any suffix
+        already present in the message."""
+        use_compression = self._compress if compress is None else compress
+        key = name.canonical_key()
+        index = 0
+        while index < len(key):
+            suffix = key[index:]
+            target = self._offsets.get(suffix)
+            if use_compression and target is not None:
+                self.write_u16(_POINTER_MASK << 8 | target)
+                return
+            offset = len(self._buf)
+            if target is None and offset <= _MAX_POINTER:
+                self._offsets[suffix] = offset
+            label = name.labels[index]
+            self.write_u8(len(label))
+            self.write(label)
+            index += 1
+        self.write_u8(0)
+
+
+class WireReader:
+    """Cursor over a received packet with pointer-chasing name decoding."""
+
+    def __init__(self, data: bytes, offset: int = 0):
+        self.data = data
+        self.offset = offset
+
+    def remaining(self) -> int:
+        return len(self.data) - self.offset
+
+    def at_end(self) -> bool:
+        return self.offset >= len(self.data)
+
+    def _need(self, count: int) -> None:
+        if self.offset + count > len(self.data):
+            raise WireError(
+                f"truncated packet: need {count} bytes at offset {self.offset}, "
+                f"have {len(self.data) - self.offset}"
+            )
+
+    def read(self, count: int) -> bytes:
+        self._need(count)
+        chunk = self.data[self.offset : self.offset + count]
+        self.offset += count
+        return chunk
+
+    def read_u8(self) -> int:
+        self._need(1)
+        value = self.data[self.offset]
+        self.offset += 1
+        return value
+
+    def read_u16(self) -> int:
+        self._need(2)
+        (value,) = struct.unpack_from("!H", self.data, self.offset)
+        self.offset += 2
+        return value
+
+    def read_u32(self) -> int:
+        self._need(4)
+        (value,) = struct.unpack_from("!I", self.data, self.offset)
+        self.offset += 4
+        return value
+
+    def read_u48(self) -> int:
+        high, low = struct.unpack_from("!HI", self.data, self.read_and_keep(6))
+        return high << 32 | low
+
+    def read_and_keep(self, count: int) -> int:
+        """Advance past ``count`` bytes, returning the prior offset."""
+        self._need(count)
+        start = self.offset
+        self.offset += count
+        return start
+
+    def read_name(self) -> Name:
+        """Decode a possibly compressed name, guarding against pointer loops."""
+        labels: list[bytes] = []
+        total = 1
+        jumps = 0
+        cursor = self.offset
+        resume: int | None = None
+        while True:
+            if cursor >= len(self.data):
+                raise WireError("name runs off end of packet")
+            length = self.data[cursor]
+            if length & _POINTER_MASK == _POINTER_MASK:
+                if cursor + 1 >= len(self.data):
+                    raise WireError("truncated compression pointer")
+                target = (length & ~_POINTER_MASK) << 8 | self.data[cursor + 1]
+                if resume is None:
+                    resume = cursor + 2
+                if target >= cursor:
+                    raise WireError("forward compression pointer")
+                jumps += 1
+                if jumps > 64:
+                    raise WireError("compression pointer loop")
+                cursor = target
+            elif length & _POINTER_MASK:
+                raise WireError(f"reserved label type 0x{length & _POINTER_MASK:02x}")
+            elif length == 0:
+                cursor += 1
+                break
+            else:
+                if cursor + 1 + length > len(self.data):
+                    raise WireError("label runs off end of packet")
+                labels.append(bytes(self.data[cursor + 1 : cursor + 1 + length]))
+                total += length + 1
+                if total > MAX_NAME_LENGTH:
+                    raise WireError("decoded name too long")
+                cursor += 1 + length
+        self.offset = resume if resume is not None else cursor
+        return Name(labels)

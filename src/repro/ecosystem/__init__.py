@@ -1,0 +1,50 @@
+"""repro.ecosystem — the simulated global DNS.
+
+Procedurally synthesised zones (root → TLD → provider-hosted domains,
+plus the in-addr.arpa hierarchy), authoritative server models with the
+paper's observed misbehaviours, and public recursive resolver models.
+"""
+
+from .params import (
+    CLOUDFLARE_RESOLVER_IP,
+    GOOGLE_RESOLVER_IP,
+    ROOT_SERVER_IPS,
+    EcosystemParams,
+    ProviderProfile,
+    all_tlds,
+    tld_class,
+)
+from .publicresolver import PublicResolver
+from .servers import (
+    ArpaServer,
+    InfraServer,
+    ProviderAuthServer,
+    RdnsOperatorServer,
+    RootServer,
+    TLDServer,
+)
+from .universe import SimInternet, build_internet
+from .zonegen import CAAProfile, DomainProfile, NameserverInfo, ZoneSynthesizer
+
+__all__ = [
+    "ArpaServer",
+    "CAAProfile",
+    "CLOUDFLARE_RESOLVER_IP",
+    "DomainProfile",
+    "EcosystemParams",
+    "GOOGLE_RESOLVER_IP",
+    "InfraServer",
+    "NameserverInfo",
+    "ProviderAuthServer",
+    "ProviderProfile",
+    "PublicResolver",
+    "ROOT_SERVER_IPS",
+    "RdnsOperatorServer",
+    "RootServer",
+    "SimInternet",
+    "TLDServer",
+    "ZoneSynthesizer",
+    "all_tlds",
+    "build_internet",
+    "tld_class",
+]

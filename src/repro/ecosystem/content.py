@@ -1,0 +1,197 @@
+"""Authoritative record synthesis shared by the provider authoritative
+servers and the public recursive resolver models."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from functools import lru_cache
+
+from ..dnslib import DNSClass, Message, Name, Rcode, ResourceRecord, RRType
+from ..dnslib.rdata.address import A, AAAA
+from ..dnslib.rdata.mail import MX
+from ..dnslib.rdata.names import CNAME, NS, SOA
+from ..dnslib.rdata.security import CAA
+from ..dnslib.rdata.text import TXT
+from . import rand
+from .zonegen import DomainProfile, NameserverInfo, ZoneSynthesizer
+
+REFERRAL_TTL = 172_800
+ANSWER_TTL = 300
+SOA_TTL = 900
+
+_MAIL_LABELS = [Name.from_text(f"mail{i}") for i in (1, 2, 3)]
+_CAA_LABEL = Name.from_text("_caa")
+
+
+def rr(name: Name, rrtype: RRType, ttl: int, rdata) -> ResourceRecord:
+    return ResourceRecord(name, rrtype, DNSClass.IN, ttl, rdata)
+
+
+@lru_cache(maxsize=8192)
+def soa_for(zone: Name) -> ResourceRecord:
+    return rr(
+        zone,
+        RRType.SOA,
+        SOA_TTL,
+        SOA(
+            mname=Name.from_text("ns1").concatenate(zone),
+            rname=Name.from_text("hostmaster").concatenate(zone),
+            serial=2022_10_25,
+        ),
+    )
+
+
+def nxdomain(query: Message, zone: Name) -> Message:
+    response = query.make_response(rcode=Rcode.NXDOMAIN, authoritative=True)
+    response.authorities.append(soa_for(zone))
+    return response
+
+
+def nodata(query: Message, zone: Name) -> Message:
+    response = query.make_response(authoritative=True)
+    response.authorities.append(soa_for(zone))
+    return response
+
+
+def build_answer(
+    synth: ZoneSynthesizer,
+    query: Message,
+    profile: DomainProfile,
+    ns: NameserverInfo | None = None,
+    protocol: str = "udp",
+) -> Message:
+    """The authoritative answer for a question about an existing domain.
+
+    ``ns`` is the responding nameserver, used to produce per-nameserver
+    inconsistent answers for providers that have them (Section 5);
+    ``None`` means the canonical (consistent) answer.
+    """
+    question = query.question
+    name = question.name
+    qtype = int(question.rrtype)
+
+    if not synth.subdomain_exists(name, profile):
+        return nxdomain(query, profile.base)
+
+    if profile.truncates and qtype == int(RRType.A) and protocol == "udp" and ns is not None:
+        # Oversized response (0.4% in the paper): TC bit forces TCP retry.
+        response = query.make_response(authoritative=True)
+        response.flags = replace(response.flags, truncated=True)
+        return response
+
+    response = query.make_response(authoritative=True)
+    apex = name == profile.base
+
+    if qtype in (int(RRType.A), int(RRType.ANY)):
+        _add_a_records(synth, response, name, profile, ns)
+    if qtype in (int(RRType.AAAA), int(RRType.ANY)) and _uniform(synth, name, "has-aaaa") < 0.35:
+        value = rand.h64(synth.params.seed, _key(name), "aaaa-host") % 0xFFFF
+        response.answers.append(rr(name, RRType.AAAA, ANSWER_TTL, AAAA(f"2001:db8::{value:x}")))
+    if qtype in (int(RRType.NS), int(RRType.ANY)) and apex:
+        for info in profile.nameservers:
+            response.answers.append(rr(name, RRType.NS, REFERRAL_TTL, NS(info.name)))
+    if qtype == int(RRType.SOA) and apex:
+        response.answers.append(soa_for(profile.base))
+    if qtype in (int(RRType.MX), int(RRType.ANY)) and apex and profile.has_mx:
+        count = 1 + rand.h64(synth.params.seed, _key(name), "mxcount") % 3
+        for i in range(count):
+            exchange = _MAIL_LABELS[i].concatenate(profile.base)
+            response.answers.append(rr(name, RRType.MX, ANSWER_TTL, MX((i + 1) * 10, exchange)))
+    if qtype in (int(RRType.TXT), int(RRType.ANY)):
+        _add_txt_records(response, name, profile)
+    if qtype == int(RRType.CAA):
+        _add_caa_records(response, name, profile)
+    if qtype == int(RRType.HTTPS):
+        _add_https_records(synth, response, name, profile)
+
+    if not response.answers:
+        return nodata(query, profile.base)
+    return response
+
+
+def _add_a_records(synth, response, name, profile, ns):
+    is_www = len(name.labels) == len(profile.base.labels) + 1 and name.labels[0].lower() == b"www"
+    if is_www and profile.www_is_cname:
+        response.answers.append(rr(name, RRType.CNAME, ANSWER_TTL, CNAME(profile.base)))
+        # Canonical answers (resolver view) also chase the chain.
+        if ns is None:
+            for address in synth.host_addresses(profile.base, "a"):
+                response.answers.append(rr(profile.base, RRType.A, ANSWER_TTL, A(address)))
+        return
+    salt = "a"
+    if ns is not None and not profile.consistent_answers:
+        salt = f"a-ns-{ns.name.to_text()}"  # Section 5's inconsistent providers
+    for address in synth.host_addresses(name, salt):
+        response.answers.append(rr(name, RRType.A, ANSWER_TTL, A(address)))
+
+
+def _add_https_records(synth, response, name, profile):
+    """Modern CDN-hosted domains publish HTTPS service bindings; the
+    big consistent providers (Cloudflare-like) are the main adopters."""
+    from ..dnslib.rdata.svcb import HTTPS, KEY_ALPN, KEY_IPV4HINT, alpn_value, ipv4hint_value
+
+    if not profile.provider.consistent_answers or profile.provider.ns_pool < 6:
+        return  # only the large managed providers publish these
+    if _uniform(synth, name, "https-rr") >= 0.5:
+        return
+    hints = ipv4hint_value(*synth.host_addresses(name, "a")[:2])
+    response.answers.append(
+        rr(
+            name,
+            RRType.HTTPS,
+            ANSWER_TTL,
+            HTTPS(1, Name.root(), ((KEY_ALPN, alpn_value("h2", "h3")), (KEY_IPV4HINT, hints))),
+        )
+    )
+
+
+def _add_txt_records(response, name, profile):
+    apex = name == profile.base
+    if apex and profile.has_spf:
+        response.answers.append(
+            rr(name, RRType.TXT, ANSWER_TTL, TXT.from_string("v=spf1 include:_spf.example -all"))
+        )
+    is_dmarc = (
+        len(name.labels) == len(profile.base.labels) + 1 and name.labels[0].lower() == b"_dmarc"
+    )
+    if is_dmarc and profile.has_dmarc:
+        response.answers.append(
+            rr(name, RRType.TXT, ANSWER_TTL, TXT.from_string("v=DMARC1; p=none;"))
+        )
+
+
+def _add_caa_records(response, name, profile):
+    """CAA at the apex; via_cname domains answer with a CNAME whose
+    ``_caa.<base>`` target carries the records (RFC 8659 chasing)."""
+    caa = profile.caa
+    if caa is None:
+        return
+    apex = name == profile.base
+    cname_target = _CAA_LABEL.concatenate(profile.base)
+    if caa.via_cname:
+        if apex:
+            response.answers.append(rr(name, RRType.CNAME, ANSWER_TTL, CNAME(cname_target)))
+        elif name == cname_target:
+            _emit_caa(response, name, caa)
+        return
+    if apex:
+        _emit_caa(response, name, caa)
+
+
+def _emit_caa(response, owner, caa):
+    for issuer in caa.issue:
+        response.answers.append(rr(owner, RRType.CAA, ANSWER_TTL, CAA(0, "issue", issuer)))
+    for issuer in caa.issuewild:
+        response.answers.append(rr(owner, RRType.CAA, ANSWER_TTL, CAA(0, "issuewild", issuer)))
+    for target in caa.iodef:
+        response.answers.append(rr(owner, RRType.CAA, ANSWER_TTL, CAA(0, "iodef", target)))
+    for bad in caa.invalid_tags:
+        response.answers.append(rr(owner, RRType.CAA, ANSWER_TTL, CAA(0, bad, "")))
+
+
+def _key(name: Name) -> str:
+    return name.to_text(omit_final_dot=True).lower()
+
+
+def _uniform(synth, name, tag) -> float:
+    return rand.uniform(synth.params.seed, _key(name), tag)

@@ -1,0 +1,57 @@
+"""Deterministic per-name randomness.
+
+Every stochastic property of the simulated Internet (does this domain
+exist? which provider hosts it? is this nameserver flaky?) is a pure
+function of (global seed, domain name, property tag).  That makes zone
+synthesis O(1) in memory — any of 2**64 names has a well-defined zone —
+and makes every experiment reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+
+_MAX = float(1 << 64)
+
+
+def h64(seed: int, *parts: object) -> int:
+    """A 64-bit hash of (seed, parts)."""
+    hasher = hashlib.blake2b(digest_size=8)
+    hasher.update(struct.pack("<q", seed))
+    for part in parts:
+        if isinstance(part, bytes):
+            hasher.update(part)
+        else:
+            hasher.update(str(part).encode("utf-8"))
+        hasher.update(b"\x00")
+    return struct.unpack("<Q", hasher.digest())[0]
+
+
+def uniform(seed: int, *parts: object) -> float:
+    """Deterministic draw in [0, 1)."""
+    return h64(seed, *parts) / _MAX
+
+
+def randint(seed: int, low: int, high: int, *parts: object) -> int:
+    """Deterministic integer in [low, high]."""
+    if high < low:
+        raise ValueError("empty range")
+    return low + h64(seed, *parts) % (high - low + 1)
+
+
+def choice(seed: int, options: list, *parts: object):
+    """Deterministic pick from a non-empty list."""
+    return options[h64(seed, *parts) % len(options)]
+
+
+def weighted_choice(seed: int, weighted: list[tuple[object, float]], *parts: object):
+    """Deterministic pick where each option carries a weight."""
+    total = sum(weight for _, weight in weighted)
+    point = uniform(seed, *parts) * total
+    acc = 0.0
+    for option, weight in weighted:
+        acc += weight
+        if point < acc:
+            return option
+    return weighted[-1][0]

@@ -1,0 +1,99 @@
+"""A static authoritative server backed by a parsed zone file.
+
+Complements the procedural servers: users can load a real master file
+(:func:`repro.dnslib.parse_zone`) and serve it — on the simulated
+network, or over real UDP via :class:`repro.net.UDPServer`.
+"""
+
+from __future__ import annotations
+
+from ..dnslib import Message, Name, Rcode, RRType, Zone
+from ..net import ServerReply
+
+
+class StaticZoneServer:
+    """Answers authoritatively from one in-memory zone."""
+
+    def __init__(self, zone: Zone):
+        self.zone = zone
+        self._by_name: dict[tuple, list] = {}
+        for record in zone.records:
+            self._by_name.setdefault(record.name.canonical_key(), []).append(record)
+
+    def build_response(self, query: Message) -> Message:
+        question = query.question
+        if question is None:
+            return query.make_response(rcode=Rcode.FORMERR)
+        name = question.name
+        if not name.is_subdomain_of(self.zone.origin):
+            return query.make_response(rcode=Rcode.REFUSED)
+
+        if int(question.rrtype) == int(RRType.AXFR):
+            return self._axfr(query)
+
+        records = self._by_name.get(name.canonical_key())
+        if records is None:
+            response = query.make_response(rcode=Rcode.NXDOMAIN, authoritative=True)
+            self._attach_soa(response)
+            return response
+
+        qtype = int(question.rrtype)
+        response = query.make_response(authoritative=True)
+        matched = [
+            record
+            for record in records
+            if int(record.rrtype) == qtype or qtype == int(RRType.ANY)
+        ]
+        if not matched:
+            # CNAME at the name answers any type (except ANY handled above)
+            cnames = [r for r in records if int(r.rrtype) == int(RRType.CNAME)]
+            if cnames:
+                response.answers.extend(cnames)
+                target = cnames[0].rdata.target
+                for record in self._by_name.get(target.canonical_key(), []):
+                    if int(record.rrtype) == qtype:
+                        response.answers.append(record)
+                return response
+            self._attach_soa(response)
+            return response
+        response.answers.extend(matched)
+        return response
+
+    def _axfr(self, query: Message) -> Message:
+        """Zone transfer (RFC 5936): SOA, all records, SOA again.
+
+        Only honoured when the question names the zone apex; policy
+        hooks (TSIG, allow-lists) are a caller concern.
+        """
+        if query.question.name != self.zone.origin:
+            return query.make_response(rcode=Rcode.REFUSED)
+        soa = [
+            record
+            for record in self._by_name.get(self.zone.origin.canonical_key(), [])
+            if int(record.rrtype) == int(RRType.SOA)
+        ]
+        if not soa:
+            return query.make_response(rcode=Rcode.SERVFAIL)
+        response = query.make_response(authoritative=True)
+        response.answers.extend(soa)
+        for record in self.zone.records:
+            if int(record.rrtype) != int(RRType.SOA):
+                response.answers.append(record)
+        response.answers.extend(soa)
+        return response
+
+    def _attach_soa(self, response: Message) -> None:
+        for record in self._by_name.get(self.zone.origin.canonical_key(), []):
+            if int(record.rrtype) == int(RRType.SOA):
+                response.authorities.append(record)
+                return
+
+    # -- simulated-network server protocol ---------------------------------
+
+    def handle_query(self, query, client_ip, now, protocol):
+        return ServerReply(self.build_response(query))
+
+    # -- live UDPServer handler ---------------------------------------------
+
+    def live_handler(self, query: Message, client: tuple) -> Message:
+        return self.build_response(query)

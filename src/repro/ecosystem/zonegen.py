@@ -1,0 +1,361 @@
+"""Procedural zone synthesis.
+
+Rather than materialising 93M zones, every zone is a pure function of
+(seed, name): hash draws decide whether a domain exists, who hosts it,
+what records it owns, and how its nameservers misbehave.  Authoritative
+servers call into this module to answer any query with O(1) memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from ..dnslib import Name, RRType
+from . import rand
+from .params import (
+    CCTLDS,
+    FLAKY_CCTLDS,
+    LEGACY_GTLDS,
+    NGTLDS,
+    EcosystemParams,
+    ProviderProfile,
+    tld_class,
+)
+
+#: First octets used for synthetic "public" host addresses, away from
+#: the simulator's infrastructure ranges.
+_HOST_OCTETS = [23, 34, 45, 52, 64, 77, 81, 89, 93, 104, 151, 163, 185, 203]
+
+#: CAA issuer population (Section 6).
+ISSUER_LETSENCRYPT = "letsencrypt.org"
+ISSUER_COMODO = "comodoca.com"
+ISSUER_DIGICERT = "digicert.com"
+ISSUERS_OTHER = ["pki.goog", "globalsign.com", "amazon.com", "sectigo.com"]
+
+#: Subdomain labels the corpus draws from (certificate-transparency
+#: style hostnames).
+SUBDOMAIN_LABELS = [
+    "www", "mail", "api", "shop", "blog", "dev", "app", "cdn", "m",
+    "staging", "vpn", "portal", "webmail", "remote", "cloud", "test",
+]
+
+
+@dataclass(frozen=True)
+class CAAProfile:
+    """A domain's CAA deployment."""
+
+    issue: tuple[str, ...]
+    issuewild: tuple[str, ...]
+    iodef: tuple[str, ...]
+    invalid_tags: tuple[str, ...]
+    via_cname: bool
+
+    @property
+    def record_count(self) -> int:
+        return len(self.issue) + len(self.issuewild) + len(self.iodef) + len(self.invalid_tags)
+
+
+@dataclass(frozen=True)
+class NameserverInfo:
+    """One delegated nameserver of a domain."""
+
+    name: Name
+    ip: str
+    #: retries a client typically needs: 0 = healthy, 1 = flaky,
+    #: high values = severe probabilistic blocking (Section 5).
+    drop_prob: float = 0.0
+    lame: bool = False
+
+
+@dataclass(frozen=True)
+class DomainProfile:
+    """Everything the simulation knows about one base domain."""
+
+    base: Name
+    tld: str
+    tld_cls: str
+    exists: bool
+    dead: bool  # delegation present but servers never answer
+    provider: ProviderProfile
+    provider_index: int
+    nameservers: tuple[NameserverInfo, ...]
+    consistent_answers: bool
+    truncates: bool
+    has_mx: bool
+    has_spf: bool
+    has_dmarc: bool
+    www_is_cname: bool
+    caa: CAAProfile | None
+
+    @property
+    def status_class(self) -> str:
+        if self.dead:
+            return "dead"
+        return "noerror" if self.exists else "nxdomain"
+
+
+class ZoneSynthesizer:
+    """Derives domain/IP profiles and answers content queries."""
+
+    def __init__(self, params: EcosystemParams | None = None):
+        self.params = params or EcosystemParams()
+        self._providers = list(self.params.providers)
+        self._provider_weights = [(i, p.weight) for i, p in enumerate(self._providers)]
+        self._tlds = (
+            [(t, "legacy") for t, _ in LEGACY_GTLDS]
+            + [(t, "cc") for t, _ in CCTLDS]
+            + [(t, "ng") for t, _ in NGTLDS]
+        )
+        self._tld_index = {t: i for i, (t, _) in enumerate(self._tlds)}
+
+    # ------------------------------------------------------------------
+    # address books for infrastructure
+    # ------------------------------------------------------------------
+
+    def tlds(self) -> list[tuple[str, str]]:
+        return list(self._tlds)
+
+    def tld_ns_name(self, tld: str, k: int) -> Name:
+        return Name.from_text(f"ns{k + 1}.nic-{tld}.example")
+
+    def tld_ns_ip(self, tld: str, k: int) -> str:
+        return f"192.6.{self._tld_index[tld]}.{k + 1}"
+
+    def provider_ns_name(self, provider_index: int, k: int) -> Name:
+        return Name.from_text(f"ns{k + 1}.{self._providers[provider_index].name}")
+
+    def provider_ns_ip(self, provider_index: int, k: int) -> str:
+        return f"192.7.{provider_index}.{k + 1}"
+
+    def rdns_operator(self, octets: tuple[int, ...]) -> int:
+        return rand.h64(self.params.seed, "rdns-op", *octets) % self.params.rdns_operators
+
+    def rdns_ns_name(self, operator: int, k: int) -> Name:
+        return Name.from_text(f"ns{k + 1}.rdns{operator}.example")
+
+    def rdns_ns_ip(self, operator: int, k: int) -> str:
+        return f"192.{10 + k}.{operator // 256}.{operator % 256}"
+
+    def infra_server_ips(self) -> list[str]:
+        return ["192.8.0.1", "192.8.0.2"]
+
+    def arpa_server_ips(self) -> list[str]:
+        return ["192.9.255.1", "192.9.255.2"]
+
+    def infra_a_record(self, name: Name) -> str | None:
+        """Resolve an infrastructure hostname (ns*.{...}.example) to its IP."""
+        text = name.to_text(omit_final_dot=True).lower()
+        parts = text.split(".")
+        if len(parts) < 3 or parts[-1] != "example" or not parts[0].startswith("ns"):
+            return None
+        try:
+            k = int(parts[0][2:]) - 1
+        except ValueError:
+            return None
+        owner = parts[1]
+        if owner.startswith("nic-"):
+            tld = owner[4:]
+            if tld in self._tld_index and k in (0, 1):
+                return self.tld_ns_ip(tld, k)
+            return None
+        if owner.startswith("rdns"):
+            try:
+                operator = int(owner[4:])
+            except ValueError:
+                return None
+            if 0 <= operator < self.params.rdns_operators and k in (0, 1):
+                return self.rdns_ns_ip(operator, k)
+            return None
+        full_provider = ".".join(parts[1:])
+        for index, provider in enumerate(self._providers):
+            if provider.name == full_provider and 0 <= k < provider.ns_pool:
+                return self.provider_ns_ip(index, k)
+        return None
+
+    # ------------------------------------------------------------------
+    # base-domain profiles
+    # ------------------------------------------------------------------
+
+    def base_domain_of(self, name: Name) -> Name | None:
+        """The registrable domain (TLD + one label), or None if the name
+        is not under a known TLD."""
+        if len(name.labels) < 2:
+            return None
+        tld = name.labels[-1].decode("ascii", "replace").lower()
+        if tld not in self._tld_index:
+            return None
+        return Name(name.labels[-2:])
+
+    @lru_cache(maxsize=262_144)
+    def profile(self, base: Name) -> DomainProfile:
+        """The deterministic profile of a base domain."""
+        seed = self.params.seed
+        p = self.params
+        key = base.to_text(omit_final_dot=True).lower()
+        tld = base.labels[-1].decode("ascii", "replace").lower()
+        cls = tld_class(tld) or "legacy"
+
+        exists = rand.uniform(seed, key, "exists") < self._p_exists()
+        dead = False
+        if not exists:
+            dead = rand.uniform(seed, key, "dead") < p.p_dead_given_unresolved
+
+        provider_index = rand.weighted_choice(seed, self._provider_weights, key, "provider")
+        provider = self._providers[provider_index]
+
+        ns_count = rand.randint(seed, 2, min(4, provider.ns_pool), key, "nscount")
+        pool = list(range(provider.ns_pool))
+        nameservers = []
+        flaky_rate = p.p_flaky_base + provider.flaky_rate + FLAKY_CCTLDS.get(tld, 0.0)
+        for slot in range(ns_count):
+            k = pool[rand.h64(seed, key, "nspick", slot) % len(pool)]
+            pool.remove(k)
+            drop_prob = 0.0
+            lame = False
+            if rand.uniform(seed, key, "flaky", k) < flaky_rate:
+                severe = (
+                    rand.uniform(seed, key, "severe", k)
+                    < p.p_severe_given_flaky + provider.severe_flaky_rate
+                )
+                drop_prob = p.severe_drop_prob if severe else p.flaky_drop_prob
+            elif rand.uniform(seed, key, "lame", k) < provider.lame_rate:
+                lame = True
+            nameservers.append(
+                NameserverInfo(
+                    name=self.provider_ns_name(provider_index, k),
+                    ip=self.provider_ns_ip(provider_index, k),
+                    drop_prob=drop_prob,
+                    lame=lame,
+                )
+            )
+
+        caa = self._caa_profile(key, tld, cls) if exists else None
+
+        return DomainProfile(
+            base=base,
+            tld=tld,
+            tld_cls=cls,
+            exists=exists,
+            dead=dead,
+            provider=provider,
+            provider_index=provider_index,
+            nameservers=tuple(nameservers),
+            consistent_answers=provider.consistent_answers
+            or rand.uniform(seed, key, "consistent") < 0.999,
+            truncates=rand.uniform(seed, key, "trunc") < p.p_truncated,
+            has_mx=rand.uniform(seed, key, "mx") < 0.72,
+            has_spf=rand.uniform(seed, key, "spf") < 0.60,
+            has_dmarc=rand.uniform(seed, key, "dmarc") < 0.42,
+            www_is_cname=rand.uniform(seed, key, "wwwcname") < 0.5,
+            caa=caa,
+        )
+
+    def _p_exists(self) -> float:
+        # p_fqdn_resolves = p_base_exists * p_sub_exists(=0.9)
+        return min(1.0, self.params.p_fqdn_resolves / 0.9)
+
+    def _caa_profile(self, key: str, tld: str, cls: str) -> CAAProfile | None:
+        p = self.params
+        seed = self.params.seed
+        rate = p.p_caa_gtld
+        if cls == "cc":
+            rate *= p.cctld_caa_multiplier
+            if tld == "pl":
+                rate *= p.pl_caa_multiplier
+        if rand.uniform(seed, key, "caa") >= rate:
+            return None
+
+        issue: list[str] = []
+        issuewild: list[str] = []
+        iodef: list[str] = []
+        invalid: list[str] = []
+
+        if rand.uniform(seed, key, "caa-iodef-only") < p.p_caa_iodef_only:
+            iodef.append(f"mailto:security@{key}")
+        else:
+            if rand.uniform(seed, key, "caa-issue") < p.p_caa_issue:
+                if rand.uniform(seed, key, "caa-le") < p.p_issuer_letsencrypt:
+                    issue.append(ISSUER_LETSENCRYPT)
+                if rand.uniform(seed, key, "caa-comodo") < p.p_issuer_comodo:
+                    issue.append(ISSUER_COMODO)
+                if rand.uniform(seed, key, "caa-digicert") < p.p_issuer_digicert:
+                    issue.append(ISSUER_DIGICERT)
+                if not issue or rand.uniform(seed, key, "caa-other") < 0.12:
+                    issue.append(rand.choice(seed, ISSUERS_OTHER, key, "caa-other-pick"))
+            if rand.uniform(seed, key, "caa-wild") < p.p_caa_issuewild:
+                issuewild.append(issue[0] if issue else ISSUER_LETSENCRYPT)
+            if rand.uniform(seed, key, "caa-iodef") < p.p_caa_iodef:
+                iodef.append(f"mailto:hostmaster@{key}")
+            if rand.uniform(seed, key, "caa-invalid") < p.p_caa_invalid_tag:
+                # the registrar input-validation bug from Section 6
+                invalid.append("issue wild")
+
+        return CAAProfile(
+            issue=tuple(issue),
+            issuewild=tuple(issuewild),
+            iodef=tuple(iodef),
+            invalid_tags=tuple(invalid),
+            via_cname=rand.uniform(seed, key, "caa-cname") < p.p_caa_via_cname,
+        )
+
+    # ------------------------------------------------------------------
+    # per-host facts
+    # ------------------------------------------------------------------
+
+    def subdomain_exists(self, fqdn: Name, profile: DomainProfile) -> bool:
+        if not profile.exists:
+            return False
+        if fqdn == profile.base:
+            return True
+        key = fqdn.to_text(omit_final_dot=True).lower()
+        if len(fqdn.labels) == len(profile.base.labels) + 1:
+            first = fqdn.labels[0].lower()
+            if first == b"www":
+                return rand.uniform(self.params.seed, key, "www") < self.params.p_www
+            if first == b"_caa":
+                # CNAME-chased CAA target (RFC 8659 / Section 6)
+                return profile.caa is not None and profile.caa.via_cname
+            if first == b"_dmarc":
+                return profile.has_dmarc
+            if first.startswith(b"mail"):
+                return profile.has_mx
+        return rand.uniform(self.params.seed, key, "sub") < 0.85
+
+    @lru_cache(maxsize=131_072)
+    def host_addresses(self, fqdn: Name, count_tag: str = "a") -> list[str]:
+        """Deterministic public IPv4 addresses for a hostname."""
+        key = fqdn.to_text(omit_final_dot=True).lower()
+        seed = self.params.seed
+        count = 1 + rand.h64(seed, key, count_tag, "count") % 3
+        addresses = []
+        for i in range(count):
+            value = rand.h64(seed, key, count_tag, i)
+            octet0 = _HOST_OCTETS[value % len(_HOST_OCTETS)]
+            addresses.append(
+                f"{octet0}.{(value >> 8) & 255}.{(value >> 16) & 255}.{max(1, (value >> 24) & 255)}"
+            )
+        return addresses
+
+    # ------------------------------------------------------------------
+    # reverse zones
+    # ------------------------------------------------------------------
+
+    def ptr_zone_dead(self, octets: tuple[int, int, int]) -> bool:
+        """Whether a whole /24 reverse zone is delegated to dead servers."""
+        return rand.uniform(self.params.seed, "zone24-dead", *octets) < self.params.p_rdns_dead
+
+    def ptr_status(self, ip: str) -> str:
+        """'noerror' | 'nxdomain' | 'dead' for an IPv4 address's PTR."""
+        seed = self.params.seed
+        octets = tuple(int(x) for x in ip.split("."))
+        if self.ptr_zone_dead(octets[:3]):
+            return "dead"
+        threshold = self.params.p_ptr_exists / (1 - self.params.p_rdns_dead)
+        if rand.uniform(seed, ip, "ptr") < threshold:
+            return "noerror"
+        return "nxdomain"
+
+    def ptr_target(self, ip: str) -> Name:
+        value = rand.h64(self.params.seed, ip, "ptrname")
+        return Name.from_text(f"host-{value % 100_000}.isp{value % self.params.rdns_operators}.example")

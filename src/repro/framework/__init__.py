@@ -1,0 +1,19 @@
+"""repro.framework — scan orchestration: configuration, routine
+spawning, input/output encoding, statistics, and the CLI."""
+
+from .io import JsonLineSink, clean_row, read_names, shard, write_rows
+from .runner import ScanConfig, ScanReport, ScanRunner, run_scan
+from .stats import ScanStats
+
+__all__ = [
+    "JsonLineSink",
+    "ScanConfig",
+    "ScanReport",
+    "ScanRunner",
+    "ScanStats",
+    "clean_row",
+    "read_names",
+    "run_scan",
+    "shard",
+    "write_rows",
+]

@@ -1,0 +1,136 @@
+"""The ``pyzdns`` command line interface.
+
+Mirrors ZDNS's CLI shape: ``pyzdns MODULE [flags] < names``.  Scans run
+against the built-in simulated Internet (this reproduction's substrate);
+``--live-resolver HOST:PORT`` instead sends real UDP queries, for use
+against a loopback test server or, with network access, real resolvers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from ..core import ExternalMachine, LiveDriver, ResolverConfig
+from ..ecosystem import EcosystemParams, build_internet
+from ..modules import available_modules, get_module
+from ..net import UDPTransport
+from .io import JsonLineSink, read_names, shard
+from .runner import ScanConfig, ScanRunner
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pyzdns",
+        description="Fast DNS measurement toolkit (ZDNS reproduction).",
+    )
+    parser.add_argument("module", help=f"scan module ({', '.join(available_modules())})")
+    parser.add_argument("--input-file", "-f", default=None, help="names file (default stdin)")
+    parser.add_argument("--output-file", "-o", default=None, help="results file (default stdout)")
+    parser.add_argument(
+        "--mode",
+        choices=["iterative", "google", "cloudflare", "external"],
+        default="iterative",
+        help="resolution mode (default: iterative)",
+    )
+    parser.add_argument("--name-servers", default="", help="comma-separated resolvers for --mode external")
+    parser.add_argument("--threads", "-t", type=int, default=1000, help="concurrent lookup routines")
+    parser.add_argument("--source-prefix", type=int, default=32, help="scanning subnet size (32, 29, 28)")
+    parser.add_argument("--cache-size", type=int, default=600_000, help="delegation cache entries")
+    parser.add_argument("--retries", type=int, default=2, help="extra attempts per query")
+    parser.add_argument("--timeout", type=float, default=3.0, help="per-query timeout seconds")
+    parser.add_argument("--trace", action="store_true", help="record full lookup chains")
+    parser.add_argument("--seed", type=int, default=2022, help="simulation seed")
+    parser.add_argument("--cores", type=int, default=24, help="simulated CPU cores")
+    parser.add_argument(
+        "--live-resolver",
+        default=None,
+        help="HOST:PORT of a real resolver: send real UDP instead of simulating",
+    )
+    parser.add_argument("--shards", type=int, default=1, help="total scanner shards")
+    parser.add_argument("--shard", type=int, default=0, help="this instance's shard index")
+    parser.add_argument("--quiet", action="store_true", help="suppress the stats summary")
+    parser.add_argument(
+        "--metadata-file",
+        default=None,
+        help="also write the run statistics as JSON to this path",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    try:
+        module = get_module(args.module)
+    except KeyError as error:
+        parser.error(str(error))
+
+    names = read_names(args.input_file)
+    if args.shards > 1:
+        names = shard(names, args.shards, args.shard)
+    out_handle = open(args.output_file, "w") if args.output_file else sys.stdout
+    try:
+        if args.live_resolver:
+            stats = _run_live(args, module, names, out_handle)
+        else:
+            stats = _run_simulated(args, module, names, out_handle)
+        if not args.quiet:
+            print(json.dumps(stats, sort_keys=True), file=sys.stderr)
+        if args.metadata_file:
+            with open(args.metadata_file, "w", encoding="utf-8") as handle:
+                json.dump(stats, handle, sort_keys=True, indent=1)
+    finally:
+        if args.output_file:
+            out_handle.close()
+    return 0
+
+
+def _run_simulated(args, module, names, out_handle) -> dict:
+    internet = build_internet(params=EcosystemParams(seed=args.seed))
+    config = ScanConfig(
+        module=args.module,
+        mode=args.mode,
+        resolver_ips=[s for s in args.name_servers.split(",") if s],
+        threads=args.threads,
+        source_prefix=args.source_prefix,
+        cache_size=args.cache_size,
+        retries=args.retries,
+        external_timeout=args.timeout,
+        cores=args.cores,
+        record_trace=args.trace,
+        seed=args.seed,
+    )
+    sink = JsonLineSink(out_handle, add_timestamp=True)
+    report = ScanRunner(internet, config, module=module, sink=sink).run(names)
+    summary = report.stats.to_json()
+    summary["cache"] = report.cache_stats
+    summary["cpu_utilisation"] = round(report.cpu_utilisation, 3)
+    return summary
+
+
+def _run_live(args, module, names, out_handle) -> dict:
+    """Sequential real-socket scan against one resolver (loopback or,
+    with network access, a public resolver)."""
+    host, _, port_text = args.live_resolver.partition(":")
+    port = int(port_text) if port_text else 53
+    config = ResolverConfig(external_timeout=args.timeout, retries=args.retries)
+    sink = JsonLineSink(out_handle)
+    total = successes = 0
+    with UDPTransport() as transport:
+        driver = LiveDriver(transport, port_override=port, seed=args.seed)
+        for raw in names:
+            machine = ExternalMachine([host], config)
+            result = driver.execute(machine.resolve(module.parse_input(raw), module.qtype))
+            row = module.process(raw, result)
+            row.pop("_result", None)
+            sink(row)
+            total += 1
+            successes += result.is_success
+    return {"total": total, "successes": successes, "mode": "live"}
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,90 @@
+"""Input decoding and output encoding for scans (Section 3.2)."""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Iterable, Iterator, TextIO
+
+
+def read_names(source: TextIO | str | None = None) -> Iterator[str]:
+    """Yield input names/IPs, one per non-empty line.
+
+    ``source`` may be a path, an open file, or None for stdin.
+    """
+    if source is None:
+        yield from _lines(sys.stdin)
+    elif isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as handle:
+            yield from _lines(handle)
+    else:
+        yield from _lines(source)
+
+
+def _lines(handle: TextIO) -> Iterator[str]:
+    for line in handle:
+        line = line.strip()
+        if line and not line.startswith("#"):
+            yield line
+
+
+def shard(items: Iterable[str], shards: int, index: int) -> Iterator[str]:
+    """ZMap-style sharding: the ``index``-th of ``shards`` partitions.
+
+    Lets multiple scanner instances split one input deterministically:
+    item ``i`` belongs to shard ``i % shards``.
+    """
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    if not 0 <= index < shards:
+        raise ValueError(f"shard index {index} outside 0..{shards - 1}")
+    for position, item in enumerate(items):
+        if position % shards == index:
+            yield item
+
+
+def clean_row(row: dict) -> dict:
+    """Strip framework-internal keys (leading underscore) from a row."""
+    return {key: value for key, value in row.items() if not key.startswith("_")}
+
+
+def write_rows(rows: Iterable[dict], destination: TextIO | str | None = None) -> int:
+    """Write result rows as JSON lines; returns the row count."""
+    if isinstance(destination, str):
+        with open(destination, "w", encoding="utf-8") as handle:
+            return _write(rows, handle)
+    return _write(rows, destination or sys.stdout)
+
+
+def _write(rows: Iterable[dict], handle: TextIO) -> int:
+    count = 0
+    for row in rows:
+        handle.write(json.dumps(clean_row(row), sort_keys=True))
+        handle.write("\n")
+        count += 1
+    return count
+
+
+class JsonLineSink:
+    """A sink for ScanRunner that streams rows to a file handle.
+
+    ``add_timestamp=True`` stamps each row with the wall-clock time it
+    was written, matching ZDNS's output (Appendix C).
+    """
+
+    def __init__(self, handle: TextIO, add_timestamp: bool = False):
+        self.handle = handle
+        self.add_timestamp = add_timestamp
+        self.count = 0
+
+    def __call__(self, row: dict) -> None:
+        row = clean_row(row)
+        if self.add_timestamp:
+            import datetime
+
+            row["timestamp"] = (
+                datetime.datetime.now(datetime.timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
+            )
+        self.handle.write(json.dumps(row, sort_keys=True))
+        self.handle.write("\n")
+        self.count += 1

@@ -1,0 +1,214 @@
+"""The scan orchestrator: spawns lookup routines, owns sockets, CPU and
+cache, delegates per-query logic to the module, and aggregates stats.
+
+This is ZDNS's "framework" component (Section 3.2): light-weight and
+free of DNS-specific logic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from ..core import ClientCostModel, ResolverConfig, SelectiveCache, SimDriver
+from ..ecosystem import SimInternet
+from ..modules import ModuleContext, ScanModule, get_module
+from ..net import CPUModel, GCModel, PortExhaustedError, SimUDPSocket, SourceIPPool
+from .stats import ScanStats
+
+
+@dataclass
+class ScanConfig:
+    """Everything a scan needs (the CLI flag surface)."""
+
+    module: str = "A"
+    #: "iterative", "google", "cloudflare", or "external".
+    mode: str = "iterative"
+    resolver_ips: list[str] = field(default_factory=list)
+    threads: int = 1000
+    source_prefix: int = 32
+    ports_per_ip: int = 45_000
+    cache_size: int = 600_000
+    cache_policy: str = "selective"
+    cache_eviction: str = "random"
+    retries: int = 2
+    iteration_timeout: float = 2.0
+    external_timeout: float = 3.0
+    cores: int = 24
+    #: None = pick automatically: iterative scans pay per-lookup cache
+    #: and referral-parsing CPU on top of packet costs.
+    costs: ClientCostModel | None = None
+    #: GC pause model; the paper's tuned config is frequent short pauses.
+    gc_period: float | None = None
+    gc_pause: float | None = None
+    reuse_sockets: bool = True
+    record_trace: bool = False
+    retry_servfail: bool = True
+    seed: int = 0
+
+    def resolver_config(self) -> ResolverConfig:
+        return ResolverConfig(
+            iteration_timeout=self.iteration_timeout,
+            external_timeout=self.external_timeout,
+            retries=self.retries,
+            record_trace_results=self.record_trace,
+            retry_servfail=self.retry_servfail,
+        )
+
+
+@dataclass
+class ScanReport:
+    """Everything a finished scan can tell you."""
+
+    stats: ScanStats
+    cache_stats: dict | None = None
+    network_stats: dict | None = None
+    cpu_utilisation: float = 0.0
+
+
+class ScanRunner:
+    """Runs one scan on a simulated Internet."""
+
+    def __init__(
+        self,
+        internet: SimInternet,
+        config: ScanConfig,
+        module: ScanModule | None = None,
+        sink: Callable[[dict], None] | None = None,
+        cpu: CPUModel | None = None,
+    ):
+        self.internet = internet
+        self.config = config
+        self.module = module if module is not None else get_module(config.module)
+        self.sink = sink
+        self.cache: SelectiveCache | None = None
+        #: Externally supplied CPU model (e.g. shared with a co-located
+        #: Unbound); the runner builds its own when None.
+        self.cpu = cpu
+
+    def _resolver_ips(self) -> list[str]:
+        config = self.config
+        if config.mode == "google":
+            return [self.internet.google_ip]
+        if config.mode == "cloudflare":
+            return [self.internet.cloudflare_ip]
+        if config.mode == "external":
+            if not config.resolver_ips:
+                raise ValueError("external mode needs resolver_ips")
+            return list(config.resolver_ips)
+        return []
+
+    def run(self, names: Iterable[str]) -> ScanReport:
+        internet = self.internet
+        config = self.config
+        sim = internet.sim
+
+        gc = None
+        if config.gc_period is not None and config.gc_pause is not None:
+            gc = GCModel(period=config.gc_period, pause=config.gc_pause)
+        cpu = self.cpu if self.cpu is not None else CPUModel(sim, cores=config.cores, gc=gc)
+        pool = SourceIPPool(
+            prefix_length=config.source_prefix, ports_per_ip=config.ports_per_ip
+        )
+        mode = "iterative" if config.mode == "iterative" else "external"
+        costs = config.costs
+        if costs is None:
+            costs = ClientCostModel.for_iterative() if mode == "iterative" else ClientCostModel()
+        driver = SimDriver(
+            internet.network,
+            cpu=cpu,
+            costs=costs,
+            reuse_sockets=config.reuse_sockets,
+            seed=config.seed,
+        )
+        if mode == "iterative":
+            self.cache = SelectiveCache(
+                capacity=config.cache_size,
+                policy=config.cache_policy,
+                eviction=config.cache_eviction,
+                seed=config.seed,
+            )
+        context = ModuleContext(
+            mode=mode,
+            root_ips=internet.root_ips,
+            resolver_ips=self._resolver_ips(),
+            cache=self.cache,
+            config=config.resolver_config(),
+            rng=random.Random(config.seed),
+            build_rows=self.sink is not None,
+        )
+
+        stats = ScanStats(threads_requested=config.threads, started_at=sim.now)
+        name_iter = iter(names)
+        module = self.module
+        sink = self.sink
+
+        #: spread routine start-up over half a second, as a real scanner
+        #: ramping up would — avoids artificial lockstep bursts
+        ramp = 0.5
+
+        def worker(socket: SimUDPSocket, start_delay: float):
+            if start_delay > 0:
+                yield start_delay
+            while True:
+                try:
+                    raw = next(name_iter)
+                except StopIteration:
+                    socket.close()
+                    return
+                lookup_gen = module.lookup(raw, context)
+                row = yield from driver.execute(lookup_gen, socket)
+                result = row.pop("_result", None)
+                queries = result.queries_sent if result is not None else 0
+                retries = result.retries_used if result is not None else 0
+                stats.record(row.get("status", "ERROR"), sim.now, queries, retries)
+                if sink is not None:
+                    sink(row)
+
+        futures = []
+        for index in range(config.threads):
+            try:
+                socket = SimUDPSocket(internet.network, pool)
+            except PortExhaustedError:
+                # the /32 socket limit of Figure 1: fewer routines run
+                break
+            futures.append(sim.spawn(worker(socket, ramp * index / config.threads)))
+        stats.threads_running = len(futures)
+
+        sim.run()
+        for future in futures:
+            future.result()  # surface any routine crash
+
+        elapsed = stats.duration
+        return ScanReport(
+            stats=stats,
+            cache_stats=(
+                {
+                    "hits": self.cache.stats.hits,
+                    "misses": self.cache.stats.misses,
+                    "hit_rate": round(self.cache.stats.hit_rate, 4),
+                    "evictions": self.cache.stats.evictions,
+                    "size": len(self.cache),
+                }
+                if self.cache is not None
+                else None
+            ),
+            network_stats=vars(internet.network.stats).copy(),
+            cpu_utilisation=cpu.utilisation(elapsed) if elapsed else 0.0,
+        )
+
+
+def run_scan(
+    internet: SimInternet,
+    names: Iterable[str],
+    config: ScanConfig | None = None,
+    sink: Callable[[dict], None] | None = None,
+    **overrides,
+) -> ScanReport:
+    """One-call convenience wrapper around :class:`ScanRunner`."""
+    if config is None:
+        config = ScanConfig(**overrides)
+    elif overrides:
+        raise ValueError("pass either a config or keyword overrides, not both")
+    return ScanRunner(internet, config, sink=sink).run(names)

@@ -1,0 +1,102 @@
+"""Run-time statistics aggregation (Section 3.2's framework duty)."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ScanStats:
+    """Aggregated outcome of one scan, measured in virtual time."""
+
+    total: int = 0
+    successes: int = 0
+    by_status: Counter = field(default_factory=Counter)
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    threads_requested: int = 0
+    threads_running: int = 0
+    queries_sent: int = 0
+    retries_used: int = 0
+    completion_times: list = field(default_factory=list)
+
+    def record(self, status: str, now: float, queries: int = 0, retries: int = 0) -> None:
+        self.total += 1
+        self.by_status[status] += 1
+        if status in ("NOERROR", "NXDOMAIN"):
+            self.successes += 1
+        self.finished_at = max(self.finished_at, now)
+        self.completion_times.append(now)
+        self.queries_sent += queries
+        self.retries_used += retries
+
+    @property
+    def duration(self) -> float:
+        return max(0.0, self.finished_at - self.started_at)
+
+    @property
+    def success_rate(self) -> float:
+        return self.successes / self.total if self.total else 0.0
+
+    @property
+    def successes_per_second(self) -> float:
+        return self.successes / self.duration if self.duration > 0 else 0.0
+
+    @property
+    def lookups_per_second(self) -> float:
+        return self.total / self.duration if self.duration > 0 else 0.0
+
+    @property
+    def steady_rate(self) -> float:
+        """Lookups/second between the 10th and 90th percentile
+        completions: excludes ramp-up and straggler-tail artifacts, the
+        way sustained-throughput plots are usually measured."""
+        times = sorted(self.completion_times)
+        if len(times) < 10:
+            return self.lookups_per_second
+        lo = times[len(times) // 10]
+        hi = times[(9 * len(times)) // 10]
+        if hi <= lo:
+            return self.lookups_per_second
+        return (0.8 * len(times)) / (hi - lo)
+
+    @property
+    def steady_successes_per_second(self) -> float:
+        return self.steady_rate * self.success_rate
+
+    def timeline(self, bucket: float = 1.0) -> list[tuple[float, int]]:
+        """Completions per ``bucket`` seconds of virtual time — the data
+        behind throughput-over-time plots.
+
+        >>> stats = ScanStats()
+        >>> for t in (0.1, 0.2, 1.5):
+        ...     stats.record("NOERROR", t)
+        >>> stats.timeline(1.0)
+        [(0.0, 2), (1.0, 1)]
+        """
+        if bucket <= 0:
+            raise ValueError("bucket must be positive")
+        counts: dict[int, int] = {}
+        for when in self.completion_times:
+            counts[int(when / bucket)] = counts.get(int(when / bucket), 0) + 1
+        return [(index * bucket, counts[index]) for index in sorted(counts)]
+
+    @property
+    def queries_per_second(self) -> float:
+        return self.queries_sent / self.duration if self.duration > 0 else 0.0
+
+    def to_json(self) -> dict:
+        return {
+            "total": self.total,
+            "successes": self.successes,
+            "success_rate": round(self.success_rate, 4),
+            "statuses": dict(self.by_status),
+            "duration_s": round(self.duration, 3),
+            "successes_per_second": round(self.successes_per_second, 1),
+            "queries_per_second": round(self.queries_per_second, 1),
+            "threads_requested": self.threads_requested,
+            "threads_running": self.threads_running,
+            "queries_sent": self.queries_sent,
+            "retries_used": self.retries_used,
+        }

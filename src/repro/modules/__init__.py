@@ -1,0 +1,43 @@
+"""repro.modules — composable scan modules (Section 3.3).
+
+Raw modules for every supported record type, lookup modules (alookup,
+mxlookup, nslookup), misc modules (spf, dmarc, bind.version), the CAA
+case-study module, and the all-nameservers case-study module.
+"""
+
+from .base import (
+    ModuleContext,
+    ScanModule,
+    available_modules,
+    get_module,
+    register_module,
+)
+
+# Importing the implementations populates the registry.
+from . import allnameservers, axfr, lookups, misc, openresolver, raw  # noqa: E402,F401
+from .allnameservers import AllNameserversModule
+from .axfr import AXFRModule
+from .openresolver import OpenResolverModule
+from .lookups import ALookupModule, MXLookupModule, NSLookupModule
+from .misc import BindVersionModule, CAAModule, DMARCModule, SPFModule
+from .raw import RAW_MODULE_TYPES, RawModule
+
+__all__ = [
+    "ALookupModule",
+    "AXFRModule",
+    "OpenResolverModule",
+    "AllNameserversModule",
+    "BindVersionModule",
+    "CAAModule",
+    "DMARCModule",
+    "MXLookupModule",
+    "ModuleContext",
+    "NSLookupModule",
+    "RAW_MODULE_TYPES",
+    "RawModule",
+    "SPFModule",
+    "ScanModule",
+    "available_modules",
+    "get_module",
+    "register_module",
+]

@@ -1,0 +1,88 @@
+"""The --all-nameservers functionality of the Section 5 case study:
+query *every* authoritative nameserver of a domain and record each
+server's availability (retries needed) and answers, so redundant
+deployments can be checked for consistency."""
+
+from __future__ import annotations
+
+from ..core import Status
+from ..core.machine import SendQuery
+from ..dnslib import RRType
+from .base import ModuleContext, ScanModule, register_module
+
+
+@register_module
+class AllNameserversModule(ScanModule):
+    """Per-nameserver availability and response consistency."""
+
+    name = "ALLNS"
+    qtype = RRType.A
+
+    def lookup(self, raw_input: str, context: ModuleContext):
+        name = self.parse_input(raw_input)
+        ns_result = yield from context.machine().resolve(name, RRType.NS)
+        if ns_result.status != Status.NOERROR or not ns_result.answers:
+            return {
+                "name": raw_input.strip().rstrip("."),
+                "status": str(ns_result.status),
+                "data": {"nameservers": [], "consistent": None},
+            }
+
+        servers = []
+        for record in ns_result.answers:
+            if int(record.rrtype) != int(RRType.NS):
+                continue
+            address_result = yield from context.machine().resolve(record.rdata.target, RRType.A)
+            for address in (
+                r.rdata.address
+                for r in address_result.answers
+                if int(r.rrtype) == int(RRType.A)
+            ):
+                servers.append((record.rdata.target, address))
+                break  # one address per nameserver
+
+        per_server = []
+        answer_sets = []
+        for ns_name, ns_ip in servers:
+            tries_used = 0
+            status = Status.TIMEOUT
+            addresses: list[str] = []
+            for attempt in range(context.config.retries + 1):
+                tries_used = attempt + 1
+                response = yield SendQuery(
+                    server_ip=ns_ip,
+                    name=name,
+                    qtype=RRType.A,
+                    timeout=context.config.iteration_timeout,
+                )
+                if response is None:
+                    continue
+                status = Status(str(response.rcode)) if str(response.rcode) in Status.__members__ else Status.ERROR
+                addresses = sorted(
+                    r.rdata.address
+                    for r in response.answers
+                    if int(r.rrtype) == int(RRType.A)
+                )
+                break
+            per_server.append(
+                {
+                    "nameserver": ns_name.to_text(omit_final_dot=True),
+                    "ip": ns_ip,
+                    "tries": tries_used,
+                    "status": str(status),
+                    "answers": addresses,
+                }
+            )
+            if addresses:
+                answer_sets.append(tuple(addresses))
+
+        consistent = len(set(answer_sets)) <= 1 if answer_sets else None
+        return {
+            "name": raw_input.strip().rstrip("."),
+            "status": str(Status.NOERROR),
+            "data": {
+                "nameservers": per_server,
+                "consistent": consistent,
+                "max_tries": max((s["tries"] for s in per_server), default=0),
+            },
+        }

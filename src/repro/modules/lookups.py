@@ -1,0 +1,114 @@
+"""Lookup modules (Section 3.3): friendlier interfaces than raw records.
+
+``alookup`` follows CNAMEs to the final addresses (like nslookup);
+``mxlookup`` additionally resolves each exchange's A records.
+"""
+
+from __future__ import annotations
+
+from ..core import Status
+from ..dnslib import RRType
+from .base import ModuleContext, ScanModule, register_module
+
+
+def _addresses(result, rrtype=RRType.A) -> list[str]:
+    return [
+        record.rdata.address
+        for record in result.answers
+        if int(record.rrtype) == int(rrtype)
+    ]
+
+
+@register_module
+class ALookupModule(ScanModule):
+    """Follow CNAMEs to the final IPv4/IPv6 addresses."""
+
+    name = "ALOOKUP"
+    qtype = RRType.A
+
+    #: Set by the CLI's --ipv6 flag.
+    include_ipv6 = False
+
+    def lookup(self, raw_input: str, context: ModuleContext):
+        name = self.parse_input(raw_input)
+        machine = context.machine()
+        result = yield from machine.resolve(name, RRType.A)
+        row = {
+            "name": raw_input.strip().rstrip("."),
+            "status": str(result.status),
+            "data": {"ipv4_addresses": _addresses(result)},
+        }
+        if self.include_ipv6:
+            result6 = yield from context.machine().resolve(name, RRType.AAAA)
+            row["data"]["ipv6_addresses"] = [
+                record.rdata.address
+                for record in result6.answers
+                if int(record.rrtype) == int(RRType.AAAA)
+            ]
+        row["_result"] = result
+        return row
+
+
+@register_module
+class MXLookupModule(ScanModule):
+    """MX lookup plus the A records of every exchange (Section 3.3)."""
+
+    name = "MXLOOKUP"
+    qtype = RRType.MX
+
+    def lookup(self, raw_input: str, context: ModuleContext):
+        name = self.parse_input(raw_input)
+        result = yield from context.machine().resolve(name, RRType.MX)
+        exchanges = []
+        for record in result.answers:
+            if int(record.rrtype) != int(RRType.MX):
+                continue
+            exchange_result = yield from context.machine().resolve(
+                record.rdata.exchange, RRType.A
+            )
+            exchanges.append(
+                {
+                    "name": record.rdata.exchange.to_text(omit_final_dot=True),
+                    "preference": record.rdata.preference,
+                    "ipv4_addresses": _addresses(exchange_result),
+                    "status": str(exchange_result.status),
+                }
+            )
+        row = {
+            "name": raw_input.strip().rstrip("."),
+            "status": str(result.status),
+            "data": {"exchanges": exchanges},
+            "_result": result,
+        }
+        return row
+
+
+@register_module
+class NSLookupModule(ScanModule):
+    """NS lookup plus the address of every listed nameserver."""
+
+    name = "NSLOOKUP"
+    qtype = RRType.NS
+
+    def lookup(self, raw_input: str, context: ModuleContext):
+        name = self.parse_input(raw_input)
+        result = yield from context.machine().resolve(name, RRType.NS)
+        servers = []
+        for record in result.answers:
+            if int(record.rrtype) != int(RRType.NS):
+                continue
+            address_result = yield from context.machine().resolve(
+                record.rdata.target, RRType.A
+            )
+            servers.append(
+                {
+                    "name": record.rdata.target.to_text(omit_final_dot=True),
+                    "ipv4_addresses": _addresses(address_result),
+                }
+            )
+        return {
+            "name": raw_input.strip().rstrip("."),
+            "status": str(result.status),
+            "data": {"servers": servers},
+            "_result": result,
+        }

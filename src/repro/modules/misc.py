@@ -1,0 +1,143 @@
+"""Misc modules (Section 3.3): SPF/DMARC text-record filters and the
+bind.version resolver-fingerprint module, plus the CAA analysis module
+of Section 6."""
+
+from __future__ import annotations
+
+import re
+
+from ..core import Status
+from ..core.machine import SendQuery
+from ..dnslib import Name, RRType
+from ..dnslib.rdata.security import CAA as CAARecord
+from .base import ModuleContext, ScanModule, register_module
+
+SPF_PREFIX = re.compile(rb"(?i)^v=spf1")
+DMARC_PREFIX = re.compile(rb"(?i)^v=DMARC1")
+
+
+class TxtFilterModule(ScanModule):
+    """TXT lookup filtered by a prefix regexp (the Appendix B shape)."""
+
+    prefix: re.Pattern
+    field: str = "record"
+    qtype = RRType.TXT
+
+    def query_name(self, name: Name) -> Name:
+        return name
+
+    def lookup(self, raw_input: str, context: ModuleContext):
+        name = self.query_name(self.parse_input(raw_input))
+        result = yield from context.machine().resolve(name, RRType.TXT)
+        matched = None
+        for record in result.answers:
+            if int(record.rrtype) != int(RRType.TXT):
+                continue
+            text = record.rdata.joined()
+            if self.prefix.match(text):
+                matched = text.decode("utf-8", "replace")
+                break
+        status = result.status
+        if status == Status.NOERROR and matched is None:
+            status = Status.ERROR  # ZDNS: NOERROR without the record is an error
+        return {
+            "name": raw_input.strip().rstrip("."),
+            "status": str(status),
+            "data": {self.field: matched},
+            "_result": result,
+        }
+
+
+@register_module
+class SPFModule(TxtFilterModule):
+    """Sender Policy Framework lookup (the paper's example module)."""
+
+    name = "SPFLOOKUP"
+    prefix = SPF_PREFIX
+    field = "spf"
+
+
+@register_module
+class DMARCModule(TxtFilterModule):
+    """DMARC policy lookup at _dmarc.<name>."""
+
+    name = "DMARC"
+    prefix = DMARC_PREFIX
+    field = "dmarc"
+
+    def query_name(self, name: Name) -> Name:
+        return Name.from_text("_dmarc").concatenate(name)
+
+
+@register_module
+class BindVersionModule(ScanModule):
+    """CHAOS-class version.bind query against a server IP."""
+
+    name = "BINDVERSION"
+    qtype = RRType.TXT
+
+    def lookup(self, raw_input: str, context: ModuleContext):
+        server_ip = raw_input.strip()
+        version = None
+        status = Status.TIMEOUT
+        for _attempt in range(context.config.retries + 1):
+            response = yield SendQuery(
+                server_ip=server_ip,
+                name=Name.from_text("version.bind"),
+                qtype=RRType.TXT,
+                timeout=context.config.external_timeout,
+                qclass=3,  # CHAOS
+            )
+            if response is None:
+                continue
+            status = Status.NOERROR
+            for record in response.answers:
+                if int(record.rrtype) == int(RRType.TXT):
+                    version = record.rdata.joined().decode("utf-8", "replace")
+            break
+        return {
+            "name": server_ip,
+            "status": str(status),
+            "data": {"version": version},
+        }
+
+
+@register_module
+class CAAModule(ScanModule):
+    """CAA lookup with RFC 8659 CNAME chasing and tag validation
+    (drives the Section 6 case study)."""
+
+    name = "CAALOOKUP"
+    qtype = RRType.CAA
+
+    def lookup(self, raw_input: str, context: ModuleContext):
+        name = self.parse_input(raw_input)
+        result = yield from context.machine().resolve(name, RRType.CAA)
+        records = []
+        followed_cname = False
+        for record in result.answers:
+            if int(record.rrtype) == int(RRType.CNAME):
+                followed_cname = True
+                continue
+            if int(record.rrtype) != int(RRType.CAA):
+                continue
+            rdata: CAARecord = record.rdata
+            records.append(
+                {
+                    "flag": rdata.flags,
+                    "tag": rdata.tag.decode("ascii", "replace"),
+                    "value": rdata.value.decode("utf-8", "replace"),
+                    "valid_tag": rdata.tag_is_valid()
+                    and rdata.tag in CAARecord.KNOWN_TAGS,
+                }
+            )
+        return {
+            "name": raw_input.strip().rstrip("."),
+            "status": str(result.status),
+            "data": {
+                "records": records,
+                "followed_cname": followed_cname,
+                "has_caa": bool(records),
+            },
+            "_result": result,
+        }

@@ -1,0 +1,71 @@
+"""Open-resolver detection module.
+
+A classic measurement (the paper cites 6M recursive resolvers on the
+public Internet): probe a server with a recursion-desired query for a
+name it is not authoritative for.  A recursive answer marks an open
+resolver; REFUSED or silence marks a closed one.
+
+Input lines are server IPs; ``probe_name`` is the out-of-zone name the
+probe asks for."""
+
+from __future__ import annotations
+
+from ..core import Status
+from ..core.machine import SendQuery
+from ..dnslib import Name, Rcode, RRType
+from .base import ModuleContext, ScanModule, register_module
+
+
+@register_module
+class OpenResolverModule(ScanModule):
+    """Classify servers as open/closed recursive resolvers."""
+
+    name = "OPENRESOLVER"
+    qtype = RRType.A
+
+    #: Out-of-zone name the probe queries (override per scan).
+    probe_name = "www.d1000000-0.com"
+
+    def lookup(self, raw_input: str, context: ModuleContext):
+        server_ip = raw_input.strip()
+        name = Name.from_text(self.probe_name)
+        response = None
+        for _attempt in range(context.config.retries + 1):
+            response = yield SendQuery(
+                server_ip=server_ip,
+                name=name,
+                qtype=RRType.A,
+                timeout=context.config.external_timeout,
+                recursion_desired=True,
+            )
+            if response is not None:
+                break
+
+        if response is None:
+            classification = "unresponsive"
+            status = Status.TIMEOUT
+        elif response.flags.recursion_available and response.rcode in (
+            Rcode.NOERROR,
+            Rcode.NXDOMAIN,
+        ):
+            classification = "open"
+            status = Status.NOERROR
+        elif response.rcode == Rcode.REFUSED:
+            classification = "closed"
+            status = Status.NOERROR
+        else:
+            classification = "non-recursive"
+            status = Status.NOERROR
+
+        return {
+            "name": server_ip,
+            "status": str(status),
+            "data": {
+                "classification": classification,
+                "recursion_available": (
+                    response.flags.recursion_available if response else None
+                ),
+                "rcode": str(response.rcode) if response else None,
+                "answers": len(response.answers) if response else 0,
+            },
+        }

@@ -1,0 +1,64 @@
+"""Raw DNS modules: one per record type, dig-style but JSON out.
+
+The paper ships a module for every record type in its footnote; here
+they are generated from the registered rdata codecs, each a tiny
+subclass exactly like ZDNS's few-line modules.
+"""
+
+from __future__ import annotations
+
+from ..dnslib import Name, RRType, name_from_ipv4_ptr
+from .base import ScanModule, register_module
+
+#: Types that get an auto-generated raw module.
+RAW_MODULE_TYPES = [
+    RRType.A, RRType.AAAA, RRType.AFSDB, RRType.ANY, RRType.ATMA, RRType.AVC,
+    RRType.CAA, RRType.CDNSKEY, RRType.CDS, RRType.CERT, RRType.CNAME,
+    RRType.CSYNC, RRType.DHCID, RRType.DNSKEY, RRType.DS, RRType.EID,
+    RRType.EUI48, RRType.EUI64, RRType.GID, RRType.GPOS, RRType.HINFO,
+    RRType.HIP, RRType.ISDN, RRType.KEY, RRType.KX, RRType.L32, RRType.L64,
+    RRType.LOC, RRType.LP, RRType.MB, RRType.MD, RRType.MF, RRType.MG,
+    RRType.MR, RRType.MX, RRType.NAPTR, RRType.NID, RRType.NINFO, RRType.NS,
+    RRType.NSAPPTR, RRType.NSEC, RRType.NSEC3PARAM, RRType.NXT,
+    RRType.OPENPGPKEY, RRType.PTR, RRType.PX, RRType.RP, RRType.RRSIG,
+    RRType.RT, RRType.SMIMEA, RRType.SOA, RRType.SPF, RRType.SRV,
+    RRType.SSHFP, RRType.SVCB, RRType.HTTPS, RRType.TALINK, RRType.TKEY, RRType.TLSA, RRType.TXT,
+    RRType.UID, RRType.UINFO, RRType.UNSPEC, RRType.URI,
+]
+
+
+class RawModule(ScanModule):
+    """Query one record type and emit the raw parsed answers."""
+
+    qtype: RRType
+
+
+def _make_raw_module(rrtype: RRType) -> type[RawModule]:
+    cls = type(
+        f"{rrtype.name.capitalize()}Module",
+        (RawModule,),
+        {
+            "name": rrtype.name,
+            "qtype": rrtype,
+            "__doc__": f"Raw {rrtype.name} record lookup.",
+        },
+    )
+    return register_module(cls)
+
+
+RAW_MODULES = {rrtype: _make_raw_module(rrtype) for rrtype in RAW_MODULE_TYPES}
+
+
+@register_module
+class PtrIpModule(RawModule):
+    """PTR lookups that accept plain IPv4 addresses as input
+    (``1.2.3.4`` instead of ``4.3.2.1.in-addr.arpa``)."""
+
+    name = "PTRIP"
+    qtype = RRType.PTR
+
+    def parse_input(self, line: str) -> Name:
+        text = line.strip()
+        if text.count(".") == 3 and all(p.isdigit() for p in text.split(".")):
+            return name_from_ipv4_ptr(text)
+        return Name.from_text(text)

@@ -1,0 +1,49 @@
+"""repro.net — the network substrate.
+
+A discrete-event simulator (virtual clock, routines, simulated sockets,
+latency/loss/rate-limit/CPU models) that stands in for the live Internet
+the paper measured, plus a real UDP transport for loopback/production
+use.
+"""
+
+from .cpu import CPUModel, GCModel
+from .links import CapacityQueue, LatencyModel, LossModel, TokenBucket
+from .live import UDPServer, UDPTransport
+from .sim import Routine, SimFuture, SimulationError, Simulator
+from .sockets import (
+    DEFAULT_PORTS_PER_IP,
+    NetworkStats,
+    PortExhaustedError,
+    ServerReply,
+    SimNetwork,
+    SimServer,
+    SimUDPSocket,
+    SourceIPPool,
+)
+
+__all__ = [
+    "CPUModel",
+    "CapacityQueue",
+    "DEFAULT_PORTS_PER_IP",
+    "GCModel",
+    "LatencyModel",
+    "LossModel",
+    "NetworkStats",
+    "PortExhaustedError",
+    "Routine",
+    "ServerReply",
+    "SimFuture",
+    "SimNetwork",
+    "SimServer",
+    "SimUDPSocket",
+    "SimulationError",
+    "Simulator",
+    "SourceIPPool",
+    "TokenBucket",
+    "UDPServer",
+    "UDPTransport",
+]
+
+from .encrypted import EncryptedTransportParams, SimEncryptedSocket  # noqa: E402
+
+__all__ += ["EncryptedTransportParams", "SimEncryptedSocket"]

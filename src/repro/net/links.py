@@ -1,0 +1,95 @@
+"""Network path models: latency distributions, packet loss, and
+per-client token-bucket rate limiting."""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Log-normal round-trip-time distribution.
+
+    Real resolver RTTs are right-skewed: a dense mode near the median
+    with a long tail.  ``median`` is the RTT in seconds; ``sigma``
+    controls tail weight.
+    """
+
+    median: float
+    sigma: float = 0.35
+    floor: float = 0.001
+
+    def sample(self, rng: random.Random) -> float:
+        rtt = self.median * math.exp(rng.gauss(0.0, self.sigma))
+        return max(self.floor, rtt)
+
+
+@dataclass(frozen=True)
+class LossModel:
+    """Independent per-packet loss."""
+
+    probability: float = 0.0
+
+    def dropped(self, rng: random.Random) -> bool:
+        return self.probability > 0 and rng.random() < self.probability
+
+
+class TokenBucket:
+    """Token-bucket rate limiter over virtual time.
+
+    Used to model Google Public DNS's per-client-IP rate limiting [2]:
+    clients exceeding ``rate`` queries/second have excess queries
+    dropped (Google drops rather than SERVFAILs).
+    """
+
+    def __init__(self, rate: float, burst: float | None = None):
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        self.rate = rate
+        self.burst = burst if burst is not None else rate
+        self._tokens = self.burst
+        self._updated = 0.0
+
+    def allow(self, now: float, cost: float = 1.0) -> bool:
+        """Consume ``cost`` tokens at virtual time ``now`` if available."""
+        if now > self._updated:
+            self._tokens = min(self.burst, self._tokens + (now - self._updated) * self.rate)
+            self._updated = now
+        if self._tokens >= cost:
+            self._tokens -= cost
+            return True
+        return False
+
+
+class CapacityQueue:
+    """A server's finite service capacity over virtual time.
+
+    Models an upstream resolver that serves at most ``rate`` queries per
+    second with a bounded backlog: arrivals that would queue longer than
+    ``max_backlog`` seconds are dropped (the MassDNS overload failure
+    mode in Table 2).
+
+    ``admit(now)`` returns the extra queueing delay in seconds, or
+    ``None`` when the backlog is full and the query is dropped.
+    """
+
+    def __init__(self, rate: float, max_backlog: float = 2.0):
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        self.rate = rate
+        self.max_backlog = max_backlog
+        self._next_free = 0.0
+        self.served = 0
+        self.dropped = 0
+
+    def admit(self, now: float) -> float | None:
+        start = max(now, self._next_free)
+        delay = start - now
+        if delay > self.max_backlog:
+            self.dropped += 1
+            return None
+        self._next_free = start + 1.0 / self.rate
+        self.served += 1
+        return delay

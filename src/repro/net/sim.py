@@ -1,0 +1,186 @@
+"""Discrete-event simulator: virtual clock, event loop, and lightweight
+routines.
+
+The paper's throughput phenomena (thread scaling, socket limits, rate
+limiting) are resource-contention effects, not wall-clock effects, so we
+reproduce them in *virtual time*: tens of thousands of concurrent "Go
+routines" become generator coroutines scheduled by :class:`Simulator`.
+
+A routine is a generator that yields either
+
+* a ``float``/``int`` — sleep that many virtual seconds, or
+* a :class:`SimFuture` — resume when the future resolves; the future's
+  result is sent into the generator (exceptions are thrown in).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable
+
+Routine = Generator[Any, Any, Any]
+
+
+class SimulationError(RuntimeError):
+    """Raised for scheduling misuse (e.g. waiting on a yielded non-future)."""
+
+
+class SimFuture:
+    """A single-assignment result container for routine synchronisation."""
+
+    __slots__ = ("_done", "_result", "_exception", "_callbacks")
+
+    def __init__(self):
+        self._done = False
+        self._result = None
+        self._exception: BaseException | None = None
+        self._callbacks: list[Callable[["SimFuture"], None]] = []
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    def result(self) -> Any:
+        if not self._done:
+            raise SimulationError("future not resolved")
+        if self._exception is not None:
+            raise self._exception
+        return self._result
+
+    def set_result(self, value: Any) -> None:
+        if self._done:
+            raise SimulationError("future already resolved")
+        self._done = True
+        self._result = value
+        self._fire()
+
+    def set_exception(self, exc: BaseException) -> None:
+        if self._done:
+            raise SimulationError("future already resolved")
+        self._done = True
+        self._exception = exc
+        self._fire()
+
+    def add_done_callback(self, callback: Callable[["SimFuture"], None]) -> None:
+        if self._done:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def _fire(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+
+class Simulator:
+    """A priority-queue event loop over a virtual clock."""
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._sequence = 0
+        self._live_routines = 0
+
+    # -- raw event scheduling -------------------------------------------------
+
+    def call_at(self, when: float, fn: Callable[[], None]) -> None:
+        if when < self.now:
+            raise SimulationError(f"cannot schedule in the past ({when} < {self.now})")
+        self._sequence += 1
+        heapq.heappush(self._heap, (when, self._sequence, fn))
+
+    def call_later(self, delay: float, fn: Callable[[], None]) -> None:
+        self.call_at(self.now + delay, fn)
+
+    # -- routines -------------------------------------------------------------
+
+    def spawn(self, routine: Routine) -> SimFuture:
+        """Start a routine now; returns a future for its return value."""
+        outcome = SimFuture()
+        self._live_routines += 1
+        self.call_at(self.now, lambda: self._step(routine, outcome, None, None))
+        return outcome
+
+    def _step(
+        self,
+        routine: Routine,
+        outcome: SimFuture,
+        value: Any,
+        exc: BaseException | None,
+    ) -> None:
+        try:
+            yielded = routine.throw(exc) if exc is not None else routine.send(value)
+        except StopIteration as stop:
+            self._live_routines -= 1
+            outcome.set_result(stop.value)
+            return
+        except BaseException as error:  # routine crashed
+            self._live_routines -= 1
+            outcome.set_exception(error)
+            return
+        if isinstance(yielded, SimFuture):
+            yielded.add_done_callback(
+                lambda fut: self._resume_from_future(routine, outcome, fut)
+            )
+        elif isinstance(yielded, (int, float)):
+            self.call_later(float(yielded), lambda: self._step(routine, outcome, None, None))
+        else:
+            self._live_routines -= 1
+            outcome.set_exception(
+                SimulationError(f"routine yielded unsupported {type(yielded).__name__}")
+            )
+
+    def _resume_from_future(self, routine: Routine, outcome: SimFuture, fut: SimFuture) -> None:
+        try:
+            value = fut.result()
+        except BaseException as error:
+            self.call_at(self.now, lambda err=error: self._step(routine, outcome, None, err))
+            return
+        self.call_at(self.now, lambda: self._step(routine, outcome, value, None))
+
+    # -- running --------------------------------------------------------------
+
+    def run(self, until: float | None = None) -> None:
+        """Process events until the heap drains or the clock passes ``until``."""
+        while self._heap:
+            when, _, fn = self._heap[0]
+            if until is not None and when > until:
+                self.now = until
+                return
+            heapq.heappop(self._heap)
+            self.now = when
+            fn()
+        if until is not None:
+            self.now = max(self.now, until)
+
+    def run_all(self, routines: Iterable[Routine]) -> list[Any]:
+        """Spawn every routine, run to completion, and return their results."""
+        futures = [self.spawn(routine) for routine in routines]
+        self.run()
+        return [future.result() for future in futures]
+
+    def sleep_future(self, delay: float) -> SimFuture:
+        """A future resolving after ``delay`` virtual seconds."""
+        future = SimFuture()
+        self.call_later(delay, lambda: future.set_result(None))
+        return future
+
+    def timeout_race(self, future: SimFuture, timeout: float) -> SimFuture:
+        """Resolve with ``future``'s result, or ``None`` after ``timeout``."""
+        race = SimFuture()
+
+        def on_future(fut: SimFuture) -> None:
+            if not race.done:
+                try:
+                    race.set_result(fut.result())
+                except BaseException as error:
+                    race.set_exception(error)
+
+        def on_timeout() -> None:
+            if not race.done:
+                race.set_result(None)
+
+        future.add_done_callback(on_future)
+        self.call_later(timeout, on_timeout)
+        return race

@@ -1,0 +1,315 @@
+"""Simulated UDP/TCP networking: sockets, source address pools, and the
+network fabric connecting scanner routines to simulated servers.
+
+ZDNS's key socket optimisation — one long-lived raw UDP socket per
+routine bound to a static source port — is modelled explicitly: each
+simulated socket consumes one (source IP, port) pair from a finite
+:class:`SourceIPPool` (45K ephemeral ports per IP, as in the paper's
+evaluation), so a /32 scanner caps out near 45K threads.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from ..dnslib import Message, WireError, max_payload
+from .links import LatencyModel, LossModel
+from .sim import SimFuture, Simulator
+
+#: Ephemeral ports available per source IP in the paper's setup.
+DEFAULT_PORTS_PER_IP = 45_000
+
+#: Extra round trips consumed by a TCP handshake before the query flows.
+TCP_HANDSHAKE_RTTS = 1.0
+
+
+class PortExhaustedError(RuntimeError):
+    """No free (IP, port) pairs remain — the /32 socket limit in Figure 1."""
+
+
+@dataclass(frozen=True)
+class ServerReply:
+    """A server's answer plus any server-side processing delay."""
+
+    message: Message
+    delay: float = 0.0
+
+
+class SimServer(Protocol):
+    """Anything that can answer simulated DNS queries."""
+
+    def handle_query(
+        self, query: Message, client_ip: str, now: float, protocol: str
+    ) -> ServerReply | None:
+        """Return a reply, or ``None`` to drop the query silently."""
+
+
+class SourceIPPool:
+    """A pool of scanning source addresses with per-IP port accounting.
+
+    ``prefix_length`` mirrors the paper's /32, /29 and /28 experiments:
+    a /32 contributes one usable IP, a /29 eight, a /28 sixteen.
+    """
+
+    def __init__(
+        self,
+        prefix_length: int = 32,
+        ports_per_ip: int = DEFAULT_PORTS_PER_IP,
+        base_ip: str = "198.18.0.0",
+    ):
+        if not 0 <= prefix_length <= 32:
+            raise ValueError("prefix_length must be 0..32")
+        self.prefix_length = prefix_length
+        self.ports_per_ip = ports_per_ip
+        base = _ip_to_int(base_ip)
+        count = 1 << (32 - prefix_length)
+        self._ips = [_int_to_ip(base + i) for i in range(count)]
+        self._used_ports = {ip: 0 for ip in self._ips}
+        self._released: dict[str, list[int]] = {ip: [] for ip in self._ips}
+        self._next_ip = 0  # round-robin cursor: spread load across IPs
+
+    @property
+    def ip_count(self) -> int:
+        return len(self._ips)
+
+    @property
+    def capacity(self) -> int:
+        """Total sockets this pool can hand out concurrently."""
+        return len(self._ips) * self.ports_per_ip
+
+    @property
+    def in_use(self) -> int:
+        return sum(self._used_ports.values()) - sum(len(v) for v in self._released.values())
+
+    def acquire(self) -> tuple[str, int]:
+        """Bind a socket: returns (ip, port) or raises PortExhaustedError.
+
+        IPs are assigned round-robin so concurrent sockets spread evenly
+        across the scanning subnet — this is what lets a /28 sidestep
+        Google's per-client-IP rate limit in Figure 1.
+        """
+        for _ in range(len(self._ips)):
+            ip = self._ips[self._next_ip]
+            self._next_ip = (self._next_ip + 1) % len(self._ips)
+            if self._released[ip]:
+                return ip, self._released[ip].pop()
+            if self._used_ports[ip] < self.ports_per_ip:
+                port = 20_000 + self._used_ports[ip]
+                self._used_ports[ip] += 1
+                return ip, port
+        raise PortExhaustedError(
+            f"all {self.capacity} (ip, port) pairs of the /{self.prefix_length} in use"
+        )
+
+    def release(self, binding: tuple[str, int]) -> None:
+        ip, port = binding
+        self._released[ip].append(port)
+
+
+def _ip_to_int(ip: str) -> int:
+    a, b, c, d = (int(x) for x in ip.split("."))
+    return a << 24 | b << 16 | c << 8 | d
+
+
+def _int_to_ip(value: int) -> str:
+    return f"{value >> 24 & 255}.{value >> 16 & 255}.{value >> 8 & 255}.{value & 255}"
+
+
+@dataclass
+class NetworkStats:
+    """Packet-level counters across the whole fabric."""
+
+    udp_queries: int = 0
+    tcp_queries: int = 0
+    lost_outbound: int = 0
+    lost_inbound: int = 0
+    server_drops: int = 0
+    truncated_replies: int = 0
+    wire_validations: int = 0
+
+
+@dataclass
+class _Destination:
+    server: SimServer
+    latency: LatencyModel
+    loss: LossModel
+
+
+class SimNetwork:
+    """The fabric: routes queries from sockets to registered servers.
+
+    ``wire_mode`` controls codec fidelity:
+
+    * ``"always"``  — every packet is encoded and re-decoded (tests),
+    * ``"sampled"`` — every ``wire_sample``-th packet is (big sweeps),
+    * ``"never"``   — messages pass as objects (pure scheduling studies).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        seed: int = 0,
+        wire_mode: str = "always",
+        wire_sample: int = 16,
+    ):
+        if wire_mode not in ("always", "sampled", "never"):
+            raise ValueError(f"unknown wire_mode {wire_mode!r}")
+        self.sim = sim
+        self.rng = random.Random(seed)
+        self.wire_mode = wire_mode
+        self.wire_sample = wire_sample
+        self.stats = NetworkStats()
+        self._servers: dict[str, _Destination] = {}
+        self._packet_count = 0
+
+    def register_server(
+        self,
+        ip: str,
+        server: SimServer,
+        latency: LatencyModel | None = None,
+        loss: LossModel | None = None,
+    ) -> None:
+        self._servers[ip] = _Destination(
+            server=server,
+            latency=latency or LatencyModel(median=0.030),
+            loss=loss or LossModel(0.0),
+        )
+
+    def server_for(self, ip: str) -> SimServer | None:
+        destination = self._servers.get(ip)
+        return destination.server if destination else None
+
+    # -- query paths ----------------------------------------------------------
+
+    def query_udp(self, src_ip: str, dst_ip: str, message: Message, timeout: float) -> SimFuture:
+        """Send a UDP query; resolves to the response Message or None."""
+        self.stats.udp_queries += 1
+        return self._query(src_ip, dst_ip, message, timeout, protocol="udp", extra_rtts=0.0)
+
+    def query_tcp(self, src_ip: str, dst_ip: str, message: Message, timeout: float) -> SimFuture:
+        """Send a TCP query: an extra handshake RTT, but no truncation."""
+        self.stats.tcp_queries += 1
+        return self._query(
+            src_ip, dst_ip, message, timeout, protocol="tcp", extra_rtts=TCP_HANDSHAKE_RTTS
+        )
+
+    def query_stream(
+        self, src_ip: str, dst_ip: str, message: Message, timeout: float, extra_rtts: float
+    ) -> SimFuture:
+        """A reliable stream exchange with a configurable number of
+        setup round trips (used by the DoT/DoH transport model)."""
+        self.stats.tcp_queries += 1
+        return self._query(
+            src_ip, dst_ip, message, timeout, protocol="tcp", extra_rtts=extra_rtts
+        )
+
+    def _query(
+        self,
+        src_ip: str,
+        dst_ip: str,
+        message: Message,
+        timeout: float,
+        protocol: str,
+        extra_rtts: float,
+    ) -> SimFuture:
+        response_future = SimFuture()
+        destination = self._servers.get(dst_ip)
+        if destination is None:
+            # Unrouted address: silence, then timeout.
+            return self.sim.timeout_race(response_future, timeout)
+
+        rtt = destination.latency.sample(self.rng) * (1.0 + extra_rtts)
+        query_wire = self._maybe_wire(message)
+
+        if protocol == "udp" and destination.loss.dropped(self.rng):
+            self.stats.lost_outbound += 1
+            return self.sim.timeout_race(response_future, timeout)
+
+        arrival = self.sim.now + rtt / 2
+
+        def at_server() -> None:
+            query = self._maybe_unwire(query_wire, message)
+            reply = destination.server.handle_query(query, src_ip, self.sim.now, protocol)
+            if reply is None:
+                self.stats.server_drops += 1
+                return
+            response = reply.message
+            reply_wire = self._maybe_wire(response)
+            if protocol == "udp" and reply_wire is not None:
+                # Size-based truncation against the client's EDNS payload.
+                limit = max_payload(query)
+                if len(reply_wire) > limit:
+                    reply_wire = response.to_wire(max_size=limit)
+                    response = Message.from_wire(reply_wire)
+            if response.flags.truncated:
+                self.stats.truncated_replies += 1
+            if protocol == "udp" and destination.loss.dropped(self.rng):
+                self.stats.lost_inbound += 1
+                return
+            deliver_at = self.sim.now + rtt / 2 + reply.delay
+
+            def deliver() -> None:
+                if not response_future.done:
+                    response_future.set_result(self._maybe_unwire(reply_wire, response))
+
+            self.sim.call_at(deliver_at, deliver)
+
+        self.sim.call_at(arrival, at_server)
+        return self.sim.timeout_race(response_future, timeout)
+
+    # -- wire fidelity --------------------------------------------------------
+
+    def _should_validate(self) -> bool:
+        if self.wire_mode == "always":
+            return True
+        if self.wire_mode == "never":
+            return False
+        self._packet_count += 1
+        return self._packet_count % self.wire_sample == 0
+
+    def _maybe_wire(self, message: Message) -> bytes | None:
+        if self._should_validate():
+            self.stats.wire_validations += 1
+            return message.to_wire()
+        return None
+
+    @staticmethod
+    def _maybe_unwire(wire: bytes | None, original: Message) -> Message:
+        if wire is None:
+            return original
+        try:
+            return Message.from_wire(wire)
+        except WireError:
+            # A malformed packet a real scanner would have to tolerate.
+            return original
+
+
+class SimUDPSocket:
+    """A long-lived simulated socket bound to one (IP, port) pair."""
+
+    def __init__(self, network: SimNetwork, pool: SourceIPPool):
+        self.network = network
+        self._pool = pool
+        self.binding = pool.acquire()
+        self._closed = False
+
+    @property
+    def source_ip(self) -> str:
+        return self.binding[0]
+
+    def query(self, dst_ip: str, message: Message, timeout: float) -> SimFuture:
+        if self._closed:
+            raise RuntimeError("socket is closed")
+        return self.network.query_udp(self.source_ip, dst_ip, message, timeout)
+
+    def query_tcp(self, dst_ip: str, message: Message, timeout: float) -> SimFuture:
+        if self._closed:
+            raise RuntimeError("socket is closed")
+        return self.network.query_tcp(self.source_ip, dst_ip, message, timeout)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._pool.release(self.binding)
+            self._closed = True

@@ -1,0 +1,23 @@
+"""repro.workloads — deterministic scan target generation: the CT-log
+style domain corpus (Table 3) and the IPv4 PTR space."""
+
+from .corpus import (
+    FQDNS_PER_DOMAIN,
+    CorpusCensus,
+    CorpusConfig,
+    DomainCorpus,
+    census,
+)
+from .ipv4 import PUBLIC_IPV4_COUNT, is_public, permuted_ipv4, ptr_names
+
+__all__ = [
+    "CorpusCensus",
+    "CorpusConfig",
+    "DomainCorpus",
+    "FQDNS_PER_DOMAIN",
+    "PUBLIC_IPV4_COUNT",
+    "census",
+    "is_public",
+    "permuted_ipv4",
+    "ptr_names",
+]

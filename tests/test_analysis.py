@@ -1,0 +1,87 @@
+"""Tests for the Section 5 / Section 6 case-study analyses."""
+
+import pytest
+
+from repro.analysis import run_caa_study, run_ns_consistency_study
+from repro.ecosystem import EcosystemParams, build_internet
+from repro.workloads import CorpusConfig, DomainCorpus
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return DomainCorpus(CorpusConfig(seed=21))
+
+
+@pytest.fixture()
+def internet():
+    return build_internet(params=EcosystemParams(seed=21), wire_mode="never")
+
+
+class TestNSConsistency:
+    @pytest.fixture(scope="class")
+    def findings(self, corpus):
+        internet = build_internet(params=EcosystemParams(seed=21), wire_mode="never")
+        names = list(corpus.base_domains(6000))
+        return run_ns_consistency_study(internet, names, threads=800, seed=7)
+
+    def test_scans_everything(self, findings):
+        assert findings.domains_scanned == 6000
+        assert findings.domains_resolvable > 4000
+
+    def test_availability_rate_in_paper_band(self, findings):
+        # paper: 0.55% of resolvable domains need >=2 retries on some NS
+        assert 0.001 < findings.frac_needing_2plus < 0.02
+
+    def test_severe_cases_are_rare(self, findings):
+        # paper: 0.01% need all 10 retries
+        assert findings.frac_needing_max < 0.005
+
+    def test_consistency_high(self, findings):
+        # paper: >99.99% consistent; scaled sample allows a little slack
+        assert findings.frac_consistent > 0.995
+
+    def test_json_shape(self, findings):
+        data = findings.to_json()
+        assert {"pct_needing_2plus_retries", "pct_consistent_answers",
+                "worst_case_providers"} <= set(data)
+
+
+class TestCAAStudy:
+    @pytest.fixture(scope="class")
+    def findings(self, corpus):
+        internet = build_internet(params=EcosystemParams(seed=21), wire_mode="never")
+        bases = list(corpus.base_domains(12_000))
+        return run_caa_study(internet, bases, threads=800, seed=7)
+
+    def test_caa_rate_near_paper(self, findings):
+        # paper: 1.69% of NOERROR domains hold CAA
+        assert 0.008 < findings.caa_rate < 0.03
+
+    def test_cctlds_half_of_caa(self, findings):
+        # paper: ccTLDs contribute 48% of CAA records
+        assert 0.35 < findings.cctld_share_of_caa < 0.70
+
+    def test_pl_share(self, findings):
+        # paper: .pl holds 25% of ccTLD CAA records
+        assert 0.12 < findings.pl_share_of_cc_caa < 0.45
+
+    def test_top10_cc_share(self, findings):
+        # paper: top 10 ccTLDs hold 70% of ccTLD CAA domains
+        assert findings.top10_cc_share > 0.55
+
+    def test_cctld_more_likely(self, findings):
+        assert findings.cctld_rate_vs_gtld() > 1.05
+
+    def test_tag_mix(self, findings):
+        data = findings.to_json()
+        assert data["pct_issue"] > 90  # paper: 96.8%
+        assert 40 < data["pct_issuewild"] < 70  # paper: 55.27%
+        assert data["pct_iodef"] < 15  # paper: 6.87%
+
+    def test_letsencrypt_dominates(self, findings):
+        assert findings.to_json()["pct_issue_letsencrypt"] > 85  # paper: 92.4%
+
+    def test_comodo_digicert_over_a_third(self, findings):
+        data = findings.to_json()
+        assert data["pct_domains_comodo"] > 35  # paper: >50%
+        assert data["pct_domains_digicert"] > 35

@@ -1,0 +1,129 @@
+"""Tests for the dig / Unbound / MassDNS baseline models."""
+
+import pytest
+
+from repro.baselines import (
+    DigBaseline,
+    UNBOUND_IP,
+    install_unbound,
+    massdns_config,
+    run_massdns,
+)
+from repro.ecosystem import EcosystemParams, build_internet
+from repro.framework import ScanConfig, ScanRunner
+from repro.net import CPUModel
+from repro.workloads import CorpusConfig, DomainCorpus
+
+
+@pytest.fixture()
+def internet():
+    return build_internet(params=EcosystemParams(seed=13), wire_mode="never")
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return DomainCorpus(CorpusConfig(seed=13))
+
+
+class TestDig:
+    def test_batch_trace_is_sequential_and_slow(self, internet, corpus):
+        report = DigBaseline(internet).run_batch_trace(list(corpus.fqdns(10)))
+        assert report.stats.total == 10
+        # batch dig manages around half a trace per second
+        assert report.stats.lookups_per_second < 2.0
+        assert report.stats.success_rate > 0.7
+
+    def test_forked_mode_is_faster_but_bounded(self, internet, corpus):
+        report = DigBaseline(internet).run_forked(
+            list(corpus.fqdns(400)), internet.cloudflare_ip
+        )
+        rate = report.stats.steady_rate
+        assert 30 < rate < 600  # paper: ~120/s
+        assert report.stats.success_rate > 0.9
+
+    def test_forked_respects_process_cap(self, internet, corpus):
+        report = DigBaseline(internet).run_forked(
+            list(corpus.fqdns(50)), internet.cloudflare_ip, processes=8
+        )
+        assert report.stats.threads_running == 8
+
+
+class TestUnbound:
+    def test_unbound_answers_via_loopback(self, internet, corpus):
+        cpu = CPUModel(internet.sim, cores=24)
+        install_unbound(internet, cpu)
+        config = ScanConfig(
+            module="A", mode="external", resolver_ips=[UNBOUND_IP], threads=200, seed=2
+        )
+        report = ScanRunner(internet, config, cpu=cpu).run(corpus.fqdns(1500))
+        assert report.stats.success_rate > 0.9
+
+    def test_unbound_burns_shared_cpu(self, internet, corpus):
+        cpu = CPUModel(internet.sim, cores=24)
+        install_unbound(internet, cpu)
+        config = ScanConfig(
+            module="A", mode="external", resolver_ips=[UNBOUND_IP], threads=200, seed=2
+        )
+        report = ScanRunner(internet, config, cpu=cpu).run(corpus.fqdns(1500))
+        # Unbound's per-query CPU dominates the scanner's own
+        assert cpu.busy_seconds > 1500 * 3e-3
+
+    def test_unbound_slower_than_iterative_per_cpu(self, corpus):
+        """Table 2's ordering: ZDNS iterative beats ZDNS+Unbound."""
+        names = list(corpus.fqdns(3000))
+
+        internet_a = build_internet(params=EcosystemParams(seed=13), wire_mode="never")
+        cpu = CPUModel(internet_a.sim, cores=24)
+        install_unbound(internet_a, cpu)
+        config = ScanConfig(
+            module="A", mode="external", resolver_ips=[UNBOUND_IP], threads=3000, seed=2
+        )
+        unbound_rate = ScanRunner(internet_a, config, cpu=cpu).run(names).stats.steady_rate
+
+        internet_b = build_internet(params=EcosystemParams(seed=13), wire_mode="never")
+        config = ScanConfig(module="A", mode="iterative", threads=3000, seed=2)
+        iterative_rate = ScanRunner(internet_b, config).run(names).stats.steady_rate
+
+        assert iterative_rate > 1.5 * unbound_rate
+
+
+class TestMassDNS:
+    def test_config_shape(self):
+        config = massdns_config()
+        assert config.retries == 50
+        assert config.threads == 50_000
+        assert config.external_timeout == 1.0
+
+    def overload_internet(self):
+        # scaled-down overload regime: resolver capacity 30K qps vs a
+        # 6K-deep massdns window (same ratio as the full-scale bench)
+        params = EcosystemParams(seed=13, public_capacity=30_000.0)
+        return build_internet(params=params, wire_mode="never")
+
+    def test_massdns_high_rate_low_success(self, corpus):
+        internet = self.overload_internet()
+        report = run_massdns(
+            internet, corpus.fqdns(60_000), internet.google_ip, threads=6000, seed=3
+        )
+        stats = report.stats
+        # raw rate is high, but a sizeable share of names fail (Table 2:
+        # ~35% drop/SERVFAIL)
+        assert stats.success_rate < 0.92
+        assert stats.by_status["SERVFAIL"] > 0.05 * stats.total
+        assert stats.steady_rate > 20_000
+        assert internet.google.stats.shed > 0
+
+    def test_massdns_failure_rate_worse_than_zdns(self, corpus):
+        names = list(corpus.fqdns(30_000))
+        params = EcosystemParams(seed=13, public_capacity=30_000.0)
+
+        internet_a = build_internet(params=params, wire_mode="never")
+        massdns = run_massdns(internet_a, names, internet_a.google_ip, threads=6000, seed=3)
+
+        # ZDNS's closed loop at moderate concurrency stays under the
+        # resolver's capacity and keeps its success rate
+        internet_b = build_internet(params=params, wire_mode="never")
+        config = ScanConfig(module="A", mode="google", threads=1000, source_prefix=28, seed=3)
+        zdns = ScanRunner(internet_b, config).run(names)
+
+        assert zdns.stats.success_rate > massdns.stats.success_rate + 0.02

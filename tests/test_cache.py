@@ -1,0 +1,158 @@
+"""Tests for the selective delegation cache."""
+
+import pytest
+
+from repro.core import Delegation, SelectiveCache
+from repro.dnslib import DNSClass, Name, ResourceRecord, RRType
+from repro.dnslib.rdata.address import A
+
+N = Name.from_text
+
+
+def delegation(zone: str, *ips: str) -> Delegation:
+    ns_names = tuple(N(f"ns{i + 1}.{zone}") for i in range(max(1, len(ips))))
+    glue = tuple((ns_names[i], ip) for i, ip in enumerate(ips))
+    return Delegation(zone=N(zone), ns_names=ns_names, glue=glue)
+
+
+class TestDelegation:
+    def test_addresses(self):
+        entry = delegation("example.com", "1.2.3.4", "5.6.7.8")
+        assert entry.addresses() == ["1.2.3.4", "5.6.7.8"]
+
+    def test_glue_for(self):
+        entry = delegation("example.com", "1.2.3.4", "5.6.7.8")
+        assert entry.glue_for(N("ns1.example.com")) == ["1.2.3.4"]
+        assert entry.glue_for(N("ns9.example.com")) == []
+
+
+class TestBasicOperations:
+    def test_put_and_get(self):
+        cache = SelectiveCache(capacity=10)
+        entry = delegation("com", "192.5.6.30")
+        cache.put_delegation(entry)
+        assert cache.get_delegation(N("com")) == entry
+        assert cache.get_delegation(N("net")) is None
+
+    def test_case_insensitive_zone_keys(self):
+        cache = SelectiveCache(capacity=10)
+        cache.put_delegation(delegation("Example.COM", "1.1.1.1"))
+        assert cache.get_delegation(N("example.com")) is not None
+
+    def test_best_delegation_picks_deepest(self):
+        cache = SelectiveCache(capacity=10)
+        cache.put_delegation(delegation("com", "1.1.1.1"))
+        cache.put_delegation(delegation("example.com", "2.2.2.2"))
+        best = cache.best_delegation(N("www.example.com"))
+        assert best.zone == N("example.com")
+
+    def test_best_delegation_walks_up(self):
+        cache = SelectiveCache(capacity=10)
+        cache.put_delegation(delegation("com", "1.1.1.1"))
+        best = cache.best_delegation(N("a.b.c.example.com"))
+        assert best.zone == N("com")
+
+    def test_best_delegation_miss(self):
+        cache = SelectiveCache(capacity=10)
+        assert cache.best_delegation(N("example.org")) is None
+        assert cache.stats.misses == 1
+
+    def test_hit_and_miss_stats(self):
+        cache = SelectiveCache(capacity=10)
+        cache.put_delegation(delegation("com", "1.1.1.1"))
+        cache.best_delegation(N("a.com"))
+        cache.best_delegation(N("b.org"))
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_update_replaces_entry(self):
+        cache = SelectiveCache(capacity=10)
+        cache.put_delegation(delegation("com", "1.1.1.1"))
+        cache.put_delegation(delegation("com", "9.9.9.9"))
+        assert cache.get_delegation(N("com")).addresses() == ["9.9.9.9"]
+        assert len(cache) == 1
+
+
+class TestPolicies:
+    def test_selective_ignores_answers(self):
+        cache = SelectiveCache(capacity=10, policy="selective")
+        record = ResourceRecord(N("a.com"), RRType.A, DNSClass.IN, 300, A("1.2.3.4"))
+        cache.put_answer(N("a.com"), RRType.A, [record])
+        assert cache.get_answer(N("a.com"), RRType.A) is None
+        assert len(cache) == 0
+
+    def test_all_policy_caches_answers(self):
+        cache = SelectiveCache(capacity=10, policy="all")
+        record = ResourceRecord(N("a.com"), RRType.A, DNSClass.IN, 300, A("1.2.3.4"))
+        cache.put_answer(N("a.com"), RRType.A, [record])
+        assert cache.get_answer(N("a.com"), RRType.A) == [record]
+
+    def test_none_policy_caches_nothing(self):
+        cache = SelectiveCache(capacity=10, policy="none")
+        cache.put_delegation(delegation("com", "1.1.1.1"))
+        assert cache.get_delegation(N("com")) is None
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            SelectiveCache(policy="bogus")
+
+    def test_invalid_eviction_rejected(self):
+        with pytest.raises(ValueError):
+            SelectiveCache(eviction="fifo")
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            SelectiveCache(capacity=0)
+
+
+class TestEviction:
+    def test_capacity_is_enforced(self):
+        cache = SelectiveCache(capacity=5, eviction="random", seed=1)
+        for i in range(50):
+            cache.put_delegation(delegation(f"zone{i}.com", "1.1.1.1"))
+        assert len(cache) == 5
+        assert cache.stats.evictions == 45
+
+    def test_lru_evicts_oldest(self):
+        cache = SelectiveCache(capacity=2, eviction="lru")
+        cache.put_delegation(delegation("a.com", "1.1.1.1"))
+        cache.put_delegation(delegation("b.com", "1.1.1.1"))
+        cache.get_delegation(N("a.com"))  # touch a: b becomes LRU
+        cache.put_delegation(delegation("c.com", "1.1.1.1"))
+        assert cache.get_delegation(N("a.com")) is not None
+        assert cache.get_delegation(N("b.com")) is None
+
+    def test_random_eviction_eventually_evicts_hot_entries(self):
+        """The Figure 2 mechanism: under random eviction, churn can push
+        out hot upper-layer entries; a larger cache makes that rarer."""
+
+        def survival(capacity):
+            cache = SelectiveCache(capacity=capacity, eviction="random", seed=7)
+            cache.put_delegation(delegation("com", "1.1.1.1"))
+            lost = 0
+            for i in range(3000):
+                cache.put_delegation(delegation(f"z{i}.com", "2.2.2.2"))
+                if cache.get_delegation(N("com")) is None:
+                    lost += 1
+                    cache.put_delegation(delegation("com", "1.1.1.1"))
+            return lost
+
+        assert survival(100) > survival(2000)
+
+    def test_eviction_keeps_key_bookkeeping_consistent(self):
+        cache = SelectiveCache(capacity=3, eviction="random", seed=3)
+        for i in range(100):
+            cache.put_delegation(delegation(f"z{i}.com", "1.1.1.1"))
+            found = sum(
+                1 for j in range(i + 1) if cache.get_delegation(N(f"z{j}.com")) is not None
+            )
+            assert found == len(cache) <= 3
+
+    def test_mixed_tables_under_lru(self):
+        cache = SelectiveCache(capacity=4, policy="all", eviction="lru")
+        record = ResourceRecord(N("x.com"), RRType.A, DNSClass.IN, 300, A("1.2.3.4"))
+        for i in range(4):
+            cache.put_delegation(delegation(f"d{i}.com", "1.1.1.1"))
+        cache.put_answer(N("x.com"), RRType.A, [record])
+        assert len(cache) == 4

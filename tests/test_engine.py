@@ -1,0 +1,120 @@
+"""Tests for the drivers that execute resolution machines."""
+
+import pytest
+
+from repro.core import ClientCostModel, ResolverConfig, SelectiveCache, SimDriver, Status
+from repro.core.machine import ExternalMachine, IterativeMachine, SendQuery
+from repro.dnslib import Message, Name, RRType, get_edns
+from repro.ecosystem import EcosystemParams, build_internet
+from repro.net import CPUModel, GCModel, SimUDPSocket, SourceIPPool, Simulator
+
+
+@pytest.fixture()
+def internet():
+    return build_internet(params=EcosystemParams(seed=55), wire_mode="never")
+
+
+def existing_name(internet):
+    synth = internet.synth
+    for i in range(20_000):
+        name = Name.from_text(f"engine-{i}.com")
+        profile = synth.profile(name)
+        if profile.exists and not profile.truncates and all(
+            ns.drop_prob == 0 and not ns.lame for ns in profile.nameservers
+        ):
+            return name
+    raise AssertionError("no clean domain found")
+
+
+def run_lookup(internet, driver, machine_gen):
+    socket = SimUDPSocket(internet.network, SourceIPPool())
+    future = internet.sim.spawn(driver.execute(machine_gen, socket))
+    internet.sim.run()
+    return future.result()
+
+
+class TestSimDriver:
+    def test_lookup_without_cpu_model(self, internet):
+        driver = SimDriver(internet.network)
+        machine = ExternalMachine([internet.google_ip])
+        result = run_lookup(internet, driver, machine.resolve(existing_name(internet), RRType.A))
+        assert result.status == Status.NOERROR
+
+    def test_cpu_charged_per_packet(self, internet):
+        cpu = CPUModel(internet.sim, cores=4)
+        driver = SimDriver(internet.network, cpu=cpu, costs=ClientCostModel())
+        machine = ExternalMachine([internet.google_ip])
+        run_lookup(internet, driver, machine.resolve(existing_name(internet), RRType.A))
+        assert cpu.operations >= 2  # send + receive
+        assert cpu.busy_seconds > 0
+
+    def test_per_lookup_cost_charged_once(self, internet):
+        cpu = CPUModel(internet.sim, cores=4)
+        costs = ClientCostModel(per_send=0.0, per_receive=0.0, per_lookup=0.001)
+        driver = SimDriver(internet.network, cpu=cpu, costs=costs)
+        machine = ExternalMachine([internet.google_ip])
+        run_lookup(internet, driver, machine.resolve(existing_name(internet), RRType.A))
+        assert cpu.busy_seconds == pytest.approx(0.001)
+
+    def test_socket_setup_cost_when_reuse_disabled(self, internet):
+        cpu = CPUModel(internet.sim, cores=4)
+        costs = ClientCostModel(per_send=0.0, per_receive=0.0, per_socket_setup=0.01)
+        driver = SimDriver(internet.network, cpu=cpu, costs=costs, reuse_sockets=False)
+        machine = ExternalMachine([internet.google_ip])
+        result = run_lookup(internet, driver, machine.resolve(existing_name(internet), RRType.A))
+        assert result.status == Status.NOERROR
+        assert cpu.busy_seconds >= 0.01
+
+    def test_edns_payload_attached(self, internet):
+        captured = []
+
+        class Spy:
+            def handle_query(self, query, client_ip, now, protocol):
+                captured.append(query)
+                from repro.net import ServerReply
+
+                return ServerReply(query.make_response())
+
+        internet.network.register_server("10.99.0.1", Spy())
+        driver = SimDriver(internet.network, edns_payload=1232)
+        machine = ExternalMachine(["10.99.0.1"], ResolverConfig(retries=0))
+        run_lookup(internet, driver, machine.resolve("x.com", RRType.A))
+        info = get_edns(captured[0])
+        assert info is not None and info.payload_size == 1232
+
+    def test_edns_disabled(self, internet):
+        captured = []
+
+        class Spy:
+            def handle_query(self, query, client_ip, now, protocol):
+                captured.append(query)
+                from repro.net import ServerReply
+
+                return ServerReply(query.make_response())
+
+        internet.network.register_server("10.99.0.2", Spy())
+        driver = SimDriver(internet.network, edns_payload=None)
+        machine = ExternalMachine(["10.99.0.2"], ResolverConfig(retries=0))
+        run_lookup(internet, driver, machine.resolve("x.com", RRType.A))
+        assert get_edns(captured[0]) is None
+
+    def test_late_processing_counts_as_timeout(self, internet):
+        """A response processed after its deadline (e.g. behind a long
+        GC stall) must be treated as a timeout (Section 3.4)."""
+        sim = internet.sim
+        # pathological GC: every sliver of CPU work crosses a collection
+        # boundary and eats a 5s stop-the-world pause
+        cpu = CPUModel(sim, cores=1, gc=GCModel(period=0.0001, pause=5.0))
+        driver = SimDriver(internet.network, cpu=cpu, costs=ClientCostModel())
+        machine = ExternalMachine([internet.google_ip], ResolverConfig(retries=0))
+        result = run_lookup(internet, driver, machine.resolve(existing_name(internet), RRType.A))
+        assert result.status == Status.TIMEOUT
+
+    def test_iterative_machine_through_driver(self, internet):
+        driver = SimDriver(internet.network)
+        machine = IterativeMachine(
+            SelectiveCache(capacity=1000), internet.root_ips, ResolverConfig()
+        )
+        result = run_lookup(internet, driver, machine.resolve(existing_name(internet), RRType.A))
+        assert result.status == Status.NOERROR
+        assert result.queries_sent >= 3

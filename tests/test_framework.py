@@ -1,0 +1,287 @@
+"""Tests for the scan framework: runner, stats, IO, CLI."""
+
+import io
+import json
+
+import pytest
+
+from repro.ecosystem import EcosystemParams, build_internet
+from repro.framework import (
+    JsonLineSink,
+    ScanConfig,
+    ScanRunner,
+    ScanStats,
+    clean_row,
+    read_names,
+    run_scan,
+    write_rows,
+)
+from repro.framework.cli import build_parser, main
+from repro.workloads import CorpusConfig, DomainCorpus
+
+
+@pytest.fixture()
+def internet():
+    return build_internet(params=EcosystemParams(seed=42), wire_mode="sampled")
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return DomainCorpus(CorpusConfig(seed=42))
+
+
+class TestScanStats:
+    def test_record_accumulates(self):
+        stats = ScanStats()
+        stats.record("NOERROR", 1.0, queries=2)
+        stats.record("NXDOMAIN", 2.0, queries=1)
+        stats.record("TIMEOUT", 3.0, queries=3, retries=2)
+        assert stats.total == 3
+        assert stats.successes == 2  # NXDOMAIN counts (Section 4.1)
+        assert stats.success_rate == pytest.approx(2 / 3)
+        assert stats.queries_sent == 6
+        assert stats.retries_used == 2
+        assert stats.duration == 3.0
+
+    def test_rates(self):
+        stats = ScanStats()
+        for i in range(10):
+            stats.record("NOERROR", (i + 1) * 0.5)
+        assert stats.lookups_per_second == pytest.approx(2.0)
+        assert stats.successes_per_second == pytest.approx(2.0)
+
+    def test_steady_rate_ignores_straggler(self):
+        stats = ScanStats()
+        for i in range(99):
+            stats.record("NOERROR", (i + 1) * 0.1)
+        stats.record("NOERROR", 60.0)  # one straggler
+        assert stats.lookups_per_second < 2
+        assert stats.steady_rate == pytest.approx(10.0, rel=0.3)
+
+    def test_empty_stats(self):
+        stats = ScanStats()
+        assert stats.success_rate == 0.0
+        assert stats.successes_per_second == 0.0
+        assert stats.steady_rate == 0.0
+
+    def test_json_shape(self):
+        stats = ScanStats()
+        stats.record("NOERROR", 1.0)
+        data = stats.to_json()
+        assert data["total"] == 1
+        assert "statuses" in data
+
+
+class TestIO:
+    def test_read_names_skips_blank_and_comments(self, tmp_path):
+        path = tmp_path / "names.txt"
+        path.write_text("a.com\n\n# comment\nb.com \n")
+        assert list(read_names(str(path))) == ["a.com", "b.com"]
+
+    def test_read_names_from_handle(self):
+        handle = io.StringIO("x.com\ny.com\n")
+        assert list(read_names(handle)) == ["x.com", "y.com"]
+
+    def test_clean_row_strips_private_keys(self):
+        assert clean_row({"a": 1, "_internal": 2}) == {"a": 1}
+
+    def test_write_rows(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        count = write_rows([{"name": "a"}, {"name": "b", "_x": 1}], str(path))
+        assert count == 2
+        lines = path.read_text().splitlines()
+        assert json.loads(lines[1]) == {"name": "b"}
+
+    def test_sink_counts(self):
+        buffer = io.StringIO()
+        sink = JsonLineSink(buffer)
+        sink({"name": "a"})
+        sink({"name": "b"})
+        assert sink.count == 2
+        assert len(buffer.getvalue().splitlines()) == 2
+
+
+class TestScanRunner:
+    def test_basic_scan_collects_rows(self, internet, corpus):
+        rows = []
+        config = ScanConfig(module="A", mode="google", threads=50, seed=1)
+        report = ScanRunner(internet, config, sink=rows.append).run(corpus.fqdns(300))
+        assert report.stats.total == 300
+        assert len(rows) == 300
+        assert report.stats.success_rate > 0.9
+        assert report.stats.threads_running == 50
+
+    def test_iterative_scan_builds_cache(self, internet, corpus):
+        config = ScanConfig(module="A", mode="iterative", threads=50, seed=1)
+        runner = ScanRunner(internet, config)
+        report = runner.run(corpus.fqdns(200))
+        assert report.cache_stats is not None
+        assert report.cache_stats["hits"] > 0
+        assert report.stats.success_rate > 0.9
+
+    def test_external_scan_has_no_cache(self, internet, corpus):
+        config = ScanConfig(module="A", mode="cloudflare", threads=20, seed=1)
+        report = ScanRunner(internet, config).run(corpus.fqdns(50))
+        assert report.cache_stats is None
+
+    def test_thread_cap_by_ports(self, internet, corpus):
+        config = ScanConfig(
+            module="A", mode="google", threads=100, ports_per_ip=30, source_prefix=32, seed=1
+        )
+        report = ScanRunner(internet, config).run(corpus.fqdns(60))
+        assert report.stats.threads_running == 30
+        assert report.stats.total == 60  # capped threads still finish the work
+
+    def test_external_mode_requires_ips(self, internet):
+        config = ScanConfig(module="A", mode="external", threads=10)
+        with pytest.raises(ValueError):
+            ScanRunner(internet, config).run(["a.com"])
+
+    def test_run_scan_convenience(self, internet, corpus):
+        report = run_scan(internet, corpus.fqdns(50), module="A", mode="google", threads=10, seed=1)
+        assert report.stats.total == 50
+
+    def test_run_scan_rejects_config_plus_overrides(self, internet):
+        with pytest.raises(ValueError):
+            run_scan(internet, ["a.com"], config=ScanConfig(), threads=5)
+
+    def test_gc_model_applies(self, internet, corpus):
+        config = ScanConfig(
+            module="A", mode="google", threads=20, gc_period=0.5, gc_pause=0.02, seed=1
+        )
+        report = ScanRunner(internet, config).run(corpus.fqdns(100))
+        assert report.stats.total == 100
+
+    def test_deterministic_given_seed(self, corpus):
+        def run():
+            internet = build_internet(params=EcosystemParams(seed=42), wire_mode="never")
+            config = ScanConfig(module="A", mode="google", threads=30, seed=9)
+            report = ScanRunner(internet, config).run(corpus.fqdns(200))
+            return report.stats.to_json()
+
+        first = run()
+        second = run()
+        first.pop("duration_s"), second.pop("duration_s")
+        assert first["statuses"] == second["statuses"]
+
+    def test_mxlookup_module_through_runner(self, internet, corpus):
+        rows = []
+        config = ScanConfig(module="MXLOOKUP", mode="iterative", threads=30, seed=1)
+        ScanRunner(internet, config, sink=rows.append).run(corpus.fqdns(100))
+        assert any(row["data"]["exchanges"] for row in rows)
+
+
+class TestCLI:
+    def test_parser_module_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["A", "--threads", "10"])
+        assert args.module == "A"
+        assert args.threads == 10
+
+    def test_end_to_end_scan(self, tmp_path, corpus, capsys):
+        infile = tmp_path / "in.txt"
+        outfile = tmp_path / "out.jsonl"
+        infile.write_text("\n".join(corpus.fqdns(40)))
+        code = main([
+            "A", "-f", str(infile), "-o", str(outfile),
+            "--mode", "google", "--threads", "10", "--seed", "4",
+        ])
+        assert code == 0
+        rows = [json.loads(line) for line in outfile.read_text().splitlines()]
+        assert len(rows) == 40
+        assert all("status" in row for row in rows)
+        summary = json.loads(capsys.readouterr().err.strip())
+        assert summary["total"] == 40
+
+    def test_unknown_module_errors(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["BOGUS", "-f", "/dev/null"])
+
+    def test_trace_flag_includes_chain(self, tmp_path, corpus):
+        infile = tmp_path / "in.txt"
+        outfile = tmp_path / "out.jsonl"
+        infile.write_text("\n".join(corpus.fqdns(10)))
+        main([
+            "A", "-f", str(infile), "-o", str(outfile),
+            "--mode", "iterative", "--threads", "5", "--trace", "--quiet", "--seed", "4",
+        ])
+        rows = [json.loads(line) for line in outfile.read_text().splitlines()]
+        traced = [row for row in rows if "trace" in row]
+        assert traced
+        step = traced[0]["trace"][0]
+        assert {"name", "layer", "depth", "name_server", "cached", "try"} <= set(step)
+
+
+class TestLiveCLI:
+    def test_live_mode_over_loopback(self, tmp_path):
+        from repro.dnslib import Message, Name, Rcode, ResourceRecord, RRType
+        from repro.dnslib.rdata.address import A as ARecord
+        from repro.net import UDPServer
+
+        def handler(query, client):
+            response = query.make_response(authoritative=True)
+            response.answers.append(
+                ResourceRecord(query.question.name, RRType.A, 1, 60, ARecord("127.0.0.9"))
+            )
+            return response
+
+        infile = tmp_path / "in.txt"
+        outfile = tmp_path / "out.jsonl"
+        infile.write_text("one.test\ntwo.test\n")
+        with UDPServer(handler) as server:
+            host, port = server.address
+            code = main([
+                "A", "-f", str(infile), "-o", str(outfile),
+                "--live-resolver", f"{host}:{port}", "--quiet",
+            ])
+        assert code == 0
+        rows = [json.loads(line) for line in outfile.read_text().splitlines()]
+        assert len(rows) == 2
+        assert rows[0]["status"] == "NOERROR"
+        assert rows[0]["data"]["answers"][0]["answer"] == "127.0.0.9"
+
+
+class TestTimestamps:
+    def test_sink_timestamp(self):
+        import re
+
+        buffer = io.StringIO()
+        sink = JsonLineSink(buffer, add_timestamp=True)
+        sink({"name": "a"})
+        row = json.loads(buffer.getvalue())
+        assert re.fullmatch(r"\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}Z", row["timestamp"])
+
+
+class TestSharding:
+    def test_shards_partition_input(self):
+        from repro.framework import shard
+
+        names = [f"n{i}.com" for i in range(10)]
+        parts = [list(shard(names, 3, i)) for i in range(3)]
+        assert sorted(sum(parts, [])) == sorted(names)
+        assert not (set(parts[0]) & set(parts[1]))
+
+    def test_single_shard_is_identity(self):
+        from repro.framework import shard
+
+        assert list(shard(["a", "b"], 1, 0)) == ["a", "b"]
+
+    def test_bad_indices_rejected(self):
+        from repro.framework import shard
+
+        with pytest.raises(ValueError):
+            list(shard([], 0, 0))
+        with pytest.raises(ValueError):
+            list(shard([], 2, 2))
+
+
+class TestTimeline:
+    def test_buckets(self):
+        stats = ScanStats()
+        for t in (0.1, 0.2, 1.5, 2.9):
+            stats.record("NOERROR", t)
+        assert stats.timeline(1.0) == [(0.0, 2), (1.0, 1), (2.0, 1)]
+
+    def test_bad_bucket(self):
+        with pytest.raises(ValueError):
+            ScanStats().timeline(0)

@@ -1,0 +1,67 @@
+"""Tests for the real-socket transport over loopback."""
+
+from repro.dnslib import Message, Name, Rcode, ResourceRecord, RRType
+from repro.dnslib.rdata.address import A
+from repro.net import UDPServer, UDPTransport
+
+
+def simple_handler(query, client):
+    response = query.make_response(authoritative=True)
+    if query.question.name == Name.from_text("known.test"):
+        response.answers.append(
+            ResourceRecord(query.question.name, RRType.A, 1, 60, A("127.1.2.3"))
+        )
+        return response
+    return query.make_response(rcode=Rcode.NXDOMAIN)
+
+
+def test_roundtrip_over_loopback():
+    with UDPServer(simple_handler) as server:
+        with UDPTransport() as transport:
+            query = Message.make_query("known.test", RRType.A, txid=4321)
+            response = transport.query(query, server.address, timeout=2.0)
+    assert response is not None
+    assert response.id == 4321
+    assert response.answers[0].rdata == A("127.1.2.3")
+
+
+def test_nxdomain_over_loopback():
+    with UDPServer(simple_handler) as server:
+        with UDPTransport() as transport:
+            query = Message.make_query("missing.test", RRType.A, txid=1)
+            response = transport.query(query, server.address, timeout=2.0)
+    assert response.rcode == Rcode.NXDOMAIN
+
+
+def test_timeout_when_server_silent():
+    def drop_handler(query, client):
+        return None
+
+    with UDPServer(drop_handler) as server:
+        with UDPTransport() as transport:
+            query = Message.make_query("any.test", RRType.A)
+            response = transport.query(query, server.address, timeout=0.3)
+    assert response is None
+
+
+def test_mismatched_txid_is_ignored():
+    def wrong_id_handler(query, client):
+        response = query.make_response()
+        response.id = (query.id + 1) & 0xFFFF
+        return response
+
+    with UDPServer(wrong_id_handler) as server:
+        with UDPTransport() as transport:
+            query = Message.make_query("any.test", RRType.A, txid=500)
+            response = transport.query(query, server.address, timeout=0.3)
+    assert response is None  # the spoofed-id packet must not match
+
+
+def test_transport_reuses_one_socket():
+    with UDPServer(simple_handler) as server:
+        with UDPTransport() as transport:
+            bound = transport.bound_address
+            for i in range(5):
+                query = Message.make_query("known.test", RRType.A, txid=i)
+                assert transport.query(query, server.address, timeout=2.0) is not None
+            assert transport.bound_address == bound

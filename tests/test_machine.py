@@ -1,0 +1,425 @@
+"""Unit tests for the sans-IO resolution machines, driven by scripted
+responses (no network, simulated or otherwise)."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    Delegation,
+    ExternalMachine,
+    IterativeMachine,
+    ResolverConfig,
+    SelectiveCache,
+    SendQuery,
+    Status,
+)
+from repro.dnslib import (
+    DNSClass,
+    Flags,
+    Message,
+    Name,
+    Rcode,
+    ResourceRecord,
+    RRType,
+)
+from repro.dnslib.rdata.address import A
+from repro.dnslib.rdata.names import CNAME, NS
+
+N = Name.from_text
+ROOTS = ["199.0.0.1", "199.0.0.2"]
+
+
+def rr(name, rrtype, rdata, ttl=300):
+    return ResourceRecord(N(name), rrtype, DNSClass.IN, ttl, rdata)
+
+
+def answer_msg(qname, records, rcode=Rcode.NOERROR, authoritative=True, truncated=False):
+    msg = Message(
+        flags=Flags(response=True, authoritative=authoritative, rcode=rcode, truncated=truncated)
+    )
+    msg.answers = list(records)
+    return msg
+
+
+def referral_msg(zone, ns_ips):
+    msg = Message(flags=Flags(response=True))
+    for i, ip in enumerate(ns_ips):
+        ns_name = f"ns{i + 1}.{zone}"
+        msg.authorities.append(rr(zone, RRType.NS, NS(N(ns_name))))
+        if ip is not None:
+            msg.additionals.append(rr(ns_name, RRType.A, A(ip)))
+    return msg
+
+
+def drive(gen, responder):
+    """Run a machine generator against a responder(effect) callable."""
+    try:
+        effect = next(gen)
+        while True:
+            assert isinstance(effect, SendQuery)
+            effect = gen.send(responder(effect))
+    except StopIteration as stop:
+        return stop.value
+
+
+def machine(cache=None, config=None, seed=0):
+    # NB: "cache or ..." would discard an *empty* cache (it has __len__)
+    return IterativeMachine(
+        cache if cache is not None else SelectiveCache(capacity=1000),
+        ROOTS,
+        config or ResolverConfig(retries=1),
+        random.Random(seed),
+    )
+
+
+class ScriptedInternet:
+    """Routes effects to per-server responders and logs every query."""
+
+    def __init__(self):
+        self.servers = {}
+        self.log = []
+
+    def add(self, ip, fn):
+        self.servers[ip] = fn
+
+    def __call__(self, effect):
+        self.log.append((effect.server_ip, effect.name.to_text(), int(effect.qtype), effect.protocol))
+        handler = self.servers.get(effect.server_ip)
+        return handler(effect) if handler else None
+
+
+def standard_tree(final_records=None, rcode=Rcode.NOERROR):
+    """root -> com -> example.com serving ``final_records``."""
+    net = ScriptedInternet()
+    for ip in ROOTS:
+        net.add(ip, lambda e: referral_msg("com", ["10.0.0.1"]))
+    net.add(10 * "", lambda e: None)
+    net.add("10.0.0.1", lambda e: referral_msg("example.com", ["10.1.0.1"]))
+    records = final_records if final_records is not None else [
+        rr("www.example.com", RRType.A, A("93.0.0.1"))
+    ]
+    net.add("10.1.0.1", lambda e: answer_msg(e.name.to_text(), records, rcode=rcode))
+    return net
+
+
+class TestIterativeWalk:
+    def test_full_walk_from_root(self):
+        net = standard_tree()
+        result = drive(machine().resolve("www.example.com", RRType.A), net)
+        assert result.status == Status.NOERROR
+        assert result.answers[0].rdata == A("93.0.0.1")
+        assert result.queries_sent == 3
+        servers = [entry[0] for entry in net.log]
+        assert servers[0] in ROOTS
+        assert servers[1:] == ["10.0.0.1", "10.1.0.1"]
+
+    def test_trace_records_layers(self):
+        net = standard_tree()
+        result = drive(machine().resolve("www.example.com", RRType.A), net)
+        layers = [step.layer for step in result.trace]
+        assert layers == [".", "com", "example.com"]
+        assert [step.depth for step in result.trace] == [1, 2, 3]
+
+    def test_delegations_are_cached(self):
+        cache = SelectiveCache(capacity=100)
+        net = standard_tree()
+        drive(machine(cache).resolve("www.example.com", RRType.A), net)
+        assert cache.get_delegation(N("com")) is not None
+        assert cache.get_delegation(N("example.com")) is not None
+
+    def test_cached_start_skips_layers(self):
+        cache = SelectiveCache(capacity=100)
+        net = standard_tree()
+        drive(machine(cache).resolve("www.example.com", RRType.A), net)
+        net.log.clear()
+        result = drive(machine(cache).resolve("other.example.com", RRType.A), net)
+        assert result.status == Status.NOERROR
+        assert [entry[0] for entry in net.log] == ["10.1.0.1"]
+        assert result.trace.steps[0].cached
+
+    def test_leaf_answers_not_cached(self):
+        cache = SelectiveCache(capacity=100)
+        drive(machine(cache).resolve("www.example.com", RRType.A), standard_tree())
+        assert cache.get_answer(N("www.example.com"), RRType.A) is None
+
+    def test_nxdomain(self):
+        net = standard_tree(final_records=[], rcode=Rcode.NXDOMAIN)
+        result = drive(machine().resolve("gone.example.com", RRType.A), net)
+        assert result.status == Status.NXDOMAIN
+        assert result.is_success  # the paper counts NXDOMAIN as success
+
+    def test_nodata(self):
+        net = standard_tree(final_records=[])
+        result = drive(machine().resolve("www.example.com", RRType.AAAA), net)
+        assert result.status == Status.NOERROR
+        assert not result.answers
+
+
+class TestFailureHandling:
+    def test_timeouts_exhaust_to_iterative_timeout(self):
+        net = ScriptedInternet()
+        for ip in ROOTS:
+            net.add(ip, lambda e: None)  # silence
+        result = drive(machine().resolve("x.com", RRType.A), net)
+        assert result.status == Status.ITERATIVE_TIMEOUT
+        assert result.retries_used >= 1
+
+    def test_retry_second_server_succeeds(self):
+        net = ScriptedInternet()
+        net.add(ROOTS[0], lambda e: None)
+        net.add(ROOTS[1], lambda e: referral_msg("com", ["10.0.0.1"]))
+        net.add("10.0.0.1", lambda e: answer_msg("x.com", [rr("x.com", RRType.A, A("1.2.3.4"))]))
+        result = drive(machine(config=ResolverConfig(retries=2)).resolve("x.com", RRType.A), net)
+        assert result.status == Status.NOERROR
+        assert result.retries_used >= 0
+        assert result.queries_sent >= 2
+
+    def test_servfail_tries_next_and_reports(self):
+        net = ScriptedInternet()
+        for ip in ROOTS:
+            net.add(ip, lambda e: answer_msg("x.com", [], rcode=Rcode.SERVFAIL))
+        result = drive(machine().resolve("x.com", RRType.A), net)
+        assert result.status == Status.SERVFAIL
+
+    def test_refused_reported(self):
+        net = ScriptedInternet()
+        for ip in ROOTS:
+            net.add(ip, lambda e: answer_msg("x.com", [], rcode=Rcode.REFUSED))
+        result = drive(machine().resolve("x.com", RRType.A), net)
+        assert result.status == Status.REFUSED
+
+    def test_upward_referral_is_error(self):
+        net = ScriptedInternet()
+        for ip in ROOTS:
+            net.add(ip, lambda e: referral_msg("com", ["10.0.0.1"]))
+        # the com server refers back to com: a lame loop
+        net.add("10.0.0.1", lambda e: referral_msg("com", ["10.0.0.1"]))
+        result = drive(machine().resolve("x.com", RRType.A), net)
+        assert result.status == Status.ERROR
+
+    def test_sideways_referral_is_error(self):
+        net = ScriptedInternet()
+        for ip in ROOTS:
+            net.add(ip, lambda e: referral_msg("com", ["10.0.0.1"]))
+        net.add("10.0.0.1", lambda e: referral_msg("org", ["10.0.0.2"]))
+        result = drive(machine().resolve("x.com", RRType.A), net)
+        assert result.status == Status.ERROR
+
+    def test_query_budget_enforced(self):
+        config = ResolverConfig(retries=0, max_queries=5)
+        net = ScriptedInternet()
+        # an endless chain of deeper referrals
+        def deeper(effect):
+            depth = len(effect.name.labels)
+            zone = effect.name.to_text(omit_final_dot=True)
+            suffix = ".".join(zone.split(".")[-min(depth, 1):])
+            return referral_msg(zone, ["10.0.0.9"])
+
+        for ip in ROOTS:
+            net.add(ip, lambda e: referral_msg("com", ["10.0.0.9"]))
+
+        labels = "a.b.c.d.e.f.g.h.i.j.k.l.m.n.o.p.com"
+        zones = labels.split(".")
+        def chain(effect):
+            qname = effect.name.to_text(omit_final_dot=True)
+            # always refer one label deeper toward the query name
+            parts = qname.split(".")
+            for i in range(len(parts) - 1, -1, -1):
+                zone = ".".join(parts[i:])
+                yield zone
+
+        state = {"depth": 1}
+        def refer_deeper(effect):
+            parts = effect.name.to_text(omit_final_dot=True).split(".")
+            state["depth"] += 1
+            zone = ".".join(parts[-min(state["depth"], len(parts)):])
+            return referral_msg(zone, ["10.0.0.9"])
+
+        net.add("10.0.0.9", refer_deeper)
+        result = drive(machine(config=config).resolve(labels, RRType.A), net)
+        assert result.status in (Status.ITER_LIMIT, Status.ERROR)
+        assert result.queries_sent <= 6
+
+
+class TestTruncationFallback:
+    def test_tc_triggers_tcp_retry(self):
+        net = ScriptedInternet()
+        for ip in ROOTS:
+            net.add(ip, lambda e: referral_msg("com", ["10.0.0.1"]))
+
+        def auth(effect):
+            if effect.protocol == "udp":
+                return answer_msg("x.com", [], truncated=True)
+            return answer_msg("x.com", [rr("x.com", RRType.A, A("4.3.2.1"))])
+
+        net.add("10.0.0.1", auth)
+        result = drive(machine().resolve("x.com", RRType.A), net)
+        assert result.status == Status.NOERROR
+        assert result.answers[0].rdata == A("4.3.2.1")
+        assert ("10.0.0.1", "x.com.", 1, "tcp") in net.log
+
+    def test_tcp_disabled_counts_as_failure(self):
+        config = ResolverConfig(retries=0, tcp_on_truncated=False)
+        net = ScriptedInternet()
+        for ip in ROOTS:
+            net.add(ip, lambda e: referral_msg("com", ["10.0.0.1"]))
+        net.add("10.0.0.1", lambda e: answer_msg("x.com", [], truncated=True))
+        result = drive(machine(config=config).resolve("x.com", RRType.A), net)
+        assert result.status != Status.NOERROR
+
+
+class TestCNAMEChasing:
+    def test_single_hop(self):
+        net = standard_tree(
+            final_records=None
+        )
+        def auth(effect):
+            qname = effect.name.to_text(omit_final_dot=True)
+            if qname == "www.example.com":
+                return answer_msg(qname, [rr(qname, RRType.CNAME, CNAME(N("target.example.com")))])
+            return answer_msg(qname, [rr(qname, RRType.A, A("7.7.7.7"))])
+
+        net.add("10.1.0.1", auth)
+        result = drive(machine().resolve("www.example.com", RRType.A), net)
+        assert result.status == Status.NOERROR
+        types = [int(record.rrtype) for record in result.answers]
+        assert int(RRType.CNAME) in types and int(RRType.A) in types
+
+    def test_cname_answer_in_same_response_not_rechased(self):
+        records = [
+            rr("www.example.com", RRType.CNAME, CNAME(N("example.com"))),
+            rr("example.com", RRType.A, A("9.9.9.9")),
+        ]
+        net = standard_tree(final_records=records)
+        # machine chases because matched set has CNAME but no A for owner
+        def auth(effect):
+            qname = effect.name.to_text(omit_final_dot=True)
+            if qname == "www.example.com":
+                return answer_msg(qname, records)
+            return answer_msg(qname, [rr(qname, RRType.A, A("9.9.9.9"))])
+        net.add("10.1.0.1", auth)
+        result = drive(machine().resolve("www.example.com", RRType.A), net)
+        assert result.status == Status.NOERROR
+
+    def test_chain_loop_aborts(self):
+        net = standard_tree()
+        def auth(effect):
+            qname = effect.name.to_text(omit_final_dot=True)
+            nxt = "a.example.com" if qname != "a.example.com" else "b.example.com"
+            return answer_msg(qname, [rr(qname, RRType.CNAME, CNAME(N(nxt)))])
+        net.add("10.1.0.1", auth)
+        result = drive(machine().resolve("www.example.com", RRType.A), net)
+        assert result.status == Status.ERROR
+
+    def test_cname_query_type_not_chased(self):
+        net = standard_tree(
+            final_records=[rr("www.example.com", RRType.CNAME, CNAME(N("t.example.com")))]
+        )
+        result = drive(machine().resolve("www.example.com", RRType.CNAME), net)
+        assert result.status == Status.NOERROR
+        assert len(result.answers) == 1
+
+
+class TestGluelessReferrals:
+    def test_ns_address_resolved_out_of_band(self):
+        net = ScriptedInternet()
+        for ip in ROOTS:
+            def root(effect):
+                qname = effect.name.to_text(omit_final_dot=True)
+                if qname.endswith("example.net"):
+                    return referral_msg("example.net", ["10.2.0.1"])
+                return referral_msg("com", ["10.0.0.1"])
+            net.add(ip, root)
+        # com referral for example.com has NO glue; NS is ns1.example.net
+        def com_server(effect):
+            msg = Message(flags=Flags(response=True))
+            msg.authorities.append(rr("example.com", RRType.NS, NS(N("ns1.example.net"))))
+            return msg
+        net.add("10.0.0.1", com_server)
+        net.add("10.2.0.1", lambda e: answer_msg(
+            e.name.to_text(), [rr(e.name.to_text(omit_final_dot=True), RRType.A, A("10.3.0.1"))]
+        ))
+        net.add("10.3.0.1", lambda e: answer_msg(
+            "www.example.com", [rr("www.example.com", RRType.A, A("8.8.4.4"))]
+        ))
+        result = drive(machine().resolve("www.example.com", RRType.A), net)
+        assert result.status == Status.NOERROR
+        assert result.answers[0].rdata == A("8.8.4.4")
+        assert ("10.3.0.1", "www.example.com.", 1, "udp") in net.log
+
+    def test_unresolvable_glueless_is_servfail(self):
+        net = ScriptedInternet()
+        for ip in ROOTS:
+            net.add(ip, lambda e: referral_msg("com", ["10.0.0.1"]))
+        def com_server(effect):
+            msg = Message(flags=Flags(response=True))
+            msg.authorities.append(rr("example.com", RRType.NS, NS(N("ns1.dark.example"))))
+            return msg
+        net.add("10.0.0.1", com_server)
+        config = ResolverConfig(retries=0)
+        result = drive(machine(config=config).resolve("www.example.com", RRType.A), net)
+        assert result.status in (Status.SERVFAIL, Status.ERROR, Status.ITERATIVE_TIMEOUT)
+
+
+class TestExternalMachine:
+    def responder_ok(self, effect):
+        assert effect.recursion_desired
+        return answer_msg(
+            effect.name.to_text(), [rr(effect.name.to_text(omit_final_dot=True), RRType.A, A("5.5.5.5"))]
+        )
+
+    def test_basic_lookup(self):
+        gen = ExternalMachine(["8.8.8.8"]).resolve("x.com", RRType.A)
+        result = drive(gen, self.responder_ok)
+        assert result.status == Status.NOERROR
+        assert result.resolver == "8.8.8.8:53"
+        assert result.queries_sent == 1
+
+    def test_timeout_retries_then_fails(self):
+        gen = ExternalMachine(["8.8.8.8"], ResolverConfig(retries=2)).resolve("x.com", RRType.A)
+        calls = []
+        result = drive(gen, lambda e: calls.append(1))
+        assert result.status == Status.TIMEOUT
+        assert len(calls) == 3
+        assert result.retries_used == 3
+
+    def test_servfail_retried_then_reported(self):
+        attempts = []
+        def responder(effect):
+            attempts.append(1)
+            return answer_msg("x.com", [], rcode=Rcode.SERVFAIL)
+        gen = ExternalMachine(["8.8.8.8"], ResolverConfig(retries=1)).resolve("x.com", RRType.A)
+        result = drive(gen, responder)
+        assert result.status == Status.SERVFAIL
+        assert len(attempts) == 2
+
+    def test_truncated_retries_over_tcp(self):
+        def responder(effect):
+            if effect.protocol == "udp":
+                return answer_msg("x.com", [], truncated=True)
+            return answer_msg("x.com", [rr("x.com", RRType.A, A("6.6.6.6"))])
+        gen = ExternalMachine(["8.8.8.8"]).resolve("x.com", RRType.A)
+        result = drive(gen, responder)
+        assert result.status == Status.NOERROR
+        assert result.protocol == "tcp"
+
+    def test_load_balances_across_resolvers(self):
+        ips = {f"8.8.8.{i}" for i in range(4)}
+        seen = set()
+        def responder(effect):
+            seen.add(effect.server_ip)
+            return None
+        gen = ExternalMachine(sorted(ips), ResolverConfig(retries=20)).resolve("x.com", RRType.A)
+        drive(gen, responder)
+        assert len(seen) >= 3
+
+    def test_requires_a_resolver(self):
+        with pytest.raises(ValueError):
+            ExternalMachine([])
+
+    def test_nxdomain_passthrough(self):
+        gen = ExternalMachine(["8.8.8.8"]).resolve("gone.com", RRType.A)
+        result = drive(gen, lambda e: answer_msg("gone.com", [], rcode=Rcode.NXDOMAIN))
+        assert result.status == Status.NXDOMAIN
+        assert result.is_success

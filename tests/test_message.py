@@ -1,0 +1,179 @@
+"""Tests for DNS message encode/decode, flags, and EDNS."""
+
+import pytest
+
+from repro.dnslib import (
+    DNSClass,
+    Flags,
+    Message,
+    Name,
+    Opcode,
+    Question,
+    Rcode,
+    ResourceRecord,
+    RRType,
+    WireError,
+    add_edns,
+    get_edns,
+    max_payload,
+)
+from repro.dnslib.edns import EDNSOption
+from repro.dnslib.rdata.address import A
+from repro.dnslib.rdata.names import NS
+
+
+def make_response_with_answers(count=1):
+    query = Message.make_query("example.com", RRType.A, txid=7)
+    response = query.make_response(authoritative=True)
+    for i in range(count):
+        response.answers.append(
+            ResourceRecord(Name.from_text("example.com"), RRType.A, 1, 300, A(f"192.0.2.{i + 1}"))
+        )
+    return response
+
+
+class TestFlags:
+    @pytest.mark.parametrize("bit", [
+        "response", "authoritative", "truncated", "recursion_desired",
+        "recursion_available", "authenticated", "checking_disabled",
+    ])
+    def test_each_bit_roundtrips(self, bit):
+        flags = Flags(**{bit: True})
+        decoded = Flags.from_int(flags.to_int())
+        assert getattr(decoded, bit) is True
+        assert flags == decoded
+
+    def test_rcode_and_opcode_roundtrip(self):
+        flags = Flags(opcode=Opcode.NOTIFY, rcode=Rcode.REFUSED)
+        decoded = Flags.from_int(flags.to_int())
+        assert decoded.opcode == Opcode.NOTIFY
+        assert decoded.rcode == Rcode.REFUSED
+
+    def test_json_shape_matches_appendix_c(self):
+        block = Flags(response=True, authoritative=True).to_json()
+        assert set(block) == {
+            "response", "opcode", "authoritative", "truncated",
+            "recursion_desired", "recursion_available", "authenticated",
+            "checking_disabled", "error_code",
+        }
+        assert block["error_code"] == 0
+
+
+class TestMessage:
+    def test_query_construction(self):
+        query = Message.make_query("www.test.com", RRType.AAAA, txid=99)
+        assert query.id == 99
+        assert query.question.rrtype == RRType.AAAA
+        assert query.flags.recursion_desired
+        assert not query.flags.response
+
+    def test_query_without_recursion(self):
+        query = Message.make_query("x.com", RRType.A, recursion_desired=False)
+        assert not query.flags.recursion_desired
+
+    def test_response_echoes_id_and_question(self):
+        query = Message.make_query("example.com", RRType.A, txid=1234)
+        response = query.make_response(rcode=Rcode.NXDOMAIN)
+        assert response.id == 1234
+        assert response.flags.response
+        assert response.rcode == Rcode.NXDOMAIN
+        assert response.question == query.question
+
+    def test_full_roundtrip_all_sections(self):
+        response = make_response_with_answers(2)
+        response.authorities.append(
+            ResourceRecord(Name.from_text("example.com"), RRType.NS, 1, 86400, NS(Name.from_text("ns1.example.com")))
+        )
+        response.additionals.append(
+            ResourceRecord(Name.from_text("ns1.example.com"), RRType.A, 1, 86400, A("198.51.100.1"))
+        )
+        decoded = Message.from_wire(response.to_wire())
+        assert len(decoded.answers) == 2
+        assert len(decoded.authorities) == 1
+        assert len(decoded.additionals) == 1
+        assert decoded.answers[0].rdata == A("192.0.2.1")
+        assert list(decoded.records())
+
+    def test_compression_shrinks_message(self):
+        response = make_response_with_answers(4)
+        compressed = response.to_wire()
+        # Encoding each name fresh would repeat "example.com" 5 times.
+        uncompressed_estimate = 12 + 5 * (17 + 4) + 4 * 14
+        assert len(compressed) < uncompressed_estimate
+
+    def test_truncation_when_exceeding_max_size(self):
+        response = make_response_with_answers(40)
+        wire = response.to_wire(max_size=512)
+        assert len(wire) <= 512
+        decoded = Message.from_wire(wire)
+        assert decoded.flags.truncated
+        assert decoded.questions == response.questions
+        assert not decoded.answers
+
+    def test_no_truncation_when_fits(self):
+        wire = make_response_with_answers(1).to_wire(max_size=512)
+        decoded = Message.from_wire(wire)
+        assert not decoded.flags.truncated
+        assert len(decoded.answers) == 1
+
+    def test_short_packet_rejected(self):
+        with pytest.raises(WireError):
+            Message.from_wire(b"\x00\x01\x02")
+
+    def test_truncated_record_rejected(self):
+        wire = make_response_with_answers(1).to_wire()
+        with pytest.raises(WireError):
+            Message.from_wire(wire[:-2])
+
+    def test_question_with_unknown_type_survives(self):
+        writer_msg = Message(id=5, questions=[Question(Name.from_text("a.b"), 61000, DNSClass.IN)])
+        decoded = Message.from_wire(writer_msg.to_wire())
+        assert int(decoded.question.rrtype) == 61000
+
+    def test_to_text_contains_sections(self):
+        text = make_response_with_answers(1).to_text()
+        assert "QUESTION SECTION" in text
+        assert "ANSWER SECTION" in text
+        assert "192.0.2.1" in text
+
+    def test_json_record_shape(self):
+        record = make_response_with_answers(1).answers[0].to_json()
+        assert record == {
+            "name": "example.com",
+            "type": "A",
+            "class": "IN",
+            "ttl": 300,
+            "answer": "192.0.2.1",
+        }
+
+
+class TestEDNS:
+    def test_add_and_get(self):
+        query = Message.make_query("example.com", RRType.A)
+        add_edns(query, payload_size=1232, dnssec_ok=True)
+        info = get_edns(query)
+        assert info.payload_size == 1232
+        assert info.dnssec_ok
+        assert info.version == 0
+
+    def test_add_is_idempotent(self):
+        query = Message.make_query("example.com", RRType.A)
+        add_edns(query)
+        add_edns(query)
+        assert sum(1 for r in query.additionals if int(r.rrtype) == int(RRType.OPT)) == 1
+
+    def test_roundtrip_through_wire(self):
+        query = Message.make_query("example.com", RRType.A)
+        add_edns(query, payload_size=4096, options=(EDNSOption(10, b"\x01" * 8),))
+        decoded = Message.from_wire(query.to_wire())
+        info = get_edns(decoded)
+        assert info.payload_size == 4096
+        assert info.options == (EDNSOption(10, b"\x01" * 8),)
+
+    def test_max_payload_defaults_to_512(self):
+        assert max_payload(Message.make_query("a.b", RRType.A)) == 512
+
+    def test_max_payload_floors_at_512(self):
+        query = Message.make_query("a.b", RRType.A)
+        add_edns(query, payload_size=100)
+        assert max_payload(query) == 512

@@ -1,0 +1,148 @@
+"""Property-based tests (hypothesis) for the wire codec."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dnslib import (
+    DNSClass,
+    Flags,
+    Message,
+    Name,
+    Opcode,
+    Question,
+    Rcode,
+    ResourceRecord,
+    RRType,
+    WireError,
+    WireReader,
+    WireWriter,
+)
+from repro.dnslib.rdata.address import A, AAAA
+from repro.dnslib.rdata.names import CNAME, NS
+from repro.dnslib.rdata.security import CAA
+from repro.dnslib.rdata.text import TXT
+from repro.dnslib.rdata._util import decode_type_bitmap, encode_type_bitmap
+
+labels = st.binary(min_size=1, max_size=63)
+names = st.builds(
+    Name,
+    st.lists(labels, min_size=0, max_size=8).filter(
+        lambda ls: 1 + sum(len(l) + 1 for l in ls) <= 255
+    ),
+)
+
+hostname_labels = st.text(alphabet=string.ascii_lowercase + string.digits, min_size=1, max_size=12)
+hostnames = st.builds(
+    lambda parts: Name([p.encode() for p in parts]),
+    st.lists(hostname_labels, min_size=1, max_size=5),
+)
+
+
+@given(names)
+def test_name_wire_roundtrip(name):
+    writer = WireWriter()
+    writer.write_name(name)
+    assert WireReader(writer.getvalue()).read_name() == name
+
+
+@given(names)
+def test_name_text_roundtrip(name):
+    assert Name.from_text(name.to_text()) == name
+
+
+@given(st.lists(names, min_size=1, max_size=6))
+def test_compressed_sequence_roundtrip(name_list):
+    writer = WireWriter()
+    for name in name_list:
+        writer.write_name(name)
+    reader = WireReader(writer.getvalue())
+    for name in name_list:
+        assert reader.read_name() == name
+    assert reader.at_end()
+
+
+@given(names, names)
+def test_subdomain_of_concatenation(prefix, suffix):
+    try:
+        joined = prefix.concatenate(suffix)
+    except Exception:
+        return  # combined name too long: nothing to check
+    assert joined.is_subdomain_of(suffix)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=0xFFFF), max_size=40))
+def test_type_bitmap_roundtrip(types):
+    expected = tuple(sorted(set(types)))
+    assert decode_type_bitmap(encode_type_bitmap(tuple(types))) == expected
+
+
+@given(st.binary(max_size=300))
+def test_arbitrary_bytes_never_crash_decoder(data):
+    """Malformed packets must raise WireError, never anything else."""
+    try:
+        Message.from_wire(data)
+    except WireError:
+        pass
+
+
+@given(
+    st.integers(min_value=0, max_value=0xFFFF),
+    st.booleans(),
+    st.booleans(),
+    st.booleans(),
+    st.sampled_from([r for r in Rcode if r < 16]),  # >15 needs EDNS extended rcode
+)
+def test_flags_roundtrip(txid, response, rd, ra, rcode):
+    flags = Flags(response=response, recursion_desired=rd, recursion_available=ra, rcode=rcode)
+    message = Message(id=txid, flags=flags, questions=[Question(Name.from_text("a.b"), RRType.A)])
+    decoded = Message.from_wire(message.to_wire())
+    assert decoded.id == txid
+    assert decoded.flags == flags
+
+
+rdatas = st.one_of(
+    st.builds(A, st.integers(0, 2**32 - 1).map(lambda v: f"{v >> 24}.{(v >> 16) & 255}.{(v >> 8) & 255}.{v & 255}")),
+    st.builds(AAAA, st.integers(0, 2**128 - 1).map(lambda v: __import__("ipaddress").IPv6Address(v).compressed)),
+    st.builds(NS, hostnames),
+    st.builds(CNAME, hostnames),
+    st.builds(TXT, st.lists(st.binary(max_size=255), min_size=1, max_size=3)),
+    st.builds(
+        CAA,
+        st.integers(0, 255),
+        st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=10).map(str.encode),
+        st.binary(max_size=100),
+    ),
+)
+
+records = st.builds(
+    lambda name, rdata, ttl: ResourceRecord(name, rdata.rrtype, DNSClass.IN, ttl, rdata),
+    hostnames,
+    rdatas,
+    st.integers(0, 2**31 - 1),
+)
+
+
+@settings(max_examples=50)
+@given(
+    st.integers(0, 0xFFFF),
+    hostnames,
+    st.lists(records, max_size=5),
+    st.lists(records, max_size=3),
+    st.lists(records, max_size=3),
+)
+def test_message_roundtrip(txid, qname, answers, authorities, additionals):
+    message = Message(
+        id=txid,
+        flags=Flags(response=True, opcode=Opcode.QUERY),
+        questions=[Question(qname, RRType.A)],
+        answers=answers,
+        authorities=authorities,
+        additionals=additionals,
+    )
+    decoded = Message.from_wire(message.to_wire())
+    assert decoded.answers == answers
+    assert decoded.authorities == authorities
+    assert decoded.additionals == additionals
+    assert decoded.question.name == qname

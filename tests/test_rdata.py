@@ -1,0 +1,177 @@
+"""Round-trip and behaviour tests for every RDATA codec."""
+
+import pytest
+
+from repro.dnslib import (
+    GenericRData,
+    Name,
+    ResourceRecord,
+    RRType,
+    WireError,
+    WireReader,
+    WireWriter,
+    rdata_class,
+    registered_types,
+)
+from repro.dnslib.rdata.address import A, AAAA, EUI48
+from repro.dnslib.rdata.security import CAA
+from repro.dnslib.rdata.text import TXT, TextRData
+from repro.dnslib.rdata._util import decode_type_bitmap, encode_type_bitmap
+
+from .rdata_samples import SAMPLES
+
+
+def roundtrip(rdata):
+    """Encode rdata alone and decode it with its own codec."""
+    writer = WireWriter()
+    rdata.to_wire(writer)
+    wire = writer.getvalue()
+    reader = WireReader(wire)
+    decoded = type(rdata).from_wire(reader, len(wire))
+    assert reader.at_end()
+    return decoded
+
+
+ALL_SAMPLES = [
+    pytest.param(rdata, id=f"{RRType(rrtype).name}-{i}")
+    for rrtype, samples in sorted(SAMPLES.items())
+    for i, rdata in enumerate(samples)
+]
+
+
+@pytest.mark.parametrize("rdata", ALL_SAMPLES)
+def test_wire_roundtrip(rdata):
+    assert roundtrip(rdata) == rdata
+
+
+@pytest.mark.parametrize("rdata", ALL_SAMPLES)
+def test_to_text_is_string(rdata):
+    assert isinstance(rdata.to_text(), str)
+
+
+@pytest.mark.parametrize("rdata", ALL_SAMPLES)
+def test_record_roundtrip_through_message_section(rdata):
+    record = ResourceRecord(Name.from_text("example.com"), rdata.rrtype, 1, 3600, rdata)
+    writer = WireWriter()
+    record.to_wire(writer)
+    decoded = ResourceRecord.from_wire(WireReader(writer.getvalue()))
+    assert decoded.rdata == rdata
+    assert decoded.ttl == 3600
+
+
+def test_every_paper_type_is_registered():
+    paper_types = [
+        "A", "AAAA", "AFSDB", "ATMA", "AVC", "CAA", "CDNSKEY", "CDS", "CERT",
+        "CNAME", "CSYNC", "DHCID", "DNSKEY", "DS", "EID", "EUI48", "EUI64",
+        "GID", "GPOS", "HINFO", "HIP", "ISDN", "KEY", "KX", "L32", "L64",
+        "LOC", "LP", "MB", "MD", "MF", "MG", "MR", "MX", "NAPTR", "NID",
+        "NINFO", "NS", "NSAPPTR", "NSEC", "NSEC3PARAM", "NXT", "OPENPGPKEY",
+        "PTR", "PX", "RP", "RRSIG", "RT", "SMIMEA", "SOA", "SPF", "SRV",
+        "SSHFP", "TALINK", "TKEY", "TLSA", "TXT", "UID", "UINFO", "UNSPEC",
+        "URI",
+    ]
+    registered = registered_types()
+    missing = [t for t in paper_types if int(RRType[t]) not in registered]
+    assert not missing
+
+
+def test_unknown_type_uses_generic():
+    cls = rdata_class(61000)
+    assert cls is GenericRData
+    data = GenericRData(b"\x01\x02\x03")
+    assert roundtrip(data) == data
+    assert data.to_text() == r"\# 3 010203"
+    assert GenericRData().to_text() == r"\# 0"
+
+
+class TestAddress:
+    def test_a_rejects_wrong_length(self):
+        with pytest.raises(WireError):
+            A.from_wire(WireReader(b"\x01\x02"), 2)
+
+    def test_a_text(self):
+        assert A("10.0.0.1").to_text() == "10.0.0.1"
+        assert A("10.0.0.1").zdns_answer() == "10.0.0.1"
+
+    def test_aaaa_text_is_compressed_form(self):
+        assert AAAA("2001:0db8:0000:0000:0000:0000:0000:0001").to_text() == "2001:db8::1"
+
+    def test_invalid_address_rejected(self):
+        with pytest.raises(ValueError):
+            A("999.0.0.1")
+
+    def test_eui48_length_enforced(self):
+        with pytest.raises(ValueError):
+            EUI48(b"\x00")
+
+    def test_eui48_text(self):
+        assert EUI48(b"\x00\x11\x22\x33\x44\x55").to_text() == "00-11-22-33-44-55"
+
+
+class TestText:
+    def test_from_string_splits_at_255(self):
+        rdata = TXT.from_string(b"x" * 600)
+        assert [len(s) for s in rdata.strings] == [255, 255, 90]
+        assert rdata.joined() == b"x" * 600
+
+    def test_zdns_answer_joins(self):
+        assert TXT([b"ab", b"cd"]).zdns_answer() == "abcd"
+
+    def test_quoting(self):
+        assert TXT([b'say "hi"']).to_text() == '"say \\"hi\\""'
+
+    def test_rejects_long_chunk(self):
+        with pytest.raises(ValueError):
+            TextRData([b"x" * 256])
+
+    def test_empty_string_allowed(self):
+        rdata = TXT.from_string(b"")
+        assert roundtrip(rdata) == rdata
+
+
+class TestCAA:
+    def test_critical_flag(self):
+        assert CAA(128, b"issue", b"ca.example").critical
+        assert not CAA(0, b"issue", b"ca.example").critical
+
+    def test_tag_validity(self):
+        assert CAA(0, b"issue", b"x").tag_is_valid()
+        assert CAA(0, b"issue01", b"x").tag_is_valid()
+        assert not CAA(0, b"is sue", b"x").tag_is_valid()
+        assert not CAA(0, b"is_sue", b"x").tag_is_valid()
+
+    def test_empty_tag_rejected(self):
+        with pytest.raises(ValueError):
+            CAA(0, b"", b"x")
+
+    def test_zdns_answer_shape(self):
+        answer = CAA(0, "issue", "letsencrypt.org").zdns_answer()
+        assert answer == {"flag": 0, "tag": "issue", "value": "letsencrypt.org"}
+
+    def test_accepts_str_arguments(self):
+        assert CAA(0, "issue", "ca").tag == b"issue"
+
+
+class TestTypeBitmap:
+    def test_roundtrip_simple(self):
+        types = (1, 2, 15, 16, 257)
+        assert decode_type_bitmap(encode_type_bitmap(types)) == types
+
+    def test_empty(self):
+        assert encode_type_bitmap(()) == b""
+        assert decode_type_bitmap(b"") == ()
+
+    def test_deduplicates_and_sorts(self):
+        assert decode_type_bitmap(encode_type_bitmap((16, 1, 16))) == (1, 16)
+
+    def test_window_boundaries(self):
+        types = (0x00FF, 0x0100, 0x1234)
+        assert decode_type_bitmap(encode_type_bitmap(types)) == types
+
+    def test_truncated_bitmap_rejected(self):
+        with pytest.raises(WireError):
+            decode_type_bitmap(b"\x00")
+
+    def test_invalid_block_length_rejected(self):
+        with pytest.raises(WireError):
+            decode_type_bitmap(b"\x00\x00")

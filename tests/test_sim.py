@@ -1,0 +1,207 @@
+"""Tests for the discrete-event simulator core."""
+
+import pytest
+
+from repro.net import SimFuture, SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        seen = []
+        sim.call_later(2.0, lambda: seen.append("b"))
+        sim.call_later(1.0, lambda: seen.append("a"))
+        sim.call_later(3.0, lambda: seen.append("c"))
+        sim.run()
+        assert seen == ["a", "b", "c"]
+        assert sim.now == 3.0
+
+    def test_same_time_events_run_fifo(self):
+        sim = Simulator()
+        seen = []
+        for tag in "abc":
+            sim.call_later(1.0, lambda t=tag: seen.append(t))
+        sim.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_cannot_schedule_in_past(self):
+        sim = Simulator()
+        sim.call_later(1.0, lambda: sim.call_at(0.5, lambda: None))
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_run_until_stops_clock(self):
+        sim = Simulator()
+        seen = []
+        sim.call_later(1.0, lambda: seen.append(1))
+        sim.call_later(5.0, lambda: seen.append(5))
+        sim.run(until=2.0)
+        assert seen == [1]
+        assert sim.now == 2.0
+        sim.run()
+        assert seen == [1, 5]
+
+    def test_run_until_with_empty_heap_advances_clock(self):
+        sim = Simulator()
+        sim.run(until=10.0)
+        assert sim.now == 10.0
+
+
+class TestFutures:
+    def test_result_roundtrip(self):
+        future = SimFuture()
+        future.set_result(42)
+        assert future.done
+        assert future.result() == 42
+
+    def test_unresolved_result_raises(self):
+        with pytest.raises(SimulationError):
+            SimFuture().result()
+
+    def test_double_resolve_rejected(self):
+        future = SimFuture()
+        future.set_result(1)
+        with pytest.raises(SimulationError):
+            future.set_result(2)
+
+    def test_exception_propagates(self):
+        future = SimFuture()
+        future.set_exception(ValueError("boom"))
+        with pytest.raises(ValueError):
+            future.result()
+
+    def test_callback_after_done_fires_immediately(self):
+        future = SimFuture()
+        future.set_result(1)
+        seen = []
+        future.add_done_callback(lambda f: seen.append(f.result()))
+        assert seen == [1]
+
+
+class TestRoutines:
+    def test_sleep_advances_clock(self):
+        sim = Simulator()
+
+        def routine():
+            yield 1.5
+            return sim.now
+
+        future = sim.spawn(routine())
+        sim.run()
+        assert future.result() == 1.5
+
+    def test_routine_waits_on_future(self):
+        sim = Simulator()
+        gate = SimFuture()
+
+        def opener():
+            yield 2.0
+            gate.set_result("opened")
+
+        def waiter():
+            value = yield gate
+            return (sim.now, value)
+
+        sim.spawn(opener())
+        result = sim.spawn(waiter())
+        sim.run()
+        assert result.result() == (2.0, "opened")
+
+    def test_exception_in_awaited_future_is_thrown_in(self):
+        sim = Simulator()
+        gate = SimFuture()
+
+        def routine():
+            try:
+                yield gate
+            except ValueError:
+                return "caught"
+
+        future = sim.spawn(routine())
+        sim.call_later(1.0, lambda: gate.set_exception(ValueError()))
+        sim.run()
+        assert future.result() == "caught"
+
+    def test_crashing_routine_sets_exception(self):
+        sim = Simulator()
+
+        def routine():
+            yield 0.1
+            raise RuntimeError("dead")
+
+        future = sim.spawn(routine())
+        sim.run()
+        with pytest.raises(RuntimeError):
+            future.result()
+
+    def test_bad_yield_type_is_error(self):
+        sim = Simulator()
+
+        def routine():
+            yield "nonsense"
+
+        future = sim.spawn(routine())
+        sim.run()
+        with pytest.raises(SimulationError):
+            future.result()
+
+    def test_run_all_collects_results(self):
+        sim = Simulator()
+
+        def worker(n):
+            yield float(n)
+            return n * 10
+
+        results = sim.run_all(worker(n) for n in range(5))
+        assert results == [0, 10, 20, 30, 40]
+
+    def test_many_concurrent_routines(self):
+        sim = Simulator()
+
+        def worker(n):
+            yield float(n % 7) / 10
+            return 1
+
+        results = sim.run_all(worker(n) for n in range(5000))
+        assert sum(results) == 5000
+
+
+class TestTimeoutRace:
+    def test_future_wins(self):
+        sim = Simulator()
+        inner = SimFuture()
+        sim.call_later(1.0, lambda: inner.set_result("data"))
+        race = sim.timeout_race(inner, timeout=5.0)
+
+        def routine():
+            return (yield race)
+
+        future = sim.spawn(routine())
+        sim.run()
+        assert future.result() == "data"
+        assert sim.now == 5.0  # timeout event still drains
+
+    def test_timeout_wins(self):
+        sim = Simulator()
+        inner = SimFuture()
+        race = sim.timeout_race(inner, timeout=2.0)
+
+        def routine():
+            return (yield race)
+
+        future = sim.spawn(routine())
+        sim.run()
+        assert future.result() is None
+
+    def test_late_result_after_timeout_is_ignored(self):
+        sim = Simulator()
+        inner = SimFuture()
+        sim.call_later(3.0, lambda: inner.set_result("late"))
+        race = sim.timeout_race(inner, timeout=1.0)
+
+        def routine():
+            return (yield race)
+
+        future = sim.spawn(routine())
+        sim.run()
+        assert future.result() is None

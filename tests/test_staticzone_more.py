@@ -1,0 +1,66 @@
+"""Static zone server registered on the simulated network: the user
+path of serving a custom zone inside the simulation."""
+
+import pytest
+
+from repro.core import ExternalMachine, ResolverConfig, SimDriver, Status
+from repro.dnslib import RRType, parse_zone
+from repro.ecosystem.staticzone import StaticZoneServer
+from repro.net import LatencyModel, SimNetwork, SimUDPSocket, Simulator, SourceIPPool
+
+ZONE = """\
+$ORIGIN lab.test.
+$TTL 60
+@     IN SOA ns1.lab.test. admin.lab.test. 1 2 3 4 5
+@     IN NS  ns1
+ns1   IN A   10.5.0.1
+@     IN A   192.0.2.200
+alias IN CNAME @
+"""
+
+
+@pytest.fixture()
+def setup():
+    sim = Simulator()
+    network = SimNetwork(sim, wire_mode="always")
+    server = StaticZoneServer(parse_zone(ZONE))
+    network.register_server("10.5.0.1", server, latency=LatencyModel(median=0.01))
+    driver = SimDriver(network)
+    socket = SimUDPSocket(network, SourceIPPool())
+    return sim, driver, socket
+
+
+def lookup(sim, driver, socket, name, qtype=RRType.A):
+    machine = ExternalMachine(["10.5.0.1"], ResolverConfig(retries=0))
+    future = sim.spawn(driver.execute(machine.resolve(name, qtype), socket))
+    sim.run()
+    return future.result()
+
+
+def test_apex_a_over_simulated_network(setup):
+    sim, driver, socket = setup
+    result = lookup(sim, driver, socket, "lab.test")
+    assert result.status == Status.NOERROR
+    assert result.answers[0].rdata.address == "192.0.2.200"
+
+
+def test_cname_alias(setup):
+    sim, driver, socket = setup
+    result = lookup(sim, driver, socket, "alias.lab.test")
+    assert result.status == Status.NOERROR
+    types = {int(record.rrtype) for record in result.answers}
+    assert int(RRType.CNAME) in types
+
+
+def test_nxdomain_through_full_wire_path(setup):
+    sim, driver, socket = setup
+    result = lookup(sim, driver, socket, "nothere.lab.test")
+    assert result.status == Status.NXDOMAIN
+    assert result.authorities  # SOA travelled the wire intact
+
+
+def test_soa_query(setup):
+    sim, driver, socket = setup
+    result = lookup(sim, driver, socket, "lab.test", RRType.SOA)
+    assert result.status == Status.NOERROR
+    assert result.answers[0].rdata.serial == 1

@@ -1,0 +1,78 @@
+"""Tests for status codes, resolver configuration, and cost models."""
+
+import pytest
+
+from repro.core import ClientCostModel, ResolverConfig, Status, status_from_rcode
+from repro.dnslib import Rcode
+
+
+class TestStatus:
+    def test_success_includes_nxdomain(self):
+        assert Status.NOERROR.is_success
+        assert Status.NXDOMAIN.is_success
+
+    @pytest.mark.parametrize("status", [
+        Status.SERVFAIL, Status.REFUSED, Status.TIMEOUT,
+        Status.ITERATIVE_TIMEOUT, Status.TRUNCATED, Status.ERROR,
+        Status.ITER_LIMIT, Status.RATE_LIMITED, Status.FORMERR,
+    ])
+    def test_failures(self, status):
+        assert not status.is_success
+
+    def test_string_form(self):
+        assert str(Status.NOERROR) == "NOERROR"
+        assert f"{Status.TIMEOUT}" == "TIMEOUT"
+
+    @pytest.mark.parametrize("rcode,status", [
+        (Rcode.NOERROR, Status.NOERROR),
+        (Rcode.NXDOMAIN, Status.NXDOMAIN),
+        (Rcode.SERVFAIL, Status.SERVFAIL),
+        (Rcode.REFUSED, Status.REFUSED),
+        (Rcode.FORMERR, Status.FORMERR),
+        (Rcode.NOTIMP, Status.ERROR),
+    ])
+    def test_rcode_mapping(self, rcode, status):
+        assert status_from_rcode(rcode) == status
+
+    def test_status_is_json_friendly(self):
+        import json
+
+        assert json.dumps({"status": str(Status.NXDOMAIN)}) == '{"status": "NXDOMAIN"}'
+
+
+class TestResolverConfig:
+    def test_defaults_are_sane(self):
+        config = ResolverConfig()
+        assert config.retries >= 1
+        assert config.iteration_timeout > 0
+        assert config.max_queries > config.max_referrals
+        assert config.tcp_on_truncated
+        assert config.retry_servfail
+
+    def test_custom_values(self):
+        config = ResolverConfig(retries=9, iteration_timeout=0.5)
+        assert config.retries == 9
+        assert config.iteration_timeout == 0.5
+
+
+class TestClientCostModel:
+    def test_iterative_costs_more_per_packet(self):
+        base = ClientCostModel()
+        iterative = ClientCostModel.for_iterative()
+        assert iterative.per_send > base.per_send
+        assert iterative.per_receive > base.per_receive
+
+    def test_external_plateau_calibration(self):
+        """24 cores / (send+receive) should land near the paper's ~95K
+        queries/second plateau for external-resolver scans."""
+        costs = ClientCostModel()
+        plateau = 24 / (costs.per_send + costs.per_receive)
+        assert 80_000 < plateau < 110_000
+
+    def test_iterative_plateau_calibration(self):
+        """With ~2.3 queries per warm-cache lookup, the iterative
+        plateau should land near the paper's 18K resolutions/second."""
+        costs = ClientCostModel.for_iterative()
+        per_lookup = 2.3 * (costs.per_send + costs.per_receive)
+        plateau = 24 / per_lookup
+        assert 12_000 < plateau < 24_000

@@ -1,0 +1,105 @@
+"""Tests for SVCB/HTTPS service-binding records (RFC 9460)."""
+
+import pytest
+
+from repro.dnslib import Name, ResourceRecord, RRType, WireError, WireReader, WireWriter
+from repro.dnslib.rdata.svcb import (
+    HTTPS,
+    KEY_ALPN,
+    KEY_IPV4HINT,
+    KEY_NO_DEFAULT_ALPN,
+    KEY_PORT,
+    SVCB,
+    alpn_value,
+    ipv4hint_value,
+    port_value,
+)
+
+N = Name.from_text
+
+
+def roundtrip(rdata):
+    writer = WireWriter()
+    rdata.to_wire(writer)
+    wire = writer.getvalue()
+    return type(rdata).from_wire(WireReader(wire), len(wire))
+
+
+class TestEncoding:
+    def test_alias_mode_roundtrip(self):
+        rdata = HTTPS(0, N("pool.svc.example"))
+        assert roundtrip(rdata) == rdata
+        assert rdata.is_alias_mode
+
+    def test_service_mode_roundtrip(self):
+        rdata = HTTPS(
+            1,
+            N("."),
+            (
+                (KEY_ALPN, alpn_value("h2", "h3")),
+                (KEY_PORT, port_value(8443)),
+                (KEY_IPV4HINT, ipv4hint_value("192.0.2.1", "192.0.2.2")),
+            ),
+        )
+        decoded = roundtrip(rdata)
+        assert decoded == rdata
+        assert decoded.param(KEY_PORT) == port_value(8443)
+
+    def test_params_sorted_on_construction(self):
+        rdata = SVCB(1, N("x.example"), ((KEY_PORT, b"\x01\xbb"), (KEY_ALPN, alpn_value("h2"))))
+        assert [key for key, _ in rdata.params] == [KEY_ALPN, KEY_PORT]
+
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(ValueError):
+            SVCB(1, N("x.example"), ((KEY_PORT, b"\x00\x01"), (KEY_PORT, b"\x00\x02")))
+
+    def test_unsorted_wire_rejected(self):
+        # hand-craft: priority, root target, port before alpn
+        wire = b"\x00\x01" + b"\x00" + b"\x00\x03\x00\x02\x01\xbb" + b"\x00\x01\x00\x03\x02h2"
+        with pytest.raises(WireError):
+            SVCB.from_wire(WireReader(wire), len(wire))
+
+    def test_overrunning_param_rejected(self):
+        wire = b"\x00\x01" + b"\x00" + b"\x00\x03\x00\xff\x01"
+        with pytest.raises(WireError):
+            SVCB.from_wire(WireReader(wire), len(wire))
+
+    def test_through_message_section(self):
+        rdata = HTTPS(1, N("."), ((KEY_ALPN, alpn_value("h3")),))
+        record = ResourceRecord(N("example.com"), RRType.HTTPS, 1, 300, rdata)
+        writer = WireWriter()
+        record.to_wire(writer)
+        from repro.dnslib import ResourceRecord as RR
+
+        decoded = RR.from_wire(WireReader(writer.getvalue()))
+        assert decoded.rdata == rdata
+
+
+class TestPresentation:
+    def test_text_format(self):
+        rdata = HTTPS(
+            1, N("."), ((KEY_ALPN, alpn_value("h2", "h3")), (KEY_PORT, port_value(443)))
+        )
+        assert rdata.to_text() == ". 1 alpn=h2,h3 port=443".replace(". 1", "1 .")
+
+    def test_no_default_alpn_renders_bare(self):
+        rdata = SVCB(1, N("t.example"), ((KEY_NO_DEFAULT_ALPN, b""),))
+        assert "no-default-alpn" in rdata.to_text()
+        assert "no-default-alpn=" not in rdata.to_text()
+
+    def test_json_answer(self):
+        rdata = HTTPS(
+            2,
+            N("svc.example.net"),
+            ((KEY_IPV4HINT, ipv4hint_value("203.0.113.5")),),
+        )
+        answer = rdata.zdns_answer()
+        assert answer["priority"] == 2
+        assert answer["target"] == "svc.example.net"
+        assert answer["params"]["ipv4hint"] == "203.0.113.5"
+
+    def test_helpers_validate(self):
+        with pytest.raises(ValueError):
+            alpn_value("")
+        with pytest.raises(ValueError):
+            ipv4hint_value("999.1.2.3")

@@ -1,0 +1,97 @@
+"""Tests for lookup-chain (trace) capture and its Appendix C format."""
+
+import json
+
+from repro.core import Resolver, SelectiveCache, Status, Trace, TraceStep, message_to_json
+from repro.dnslib import Message, Name, ResourceRecord, RRType
+from repro.dnslib.rdata.address import A
+from repro.ecosystem import EcosystemParams, build_internet
+
+
+class TestTraceStructures:
+    def test_step_json_fields(self):
+        step = TraceStep(
+            name="google.com",
+            layer="com",
+            depth=2,
+            name_server="192.5.6.30:53",
+            cached=False,
+            try_count=1,
+            qtype=1,
+        )
+        data = step.to_json()
+        assert data["name"] == "google.com"
+        assert data["layer"] == "com"
+        assert data["depth"] == 2
+        assert data["name_server"] == "192.5.6.30:53"
+        assert data["cached"] is False
+        assert data["try"] == 1
+        assert data["type"] == 1
+        assert "results" not in data
+
+    def test_step_with_results(self):
+        message = Message.make_query("a.com", RRType.A).make_response()
+        message.answers.append(
+            ResourceRecord(Name.from_text("a.com"), RRType.A, 1, 60, A("9.9.9.9"))
+        )
+        results = message_to_json(message, "1.2.3.4:53")
+        step = TraceStep(
+            name="a.com", layer=".", depth=1, name_server="1.2.3.4:53",
+            cached=False, try_count=1, qtype=1, results=results,
+        )
+        data = step.to_json()
+        assert data["results"]["resolver"] == "1.2.3.4:53"
+        assert data["results"]["answers"][0]["answer"] == "9.9.9.9"
+        assert data["results"]["flags"]["response"] is True
+
+    def test_trace_query_count_excludes_cached(self):
+        trace = Trace()
+        trace.add(TraceStep("a", ".", 1, "cache", True, 0, 1))
+        trace.add(TraceStep("a", "com", 2, "1.1.1.1:53", False, 1, 1))
+        assert trace.query_count == 1
+        assert len(trace) == 2
+        assert len(list(iter(trace))) == 2
+
+    def test_message_to_json_sections(self):
+        message = Message.make_query("b.com", RRType.A).make_response()
+        data = message_to_json(message, "x")
+        assert set(data) >= {"answers", "authorities", "additionals", "flags", "protocol", "resolver"}
+
+
+class TestEndToEndTrace:
+    def test_full_chain_is_json_serialisable(self):
+        internet = build_internet(params=EcosystemParams(seed=66))
+        resolver = Resolver(internet, mode="iterative", record_trace=True)
+        synth = internet.synth
+        name = next(
+            Name.from_text(f"tr-{i}.com")
+            for i in range(20_000)
+            if synth.profile(Name.from_text(f"tr-{i}.com")).exists
+        )
+        result = resolver.lookup(name, RRType.A)
+        assert result.status == Status.NOERROR
+        payload = json.dumps(result.to_json())
+        decoded = json.loads(payload)
+        assert decoded["status"] == "NOERROR"
+        steps = decoded["trace"]
+        assert steps[0]["layer"] == "."
+        # every non-cached step carries the full response block
+        for step in steps:
+            if not step["cached"] and step["status"] == "NOERROR":
+                assert "results" in step
+                assert "flags" in step["results"]
+
+    def test_depth_increases_down_the_chain(self):
+        internet = build_internet(params=EcosystemParams(seed=66))
+        resolver = Resolver(
+            internet, mode="iterative", record_trace=True, cache=SelectiveCache(capacity=2)
+        )
+        synth = internet.synth
+        name = next(
+            Name.from_text(f"tr2-{i}.net")
+            for i in range(20_000)
+            if synth.profile(Name.from_text(f"tr2-{i}.net")).exists
+        )
+        result = resolver.lookup(name, RRType.A)
+        depths = [step.depth for step in result.trace if not step.cached]
+        assert depths == sorted(depths)

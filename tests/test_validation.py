@@ -1,0 +1,187 @@
+"""Tests for response validation / sanitisation (poisoning defences)."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    IterativeMachine,
+    ResolverConfig,
+    SelectiveCache,
+    Status,
+    in_bailiwick,
+    sanitize_response,
+    validate_answer_chain,
+    validate_response_shape,
+)
+from repro.dnslib import (
+    DNSClass,
+    Flags,
+    Message,
+    Name,
+    ResourceRecord,
+    RRType,
+    add_edns,
+)
+from repro.dnslib.rdata.address import A
+from repro.dnslib.rdata.names import CNAME, NS
+
+N = Name.from_text
+
+
+def rr(name, rrtype, rdata, ttl=300):
+    return ResourceRecord(N(name), rrtype, DNSClass.IN, ttl, rdata)
+
+
+def response_for(qname="www.example.com", qtype=RRType.A):
+    query = Message.make_query(qname, qtype, txid=5)
+    return query.make_response()
+
+
+class TestBailiwick:
+    def test_subzone_in_bailiwick(self):
+        assert in_bailiwick(N("a.example.com"), N("example.com"))
+        assert in_bailiwick(N("example.com"), N("example.com"))
+
+    def test_sibling_out_of_bailiwick(self):
+        assert not in_bailiwick(N("other.com"), N("example.com"))
+        assert not in_bailiwick(N("example.net"), N("example.com"))
+
+    def test_everything_under_root(self):
+        assert in_bailiwick(N("anything.at.all"), Name.root())
+
+
+class TestShapeValidation:
+    def test_valid_response_passes(self):
+        response = response_for()
+        assert validate_response_shape(N("www.example.com"), int(RRType.A), response) is None
+
+    def test_non_response_rejected(self):
+        query = Message.make_query("www.example.com", RRType.A)
+        reason = validate_response_shape(N("www.example.com"), int(RRType.A), query)
+        assert reason == "not a response"
+
+    def test_question_name_mismatch_rejected(self):
+        response = response_for("other.example.com")
+        reason = validate_response_shape(N("www.example.com"), int(RRType.A), response)
+        assert "mismatch" in reason
+
+    def test_question_type_mismatch_rejected(self):
+        response = response_for(qtype=RRType.MX)
+        reason = validate_response_shape(N("www.example.com"), int(RRType.A), response)
+        assert "type mismatch" in reason
+
+    def test_any_query_accepts_any_echo(self):
+        response = response_for(qtype=RRType.TXT)
+        assert validate_response_shape(N("www.example.com"), int(RRType.ANY), response) is None
+
+
+class TestSanitisation:
+    def test_clean_response_untouched(self):
+        response = response_for()
+        response.answers.append(rr("www.example.com", RRType.A, A("1.2.3.4")))
+        cleaned, report = sanitize_response(
+            response, N("www.example.com"), int(RRType.A), N("example.com")
+        )
+        assert report.ok
+        assert cleaned.answers == response.answers
+
+    def test_out_of_bailiwick_answer_stripped(self):
+        response = response_for()
+        response.answers.append(rr("www.example.com", RRType.A, A("1.2.3.4")))
+        # poisoning attempt: gratuitous record for a bank
+        response.answers.append(rr("bank.example.net", RRType.A, A("6.6.6.6")))
+        cleaned, report = sanitize_response(
+            response, N("www.example.com"), int(RRType.A), N("example.com")
+        )
+        assert not report.ok
+        assert len(cleaned.answers) == 1
+        assert cleaned.answers[0].name == N("www.example.com")
+
+    def test_out_of_bailiwick_glue_stripped(self):
+        response = response_for()
+        response.authorities.append(rr("example.com", RRType.NS, NS(N("ns1.evil.net"))))
+        response.additionals.append(rr("ns1.evil.net", RRType.A, A("6.6.6.6")))
+        cleaned, report = sanitize_response(
+            response, N("www.example.com"), int(RRType.A), N("example.com")
+        )
+        assert not cleaned.additionals  # glue outside com is dropped
+        assert cleaned.authorities  # NS rdata itself may point anywhere
+
+    def test_opt_record_survives(self):
+        response = response_for()
+        add_edns(response)
+        cleaned, _ = sanitize_response(
+            response, N("www.example.com"), int(RRType.A), N("example.com")
+        )
+        assert any(int(r.rrtype) == int(RRType.OPT) for r in cleaned.additionals)
+
+    def test_absurd_ttl_stripped(self):
+        response = response_for()
+        response.answers.append(rr("www.example.com", RRType.A, A("1.2.3.4"), ttl=2**31))
+        cleaned, report = sanitize_response(
+            response, N("www.example.com"), int(RRType.A), N("example.com")
+        )
+        assert not cleaned.answers
+        assert not report.ok
+
+
+class TestAnswerChain:
+    def test_direct_answer_ok(self):
+        response = response_for()
+        response.answers.append(rr("www.example.com", RRType.A, A("1.2.3.4")))
+        assert validate_answer_chain(response, N("www.example.com"), int(RRType.A))
+
+    def test_cname_chain_ok(self):
+        response = response_for()
+        response.answers.append(rr("www.example.com", RRType.CNAME, CNAME(N("cdn.example.org"))))
+        response.answers.append(rr("cdn.example.org", RRType.A, A("1.2.3.4")))
+        assert validate_answer_chain(response, N("www.example.com"), int(RRType.A))
+
+    def test_unrelated_answer_rejected(self):
+        response = response_for()
+        response.answers.append(rr("www.example.com", RRType.A, A("1.2.3.4")))
+        response.answers.append(rr("gratuitous.com", RRType.A, A("6.6.6.6")))
+        assert not validate_answer_chain(response, N("www.example.com"), int(RRType.A))
+
+    def test_chain_must_be_ordered(self):
+        response = response_for()
+        # A for the target appears before the CNAME introducing it
+        response.answers.append(rr("cdn.example.org", RRType.A, A("1.2.3.4")))
+        response.answers.append(rr("www.example.com", RRType.CNAME, CNAME(N("cdn.example.org"))))
+        assert not validate_answer_chain(response, N("www.example.com"), int(RRType.A))
+
+
+class TestMachineIntegration:
+    ROOTS = ["199.1.1.1"]
+
+    def drive(self, machine_gen, responder):
+        try:
+            effect = next(machine_gen)
+            while True:
+                effect = machine_gen.send(responder(effect))
+        except StopIteration as stop:
+            return stop.value
+
+    def test_wrong_question_echo_is_retried_then_formerr(self):
+        def responder(effect):
+            bogus = Message.make_query("attacker.example", RRType.A).make_response()
+            return bogus
+
+        machine = IterativeMachine(
+            SelectiveCache(), self.ROOTS, ResolverConfig(retries=1), random.Random(0)
+        )
+        result = self.drive(machine.resolve("victim.com", RRType.A), responder)
+        assert result.status == Status.FORMERR
+
+    def test_validation_can_be_disabled(self):
+        def responder(effect):
+            bogus = Message.make_query("attacker.example", RRType.A, txid=0).make_response()
+            bogus.answers.append(rr("victim.com", RRType.A, A("9.9.9.9")))
+            return bogus
+
+        config = ResolverConfig(retries=0, validate_responses=False)
+        machine = IterativeMachine(SelectiveCache(), self.ROOTS, config, random.Random(0))
+        result = self.drive(machine.resolve("victim.com", RRType.A), responder)
+        # without validation the forged answer is accepted
+        assert result.status == Status.NOERROR

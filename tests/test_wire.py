@@ -1,0 +1,140 @@
+"""Tests for the low-level wire reader/writer and name compression."""
+
+import pytest
+
+from repro.dnslib import Name, WireError, WireReader, WireWriter
+
+
+class TestPrimitives:
+    def test_integers_roundtrip(self):
+        writer = WireWriter()
+        writer.write_u8(0xAB)
+        writer.write_u16(0xBEEF)
+        writer.write_u32(0xDEADBEEF)
+        reader = WireReader(writer.getvalue())
+        assert reader.read_u8() == 0xAB
+        assert reader.read_u16() == 0xBEEF
+        assert reader.read_u32() == 0xDEADBEEF
+        assert reader.at_end()
+
+    def test_patch_u16(self):
+        writer = WireWriter()
+        offset = len(writer)
+        writer.write_u16(0)
+        writer.write(b"xy")
+        writer.patch_u16(offset, 2)
+        assert writer.getvalue() == b"\x00\x02xy"
+
+    def test_read_past_end_raises(self):
+        reader = WireReader(b"\x01")
+        with pytest.raises(WireError):
+            reader.read_u16()
+
+    def test_remaining(self):
+        reader = WireReader(b"abcd")
+        reader.read(1)
+        assert reader.remaining() == 3
+
+
+class TestNameEncoding:
+    def roundtrip(self, text):
+        writer = WireWriter()
+        writer.write_name(Name.from_text(text))
+        reader = WireReader(writer.getvalue())
+        return reader.read_name()
+
+    def test_simple_roundtrip(self):
+        assert self.roundtrip("www.example.com") == Name.from_text("www.example.com")
+
+    def test_root_roundtrip(self):
+        assert self.roundtrip(".").is_root
+
+    def test_compression_reuses_suffix(self):
+        writer = WireWriter()
+        writer.write_name(Name.from_text("www.example.com"))
+        first_len = len(writer)
+        writer.write_name(Name.from_text("mail.example.com"))
+        # second name should be 'mail' label (5 bytes) + 2-byte pointer
+        assert len(writer) - first_len == 5 + 2
+        reader = WireReader(writer.getvalue())
+        assert reader.read_name() == Name.from_text("www.example.com")
+        assert reader.read_name() == Name.from_text("mail.example.com")
+
+    def test_compression_case_insensitive(self):
+        writer = WireWriter()
+        writer.write_name(Name.from_text("EXAMPLE.com"))
+        writer.write_name(Name.from_text("www.example.COM"))
+        reader = WireReader(writer.getvalue())
+        assert reader.read_name() == Name.from_text("example.com")
+        assert reader.read_name() == Name.from_text("www.example.com")
+
+    def test_full_pointer_to_identical_name(self):
+        writer = WireWriter()
+        writer.write_name(Name.from_text("a.b"))
+        before = len(writer)
+        writer.write_name(Name.from_text("a.b"))
+        assert len(writer) - before == 2  # single pointer
+
+    def test_compression_disabled(self):
+        writer = WireWriter(enable_compression=False)
+        writer.write_name(Name.from_text("a.example.com"))
+        writer.write_name(Name.from_text("b.example.com"))
+        reader = WireReader(writer.getvalue())
+        assert reader.read_name() == Name.from_text("a.example.com")
+        assert reader.read_name() == Name.from_text("b.example.com")
+
+    def test_reader_offset_after_pointer(self):
+        writer = WireWriter()
+        writer.write_name(Name.from_text("x.y"))
+        writer.write_name(Name.from_text("x.y"))
+        writer.write_u16(0x1234)
+        reader = WireReader(writer.getvalue())
+        reader.read_name()
+        reader.read_name()
+        assert reader.read_u16() == 0x1234
+
+
+class TestMalformedNames:
+    def test_pointer_loop_rejected(self):
+        # name at offset 0 pointing at itself
+        data = b"\xc0\x00"
+        with pytest.raises(WireError):
+            WireReader(data).read_name()
+
+    def test_forward_pointer_rejected(self):
+        # pointer to offset 4, beyond itself
+        data = b"\xc0\x04\x00\x00\x01a\x00"
+        with pytest.raises(WireError):
+            WireReader(data).read_name()
+
+    def test_mutual_pointer_loop_rejected(self):
+        # label then pointer back to start -> infinite a.a.a...
+        data = b"\x01a\xc0\x00"
+        with pytest.raises(WireError):
+            WireReader(WireReader(data).data, 0).read_name()
+
+    def test_label_runs_off_end(self):
+        data = b"\x05ab"
+        with pytest.raises(WireError):
+            WireReader(data).read_name()
+
+    def test_name_runs_off_end_without_terminator(self):
+        data = b"\x01a"
+        with pytest.raises(WireError):
+            WireReader(data).read_name()
+
+    def test_reserved_label_type_rejected(self):
+        data = b"\x41a\x00"  # 0x40 upper bits
+        with pytest.raises(WireError):
+            WireReader(data).read_name()
+
+    def test_overlong_decoded_name_rejected(self):
+        # chain of 63-byte labels exceeding 255 total
+        label = b"\x3f" + b"a" * 63
+        data = label * 5 + b"\x00"
+        with pytest.raises(WireError):
+            WireReader(data).read_name()
+
+    def test_truncated_pointer(self):
+        with pytest.raises(WireError):
+            WireReader(b"\xc0").read_name()

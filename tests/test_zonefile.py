@@ -1,0 +1,231 @@
+"""Tests for presentation-format parsing, zone files, and the static
+zone server."""
+
+import pytest
+
+from repro.dnslib import (
+    Message,
+    Name,
+    Rcode,
+    RRType,
+    TextParseError,
+    ZoneParseError,
+    parse_zone,
+    rdata_from_text,
+)
+from repro.dnslib.rdata.address import A
+from repro.dnslib.rdata.mail import MX
+from repro.dnslib.rdata.names import SOA
+from repro.dnslib.rdata.security import CAA
+from repro.dnslib.rdata.text import TXT
+from repro.ecosystem.staticzone import StaticZoneServer
+from repro.net import UDPServer, UDPTransport
+
+N = Name.from_text
+
+EXAMPLE_ZONE = """\
+$ORIGIN example.com.
+$TTL 3600
+@       IN SOA ns1.example.com. hostmaster.example.com. (
+            2022102501 ; serial
+            7200 900 1209600 86400 )
+@       IN NS  ns1
+@       IN NS  ns2.example.net.
+@       300 IN A  192.0.2.1
+        IN MX  10 mail
+www     IN CNAME @
+mail    IN A   192.0.2.25
+txt     IN TXT "hello world" "second"
+caa     IN CAA 0 issue "letsencrypt.org"
+_sip._tcp IN SRV 0 5 5060 sip
+sub     IN DS  12345 8 2 ABCDEF0123456789ABCDEF0123456789ABCDEF0123456789ABCDEF0123456789
+"""
+
+
+class TestRdataFromText:
+    def test_a(self):
+        assert rdata_from_text("A", "10.1.2.3") == A("10.1.2.3")
+
+    def test_mx_with_origin(self):
+        rdata = rdata_from_text("MX", "10 mail", origin=N("example.org"))
+        assert rdata == MX(10, N("mail.example.org"))
+
+    def test_txt_quoted(self):
+        rdata = rdata_from_text("TXT", '"v=spf1 -all"')
+        assert rdata == TXT([b"v=spf1 -all"])
+
+    def test_caa(self):
+        rdata = rdata_from_text("CAA", '0 issue "ca.example"')
+        assert rdata == CAA(0, b"issue", b"ca.example")
+
+    def test_soa(self):
+        rdata = rdata_from_text(
+            "SOA", "ns1.example.com. admin.example.com. 1 2 3 4 5"
+        )
+        assert isinstance(rdata, SOA)
+        assert rdata.serial == 1
+        assert rdata.minimum == 5
+
+    def test_generic_rfc3597(self):
+        rdata = rdata_from_text("A", r"\# 4 c0000201")
+        assert rdata.data == b"\xc0\x00\x02\x01"
+
+    def test_generic_length_mismatch(self):
+        with pytest.raises(TextParseError):
+            rdata_from_text("A", r"\# 3 c0000201")
+
+    def test_relative_name_without_origin(self):
+        with pytest.raises(TextParseError):
+            rdata_from_text("NS", "ns1")
+
+    def test_missing_fields(self):
+        with pytest.raises(TextParseError):
+            rdata_from_text("MX", "10")
+
+    def test_unsupported_type(self):
+        with pytest.raises(TextParseError):
+            rdata_from_text("NSEC", "next.example.com. A NS")
+
+    def test_roundtrip_through_text(self):
+        for rrtype, text in [
+            ("A", "192.0.2.7"),
+            ("MX", "5 mx.example.com."),
+            ("SRV", "0 5 443 host.example.com."),
+            ("TLSA", "3 1 1 ABCD"),
+        ]:
+            rdata = rdata_from_text(rrtype, text)
+            again = rdata_from_text(rrtype, rdata.to_text())
+            assert rdata == again
+
+
+class TestZoneParsing:
+    @pytest.fixture(scope="class")
+    def zone(self):
+        return parse_zone(EXAMPLE_ZONE)
+
+    def test_origin_from_directive(self, zone):
+        assert zone.origin == N("example.com")
+
+    def test_record_count(self, zone):
+        assert len(zone.records) == 11
+
+    def test_multiline_soa(self, zone):
+        soa = zone.find("example.com.", RRType.SOA)[0]
+        assert soa.rdata.serial == 2022102501
+        assert soa.rdata.expire == 1209600
+
+    def test_owner_inheritance(self, zone):
+        mx = zone.find("example.com.", RRType.MX)[0]
+        assert mx.rdata.exchange == N("mail.example.com")
+
+    def test_relative_and_absolute_ns(self, zone):
+        targets = {record.rdata.target for record in zone.find("example.com.", RRType.NS)}
+        assert targets == {N("ns1.example.com"), N("ns2.example.net")}
+
+    def test_explicit_ttl_overrides_default(self, zone):
+        a = zone.find("example.com.", RRType.A)[0]
+        assert a.ttl == 300
+        mail = zone.find("mail", RRType.A)[0]
+        assert mail.ttl == 3600
+
+    def test_at_as_cname_target(self, zone):
+        www = zone.find("www", RRType.CNAME)[0]
+        assert www.rdata.target == N("example.com")
+
+    def test_multiple_txt_strings(self, zone):
+        txt = zone.find("txt", RRType.TXT)[0]
+        assert txt.rdata.strings == (b"hello world", b"second")
+
+    def test_underscore_names(self, zone):
+        srv = zone.find("_sip._tcp", RRType.SRV)[0]
+        assert srv.rdata.port == 5060
+
+    def test_comments_stripped(self):
+        zone = parse_zone("@ IN A 1.2.3.4 ; trailing comment\n", origin="x.test.")
+        assert zone.records[0].rdata == A("1.2.3.4")
+
+    def test_semicolon_inside_quotes_kept(self):
+        zone = parse_zone('@ IN TXT "a;b"\n', origin="x.test.")
+        assert zone.records[0].rdata.strings == (b"a;b",)
+
+    def test_unclosed_paren_rejected(self):
+        with pytest.raises(ZoneParseError):
+            parse_zone("@ IN SOA ns. adm. ( 1 2 3 4\n", origin="x.test.")
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(ZoneParseError):
+            parse_zone("$BOGUS foo\n")
+
+    def test_relative_owner_without_origin_rejected(self):
+        with pytest.raises(ZoneParseError):
+            parse_zone("www IN A 1.2.3.4\n")
+
+    def test_records_roundtrip_wire(self, zone):
+        from repro.dnslib import WireReader, WireWriter, ResourceRecord
+
+        for record in zone.records:
+            writer = WireWriter()
+            record.to_wire(writer)
+            decoded = ResourceRecord.from_wire(WireReader(writer.getvalue()))
+            assert decoded.rdata == record.rdata
+
+
+class TestStaticZoneServer:
+    @pytest.fixture(scope="class")
+    def server(self):
+        return StaticZoneServer(parse_zone(EXAMPLE_ZONE))
+
+    def ask(self, server, name, rrtype=RRType.A):
+        return server.build_response(Message.make_query(name, rrtype, txid=3))
+
+    def test_positive_answer(self, server):
+        response = self.ask(server, "mail.example.com")
+        assert response.rcode == Rcode.NOERROR
+        assert response.answers[0].rdata == A("192.0.2.25")
+        assert response.flags.authoritative
+
+    def test_cname_chased_within_zone(self, server):
+        response = self.ask(server, "www.example.com")
+        types = [int(record.rrtype) for record in response.answers]
+        assert int(RRType.CNAME) in types
+        assert int(RRType.A) in types
+
+    def test_nxdomain_with_soa(self, server):
+        response = self.ask(server, "missing.example.com")
+        assert response.rcode == Rcode.NXDOMAIN
+        assert response.authorities[0].rrtype == RRType.SOA
+
+    def test_nodata(self, server):
+        response = self.ask(server, "mail.example.com", RRType.MX)
+        assert response.rcode == Rcode.NOERROR
+        assert not response.answers
+        assert response.authorities
+
+    def test_out_of_zone_refused(self, server):
+        assert self.ask(server, "other.example.net").rcode == Rcode.REFUSED
+
+    def test_any_query(self, server):
+        response = self.ask(server, "example.com", RRType.ANY)
+        assert len(response.answers) >= 4
+
+    def test_served_over_real_udp(self, server):
+        with UDPServer(server.live_handler) as udp_server:
+            with UDPTransport() as transport:
+                query = Message.make_query("caa.example.com", RRType.CAA, txid=9)
+                response = transport.query(query, udp_server.address, timeout=2.0)
+        assert response.answers[0].rdata == CAA(0, b"issue", b"letsencrypt.org")
+
+
+class TestZoneSerialisation:
+    def test_roundtrip(self):
+        from repro.dnslib import zone_to_text
+
+        zone = parse_zone(EXAMPLE_ZONE)
+        text = zone_to_text(zone)
+        again = parse_zone(text)
+        assert again.origin == zone.origin
+        assert len(again.records) == len(zone.records)
+        for a, b in zip(zone.records, again.records):
+            assert a.name == b.name
+            assert int(a.rrtype) == int(b.rrtype)
+            assert a.rdata == b.rdata
