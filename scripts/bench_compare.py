@@ -1,0 +1,200 @@
+#!/usr/bin/env python3
+"""One-command wall-clock regression gate for the simulator hot paths.
+
+Runs the suite from ``benchmarks/bench_wallclock_hotpath.py`` and
+compares every metric against the ``baseline`` section of
+``BENCH_hotpath.json`` at the repo root.  Throughput metrics (``*_per_s``)
+may not drop more than the tolerance; wall-time metrics (``*_wall_s``)
+may not grow more than the tolerance.  Exits non-zero on regression.
+
+Usage::
+
+    python scripts/bench_compare.py            # run, compare, record last_run
+    python scripts/bench_compare.py --check    # run + compare, write nothing
+    python scripts/bench_compare.py --rebaseline   # accept current numbers
+    python scripts/bench_compare.py --profile full # longer, steadier run
+    python scripts/bench_compare.py --repeat 3     # more noise rejection
+
+Each invocation runs the suite ``--repeat`` times and keeps the
+per-metric best (min wall time, max throughput) — single samples on
+shared hosts can be inflated 2x by CPU steal.  Because that best-of-N
+is biased toward the fastest window the host happened to offer,
+``--rebaseline`` stores the baseline *derated by 20%*: the gate then
+flags sustained regressions rather than the difference between one
+lucky window and one unlucky one.  (``last_run`` is always the raw
+measurement.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULTS_PATH = REPO_ROOT / "BENCH_hotpath.json"
+
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+#: Allowed relative slack before a metric counts as a regression.  Wall
+#: clock on shared machines is noisy; 10% catches real slowdowns while
+#: tolerating scheduler jitter.
+TOLERANCE = 0.10
+
+#: Suite passes per invocation.  Shared/virtualised hosts suffer CPU
+#: steal that inflates individual wall-clock samples by 2x or more; the
+#: per-metric best across repeats (min wall time, max throughput) is the
+#: standard low-noise estimator and is what gets compared and stored.
+REPEATS = 3
+
+#: Fraction by which a freshly measured baseline is relaxed before
+#: being stored.  Empirically, best-of-N invocations minutes apart
+#: still differ by up to ~17% after host-speed normalisation (bursty
+#: steal the calibration cannot see); 20% makes the stored reference a
+#: "typical window" figure, so the 10% gate trips on sustained code
+#: regressions, not on which window the baseline was captured in.
+BASELINE_DERATE = 0.20
+
+
+def derate(results: dict, fraction: float) -> dict:
+    """Relax every numeric metric by ``fraction`` (slower wall, lower
+    throughput) — applied when storing a baseline, since best-of-N is
+    biased toward the host's fastest window."""
+    adjusted = dict(results)
+    for key, value in results.items():
+        if key.startswith("_") or key == "profile" or not isinstance(value, (int, float)):
+            continue
+        if key.endswith("_wall_s"):
+            adjusted[key] = round(value * (1 + fraction), 3)
+        else:
+            adjusted[key] = round(value / (1 + fraction))
+    return adjusted
+
+
+def merge_best(runs: list[dict]) -> dict:
+    """Per-metric best across repeated suite runs.
+
+    Wall-time metrics take the minimum, throughput metrics the maximum;
+    non-numeric entries (fingerprints, counters, profile name) come from
+    the first run after asserting the deterministic ones never vary.
+    """
+    merged = dict(runs[0])
+    for run in runs[1:]:
+        for key, value in run.items():
+            if key == "_host_spin_per_s":
+                merged[key] = max(merged[key], value)
+            elif key.startswith("_"):
+                if value != merged.get(key):
+                    raise AssertionError(f"non-deterministic metric {key!r} across repeats")
+            elif isinstance(value, (int, float)):
+                if key.endswith("_wall_s"):
+                    merged[key] = min(merged[key], value)
+                else:
+                    merged[key] = max(merged[key], value)
+    return merged
+
+
+def compare(baseline: dict, current: dict, tolerance: float = TOLERANCE) -> list[str]:
+    """Human-readable regression descriptions (empty = gate passes).
+
+    When both sides carry a ``_host_spin_per_s`` calibration, metrics
+    are normalised by it before comparison: the benchmarks and the spin
+    loop are all single-threaded pure Python, so host load (CPU steal,
+    co-tenants) slows them by the same factor, and the normalised
+    values compare code speed rather than host weather.
+    """
+    failures = []
+    load = 1.0
+    base_spin = baseline.get("_host_spin_per_s")
+    now_spin = current.get("_host_spin_per_s")
+    if base_spin and now_spin:
+        load = now_spin / base_spin
+    for key, base in baseline.items():
+        if key.startswith("_") or key == "profile":
+            continue
+        now = current.get(key)
+        if now is None or not isinstance(base, (int, float)):
+            continue
+        note = "" if load == 1.0 else f", host-speed x{load:.2f}"
+        if key.endswith("_wall_s"):
+            adjusted = now * load
+            if adjusted > base * (1 + tolerance):
+                failures.append(
+                    f"{key}: {now:.3f}s vs baseline {base:.3f}s "
+                    f"(+{(adjusted / base - 1) * 100:.1f}%{note}, limit +{tolerance * 100:.0f}%)"
+                )
+        else:
+            adjusted = now / load
+            if adjusted < base * (1 - tolerance):
+                failures.append(
+                    f"{key}: {now:,.0f}/s vs baseline {base:,.0f}/s "
+                    f"({(adjusted / base - 1) * 100:.1f}%{note}, limit -{tolerance * 100:.0f}%)"
+                )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--check", action="store_true", help="compare only; write nothing")
+    parser.add_argument(
+        "--rebaseline", action="store_true", help="store this run as the new baseline"
+    )
+    parser.add_argument("--profile", default="check", choices=("check", "full"))
+    parser.add_argument(
+        "--tolerance", type=float, default=TOLERANCE, help="relative slack (default 0.10)"
+    )
+    parser.add_argument(
+        "--repeat",
+        type=int,
+        default=REPEATS,
+        help=f"suite passes; per-metric best is compared (default {REPEATS})",
+    )
+    args = parser.parse_args(argv)
+
+    from bench_wallclock_hotpath import metric_lines, run_suite
+
+    stored = {}
+    if RESULTS_PATH.exists():
+        stored = json.loads(RESULTS_PATH.read_text())
+
+    repeats = max(1, args.repeat)
+    runs = []
+    for i in range(repeats):
+        print(f"running hot-path suite (profile={args.profile}, pass {i + 1}/{repeats}) ...")
+        runs.append(run_suite(args.profile))
+    current = merge_best(runs)
+    print("\n".join(metric_lines(current)))
+
+    baseline = stored.get("baseline")
+    status = 0
+    if baseline and not args.rebaseline:
+        if baseline.get("profile") != current["profile"]:
+            print(
+                f"note: baseline profile {baseline.get('profile')!r} != "
+                f"{current['profile']!r}; skipping comparison"
+            )
+        else:
+            failures = compare(baseline, current, args.tolerance)
+            if failures:
+                print("\nREGRESSION — hot paths slower than baseline:")
+                for failure in failures:
+                    print(f"  {failure}")
+                status = 1
+            else:
+                print("\nOK — within tolerance of baseline")
+    elif not baseline:
+        print("\nno baseline stored yet; use --rebaseline to create one")
+
+    if not args.check:
+        if args.rebaseline or not baseline:
+            stored["baseline"] = derate(current, BASELINE_DERATE)
+        stored["last_run"] = current
+        RESULTS_PATH.write_text(json.dumps(stored, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {RESULTS_PATH.relative_to(REPO_ROOT)}")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

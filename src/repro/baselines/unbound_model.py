@@ -53,7 +53,7 @@ class UnboundResolver(PublicResolver):
         if question is not None:
             from ..ecosystem import rand
 
-            key = question.name.to_text(omit_final_dot=True).lower()
+            key = question.name.key_text()
             if rand.uniform(self.synth.params.seed, key, "unbound-cache") < UNBOUND_MISS_RATE:
                 extra += UNBOUND_MISS_DELAY
         return response, extra

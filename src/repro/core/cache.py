@@ -40,11 +40,18 @@ class CacheStats:
     misses: int = 0
     evictions: int = 0
     inserts: int = 0
+    answer_hits: int = 0  # leaf-answer lookups (policy="all" only)
+    answer_misses: int = 0
 
     @property
     def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        """Hit rate over every cache probe — delegation walks *and*
+        leaf-answer lookups.  With the paper's selective policy the
+        answer counters stay zero, so this remains the delegation hit
+        rate; under the ``all`` ablation it now reflects the answer
+        cache too (previously those probes were silently uncounted)."""
+        total = self.hits + self.misses + self.answer_hits + self.answer_misses
+        return (self.hits + self.answer_hits) / total if total else 0.0
 
 
 class SelectiveCache:
@@ -100,10 +107,21 @@ class SelectiveCache:
 
         A hit means iteration can start below the root; a total miss
         means a full walk from the root servers.
+
+        The walk probes sliced views of ``qname``'s canonical key
+        directly — one memoised key fetch, zero :class:`Name`
+        constructions — instead of materialising a Name per ancestor.
+        This is the hottest cache path: every lookup starts here.
         """
-        for ancestor in qname.ancestors():
-            entry = self.get_delegation(ancestor)
+        key = qname.canonical_key()
+        delegations = self._delegations
+        lru = self.eviction == "lru"
+        for i in range(len(key) + 1):
+            probe = ("ns", key[i:])
+            entry = delegations.get(probe)
             if entry is not None:
+                if lru:
+                    delegations.move_to_end(probe)
                 self.stats.hits += 1
                 return entry
         self.stats.misses += 1
@@ -124,7 +142,15 @@ class SelectiveCache:
     def get_answer(self, qname: Name, qtype: int) -> list[ResourceRecord] | None:
         if self.policy != "all":
             return None
-        return self._answers.get(("ans", qname.canonical_key(), int(qtype)))
+        key = ("ans", qname.canonical_key(), int(qtype))
+        entry = self._answers.get(key)
+        if entry is None:
+            self.stats.answer_misses += 1
+            return None
+        if self.eviction == "lru":
+            self._answers.move_to_end(key)
+        self.stats.answer_hits += 1
+        return entry
 
     # -- eviction ---------------------------------------------------------
 

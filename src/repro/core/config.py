@@ -38,6 +38,10 @@ class ResolverConfig:
     strict_bailiwick: bool = False
     #: Record full response JSON in trace steps (Appendix C output).
     record_trace_results: bool = False
+    #: Assemble per-query TraceStep rows at all.  The scan runner turns
+    #: this off when no output sink will consume rows — lookup behaviour
+    #: is identical, only the bookkeeping is skipped.
+    collect_trace: bool = True
 
 
 @dataclass

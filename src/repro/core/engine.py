@@ -10,6 +10,10 @@ from __future__ import annotations
 import random
 
 from ..dnslib import Message, add_edns
+from ..dnslib.edns import OPT
+from ..dnslib.message import ResourceRecord
+from ..dnslib.name import Name
+from ..dnslib.types import RRType
 from ..net import CPUModel, Routine, SimNetwork, SimUDPSocket, SourceIPPool, UDPTransport
 from .cache import SelectiveCache
 from .config import ClientCostModel, ResolverConfig
@@ -40,17 +44,26 @@ class SimDriver:
         self.reuse_sockets = reuse_sockets
         self.edns_payload = edns_payload
         self._txid_rng = random.Random(seed)
+        self._randrange = self._txid_rng.randrange  # hot: one per query
+        #: The OPT pseudo-record is identical for every query this
+        #: driver builds (frozen dataclass, safely shared), so build it
+        #: once instead of running ``add_edns``'s scan per packet.
+        self._opt_record = (
+            ResourceRecord(Name.root(), RRType.OPT, edns_payload, 0, OPT(()))
+            if edns_payload is not None
+            else None
+        )
 
     def _build_query(self, effect: SendQuery) -> Message:
         message = Message.make_query(
             effect.name,
             effect.qtype,
             rrclass=effect.qclass,
-            txid=self._txid_rng.randrange(0x10000),
+            txid=self._randrange(0x10000),
             recursion_desired=effect.recursion_desired,
         )
-        if self.edns_payload is not None:
-            add_edns(message, payload_size=self.edns_payload)
+        if self._opt_record is not None:
+            message.additionals.append(self._opt_record)
         return message
 
     def execute(self, machine_gen, socket: SimUDPSocket, pool: SourceIPPool | None = None) -> Routine:
@@ -63,12 +76,16 @@ class SimDriver:
             return stop.value
 
         sim = self.network.sim
+        cpu = self.cpu
+        send_cost = receive_cost = 0.0
+        if cpu is not None:
+            send_cost = self.costs.per_send
+            if not self.reuse_sockets:
+                send_cost += self.costs.per_socket_setup
+            receive_cost = self.costs.per_receive
         while True:
-            if self.cpu is not None:
-                cost = self.costs.per_send
-                if not self.reuse_sockets:
-                    cost += self.costs.per_socket_setup
-                yield self.cpu.execute(cost)
+            if cpu is not None:
+                yield cpu.execute(send_cost)
             sent_at = sim.now
             query = self._build_query(effect)
             if effect.protocol == "tcp":
@@ -76,8 +93,8 @@ class SimDriver:
             else:
                 future = socket.query(effect.server_ip, query, effect.timeout)
             response = yield future
-            if response is not None and self.cpu is not None:
-                yield self.cpu.execute(self.costs.per_receive)
+            if response is not None and cpu is not None:
+                yield cpu.execute(receive_cost)
                 if sim.now - sent_at > effect.timeout:
                     # processed too late (e.g. a GC stall, Section 3.4):
                     # the deadline passed, so the lookup logic sees a

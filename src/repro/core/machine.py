@@ -176,21 +176,40 @@ class IterativeMachine:
         if depth > self.config.max_glueless_depth:
             raise _Abort(Status.ERROR)
 
+        # Leaf-answer cache: a no-op under the paper's selective policy,
+        # only live for the policy="all" ablation (section 3.4).
+        cached_answers = self.cache.get_answer(name, int(qtype))
+        if cached_answers is not None:
+            if self.config.collect_trace:
+                result.trace.add(
+                    TraceStep(
+                        name=name.to_text(omit_final_dot=True),
+                        layer=name.to_text(omit_final_dot=True) or ".",
+                        depth=depth,
+                        name_server="cache",
+                        cached=True,
+                        try_count=0,
+                        qtype=int(qtype),
+                    )
+                )
+            return list(cached_answers), Status.NOERROR
+
         cached = self.cache.best_delegation(name)
         if cached is not None and cached.addresses():
             zone = cached.zone
             servers = cached.addresses()
-            result.trace.add(
-                TraceStep(
-                    name=name.to_text(omit_final_dot=True),
-                    layer=zone.to_text(omit_final_dot=True) or ".",
-                    depth=depth + len(zone.labels),
-                    name_server="cache",
-                    cached=True,
-                    try_count=0,
-                    qtype=int(qtype),
+            if self.config.collect_trace:
+                result.trace.add(
+                    TraceStep(
+                        name=name.to_text(omit_final_dot=True),
+                        layer=zone.to_text(omit_final_dot=True) or ".",
+                        depth=depth + len(zone.labels),
+                        name_server="cache",
+                        cached=True,
+                        try_count=0,
+                        qtype=int(qtype),
+                    )
                 )
-            )
         else:
             zone = Name.root()
             servers = list(self.root_ips)
@@ -208,6 +227,7 @@ class IterativeMachine:
 
             matched = _match_answers(response, name, int(qtype))
             if matched:
+                self.cache.put_answer(name, int(qtype), matched)
                 return matched, Status.NOERROR
             if response.answers and not matched:
                 return [], Status.NOERROR  # answers for someone else: no data for us
@@ -242,73 +262,92 @@ class IterativeMachine:
         """Try the layer's servers (with retries) until one responds."""
         order = list(servers)
         self.rng.shuffle(order)
-        tries = self.config.retries + 1
+        config = self.config
+        tries = config.retries + 1
+        timeout = config.iteration_timeout
+        # Everything the per-attempt trace rows share is computed once.
+        name_text = name.to_text(omit_final_dot=True)
+        layer_text = zone.to_text(omit_final_dot=True) or "."
+        step_depth = depth + len(zone.labels) + 1
+        qtype_int = int(qtype)
+        collect = config.collect_trace
         last_failure = Status.ITERATIVE_TIMEOUT
         attempt = 0
         for attempt in range(tries):
             server_ip = order[attempt % len(order)]
             budget.spend()
-            step = TraceStep(
-                name=name.to_text(omit_final_dot=True),
-                layer=zone.to_text(omit_final_dot=True) or ".",
-                depth=depth + len(zone.labels) + 1,
-                name_server=f"{server_ip}:53",
-                cached=False,
-                try_count=attempt + 1,
-                qtype=int(qtype),
+            step = (
+                TraceStep(
+                    name=name_text,
+                    layer=layer_text,
+                    depth=step_depth,
+                    name_server=f"{server_ip}:53",
+                    cached=False,
+                    try_count=attempt + 1,
+                    qtype=qtype_int,
+                )
+                if collect
+                else None
             )
             response = yield SendQuery(
                 server_ip=server_ip,
                 name=name,
                 qtype=qtype,
-                timeout=self.config.iteration_timeout,
+                timeout=timeout,
             )
             if response is None:
-                step.status = str(Status.TIMEOUT)
-                result.trace.add(step)
+                if step is not None:
+                    step.status = str(Status.TIMEOUT)
+                    result.trace.add(step)
                 budget.retries += 1
                 continue
-            if self.config.validate_responses:
+            if config.validate_responses:
                 reason = validate_response_shape(name, int(qtype), response)
                 if reason is not None:
                     # malformed/hostile response: treat like packet loss
-                    step.status = str(Status.FORMERR)
-                    result.trace.add(step)
+                    if step is not None:
+                        step.status = str(Status.FORMERR)
+                        result.trace.add(step)
                     budget.retries += 1
                     last_failure = Status.FORMERR
                     continue
-                if self.config.strict_bailiwick:
+                if config.strict_bailiwick:
                     response, _report = sanitize_response(response, name, int(qtype), zone)
-            if response.flags.truncated and not self.config.tcp_on_truncated:
-                step.status = str(Status.TRUNCATED)
-                result.trace.add(step)
+            if response.flags.truncated and not config.tcp_on_truncated:
+                if step is not None:
+                    step.status = str(Status.TRUNCATED)
+                    result.trace.add(step)
                 raise _Abort(Status.TRUNCATED)
-            if response.flags.truncated and self.config.tcp_on_truncated:
+            if response.flags.truncated and config.tcp_on_truncated:
                 budget.spend()
                 response_tcp = yield SendQuery(
                     server_ip=server_ip,
                     name=name,
                     qtype=qtype,
-                    timeout=self.config.iteration_timeout,
+                    timeout=timeout,
                     protocol="tcp",
                 )
                 if response_tcp is None:
-                    step.status = str(Status.TRUNCATED)
-                    result.trace.add(step)
+                    if step is not None:
+                        step.status = str(Status.TRUNCATED)
+                        result.trace.add(step)
                     budget.retries += 1
                     continue
                 response = response_tcp
-                step = replace(step, results=None)
+                if step is not None:
+                    step = replace(step, results=None)
             if response.rcode in (Rcode.SERVFAIL, Rcode.REFUSED):
-                step.status = str(status_from_rcode(response.rcode))
-                result.trace.add(step)
+                if step is not None:
+                    step.status = str(status_from_rcode(response.rcode))
+                    result.trace.add(step)
                 last_failure = status_from_rcode(response.rcode)
                 budget.retries += 1
                 continue
-            step.status = str(status_from_rcode(response.rcode))
-            if self.config.record_trace_results:
-                step.results = message_to_json(response, f"{server_ip}:53")
-            result.trace.add(step)
+            if step is not None:
+                step.status = str(status_from_rcode(response.rcode))
+                if config.record_trace_results:
+                    step.results = message_to_json(response, f"{server_ip}:53")
+                result.trace.add(step)
             return response, server_ip, "udp"
         raise _Abort(last_failure)
 

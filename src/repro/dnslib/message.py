@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass, field, replace
+from functools import lru_cache
 
 from .name import Name
 from .rdata import RData, rdata_class
@@ -13,6 +15,19 @@ from .wire import WireError, WireReader, WireWriter
 MAX_UDP_PAYLOAD = 512
 #: EDNS payload size ZDNS advertises.
 EDNS_UDP_PAYLOAD = 1232
+
+_U16 = struct.Struct("!H")
+_HEADER = struct.Struct("!HHHHHH")
+_RR_FIXED = struct.Struct("!HHIH")  # TYPE, CLASS, TTL, RDLENGTH
+_Q_FIXED = struct.Struct("!HH")  # QTYPE, QCLASS
+
+# Known-value lookups; a plain dict probe replaces the try/except
+# ``Enum(value)`` dance (which costs an exception on every unknown and
+# a __call__ on every hit) on the decode path.
+_RRTYPE_BY_INT = {int(t): t for t in RRType}
+_CLASS_BY_INT = {int(c): c for c in DNSClass}
+_OPCODE_BY_INT = {int(o): o for o in Opcode}
+_RCODE_BY_INT = {int(r): r for r in Rcode}
 
 
 @dataclass(frozen=True)
@@ -30,48 +45,11 @@ class Flags:
     rcode: Rcode = Rcode.NOERROR
 
     def to_int(self) -> int:
-        value = 0
-        if self.response:
-            value |= 0x8000
-        value |= (int(self.opcode) & 0xF) << 11
-        if self.authoritative:
-            value |= 0x0400
-        if self.truncated:
-            value |= 0x0200
-        if self.recursion_desired:
-            value |= 0x0100
-        if self.recursion_available:
-            value |= 0x0080
-        if self.authenticated:
-            value |= 0x0020
-        if self.checking_disabled:
-            value |= 0x0010
-        value |= int(self.rcode) & 0xF
-        return value
+        return _flags_to_int(self)
 
     @classmethod
     def from_int(cls, value: int) -> "Flags":
-        opcode = (value >> 11) & 0xF
-        rcode = value & 0xF
-        try:
-            opcode = Opcode(opcode)
-        except ValueError:
-            pass  # unassigned opcodes survive as raw integers
-        try:
-            rcode = Rcode(rcode)
-        except ValueError:
-            pass
-        return cls(
-            response=bool(value & 0x8000),
-            opcode=opcode,
-            authoritative=bool(value & 0x0400),
-            truncated=bool(value & 0x0200),
-            recursion_desired=bool(value & 0x0100),
-            recursion_available=bool(value & 0x0080),
-            authenticated=bool(value & 0x0020),
-            checking_disabled=bool(value & 0x0010),
-            rcode=rcode,
-        )
+        return _flags_from_int(value & 0xFFFF)
 
     def to_json(self) -> dict:
         """ZDNS-format flags block (Appendix C)."""
@@ -88,80 +66,166 @@ class Flags:
         }
 
 
-@dataclass(frozen=True)
 class Question:
-    """A query triple."""
+    """A query triple.
 
-    name: Name
-    rrtype: RRType
-    rrclass: DNSClass = DNSClass.IN
+    Value-immutable by convention (instances are shared and hashed);
+    a plain slotted class because scans construct one per packet and a
+    frozen dataclass pays ``object.__setattr__`` per field."""
+
+    __slots__ = ("name", "rrtype", "rrclass")
+
+    def __init__(self, name: Name, rrtype: RRType, rrclass: DNSClass = DNSClass.IN):
+        self.name = name
+        self.rrtype = rrtype
+        self.rrclass = rrclass
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is Question:
+            return (
+                self.name == other.name
+                and self.rrtype == other.rrtype
+                and self.rrclass == other.rrclass
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.rrtype, self.rrclass))
+
+    def __repr__(self) -> str:
+        return f"Question(name={self.name!r}, rrtype={self.rrtype!r}, rrclass={self.rrclass!r})"
 
     def to_wire(self, writer: WireWriter) -> None:
         writer.write_name(self.name)
-        writer.write_u16(int(self.rrtype))
-        writer.write_u16(int(self.rrclass))
+        writer._buf += _Q_FIXED.pack(int(self.rrtype) & 0xFFFF, int(self.rrclass) & 0xFFFF)
 
     @classmethod
     def from_wire(cls, reader: WireReader) -> "Question":
         name = reader.read_name()
-        rrtype = reader.read_u16()
-        rrclass = reader.read_u16()
-        try:
-            rrtype = RRType(rrtype)
-        except ValueError:
-            pass  # keep the raw integer for unknown types
-        try:
-            rrclass = DNSClass(rrclass)
-        except ValueError:
-            pass
-        return cls(name, rrtype, rrclass)
+        reader._need(4)
+        rrtype, rrclass = _Q_FIXED.unpack_from(reader.data, reader.offset)
+        reader.offset += 4
+        # unknown types/classes keep the raw integer
+        return cls(
+            name,
+            _RRTYPE_BY_INT.get(rrtype, rrtype),
+            _CLASS_BY_INT.get(rrclass, rrclass),
+        )
 
     def __str__(self) -> str:
         return f"{self.name.to_text()} {self.rrclass} {_type_text(self.rrtype)}"
 
 
+@lru_cache(maxsize=4096)
+def _flags_to_int(flags: "Flags") -> int:
+    # Flags is frozen (hashable by value), and scans reuse a handful of
+    # distinct flag combinations millions of times.
+    value = 0
+    if flags.response:
+        value |= 0x8000
+    value |= (int(flags.opcode) & 0xF) << 11
+    if flags.authoritative:
+        value |= 0x0400
+    if flags.truncated:
+        value |= 0x0200
+    if flags.recursion_desired:
+        value |= 0x0100
+    if flags.recursion_available:
+        value |= 0x0080
+    if flags.authenticated:
+        value |= 0x0020
+    if flags.checking_disabled:
+        value |= 0x0010
+    value |= int(flags.rcode) & 0xF
+    return value
+
+
+@lru_cache(maxsize=4096)
+def _flags_from_int(value: int) -> Flags:
+    opcode = (value >> 11) & 0xF
+    rcode = value & 0xF
+    # unassigned opcodes/rcodes survive as raw integers
+    return Flags(
+        response=bool(value & 0x8000),
+        opcode=_OPCODE_BY_INT.get(opcode, opcode),
+        authoritative=bool(value & 0x0400),
+        truncated=bool(value & 0x0200),
+        recursion_desired=bool(value & 0x0100),
+        recursion_available=bool(value & 0x0080),
+        authenticated=bool(value & 0x0020),
+        checking_disabled=bool(value & 0x0010),
+        rcode=_RCODE_BY_INT.get(rcode, rcode),
+    )
+
+
 def _type_text(rrtype: int) -> str:
-    try:
-        return RRType(rrtype).name
-    except ValueError:
-        return f"TYPE{int(rrtype)}"
+    rrtype = _RRTYPE_BY_INT.get(int(rrtype), rrtype)
+    if isinstance(rrtype, RRType):
+        return rrtype.name
+    return f"TYPE{int(rrtype)}"
 
 
 def _class_text(rrclass: int) -> str:
-    try:
-        return DNSClass(rrclass).name
-    except ValueError:
-        return f"CLASS{int(rrclass)}"
+    rrclass = _CLASS_BY_INT.get(int(rrclass), rrclass)
+    if isinstance(rrclass, DNSClass):
+        return rrclass.name
+    return f"CLASS{int(rrclass)}"
 
 
-@dataclass(frozen=True)
 class ResourceRecord:
-    """A decoded resource record."""
+    """A decoded resource record.
 
-    name: Name
-    rrtype: int
-    rrclass: int
-    ttl: int
-    rdata: RData
+    Value-immutable by convention — decoders and zone synthesis share
+    instances freely, so nothing may mutate one after construction."""
+
+    __slots__ = ("name", "rrtype", "rrclass", "ttl", "rdata")
+
+    def __init__(self, name: Name, rrtype: int, rrclass: int, ttl: int, rdata: RData):
+        self.name = name
+        self.rrtype = rrtype
+        self.rrclass = rrclass
+        self.ttl = ttl
+        self.rdata = rdata
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is ResourceRecord:
+            return (
+                self.name == other.name
+                and self.rrtype == other.rrtype
+                and self.rrclass == other.rrclass
+                and self.ttl == other.ttl
+                and self.rdata == other.rdata
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.rrtype, self.rrclass, self.ttl, self.rdata))
+
+    def __repr__(self) -> str:
+        return (
+            f"ResourceRecord(name={self.name!r}, rrtype={self.rrtype!r}, "
+            f"rrclass={self.rrclass!r}, ttl={self.ttl!r}, rdata={self.rdata!r})"
+        )
 
     def to_wire(self, writer: WireWriter) -> None:
         writer.write_name(self.name)
-        writer.write_u16(int(self.rrtype))
-        writer.write_u16(int(self.rrclass))
-        writer.write_u32(self.ttl)
-        length_offset = len(writer)
-        writer.write_u16(0)
-        start = len(writer)
+        buf = writer._buf
+        buf += _RR_FIXED.pack(
+            int(self.rrtype) & 0xFFFF,
+            int(self.rrclass) & 0xFFFF,
+            self.ttl & 0xFFFFFFFF,
+            0,  # RDLENGTH, patched below once the rdata is written
+        )
+        start = len(buf)
         self.rdata.to_wire(writer)
-        writer.patch_u16(length_offset, len(writer) - start)
+        writer.patch_u16(start - 2, len(buf) - start)
 
     @classmethod
     def from_wire(cls, reader: WireReader) -> "ResourceRecord":
         name = reader.read_name()
-        rrtype = reader.read_u16()
-        rrclass = reader.read_u16()
-        ttl = reader.read_u32()
-        rdlength = reader.read_u16()
+        reader._need(10)
+        rrtype, rrclass, ttl, rdlength = _RR_FIXED.unpack_from(reader.data, reader.offset)
+        reader.offset += 10
         end = reader.offset + rdlength
         rdata = rdata_class(rrtype).from_wire(reader, rdlength)
         if reader.offset != end:
@@ -169,11 +233,7 @@ class ResourceRecord:
                 f"{_type_text(rrtype)} rdata decoded {reader.offset - (end - rdlength)} "
                 f"of {rdlength} bytes"
             )
-        try:
-            rrtype = RRType(rrtype)
-        except ValueError:
-            pass
-        return cls(name, rrtype, rrclass, ttl, rdata)
+        return cls(name, _RRTYPE_BY_INT.get(rrtype, rrtype), rrclass, ttl, rdata)
 
     def to_text(self) -> str:
         return (
@@ -192,6 +252,26 @@ class ResourceRecord:
         }
 
 
+_QUERY_FLAGS_RD = Flags(recursion_desired=True)
+_QUERY_FLAGS_NO_RD = Flags(recursion_desired=False)
+
+
+@lru_cache(maxsize=65_536)
+def _small_wire_template(flags_int: int, questions: tuple, additionals: tuple) -> bytes:
+    """Encoded answerless message (query or empty response) with id=0.
+
+    A scan's queries differ only in transaction id: same question, same
+    flags, same shared OPT record.  Encoding the shape once and patching
+    two id bytes per packet replaces the whole writer pass."""
+    writer = WireWriter()
+    writer.write(_HEADER.pack(0, flags_int, len(questions), 0, 0, len(additionals)))
+    for question in questions:
+        question.to_wire(writer)
+    for record in additionals:
+        record.to_wire(writer)
+    return writer.getvalue()
+
+
 @dataclass
 class Message:
     """A complete DNS message."""
@@ -202,6 +282,13 @@ class Message:
     answers: list[ResourceRecord] = field(default_factory=list)
     authorities: list[ResourceRecord] = field(default_factory=list)
     additionals: list[ResourceRecord] = field(default_factory=list)
+
+    #: Memoised wire template from the last full (untruncated) encode.
+    #: A class attribute rather than a dataclass field so that
+    #: ``dataclasses.replace`` and copies never inherit stale bytes.
+    #: Mutators (``add_edns``, section edits after encoding) must reset
+    #: it to ``None``.
+    _wire = None
 
     @classmethod
     def make_query(
@@ -216,23 +303,30 @@ class Message:
             name = Name.from_text(name)
         return cls(
             id=txid,
-            flags=Flags(recursion_desired=recursion_desired),
+            flags=_QUERY_FLAGS_RD if recursion_desired else _QUERY_FLAGS_NO_RD,
             questions=[Question(name, rrtype, rrclass)],
         )
 
     def make_response(self, rcode: Rcode = Rcode.NOERROR, authoritative: bool = False) -> "Message":
         """Skeleton response echoing id and question."""
-        return Message(
-            id=self.id,
-            flags=replace(
+        code = int(rcode)
+        if code & 0xF == code:
+            # Derive the response flags through the cached int round-trip
+            # (identical value to a dataclasses.replace, far cheaper on
+            # the per-response hot path).
+            value = _flags_to_int(self.flags) & ~0x048F
+            if authoritative:
+                value |= 0x0400
+            flags = _flags_from_int(value | 0x8000 | code)
+        else:  # extended rcodes keep the general path
+            flags = replace(
                 self.flags,
                 response=True,
                 authoritative=authoritative,
                 recursion_available=False,
                 rcode=rcode,
-            ),
-            questions=list(self.questions),
-        )
+            )
+        return Message(id=self.id, flags=flags, questions=list(self.questions))
 
     @property
     def question(self) -> Question | None:
@@ -250,14 +344,38 @@ class Message:
 
     def to_wire(self, max_size: int | None = None) -> bytes:
         """Encode; if ``max_size`` is given and exceeded, return a
-        truncated message with TC=1 containing only the question."""
+        truncated message with TC=1 containing only the question.
+
+        Successful full encodes are memoised: re-encoding the same
+        message (retries, memoised server responses) patches the two
+        transaction-id bytes into the cached template instead of
+        re-serialising every section."""
+        wire = self._wire
+        if wire is not None and (max_size is None or len(wire) <= max_size):
+            head = _U16.pack(self.id & 0xFFFF)
+            if wire[:2] != head:
+                wire = head + wire[2:]
+            return wire
+        if not self.answers and not self.authorities:
+            try:
+                template = _small_wire_template(
+                    _flags_to_int(self.flags), tuple(self.questions), tuple(self.additionals)
+                )
+            except TypeError:  # unhashable question/record content
+                template = None
+            if template is not None and (max_size is None or len(template) <= max_size):
+                return _U16.pack(self.id & 0xFFFF) + template[2:]
         writer = WireWriter()
-        writer.write_u16(self.id)
-        writer.write_u16(self.flags.to_int())
-        writer.write_u16(len(self.questions))
-        writer.write_u16(len(self.answers))
-        writer.write_u16(len(self.authorities))
-        writer.write_u16(len(self.additionals))
+        writer.write(
+            _HEADER.pack(
+                self.id & 0xFFFF,
+                _flags_to_int(self.flags),
+                len(self.questions),
+                len(self.answers),
+                len(self.authorities),
+                len(self.additionals),
+            )
+        )
         for question in self.questions:
             question.to_wire(writer)
         for section in (self.answers, self.authorities, self.additionals):
@@ -267,25 +385,28 @@ class Message:
         if max_size is not None and len(wire) > max_size:
             truncated = Message(
                 id=self.id,
-                flags=replace(self.flags, truncated=True),
+                flags=_flags_from_int(_flags_to_int(self.flags) | 0x0200),
                 questions=list(self.questions),
             )
             return truncated.to_wire()
+        self._wire = wire
         return wire
+
+    def invalidate_wire(self) -> None:
+        """Drop the memoised encoding after mutating a section in place."""
+        self._wire = None
 
     @classmethod
     def from_wire(cls, data: bytes) -> "Message":
-        reader = WireReader(data)
         if len(data) < 12:
             raise WireError(f"message shorter than header: {len(data)} bytes")
-        msg_id = reader.read_u16()
-        flags = Flags.from_int(reader.read_u16())
-        counts = [reader.read_u16() for _ in range(4)]
-        message = cls(id=msg_id, flags=flags)
-        for _ in range(counts[0]):
+        reader = WireReader(data, offset=12)
+        msg_id, raw_flags, qd, an, ns, ar = _HEADER.unpack_from(reader.data, 0)
+        message = cls(id=msg_id, flags=_flags_from_int(raw_flags))
+        for _ in range(qd):
             message.questions.append(Question.from_wire(reader))
         for section, count in zip(
-            (message.answers, message.authorities, message.additionals), counts[1:]
+            (message.answers, message.authorities, message.additionals), (an, ns, ar)
         ):
             for _ in range(count):
                 section.append(ResourceRecord.from_wire(reader))

@@ -7,10 +7,16 @@ original spelling is preserved for output.
 
 from __future__ import annotations
 
+import re
+from functools import lru_cache
 from typing import Iterable, Iterator
 
 MAX_NAME_LENGTH = 255
 MAX_LABEL_LENGTH = 63
+
+#: Bytes that need escaping in presentation format: anything outside
+#: the visible-ASCII range, plus the dot and backslash themselves.
+_NEEDS_ESCAPE = re.compile(rb"[^!-~]|[.\\]")
 
 
 class NameError_(ValueError):
@@ -24,7 +30,17 @@ class Name:
     True
     """
 
-    __slots__ = ("labels", "_key", "_hash", "_text")
+    __slots__ = (
+        "labels",
+        "_key",
+        "_hash",
+        "_text",
+        "_textn",
+        "_ktext",
+        "_enc",
+        "_suffixes",
+        "_wlen",
+    )
 
     def __init__(self, labels: Iterable[bytes]):
         labels = tuple(labels)
@@ -40,15 +56,37 @@ class Name:
         self.labels = labels
         self._key = tuple(label.lower() for label in labels)
         self._hash = hash(self._key)
+        self._wlen = total
         self._text: str | None = None  # memoised presentation form
+        self._textn: str | None = None  # ... without the final dot
+        self._ktext: str | None = None  # ... lowered, for dict keys
+        self._enc: tuple[bytes, ...] | None = None  # length-prefixed labels
+        self._suffixes: tuple[tuple[bytes, ...], ...] | None = None
 
     @classmethod
     def root(cls) -> "Name":
         return _ROOT
 
     @classmethod
+    def intern(cls, labels: tuple[bytes, ...]) -> "Name":
+        """A shared, validated instance for ``labels``.
+
+        Names are value-immutable, so the wire decoder and the zone
+        machinery reuse one instance (with its memoised key/hash/text/
+        encoding) instead of re-validating and re-lowercasing the same
+        labels millions of times per scan."""
+        return _interned(labels)
+
+    @classmethod
     def from_text(cls, text: str | bytes) -> "Name":
-        """Parse a presentation-format name (``\\.`` escapes supported)."""
+        """Parse a presentation-format name (``\\.`` escapes supported).
+
+        Parses are memoised: scan workloads hand the same nameserver
+        and infrastructure names to this function constantly."""
+        return _from_text(text)
+
+    @classmethod
+    def _parse_text(cls, text: str | bytes) -> "Name":
         if isinstance(text, str):
             text = text.encode("ascii", errors="strict")
         if text in (b"", b"."):
@@ -92,6 +130,10 @@ class Name:
         if self._text is None:
             parts = []
             for label in self.labels:
+                if _NEEDS_ESCAPE.search(label) is None:
+                    # hostname-style label: decode in one step
+                    parts.append(label.decode("ascii"))
+                    continue
                 out = []
                 for byte in label:
                     char = bytes((byte,))
@@ -103,7 +145,20 @@ class Name:
                         out.append(f"\\{byte:03d}")
                 parts.append("".join(out))
             self._text = ".".join(parts) + "."
-        return self._text[:-1] if omit_final_dot else self._text
+        if not omit_final_dot:
+            return self._text
+        text = self._textn
+        if text is None:
+            text = self._textn = self._text[:-1]
+        return text
+
+    def key_text(self) -> str:
+        """Lowercased presentation form without the final dot, memoised —
+        the zone synthesiser keys every deterministic draw on this."""
+        text = self._ktext
+        if text is None:
+            text = self._ktext = self.to_text(omit_final_dot=True).lower()
+        return text
 
     @property
     def is_root(self) -> bool:
@@ -141,7 +196,7 @@ class Name:
         """
         if self.is_root:
             raise NameError_("root has no parent")
-        return Name(self.labels[1:])
+        return _interned(self.labels[1:])
 
     def child(self, label: bytes | str) -> "Name":
         if isinstance(label, str):
@@ -176,15 +231,44 @@ class Name:
             name = name.parent()
 
     def wire_length(self) -> int:
-        """Uncompressed encoded size in bytes."""
-        return 1 + sum(len(label) + 1 for label in self.labels)
+        """Uncompressed encoded size in bytes (computed on validation)."""
+        return self._wlen
 
     def canonical_key(self) -> tuple[bytes, ...]:
         """Lowercased labels; stable dictionary key for case-folded lookups."""
         return self._key
 
+    def encoded_labels(self) -> tuple[bytes, ...]:
+        """Length-prefixed wire encoding of each label, memoised — the
+        writer appends these single-pass instead of per-byte."""
+        enc = self._enc
+        if enc is None:
+            enc = tuple(bytes((len(label),)) + label for label in self.labels)
+            self._enc = enc
+        return enc
+
+    def suffix_keys(self) -> tuple[tuple[bytes, ...], ...]:
+        """``canonical_key()[i:]`` for each label position, memoised —
+        the compression map probes these without re-slicing per write."""
+        suffixes = self._suffixes
+        if suffixes is None:
+            key = self._key
+            suffixes = tuple(key[i:] for i in range(len(key)))
+            self._suffixes = suffixes
+        return suffixes
+
 
 _ROOT = Name(())
+
+
+@lru_cache(maxsize=131_072)
+def _interned(labels: tuple[bytes, ...]) -> Name:
+    return Name(labels)
+
+
+@lru_cache(maxsize=65_536)
+def _from_text(text: str | bytes) -> Name:
+    return Name._parse_text(text)
 
 
 def name_from_ipv4_ptr(address: str) -> Name:

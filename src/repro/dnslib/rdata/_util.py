@@ -5,24 +5,62 @@ from __future__ import annotations
 import base64
 import binascii
 import ipaddress
+from functools import lru_cache
 
 from ..wire import WireError, WireReader, WireWriter
 
+# Address conversions are memoised: a scan touches the same server and
+# glue addresses millions of times, and ``ipaddress`` object churn was a
+# measurable slice of encode/decode profiles.
 
+
+#: Every canonical octet spelling; probing this rejects leading zeros,
+#: signs, whitespace, and out-of-range values in one dict hit.
+_OCTETS = {str(i): i for i in range(256)}
+
+
+@lru_cache(maxsize=65_536)
 def ipv4_to_bytes(text: str) -> bytes:
+    # Fast strict parse for the canonical dotted quads the simulator
+    # generates; anything unusual (shorthand, leading zeros, garbage)
+    # falls through to ipaddress for identical validation errors.
+    parts = text.split(".")
+    if len(parts) == 4:
+        octets = _OCTETS
+        try:
+            return bytes(
+                (octets[parts[0]], octets[parts[1]], octets[parts[2]], octets[parts[3]])
+            )
+        except KeyError:
+            pass
     return ipaddress.IPv4Address(text).packed
 
 
+@lru_cache(maxsize=65_536)
 def bytes_to_ipv4(data: bytes) -> str:
     if len(data) != 4:
         raise WireError(f"A record rdata must be 4 bytes, got {len(data)}")
-    return str(ipaddress.IPv4Address(data))
+    return "%d.%d.%d.%d" % (data[0], data[1], data[2], data[3])
 
 
+@lru_cache(maxsize=65_536)
+def normalize_ipv4(text: str) -> str:
+    """Canonical presentation of ``text`` (one cache probe on the A/L32
+    construction path instead of a parse + format pair)."""
+    return bytes_to_ipv4(ipv4_to_bytes(text))
+
+
+@lru_cache(maxsize=16_384)
 def ipv6_to_bytes(text: str) -> bytes:
     return ipaddress.IPv6Address(text).packed
 
 
+@lru_cache(maxsize=16_384)
+def normalize_ipv6(text: str) -> str:
+    return bytes_to_ipv6(ipv6_to_bytes(text))
+
+
+@lru_cache(maxsize=16_384)
 def bytes_to_ipv6(data: bytes) -> str:
     if len(data) != 16:
         raise WireError(f"AAAA record rdata must be 16 bytes, got {len(data)}")

@@ -4,12 +4,20 @@
 from __future__ import annotations
 
 import binascii
+from functools import lru_cache
 
 from ..name import Name
 from ..types import RRType
 from ..wire import WireError, WireReader, WireWriter
 from . import RData, register
-from ._util import bytes_to_ipv4, bytes_to_ipv6, ipv4_to_bytes, ipv6_to_bytes
+from ._util import (
+    bytes_to_ipv4,
+    bytes_to_ipv6,
+    ipv4_to_bytes,
+    ipv6_to_bytes,
+    normalize_ipv4,
+    normalize_ipv6,
+)
 
 
 @register(RRType.A)
@@ -19,7 +27,7 @@ class A(RData):
     __slots__ = ("address",)
 
     def __init__(self, address: str):
-        self.address = bytes_to_ipv4(ipv4_to_bytes(address))
+        self.address = normalize_ipv4(address)
 
     def to_wire(self, writer: WireWriter) -> None:
         writer.write(ipv4_to_bytes(self.address))
@@ -28,10 +36,17 @@ class A(RData):
     def from_wire(cls, reader: WireReader, rdlength: int) -> "A":
         if rdlength != 4:
             raise WireError(f"A rdlength {rdlength} != 4")
-        return cls(bytes_to_ipv4(reader.read(4)))
+        # scans see the same server/glue addresses constantly; rdata is
+        # value-immutable, so share one instance per address
+        return _a_instance(reader.read(4))
 
     def to_text(self) -> str:
         return self.address
+
+
+@lru_cache(maxsize=65_536)
+def _a_instance(data: bytes) -> "A":
+    return A(bytes_to_ipv4(data))
 
 
 @register(RRType.AAAA)
@@ -41,7 +56,7 @@ class AAAA(RData):
     __slots__ = ("address",)
 
     def __init__(self, address: str):
-        self.address = bytes_to_ipv6(ipv6_to_bytes(address))
+        self.address = normalize_ipv6(address)
 
     def to_wire(self, writer: WireWriter) -> None:
         writer.write(ipv6_to_bytes(self.address))
@@ -92,7 +107,7 @@ class L32(RData):
 
     def __init__(self, preference: int, locator: str):
         self.preference = preference
-        self.locator = bytes_to_ipv4(ipv4_to_bytes(locator))
+        self.locator = normalize_ipv4(locator)
 
     def to_wire(self, writer: WireWriter) -> None:
         writer.write_u16(self.preference)

@@ -2,10 +2,17 @@
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from ..name import Name
 from ..types import RRType
 from ..wire import WireReader, WireWriter
 from . import RData, register
+
+
+@lru_cache(maxsize=65_536)
+def _single_name_instance(cls: type, target: Name) -> "SingleNameRData":
+    return cls(target)
 
 
 class SingleNameRData(RData):
@@ -22,7 +29,9 @@ class SingleNameRData(RData):
 
     @classmethod
     def from_wire(cls, reader: WireReader, rdlength: int):
-        return cls(reader.read_name())
+        # rdata is value-immutable, so decoders share one instance per
+        # (type, target) — NS/CNAME targets repeat endlessly in referrals
+        return _single_name_instance(cls, reader.read_name())
 
     def to_text(self) -> str:
         return self.target.to_text()

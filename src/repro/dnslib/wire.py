@@ -1,5 +1,11 @@
 """Low-level wire format primitives: cursor-based reading and writing with
-RFC 1035 section 4.1.4 name compression."""
+RFC 1035 section 4.1.4 name compression.
+
+Hot-path notes: fixed-width fields go through prebound
+:class:`struct.Struct` pack/unpack (no per-call format parsing), names
+are written from their memoised length-prefixed label encodings in one
+buffer append per label, and decoded names are interned so repeated
+owners share one validated instance."""
 
 from __future__ import annotations
 
@@ -10,6 +16,15 @@ from .name import MAX_NAME_LENGTH, Name
 #: A compression pointer is two bytes whose top two bits are set.
 _POINTER_MASK = 0xC0
 _MAX_POINTER = 0x3FFF
+
+_U16 = struct.Struct("!H")
+_U32 = struct.Struct("!I")
+_U48 = struct.Struct("!HI")
+_pack_u16 = _U16.pack
+_pack_u32 = _U32.pack
+_unpack_u16 = _U16.unpack_from
+_unpack_u32 = _U32.unpack_from
+_intern_name = Name.intern
 
 
 class WireError(ValueError):
@@ -37,46 +52,61 @@ class WireWriter:
         self._buf.append(value & 0xFF)
 
     def write_u16(self, value: int) -> None:
-        self._buf += struct.pack("!H", value & 0xFFFF)
+        self._buf += _pack_u16(value & 0xFFFF)
 
     def write_u32(self, value: int) -> None:
-        self._buf += struct.pack("!I", value & 0xFFFFFFFF)
+        self._buf += _pack_u32(value & 0xFFFFFFFF)
 
     def write_u48(self, value: int) -> None:
-        self._buf += struct.pack("!HI", (value >> 32) & 0xFFFF, value & 0xFFFFFFFF)
+        self._buf += _U48.pack((value >> 32) & 0xFFFF, value & 0xFFFFFFFF)
 
     def patch_u16(self, offset: int, value: int) -> None:
         """Overwrite a previously written 16-bit field (e.g. RDLENGTH)."""
-        self._buf[offset : offset + 2] = struct.pack("!H", value & 0xFFFF)
+        self._buf[offset : offset + 2] = _pack_u16(value & 0xFFFF)
 
     def write_name(self, name: Name, compress: bool | None = None) -> None:
         """Write ``name``, emitting a compression pointer for any suffix
         already present in the message."""
         use_compression = self._compress if compress is None else compress
-        key = name.canonical_key()
+        buf = self._buf
+        labels = name.labels
+        if not labels:
+            buf.append(0)
+            return
+        offsets = self._offsets
+        offsets_get = offsets.get
+        encoded = name.encoded_labels()
+        suffixes = name.suffix_keys()
         index = 0
-        while index < len(key):
-            suffix = key[index:]
-            target = self._offsets.get(suffix)
-            if use_compression and target is not None:
-                self.write_u16(_POINTER_MASK << 8 | target)
-                return
-            offset = len(self._buf)
-            if target is None and offset <= _MAX_POINTER:
-                self._offsets[suffix] = offset
-            label = name.labels[index]
-            self.write_u8(len(label))
-            self.write(label)
+        count = len(labels)
+        while index < count:
+            suffix = suffixes[index]
+            target = offsets_get(suffix)
+            if target is not None:
+                if use_compression:
+                    buf += _pack_u16(0xC000 | target)
+                    return
+            else:
+                position = len(buf)
+                if position <= _MAX_POINTER:
+                    offsets[suffix] = position
+            buf += encoded[index]
             index += 1
-        self.write_u8(0)
+        buf.append(0)
 
 
 class WireReader:
     """Cursor over a received packet with pointer-chasing name decoding."""
 
     def __init__(self, data: bytes, offset: int = 0):
+        if not isinstance(data, bytes):
+            data = bytes(data)  # one normalising copy beats per-label copies
         self.data = data
         self.offset = offset
+        #: start offset -> (decoded Name, offset after it).  Compression
+        #: makes every record owner a two-byte pointer at the question
+        #: name, so one packet decodes the same name dozens of times.
+        self._names: dict[int, tuple[Name, int]] = {}
 
     def remaining(self) -> int:
         return len(self.data) - self.offset
@@ -92,31 +122,37 @@ class WireReader:
             )
 
     def read(self, count: int) -> bytes:
-        self._need(count)
-        chunk = self.data[self.offset : self.offset + count]
-        self.offset += count
-        return chunk
+        offset = self.offset
+        end = offset + count
+        if end > len(self.data):
+            self._need(count)  # raises with the standard message
+        self.offset = end
+        return self.data[offset:end]
 
     def read_u8(self) -> int:
-        self._need(1)
-        value = self.data[self.offset]
-        self.offset += 1
-        return value
+        offset = self.offset
+        if offset >= len(self.data):
+            self._need(1)
+        self.offset = offset + 1
+        return self.data[offset]
 
     def read_u16(self) -> int:
-        self._need(2)
-        (value,) = struct.unpack_from("!H", self.data, self.offset)
-        self.offset += 2
-        return value
+        offset = self.offset
+        if offset + 2 > len(self.data):
+            self._need(2)
+        self.offset = offset + 2
+        return (self.data[offset] << 8) | self.data[offset + 1]
 
     def read_u32(self) -> int:
-        self._need(4)
-        (value,) = struct.unpack_from("!I", self.data, self.offset)
-        self.offset += 4
+        offset = self.offset
+        if offset + 4 > len(self.data):
+            self._need(4)
+        (value,) = _unpack_u32(self.data, offset)
+        self.offset = offset + 4
         return value
 
     def read_u48(self) -> int:
-        high, low = struct.unpack_from("!HI", self.data, self.read_and_keep(6))
+        high, low = _U48.unpack_from(self.data, self.read_and_keep(6))
         return high << 32 | low
 
     def read_and_keep(self, count: int) -> int:
@@ -128,23 +164,45 @@ class WireReader:
 
     def read_name(self) -> Name:
         """Decode a possibly compressed name, guarding against pointer loops."""
+        names = self._names
+        start = self.offset
+        cached = names.get(start)
+        if cached is not None:
+            self.offset = cached[1]
+            return cached[0]
+        data = self.data
+        size = len(data)
         labels: list[bytes] = []
         total = 1
         jumps = 0
-        cursor = self.offset
+        cursor = start
         resume: int | None = None
+        name: Name | None = None
         while True:
-            if cursor >= len(self.data):
+            if cursor >= size:
                 raise WireError("name runs off end of packet")
-            length = self.data[cursor]
+            length = data[cursor]
             if length & _POINTER_MASK == _POINTER_MASK:
-                if cursor + 1 >= len(self.data):
+                if cursor + 1 >= size:
                     raise WireError("truncated compression pointer")
-                target = (length & ~_POINTER_MASK) << 8 | self.data[cursor + 1]
+                target = (length & ~_POINTER_MASK) << 8 | data[cursor + 1]
                 if resume is None:
                     resume = cursor + 2
                 if target >= cursor:
                     raise WireError("forward compression pointer")
+                hit = names.get(target)
+                if hit is not None:
+                    # The tail from here was already decoded (and its walk
+                    # validated) — splice it instead of re-chasing.
+                    tail = hit[0]
+                    total += tail._wlen - 1
+                    if total > MAX_NAME_LENGTH:
+                        raise WireError("decoded name too long")
+                    if labels:
+                        labels.extend(tail.labels)
+                    else:
+                        name = tail
+                    break
                 jumps += 1
                 if jumps > 64:
                     raise WireError("compression pointer loop")
@@ -155,12 +213,16 @@ class WireReader:
                 cursor += 1
                 break
             else:
-                if cursor + 1 + length > len(self.data):
+                if cursor + 1 + length > size:
                     raise WireError("label runs off end of packet")
-                labels.append(bytes(self.data[cursor + 1 : cursor + 1 + length]))
+                labels.append(data[cursor + 1 : cursor + 1 + length])
                 total += length + 1
                 if total > MAX_NAME_LENGTH:
                     raise WireError("decoded name too long")
                 cursor += 1 + length
-        self.offset = resume if resume is not None else cursor
-        return Name(labels)
+        end = resume if resume is not None else cursor
+        self.offset = end
+        if name is None:
+            name = _intern_name(tuple(labels))
+        names[start] = (name, end)
+        return name

@@ -3,10 +3,9 @@ servers and the public recursive resolver models."""
 
 from __future__ import annotations
 
-from dataclasses import replace
 from functools import lru_cache
 
-from ..dnslib import DNSClass, Message, Name, Rcode, ResourceRecord, RRType
+from ..dnslib import DNSClass, Flags, Message, Name, Rcode, ResourceRecord, RRType
 from ..dnslib.rdata.address import A, AAAA
 from ..dnslib.rdata.mail import MX
 from ..dnslib.rdata.names import CNAME, NS, SOA
@@ -76,7 +75,7 @@ def build_answer(
     if profile.truncates and qtype == int(RRType.A) and protocol == "udp" and ns is not None:
         # Oversized response (0.4% in the paper): TC bit forces TCP retry.
         response = query.make_response(authoritative=True)
-        response.flags = replace(response.flags, truncated=True)
+        response.flags = Flags.from_int(response.flags.to_int() | 0x0200)  # TC=1
         return response
 
     response = query.make_response(authoritative=True)
@@ -190,7 +189,7 @@ def _emit_caa(response, owner, caa):
 
 
 def _key(name: Name) -> str:
-    return name.to_text(omit_final_dot=True).lower()
+    return name.key_text()
 
 
 def _uniform(synth, name, tag) -> float:

@@ -9,9 +9,9 @@ open-loop blasting overruns in Table 2.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
-from ..dnslib import Message, Name, Rcode, RRType
+from ..dnslib import Flags, Message, Name, Rcode, RRType
 from ..dnslib.rdata.names import PTR
 from ..net import CapacityQueue, ServerReply, TokenBucket
 from . import rand
@@ -86,7 +86,7 @@ class PublicResolver:
             return ServerReply(query.make_response(rcode=Rcode.SERVFAIL), delay=0.05)
 
         response, extra = self._resolve(query)
-        response.flags = replace(response.flags, recursion_available=True, authoritative=False)
+        response.flags = Flags.from_int((response.flags.to_int() | 0x0080) & ~0x0400)  # RA=1, AA=0
         self.stats.answered += 1
         return ServerReply(response, delay=queue_delay + extra)
 
@@ -99,7 +99,7 @@ class PublicResolver:
             return query.make_response(rcode=Rcode.FORMERR), 0.0
         params = self.synth.params
         name = question.name
-        key = name.to_text(omit_final_dot=True).lower()
+        key = name.key_text()
 
         # recursion cost is paid once per name: a client retry finds the
         # resolver's cache freshly filled

@@ -4,6 +4,7 @@ and infrastructure servers, all answering from procedural zone data."""
 from __future__ import annotations
 
 import random
+from collections import OrderedDict
 
 from ..dnslib import Message, Name, Rcode, RRType
 from ..dnslib.rdata.address import A
@@ -16,6 +17,91 @@ _IN_ADDR = Name.from_text("in-addr.arpa")
 _ARPA = Name.from_text("arpa")
 _EXAMPLE = Name.from_text("example")
 _VERSION_BIND = Name.from_text("version.bind")
+
+
+class ResponseMemo:
+    """Bounded memo of fully built responses, keyed by the question.
+
+    Zone content is a pure function of the question (plus, for provider
+    servers, the transport protocol), so identical queries rebuild
+    byte-identical responses — dense workloads like the PTR sweeps
+    revisit the same owner names hundreds of times.  A hit hands back a
+    *clone* sharing the immutable records and the encoded wire template
+    (so re-encoding patches two transaction-id bytes), while the clone's
+    section lists stay private in case a client sanitises them.
+
+    Probabilistic behaviour must stay outside the memo: the provider
+    servers draw their drop-probability sample *before* consulting it,
+    keeping the RNG consumption sequence — and thus the simulated
+    universe — identical for a given seed.
+    """
+
+    __slots__ = ("capacity", "hits", "misses", "_entries")
+
+    def __init__(self, capacity: int = 8192):
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._entries: OrderedDict[tuple, Message] = OrderedDict()
+
+    @staticmethod
+    def key(query: Message, extra=None) -> tuple:
+        question = query.question
+        return (
+            question.name.labels,  # spelling-preserving: responses echo case
+            int(question.rrtype),
+            int(question.rrclass),
+            query.flags.to_int(),
+            extra,
+        )
+
+    def get(self, key: tuple, query: Message) -> Message | None:
+        stored = self._entries.get(key)
+        if stored is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        clone = Message(
+            id=query.id,
+            flags=stored.flags,
+            questions=list(stored.questions),
+            answers=list(stored.answers),
+            authorities=list(stored.authorities),
+            additionals=list(stored.additionals),
+        )
+        clone._wire = stored._wire  # id is patched on encode
+        return clone
+
+    def put(self, key: tuple, message: Message) -> None:
+        entries = self._entries
+        entries[key] = message
+        if len(entries) > self.capacity:
+            entries.popitem(last=False)
+
+
+class _MemoisedServer:
+    """Mixin: cache ``_respond`` results per question.
+
+    Only for handlers whose responses depend on nothing but the query
+    (and never return ``None``/a delayed reply)."""
+
+    def _init_memo(self, capacity: int = 8192) -> None:
+        self.memo = ResponseMemo(capacity)
+
+    def handle_query(self, query, client_ip, now, protocol):
+        question = query.question
+        if question is None:
+            return ServerReply(_refused(query))
+        memo = self.memo
+        key = ResponseMemo.key(query)
+        cached = memo.get(key, query)
+        if cached is not None:
+            return ServerReply(cached)
+        reply = self._respond(query, client_ip, now, protocol)
+        if reply is not None and reply.delay == 0.0:
+            memo.put(key, reply.message)
+        return reply
 
 
 def _referral(query: Message, zone: Name, ns_pairs: list[tuple[Name, str | None]]) -> Message:
@@ -33,44 +119,45 @@ def _refused(query: Message) -> Message:
     return query.make_response(rcode=Rcode.REFUSED)
 
 
-class RootServer:
+class RootServer(_MemoisedServer):
     """One of the 13 root servers: delegates TLDs."""
 
     def __init__(self, synth: ZoneSynthesizer):
         self.synth = synth
         self._tlds = {tld for tld, _ in synth.tlds()}
+        # delegation NS/glue sets are static for the life of the zone
+        self._arpa_pairs = [
+            (Name.from_text(f"ns{k + 1}.rdns-root.example"), ip)
+            for k, ip in enumerate(synth.arpa_server_ips())
+        ]
+        self._infra_pairs = [
+            (Name.from_text(f"ns{k + 1}.infra.example"), ip)
+            for k, ip in enumerate(synth.infra_server_ips())
+        ]
+        self._tld_pairs = {
+            tld: [(synth.tld_ns_name(tld, k), synth.tld_ns_ip(tld, k)) for k in range(2)]
+            for tld in self._tlds
+        }
+        self._init_memo()
 
-    def handle_query(self, query, client_ip, now, protocol):
-        question = query.question
-        if question is None:
-            return ServerReply(_refused(query))
-        name = question.name
+    def _respond(self, query, client_ip, now, protocol):
+        name = query.question.name
         if name.is_root:
             return ServerReply(nodata(query, Name.root()))
         tld = name.labels[-1].decode("ascii", "replace").lower()
         if tld == "arpa":
             zone = _IN_ADDR if name.is_subdomain_of(_IN_ADDR) else _ARPA
-            pairs = [
-                (Name.from_text(f"ns{k + 1}.rdns-root.example"), ip)
-                for k, ip in enumerate(self.synth.arpa_server_ips())
-            ]
-            return ServerReply(_referral(query, zone, pairs))
+            return ServerReply(_referral(query, zone, self._arpa_pairs))
         if tld == "example":
-            pairs = [
-                (Name.from_text(f"ns{k + 1}.infra.example"), ip)
-                for k, ip in enumerate(self.synth.infra_server_ips())
-            ]
-            return ServerReply(_referral(query, _EXAMPLE, pairs))
-        if tld in self._tlds:
+            return ServerReply(_referral(query, _EXAMPLE, self._infra_pairs))
+        pairs = self._tld_pairs.get(tld)
+        if pairs is not None:
             zone = Name((name.labels[-1],))
-            pairs = [
-                (self.synth.tld_ns_name(tld, k), self.synth.tld_ns_ip(tld, k)) for k in range(2)
-            ]
             return ServerReply(_referral(query, zone, pairs))
         return ServerReply(nxdomain(query, Name.root()))
 
 
-class TLDServer:
+class TLDServer(_MemoisedServer):
     """Registry server for one TLD: delegates registered base domains."""
 
     #: Dark address space for dead delegations: routed nowhere.
@@ -80,10 +167,11 @@ class TLDServer:
         self.synth = synth
         self.tld = tld
         self.zone = Name.from_text(tld)
+        self._init_memo()
 
-    def handle_query(self, query, client_ip, now, protocol):
+    def _respond(self, query, client_ip, now, protocol):
         question = query.question
-        if question is None or not question.name.is_subdomain_of(self.zone):
+        if not question.name.is_subdomain_of(self.zone):
             return ServerReply(_refused(query))
         if question.name == self.zone:
             return ServerReply(nodata(query, self.zone))
@@ -104,16 +192,17 @@ class TLDServer:
         return ServerReply(_referral(query, base, pairs))
 
 
-class InfraServer:
+class InfraServer(_MemoisedServer):
     """Authoritative for the synthetic ``example`` TLD: nameserver host
     records and reverse-pointer targets live here."""
 
     def __init__(self, synth: ZoneSynthesizer):
         self.synth = synth
+        self._init_memo()
 
-    def handle_query(self, query, client_ip, now, protocol):
+    def _respond(self, query, client_ip, now, protocol):
         question = query.question
-        if question is None or not question.name.is_subdomain_of(_EXAMPLE):
+        if not question.name.is_subdomain_of(_EXAMPLE):
             return ServerReply(_refused(query))
         name = question.name
         ip = self.synth.infra_a_record(name)
@@ -125,7 +214,7 @@ class InfraServer:
             else:
                 response.authorities.append(soa_for(_EXAMPLE))
             return ServerReply(response)
-        text = name.to_text(omit_final_dot=True).lower()
+        text = name.key_text()
         if text.startswith("host-") or ".isp" in text:
             # PTR targets resolve deterministically
             response = query.make_response(authoritative=True)
@@ -154,6 +243,7 @@ class ProviderAuthServer:
         self.rng = random.Random(seed ^ (provider_index << 8) ^ pool_slot)
         self.refused = 0
         self.dropped = 0
+        self.memo = ResponseMemo()
 
     #: Software versions by provider (exposed via version.bind, the
     #: paper's bind.version misc module).
@@ -189,18 +279,28 @@ class ProviderAuthServer:
             # probabilistic blocking: silently ignore this query
             self.dropped += 1
             return None
-        return ServerReply(build_answer(self.synth, query, profile, ns=me, protocol=protocol))
+        # Memoised *after* the drop draw so the RNG sequence (and hence
+        # the simulated universe) is untouched; answers can differ per
+        # protocol (UDP truncation), so the key carries it.
+        key = ResponseMemo.key(query, extra=protocol)
+        cached = self.memo.get(key, query)
+        if cached is not None:
+            return ServerReply(cached)
+        response = build_answer(self.synth, query, profile, ns=me, protocol=protocol)
+        self.memo.put(key, response)
+        return ServerReply(response)
 
 
-class ArpaServer:
+class ArpaServer(_MemoisedServer):
     """Authoritative for arpa/in-addr.arpa: delegates /8 zones."""
 
     def __init__(self, synth: ZoneSynthesizer):
         self.synth = synth
+        self._init_memo()
 
-    def handle_query(self, query, client_ip, now, protocol):
+    def _respond(self, query, client_ip, now, protocol):
         question = query.question
-        if question is None or not question.name.is_subdomain_of(_ARPA):
+        if not question.name.is_subdomain_of(_ARPA):
             return ServerReply(_refused(query))
         name = question.name
         if not name.is_subdomain_of(_IN_ADDR):
@@ -220,7 +320,7 @@ class ArpaServer:
         return ServerReply(_referral(query, zone, pairs))
 
 
-class RdnsOperatorServer:
+class RdnsOperatorServer(_MemoisedServer):
     """One reverse-DNS operator host, authoritative for every /8, /16
     and /24 reverse zone that hashes to its operator id."""
 
@@ -228,10 +328,11 @@ class RdnsOperatorServer:
         self.synth = synth
         self.operator = operator
         self.pool_slot = pool_slot
+        self._init_memo()
 
-    def handle_query(self, query, client_ip, now, protocol):
+    def _respond(self, query, client_ip, now, protocol):
         question = query.question
-        if question is None or not question.name.is_subdomain_of(_IN_ADDR):
+        if not question.name.is_subdomain_of(_IN_ADDR):
             return ServerReply(_refused(query))
         rev = question.name.relativize(_IN_ADDR)
         octets = []

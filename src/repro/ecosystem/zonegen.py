@@ -145,7 +145,7 @@ class ZoneSynthesizer:
 
     def infra_a_record(self, name: Name) -> str | None:
         """Resolve an infrastructure hostname (ns*.{...}.example) to its IP."""
-        text = name.to_text(omit_final_dot=True).lower()
+        text = name.key_text()
         parts = text.split(".")
         if len(parts) < 3 or parts[-1] != "example" or not parts[0].startswith("ns"):
             return None
@@ -185,14 +185,16 @@ class ZoneSynthesizer:
         tld = name.labels[-1].decode("ascii", "replace").lower()
         if tld not in self._tld_index:
             return None
-        return Name(name.labels[-2:])
+        # interned: profile() is lru-cached on the Name, so handing back
+        # the shared instance turns its cache key into a pointer compare
+        return Name.intern(name.labels[-2:])
 
     @lru_cache(maxsize=262_144)
     def profile(self, base: Name) -> DomainProfile:
         """The deterministic profile of a base domain."""
         seed = self.params.seed
         p = self.params
-        key = base.to_text(omit_final_dot=True).lower()
+        key = base.key_text()
         tld = base.labels[-1].decode("ascii", "replace").lower()
         cls = tld_class(tld) or "legacy"
 
@@ -308,7 +310,7 @@ class ZoneSynthesizer:
             return False
         if fqdn == profile.base:
             return True
-        key = fqdn.to_text(omit_final_dot=True).lower()
+        key = fqdn.key_text()
         if len(fqdn.labels) == len(profile.base.labels) + 1:
             first = fqdn.labels[0].lower()
             if first == b"www":
@@ -325,7 +327,7 @@ class ZoneSynthesizer:
     @lru_cache(maxsize=131_072)
     def host_addresses(self, fqdn: Name, count_tag: str = "a") -> list[str]:
         """Deterministic public IPv4 addresses for a hostname."""
-        key = fqdn.to_text(omit_final_dot=True).lower()
+        key = fqdn.key_text()
         seed = self.params.seed
         count = 1 + rand.h64(seed, key, count_tag, "count") % 3
         addresses = []

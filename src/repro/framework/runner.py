@@ -7,6 +7,7 @@ free of DNS-specific logic.
 
 from __future__ import annotations
 
+import os
 import random
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
@@ -129,12 +130,16 @@ class ScanRunner:
                 eviction=config.cache_eviction,
                 seed=config.seed,
             )
+        resolver_config = config.resolver_config()
+        if self.sink is None:
+            # nothing consumes per-query trace rows: skip assembling them
+            resolver_config.collect_trace = False
         context = ModuleContext(
             mode=mode,
             root_ips=internet.root_ips,
             resolver_ips=self._resolver_ips(),
             cache=self.cache,
-            config=config.resolver_config(),
+            config=resolver_config,
             rng=random.Random(config.seed),
             build_rows=self.sink is not None,
         )
@@ -176,9 +181,13 @@ class ScanRunner:
             futures.append(sim.spawn(worker(socket, ramp * index / config.threads)))
         stats.threads_running = len(futures)
 
-        sim.run()
+        _run_with_optional_profile(sim)
         for future in futures:
             future.result()  # surface any routine crash
+
+        counters = getattr(sim, "counters", None)
+        if counters is not None:
+            stats.scheduler = counters()
 
         elapsed = stats.duration
         return ScanReport(
@@ -190,6 +199,8 @@ class ScanRunner:
                     "hit_rate": round(self.cache.stats.hit_rate, 4),
                     "evictions": self.cache.stats.evictions,
                     "size": len(self.cache),
+                    "answer_hits": self.cache.stats.answer_hits,
+                    "answer_misses": self.cache.stats.answer_misses,
                 }
                 if self.cache is not None
                 else None
@@ -197,6 +208,31 @@ class ScanRunner:
             network_stats=vars(internet.network.stats).copy(),
             cpu_utilisation=cpu.utilisation(elapsed) if elapsed else 0.0,
         )
+
+
+def _run_with_optional_profile(sim) -> None:
+    """``sim.run()``, optionally under cProfile.
+
+    Set ``REPRO_PROFILE=1`` (or ``REPRO_PROFILE=<N>`` for the top N
+    rows) to print cumulative-time hot spots of the event loop after the
+    scan — the profiler only wraps the run itself, not setup or
+    reporting, so the output is the scan's actual hot path.
+    """
+    spec = os.environ.get("REPRO_PROFILE", "")
+    if not spec or spec == "0":
+        sim.run()
+        return
+    import cProfile
+    import pstats
+
+    top = int(spec) if spec.isdigit() and int(spec) > 1 else 25
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        sim.run()
+    finally:
+        profiler.disable()
+        pstats.Stats(profiler).sort_stats("cumulative").print_stats(top)
 
 
 def run_scan(

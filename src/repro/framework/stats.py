@@ -20,6 +20,9 @@ class ScanStats:
     queries_sent: int = 0
     retries_used: int = 0
     completion_times: list = field(default_factory=list)
+    #: Event-loop pressure counters from ``Simulator.counters()`` —
+    #: peak heap/ready-queue sizes, cancelled timers, compactions.
+    scheduler: dict = field(default_factory=dict)
 
     def record(self, status: str, now: float, queries: int = 0, retries: int = 0) -> None:
         self.total += 1
@@ -87,7 +90,7 @@ class ScanStats:
         return self.queries_sent / self.duration if self.duration > 0 else 0.0
 
     def to_json(self) -> dict:
-        return {
+        out = {
             "total": self.total,
             "successes": self.successes,
             "success_rate": round(self.success_rate, 4),
@@ -100,3 +103,6 @@ class ScanStats:
             "queries_sent": self.queries_sent,
             "retries_used": self.retries_used,
         }
+        if self.scheduler:
+            out["scheduler"] = dict(self.scheduler)
+        return out

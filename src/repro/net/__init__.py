@@ -9,7 +9,7 @@ use.
 from .cpu import CPUModel, GCModel
 from .links import CapacityQueue, LatencyModel, LossModel, TokenBucket
 from .live import UDPServer, UDPTransport
-from .sim import Routine, SimFuture, SimulationError, Simulator
+from .sim import Routine, SimFuture, SimulationError, Simulator, TimerHandle
 from .sockets import (
     DEFAULT_PORTS_PER_IP,
     NetworkStats,
@@ -39,6 +39,7 @@ __all__ = [
     "SimulationError",
     "Simulator",
     "SourceIPPool",
+    "TimerHandle",
     "TokenBucket",
     "UDPServer",
     "UDPTransport",

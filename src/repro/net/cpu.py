@@ -89,7 +89,7 @@ class CPUModel:
         """Schedule ``cost`` seconds of CPU work; resolves at completion."""
         delay = self.occupy(cost)
         future = SimFuture()
-        self.sim.call_at(self.sim.now + delay, lambda: future.set_result(None))
+        self.sim._at(self.sim.now + delay, lambda: future.set_result(None))
         return future
 
     def charge(self, cost: float) -> SimFuture:

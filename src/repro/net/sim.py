@@ -11,14 +11,36 @@ A routine is a generator that yields either
 * a ``float``/``int`` — sleep that many virtual seconds, or
 * a :class:`SimFuture` — resume when the future resolves; the future's
   result is sent into the generator (exceptions are thrown in).
+
+Scheduling is split across two structures, asyncio-style:
+
+* a *ready queue* (deque) holds work due **now** — ``call_soon``,
+  routine spawns, and future resumptions never touch the heap;
+* a binary heap holds future timers.  ``call_at``/``call_later`` return
+  a cancellable :class:`TimerHandle`; cancelled entries are dropped
+  lazily on pop, and the heap is compacted wholesale once cancelled
+  entries dominate, so a scan of N queries keeps O(live) — not O(N) —
+  events resident.
+
+Both structures share one monotonically increasing sequence number, so
+the execution order of same-timestamp events is *identical* to a single
+FIFO priority queue: determinism is a hard requirement (every simulated
+result must be bit-identical for a given seed) and the split is purely
+a constant-factor optimisation.
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable, Generator, Iterable
 
 Routine = Generator[Any, Any, Any]
+
+#: Compact the timer heap when at least this many cancelled entries are
+#: pending *and* they outnumber the live ones (asyncio uses the same
+#: strategy); below the floor, lazy pop-time dropping is cheaper.
+_COMPACTION_FLOOR = 64
 
 
 class SimulationError(RuntimeError):
@@ -73,25 +95,148 @@ class SimFuture:
             callback(self)
 
 
+class TimerHandle:
+    """A scheduled callback that can be cancelled before it fires.
+
+    Cancellation is O(1): the entry is flagged and skipped when popped
+    (or swept out by a heap compaction).  Cancelling an already-fired
+    or already-cancelled handle is a no-op.
+    """
+
+    __slots__ = ("when", "seq", "fn", "cancelled", "finished", "_sim")
+
+    def __init__(self, when: float, seq: int, fn: Callable[[], None], sim: "Simulator"):
+        self.when = when
+        self.seq = seq
+        self.fn = fn
+        self.cancelled = False
+        self.finished = False
+        self._sim = sim
+
+    def cancel(self) -> bool:
+        """Cancel the callback; returns True if this call cancelled it."""
+        if self.cancelled or self.finished:
+            return False
+        self.cancelled = True
+        self.fn = None  # break closure cycles early
+        self._sim._timer_cancelled()
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else ("fired" if self.finished else "pending")
+        return f"TimerHandle(when={self.when}, seq={self.seq}, {state})"
+
+
 class Simulator:
-    """A priority-queue event loop over a virtual clock."""
+    """A ready-queue + timer-heap event loop over a virtual clock."""
 
     def __init__(self):
         self.now: float = 0.0
-        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        #: (when, seq, handle) triples — tuple heads keep heap sifting
+        #: on the C fast path; (when, seq) is unique so the handle is
+        #: never compared
+        self._heap: list[tuple[float, int, TimerHandle]] = []
+        self._ready: deque[TimerHandle] = deque()
         self._sequence = 0
         self._live_routines = 0
+        self._cancelled_pending = 0  # cancelled entries still in the heap
+        # observability counters (surfaced in scan reports via
+        # framework.stats) — future perf PRs read scheduler pressure here
+        self.timers_scheduled = 0
+        self.timers_cancelled = 0
+        self.events_executed = 0
+        self.peak_heap_size = 0
+        self.peak_ready_depth = 0
+        self.heap_compactions = 0
 
     # -- raw event scheduling -------------------------------------------------
 
-    def call_at(self, when: float, fn: Callable[[], None]) -> None:
-        if when < self.now:
-            raise SimulationError(f"cannot schedule in the past ({when} < {self.now})")
+    def call_soon(self, fn: Callable[[], None]) -> TimerHandle:
+        """Run ``fn`` at the current timestamp, FIFO with other due work."""
         self._sequence += 1
-        heapq.heappush(self._heap, (when, self._sequence, fn))
+        handle = TimerHandle(self.now, self._sequence, fn, self)
+        ready = self._ready
+        ready.append((self._sequence, handle))
+        if len(ready) > self.peak_ready_depth:
+            self.peak_ready_depth = len(ready)
+        return handle
 
-    def call_later(self, delay: float, fn: Callable[[], None]) -> None:
-        self.call_at(self.now + delay, fn)
+    def call_at(self, when: float, fn: Callable[[], None]) -> TimerHandle:
+        if when <= self.now:
+            if when < self.now:
+                raise SimulationError(f"cannot schedule in the past ({when} < {self.now})")
+            return self.call_soon(fn)
+        self._sequence += 1
+        handle = TimerHandle(when, self._sequence, fn, self)
+        heap = self._heap
+        heapq.heappush(heap, (when, self._sequence, handle))
+        self.timers_scheduled += 1
+        if len(heap) > self.peak_heap_size:
+            self.peak_heap_size = len(heap)
+        return handle
+
+    def call_later(self, delay: float, fn: Callable[[], None]) -> TimerHandle:
+        return self.call_at(self.now + delay, fn)
+
+    # Internal no-handle variants: routine steps, future resumptions, and
+    # packet deliveries are never cancelled, so scheduling them as a bare
+    # callable skips a TimerHandle allocation per event.  Sequence numbers
+    # are drawn from the same counter, so execution order is identical to
+    # the public entry points.
+
+    def _soon(self, fn: Callable[[], None]) -> None:
+        self._sequence += 1
+        ready = self._ready
+        ready.append((self._sequence, fn))
+        if len(ready) > self.peak_ready_depth:
+            self.peak_ready_depth = len(ready)
+
+    def _at(self, when: float, fn: Callable[[], None]) -> None:
+        if when <= self.now:
+            if when < self.now:
+                raise SimulationError(f"cannot schedule in the past ({when} < {self.now})")
+            self._soon(fn)
+            return
+        self._sequence += 1
+        heap = self._heap
+        heapq.heappush(heap, (when, self._sequence, fn))
+        self.timers_scheduled += 1
+        if len(heap) > self.peak_heap_size:
+            self.peak_heap_size = len(heap)
+
+    def _timer_cancelled(self) -> None:
+        self.timers_cancelled += 1
+        self._cancelled_pending += 1
+        if (
+            self._cancelled_pending > _COMPACTION_FLOOR
+            and self._cancelled_pending * 2 > len(self._heap)
+        ):
+            # in place: run() holds an alias to this list
+            heap = self._heap
+            heap[:] = [
+                entry
+                for entry in heap
+                if type(entry[2]) is not TimerHandle or not entry[2].cancelled
+            ]
+            heapq.heapify(heap)
+            self._cancelled_pending = 0
+            self.heap_compactions += 1
+
+    @property
+    def pending_events(self) -> int:
+        """Live (non-cancelled) events currently scheduled."""
+        return len(self._heap) + len(self._ready) - self._cancelled_pending
+
+    def counters(self) -> dict:
+        """Scheduler pressure counters for scan reports."""
+        return {
+            "timers_scheduled": self.timers_scheduled,
+            "timers_cancelled": self.timers_cancelled,
+            "events_executed": self.events_executed,
+            "peak_heap_size": self.peak_heap_size,
+            "peak_ready_depth": self.peak_ready_depth,
+            "heap_compactions": self.heap_compactions,
+        }
 
     # -- routines -------------------------------------------------------------
 
@@ -99,7 +244,7 @@ class Simulator:
         """Start a routine now; returns a future for its return value."""
         outcome = SimFuture()
         self._live_routines += 1
-        self.call_at(self.now, lambda: self._step(routine, outcome, None, None))
+        self._soon(lambda: self._step(routine, outcome, None, None))
         return outcome
 
     def _step(
@@ -124,7 +269,7 @@ class Simulator:
                 lambda fut: self._resume_from_future(routine, outcome, fut)
             )
         elif isinstance(yielded, (int, float)):
-            self.call_later(float(yielded), lambda: self._step(routine, outcome, None, None))
+            self._at(self.now + yielded, lambda: self._step(routine, outcome, None, None))
         else:
             self._live_routines -= 1
             outcome.set_exception(
@@ -135,21 +280,56 @@ class Simulator:
         try:
             value = fut.result()
         except BaseException as error:
-            self.call_at(self.now, lambda err=error: self._step(routine, outcome, None, err))
+            self._soon(lambda err=error: self._step(routine, outcome, None, err))
             return
-        self.call_at(self.now, lambda: self._step(routine, outcome, value, None))
+        self._soon(lambda: self._step(routine, outcome, value, None))
 
     # -- running --------------------------------------------------------------
 
     def run(self, until: float | None = None) -> None:
-        """Process events until the heap drains or the clock passes ``until``."""
-        while self._heap:
-            when, _, fn = self._heap[0]
-            if until is not None and when > until:
-                self.now = until
-                return
-            heapq.heappop(self._heap)
-            self.now = when
+        """Process events until both queues drain or the clock passes
+        ``until``.  Ready-queue work and due timers interleave in global
+        schedule order (the shared sequence number), exactly as the old
+        single-heap loop did."""
+        heap = self._heap
+        ready = self._ready
+        pop_heap = heapq.heappop
+        handle_type = TimerHandle
+        while True:
+            # drop cancelled timers surfacing at the top of the heap
+            while heap:
+                top = heap[0][2]
+                if type(top) is handle_type and top.cancelled:
+                    pop_heap(heap)
+                    if self._cancelled_pending:
+                        self._cancelled_pending -= 1
+                else:
+                    break
+            if ready:
+                seq, fn = ready[0]
+                # a timer already due *now* with an older sequence number
+                # must run first to preserve FIFO order across structures
+                if heap and heap[0][0] <= self.now and heap[0][1] < seq:
+                    fn = pop_heap(heap)[2]
+                else:
+                    ready.popleft()
+            elif heap:
+                when = heap[0][0]
+                if until is not None and when > until:
+                    self.now = until
+                    return
+                fn = pop_heap(heap)[2]
+                self.now = when
+            else:
+                break
+            if type(fn) is handle_type:
+                if fn.cancelled:  # cancelled while queued
+                    if self._cancelled_pending:
+                        self._cancelled_pending -= 1
+                    continue
+                fn.finished = True
+                fn = fn.fn
+            self.events_executed += 1
             fn()
         if until is not None:
             self.now = max(self.now, until)
@@ -163,24 +343,31 @@ class Simulator:
     def sleep_future(self, delay: float) -> SimFuture:
         """A future resolving after ``delay`` virtual seconds."""
         future = SimFuture()
-        self.call_later(delay, lambda: future.set_result(None))
+        self._at(self.now + delay, lambda: future.set_result(None))
         return future
 
     def timeout_race(self, future: SimFuture, timeout: float) -> SimFuture:
-        """Resolve with ``future``'s result, or ``None`` after ``timeout``."""
-        race = SimFuture()
+        """Resolve with ``future``'s result, or ``None`` after ``timeout``.
 
-        def on_future(fut: SimFuture) -> None:
-            if not race.done:
-                try:
-                    race.set_result(fut.result())
-                except BaseException as error:
-                    race.set_exception(error)
+        When ``future`` wins, the timeout timer is cancelled so it does
+        not rot in the heap until its deadline — with tens of thousands
+        of in-flight queries this is the difference between an O(live)
+        and an O(total-queries) heap."""
+        race = SimFuture()
 
         def on_timeout() -> None:
             if not race.done:
                 race.set_result(None)
 
+        timer = self.call_later(timeout, on_timeout)
+
+        def on_future(fut: SimFuture) -> None:
+            if not race.done:
+                timer.cancel()
+                try:
+                    race.set_result(fut.result())
+                except BaseException as error:
+                    race.set_exception(error)
+
         future.add_done_callback(on_future)
-        self.call_later(timeout, on_timeout)
         return race

@@ -254,9 +254,9 @@ class SimNetwork:
                 if not response_future.done:
                     response_future.set_result(self._maybe_unwire(reply_wire, response))
 
-            self.sim.call_at(deliver_at, deliver)
+            self.sim._at(deliver_at, deliver)
 
-        self.sim.call_at(arrival, at_server)
+        self.sim._at(arrival, at_server)
         return self.sim.timeout_race(response_future, timeout)
 
     # -- wire fidelity --------------------------------------------------------

@@ -88,6 +88,40 @@ class TestPolicies:
         cache.put_answer(N("a.com"), RRType.A, [record])
         assert cache.get_answer(N("a.com"), RRType.A) == [record]
 
+    def test_answer_lookups_are_counted(self):
+        """Answer-cache traffic shows up in the stats — previously these
+        probes were invisible, so the policy="all" ablation reported a
+        hit rate built only from delegation walks."""
+        cache = SelectiveCache(capacity=10, policy="all")
+        record = ResourceRecord(N("a.com"), RRType.A, DNSClass.IN, 300, A("1.2.3.4"))
+        assert cache.get_answer(N("a.com"), RRType.A) is None
+        assert cache.stats.answer_misses == 1
+        cache.put_answer(N("a.com"), RRType.A, [record])
+        assert cache.get_answer(N("a.com"), RRType.A) == [record]
+        assert cache.get_answer(N("a.com"), RRType.A) == [record]
+        assert cache.stats.answer_hits == 2
+        assert cache.stats.answer_misses == 1
+        # aggregate hit rate blends delegation and answer probes
+        assert cache.stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_selective_policy_records_no_answer_stats(self):
+        cache = SelectiveCache(capacity=10, policy="selective")
+        assert cache.get_answer(N("a.com"), RRType.A) is None
+        assert cache.stats.answer_hits == 0
+        assert cache.stats.answer_misses == 0
+
+    def test_answer_hits_refresh_lru_position(self):
+        cache = SelectiveCache(capacity=2, policy="all", eviction="lru")
+        a = ResourceRecord(N("a.com"), RRType.A, DNSClass.IN, 300, A("1.2.3.4"))
+        b = ResourceRecord(N("b.com"), RRType.A, DNSClass.IN, 300, A("5.6.7.8"))
+        cache.put_answer(N("a.com"), RRType.A, [a])
+        cache.put_answer(N("b.com"), RRType.A, [b])
+        assert cache.get_answer(N("a.com"), RRType.A) == [a]  # refresh a
+        c = ResourceRecord(N("c.com"), RRType.A, DNSClass.IN, 300, A("9.9.9.9"))
+        cache.put_answer(N("c.com"), RRType.A, [c])
+        assert cache.get_answer(N("a.com"), RRType.A) == [a]
+        assert cache.get_answer(N("b.com"), RRType.A) is None  # b evicted
+
     def test_none_policy_caches_nothing(self):
         cache = SelectiveCache(capacity=10, policy="none")
         cache.put_delegation(delegation("com", "1.1.1.1"))

@@ -146,3 +146,98 @@ def test_message_roundtrip(txid, qname, answers, authorities, additionals):
     assert decoded.authorities == authorities
     assert decoded.additionals == additionals
     assert decoded.question.name == qname
+
+
+# --------------------------------------------------------------------------
+# encode -> decode -> re-encode byte stability (the fast-path codec must
+# be a bijection on everything it produces, or the wire-validation modes
+# would drift from the object path)
+
+
+def _all_sample_records():
+    from repro.dnslib.rdata.misc import LOC
+    from repro.dnslib.rdata.svcb import HTTPS, SVCB
+
+    from .rdata_samples import SAMPLES
+
+    samples = dict(SAMPLES)
+    samples.setdefault(RRType.LOC, [LOC(2**31 + 3_600_000, 2**31 - 7_200_000, 10_050_000)])
+    samples.setdefault(RRType.SVCB, [SVCB(1, Name.from_text("svc.example.com"), ((1, b"\x02h2"),))])
+    samples.setdefault(RRType.HTTPS, [HTTPS(0, Name.from_text("alias.example.com"))])
+
+    owner = Name.from_text("records.example.com")
+    out = []
+    for rrtype, instances in sorted(samples.items(), key=lambda kv: int(kv[0])):
+        for rdata in instances:
+            out.append(ResourceRecord(owner, rrtype, DNSClass.IN, 300, rdata))
+    return out
+
+
+def test_reencode_identical_all_registered_types():
+    """Every registered RDATA codec survives encode→decode→re-encode
+    byte-identically (compression on: Message.to_wire's path)."""
+    from repro.dnslib.rdata import registered_types
+
+    records = _all_sample_records()
+    covered = {int(r.rrtype) for r in records}
+    missing = set(registered_types()) - covered
+    assert not missing, f"rdata_samples.py lacks samples for type codes {sorted(missing)}"
+
+    for record in records:
+        message = Message(
+            id=0x2222,
+            flags=Flags(response=True),
+            questions=[Question(Name.from_text("q.example.com"), record.rrtype)],
+            answers=[record],
+        )
+        first = message.to_wire()
+        decoded = Message.from_wire(first)
+        second = decoded.to_wire()
+        assert second == first, f"re-encode drift for {record.rrtype!r}"
+
+
+def test_reencode_identical_without_compression():
+    """The same bijection holds with name compression disabled."""
+    for record in _all_sample_records():
+        writer = WireWriter(enable_compression=False)
+        record.to_wire(writer)
+        first = writer.getvalue()
+        decoded = ResourceRecord.from_wire(WireReader(first))
+        rewriter = WireWriter(enable_compression=False)
+        decoded.to_wire(rewriter)
+        assert rewriter.getvalue() == first, f"uncompressed drift for {record.rrtype!r}"
+
+
+@settings(max_examples=100)
+@given(st.lists(names, min_size=1, max_size=8), st.booleans())
+def test_name_sequence_reencode_identical(name_list, compress):
+    """Random (seeded by hypothesis) name sequences re-encode to the
+    same bytes after a decode pass, with and without compression."""
+    writer = WireWriter(enable_compression=compress)
+    for name in name_list:
+        writer.write_name(name)
+    first = writer.getvalue()
+    reader = WireReader(first)
+    decoded = [reader.read_name() for _ in name_list]
+    rewriter = WireWriter(enable_compression=compress)
+    for name in decoded:
+        rewriter.write_name(name)
+    assert rewriter.getvalue() == first
+
+
+@settings(max_examples=60)
+@given(
+    st.integers(0, 0xFFFF),
+    hostnames,
+    st.lists(records, min_size=1, max_size=6),
+)
+def test_message_reencode_identical(txid, qname, answers):
+    message = Message(
+        id=txid,
+        flags=Flags(response=True, authoritative=True),
+        questions=[Question(qname, RRType.A)],
+        answers=answers,
+    )
+    first = message.to_wire()
+    second = Message.from_wire(first).to_wire()
+    assert second == first

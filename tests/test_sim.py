@@ -166,6 +166,125 @@ class TestRoutines:
         assert sum(results) == 5000
 
 
+class TestReadyQueueOrdering:
+    def test_call_soon_and_due_timers_interleave_fifo(self):
+        """Events due at the same timestamp run in scheduling order even
+        though they live in different structures (ready deque vs heap)."""
+        sim = Simulator()
+        seen = []
+
+        def at_one():
+            seen.append("timer-a")  # scheduled first at t=1.0
+            sim.call_soon(lambda: seen.append("soon-1"))  # third
+            sim.call_at(1.0, lambda: seen.append("at-now"))  # fourth
+            sim.call_soon(lambda: seen.append("soon-2"))  # fifth
+
+        sim.call_later(1.0, at_one)
+        sim.call_later(1.0, lambda: seen.append("timer-b"))  # second
+        sim.run()
+        assert seen == ["timer-a", "timer-b", "soon-1", "at-now", "soon-2"]
+
+    def test_routine_resumption_is_fifo_with_timers(self):
+        sim = Simulator()
+        seen = []
+        gate = SimFuture()
+
+        def waiter():
+            yield gate
+            seen.append("resumed")
+
+        sim.spawn(waiter())
+
+        def fire():
+            gate.set_result(None)  # queues the resumption...
+            sim.call_soon(lambda: seen.append("after"))  # ...then this
+
+        sim.call_later(1.0, fire)
+        sim.run()
+        assert seen == ["resumed", "after"]
+
+    def test_call_soon_runs_before_later_timers(self):
+        sim = Simulator()
+        seen = []
+        sim.call_soon(lambda: seen.append("soon"))
+        sim.call_later(0.5, lambda: seen.append("timer"))
+        sim.run()
+        assert seen == ["soon", "timer"]
+
+
+class TestTimerCancellation:
+    def test_cancelled_timer_never_executes(self):
+        sim = Simulator()
+        seen = []
+        handle = sim.call_later(1.0, lambda: seen.append("boom"))
+        assert handle.cancel() is True
+        sim.call_later(2.0, lambda: seen.append("ok"))
+        sim.run()
+        assert seen == ["ok"]
+        assert sim.timers_cancelled == 1
+
+    def test_cancel_after_fire_is_noop(self):
+        sim = Simulator()
+        seen = []
+        handle = sim.call_later(1.0, lambda: seen.append("ran"))
+        sim.run()
+        assert seen == ["ran"]
+        assert handle.cancel() is False
+        assert sim.timers_cancelled == 0
+
+    def test_double_cancel_counts_once(self):
+        sim = Simulator()
+        handle = sim.call_later(1.0, lambda: None)
+        assert handle.cancel() is True
+        assert handle.cancel() is False
+        assert sim.timers_cancelled == 1
+
+    def test_cancelled_ready_entry_is_skipped(self):
+        sim = Simulator()
+        seen = []
+        handle = sim.call_soon(lambda: seen.append("no"))
+        sim.call_soon(lambda: seen.append("yes"))
+        handle.cancel()
+        sim.run()
+        assert seen == ["yes"]
+
+    def test_cancellation_keeps_heap_o_live(self):
+        """Mass cancellation compacts the heap: pending events track the
+        live population, not the total ever scheduled."""
+        sim = Simulator()
+        handles = [sim.call_later(100.0 + i, lambda: None) for i in range(5000)]
+        survivors = handles[::100]
+        for handle in handles:
+            if handle not in survivors:
+                handle.cancel()
+        assert sim.pending_events == len(survivors)
+        assert sim.heap_compactions >= 1
+        # the underlying heap itself stays O(live), not O(scheduled)
+        assert len(sim._heap) <= 2 * len(survivors) + 64
+        sim.run()
+        assert sim.events_executed == len(survivors)
+
+    def test_counters_shape(self):
+        sim = Simulator()
+        sim.call_later(1.0, lambda: None)
+        handle = sim.call_later(2.0, lambda: None)
+        handle.cancel()
+        sim.run()
+        counters = sim.counters()
+        assert counters["timers_scheduled"] == 2
+        assert counters["timers_cancelled"] == 1
+        assert counters["events_executed"] == 1
+        assert counters["peak_heap_size"] == 2
+        assert set(counters) >= {
+            "timers_scheduled",
+            "timers_cancelled",
+            "events_executed",
+            "peak_heap_size",
+            "peak_ready_depth",
+            "heap_compactions",
+        }
+
+
 class TestTimeoutRace:
     def test_future_wins(self):
         sim = Simulator()
@@ -179,7 +298,9 @@ class TestTimeoutRace:
         future = sim.spawn(routine())
         sim.run()
         assert future.result() == "data"
-        assert sim.now == 5.0  # timeout event still drains
+        # the loser's timer is cancelled, so the clock never visits 5.0
+        assert sim.now == 1.0
+        assert sim.timers_cancelled == 1
 
     def test_timeout_wins(self):
         sim = Simulator()
