@@ -277,7 +277,13 @@ def bench_cache(lookups: int) -> dict:
 # end-to-end fig1-style smoke scan
 
 
-def bench_e2e(threads: int, lookups: int, wire_mode: str) -> dict:
+def bench_e2e(threads: int, lookups: int, wire_mode: str, observe: bool = False) -> dict:
+    """Fig1-style smoke scan.  ``observe=True`` runs it with the
+    telemetry registry and a status emitter enabled (spans stay off, as
+    in a typical monitored scan) so the metrics-on overhead can be
+    measured against the default metrics-off run."""
+    import io
+
     from repro.ecosystem import EcosystemParams, build_internet
     from repro.framework import ScanConfig, ScanRunner
     from repro.workloads import DomainCorpus
@@ -290,11 +296,16 @@ def bench_e2e(threads: int, lookups: int, wire_mode: str) -> dict:
         source_prefix=28,
         cache_size=600_000,
         seed=BENCH_SEED,
+        metrics=observe,
+        status_interval=1.0 if observe else None,
     )
     names = list(DomainCorpus().fqdns(lookups, start=0))
-    wall, report = _timed(lambda: ScanRunner(internet, config).run(names))
+    runner = ScanRunner(internet, config, status_stream=io.StringIO() if observe else None)
+    wall, report = _timed(lambda: runner.run(names))
     stats = report.stats
     suffix = "never" if wire_mode == "never" else "wire"
+    if observe:
+        suffix += "_obs"
     return {
         f"e2e_{suffix}_wall_s": round(wall, 3),
         f"e2e_{suffix}_lookups_per_s": round(stats.total / wall),

@@ -57,6 +57,14 @@ REPEATS = 3
 #: regressions, not on which window the baseline was captured in.
 BASELINE_DERATE = 0.20
 
+#: Per-metric tolerance overrides.  The telemetry subsystem's acceptance
+#: gate: with metrics disabled (the default), the end-to-end wire-mode
+#: scan must stay within 3% of the stored baseline — instrumentation on
+#: the hot path may not tax scans where nobody is watching.  3% is
+#: strict against the raw tolerance but workable because the stored
+#: baseline is already derated 20% toward a typical-window figure.
+METRIC_TOLERANCE = {"e2e_wire_wall_s": 0.03}
+
 
 def derate(results: dict, fraction: float) -> dict:
     """Relax every numeric metric by ``fraction`` (slower wall, lower
@@ -117,22 +125,52 @@ def compare(baseline: dict, current: dict, tolerance: float = TOLERANCE) -> list
         now = current.get(key)
         if now is None or not isinstance(base, (int, float)):
             continue
+        limit = min(tolerance, METRIC_TOLERANCE.get(key, tolerance))
         note = "" if load == 1.0 else f", host-speed x{load:.2f}"
         if key.endswith("_wall_s"):
             adjusted = now * load
-            if adjusted > base * (1 + tolerance):
+            if adjusted > base * (1 + limit):
                 failures.append(
                     f"{key}: {now:.3f}s vs baseline {base:.3f}s "
-                    f"(+{(adjusted / base - 1) * 100:.1f}%{note}, limit +{tolerance * 100:.0f}%)"
+                    f"(+{(adjusted / base - 1) * 100:.1f}%{note}, limit +{limit * 100:.0f}%)"
                 )
         else:
             adjusted = now / load
-            if adjusted < base * (1 - tolerance):
+            if adjusted < base * (1 - limit):
                 failures.append(
                     f"{key}: {now:,.0f}/s vs baseline {base:,.0f}/s "
-                    f"({(adjusted / base - 1) * 100:.1f}%{note}, limit -{tolerance * 100:.0f}%)"
+                    f"({(adjusted / base - 1) * 100:.1f}%{note}, limit -{limit * 100:.0f}%)"
                 )
     return failures
+
+
+def obs_delta(profile: str, repeats: int) -> tuple[float, float, float]:
+    """A/B the e2e wire-mode scan with telemetry off vs on.
+
+    Runs the two configurations interleaved (so host-speed drift hits
+    both equally), takes the per-side best, and asserts the virtual-time
+    fingerprints match — enabling metrics must never change *what* a
+    scan measures, only how observable it is.  Returns
+    ``(off_wall, on_wall, relative_delta)``.
+    """
+    from bench_wallclock_hotpath import PROFILES, bench_e2e
+
+    sizes = PROFILES[profile]
+    threads, lookups = sizes["e2e_threads"], sizes["e2e_lookups"]
+    off_walls, on_walls = [], []
+    fingerprints = set()
+    for i in range(repeats):
+        print(f"obs A/B pass {i + 1}/{repeats} (off, then on) ...")
+        off = bench_e2e(threads, lookups, "always")
+        on = bench_e2e(threads, lookups, "always", observe=True)
+        off_walls.append(off["e2e_wire_wall_s"])
+        on_walls.append(on["e2e_wire_obs_wall_s"])
+        fingerprints.add(json.dumps(off["_e2e_wire_fingerprint"], sort_keys=True))
+        fingerprints.add(json.dumps(on["_e2e_wire_obs_fingerprint"], sort_keys=True))
+    if len(fingerprints) != 1:
+        raise AssertionError("telemetry changed the scan's virtual-time results")
+    best_off, best_on = min(off_walls), min(on_walls)
+    return best_off, best_on, best_on / best_off - 1
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -151,7 +189,20 @@ def main(argv: list[str] | None = None) -> int:
         default=REPEATS,
         help=f"suite passes; per-metric best is compared (default {REPEATS})",
     )
+    parser.add_argument(
+        "--obs-delta",
+        action="store_true",
+        help="A/B the e2e wire scan with telemetry off vs on and report "
+        "the overhead (skips the regular suite)",
+    )
     args = parser.parse_args(argv)
+
+    if args.obs_delta:
+        off, on, delta = obs_delta(args.profile, max(1, args.repeat))
+        print(f"  e2e wire, telemetry off     {off:>8.3f} s")
+        print(f"  e2e wire, telemetry on      {on:>8.3f} s")
+        print(f"  metrics-on overhead         {delta * 100:>+7.1f} %")
+        return 0
 
     from bench_wallclock_hotpath import metric_lines, run_suite
 

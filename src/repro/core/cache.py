@@ -83,6 +83,26 @@ class SelectiveCache:
     def __len__(self) -> int:
         return len(self._delegations) + len(self._answers)
 
+    def publish_metrics(self, scope) -> None:
+        """Publish cache statistics as registry gauges.
+
+        ``scope`` is a :class:`repro.obs.metrics.Scope` (typically
+        ``registry.scope("cache")``).  The per-probe counters stay on
+        :class:`CacheStats` — `best_delegation` is the hottest cache
+        path and must not pay instrument calls per probe — and are
+        mirrored wholesale here at publish time.
+        """
+        stats = self.stats
+        scope.gauge("hits").set(stats.hits)
+        scope.gauge("misses").set(stats.misses)
+        scope.gauge("answer_hits").set(stats.answer_hits)
+        scope.gauge("answer_misses").set(stats.answer_misses)
+        scope.gauge("inserts").set(stats.inserts)
+        scope.gauge("evictions").set(stats.evictions)
+        scope.gauge("hit_rate").set(round(stats.hit_rate, 4))
+        scope.gauge("size").set(len(self))
+        scope.gauge("capacity").set(self.capacity)
+
     # -- delegations -----------------------------------------------------
 
     def put_delegation(self, delegation: Delegation) -> None:

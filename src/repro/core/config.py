@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 
 @dataclass
@@ -42,6 +43,12 @@ class ResolverConfig:
     #: this off when no output sink will consume rows — lookup behaviour
     #: is identical, only the bookkeeping is skipped.
     collect_trace: bool = True
+    #: A :class:`repro.obs.spans.SpanTracer` (or None).  When set, the
+    #: machines wrap every resolution step — delegation walk, cache
+    #: probe, query attempt, retry, timeout — in parent/child spans on
+    #: the tracer's clock.  None (the default) costs one attribute read
+    #: per lookup step.
+    tracer: Any = None
 
 
 @dataclass

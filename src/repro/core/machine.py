@@ -145,23 +145,39 @@ class IterativeMachine:
             name=name.to_text(omit_final_dot=True), qtype=qtype, resolver="iterative"
         )
         budget = _Budget(self.config.max_queries)
+        tracer = self.config.tracer
+        span = (
+            tracer.start("lookup", name=result.name, type=int(qtype))
+            if tracer is not None
+            else None
+        )
         try:
-            answers, status = yield from self._resolve_with_cnames(name, qtype, result, budget)
+            answers, status = yield from self._resolve_with_cnames(
+                name, qtype, result, budget, span
+            )
             result.status = status
             result.answers = answers
         except _Abort as abort:
             result.status = abort.status
         result.queries_sent = budget.sent
         result.retries_used = budget.retries
+        if span is not None:
+            span.finish(
+                status=str(result.status),
+                queries=budget.sent,
+                retries=budget.retries,
+            )
         return result
 
     # ------------------------------------------------------------------
 
-    def _resolve_with_cnames(self, name: Name, qtype: RRType, result, budget):
+    def _resolve_with_cnames(self, name: Name, qtype: RRType, result, budget, span=None):
         answers: list[ResourceRecord] = []
         current = name
         for _hop in range(self.config.max_cname_chase + 1):
-            step_answers, status = yield from self._resolve_once(current, qtype, result, budget)
+            step_answers, status = yield from self._resolve_once(
+                current, qtype, result, budget, parent=span
+            )
             answers.extend(step_answers)
             if status != Status.NOERROR or int(qtype) in (int(RRType.CNAME), int(RRType.ANY)):
                 return answers, status
@@ -171,15 +187,43 @@ class IterativeMachine:
             current = target
         return answers, Status.ERROR  # CNAME chain too long
 
-    def _resolve_once(self, name: Name, qtype: RRType, result, budget, depth: int = 0):
-        """One iteration walk for a single owner name."""
+    def _resolve_once(self, name: Name, qtype: RRType, result, budget, depth: int = 0, parent=None):
+        """One iteration walk for a single owner name, as a "step" span."""
+        tracer = self.config.tracer
+        if tracer is None:
+            return (yield from self._resolve_once_inner(name, qtype, result, budget, depth, None))
+        span = tracer.start(
+            "step",
+            parent=parent,
+            name=name.to_text(omit_final_dot=True),
+            depth=depth,
+            type=int(qtype),
+        )
+        try:
+            answers, status = yield from self._resolve_once_inner(
+                name, qtype, result, budget, depth, span
+            )
+        except _Abort as abort:
+            span.finish(status=str(abort.status))
+            raise
+        except BaseException:
+            span.finish(status=str(Status.ERROR))
+            raise
+        span.finish(status=str(status))
+        return answers, status
+
+    def _resolve_once_inner(self, name: Name, qtype: RRType, result, budget, depth, span):
         if depth > self.config.max_glueless_depth:
             raise _Abort(Status.ERROR)
+        tracer = self.config.tracer
 
         # Leaf-answer cache: a no-op under the paper's selective policy,
         # only live for the policy="all" ablation (section 3.4).
+        probe = tracer.start("cache_probe", parent=span) if tracer is not None else None
         cached_answers = self.cache.get_answer(name, int(qtype))
         if cached_answers is not None:
+            if probe is not None:
+                probe.finish(status="answer_hit")
             if self.config.collect_trace:
                 result.trace.add(
                     TraceStep(
@@ -195,6 +239,12 @@ class IterativeMachine:
             return list(cached_answers), Status.NOERROR
 
         cached = self.cache.best_delegation(name)
+        if probe is not None:
+            hit = cached is not None and bool(cached.addresses())
+            probe.finish(
+                status="hit" if hit else "miss",
+                layer=(cached.zone.to_text(omit_final_dot=True) or ".") if hit else None,
+            )
         if cached is not None and cached.addresses():
             zone = cached.zone
             servers = cached.addresses()
@@ -216,7 +266,7 @@ class IterativeMachine:
 
         for _layer_hop in range(self.config.max_referrals):
             response, server_ip, protocol = yield from self._query_layer(
-                name, qtype, servers, result, budget, zone, depth
+                name, qtype, servers, result, budget, zone, depth, parent=span
             )
             rcode = response.rcode
 
@@ -245,7 +295,7 @@ class IterativeMachine:
                 addresses = delegation.addresses()
                 if not addresses:
                     addresses = yield from self._resolve_glueless(
-                        delegation, result, budget, depth
+                        delegation, result, budget, depth, parent=span
                     )
                     if not addresses:
                         return [], Status.SERVFAIL
@@ -258,11 +308,12 @@ class IterativeMachine:
 
         return [], Status.ITER_LIMIT
 
-    def _query_layer(self, name, qtype, servers, result, budget, zone, depth):
+    def _query_layer(self, name, qtype, servers, result, budget, zone, depth, parent=None):
         """Try the layer's servers (with retries) until one responds."""
         order = list(servers)
         self.rng.shuffle(order)
         config = self.config
+        tracer = config.tracer
         tries = config.retries + 1
         timeout = config.iteration_timeout
         # Everything the per-attempt trace rows share is computed once.
@@ -289,6 +340,20 @@ class IterativeMachine:
                 if collect
                 else None
             )
+            qspan = (
+                tracer.start(
+                    "query",
+                    parent=parent,
+                    name=name_text,
+                    layer=layer_text,
+                    depth=step_depth,
+                    name_server=f"{server_ip}:53",
+                    try_count=attempt + 1,
+                    type=qtype_int,
+                )
+                if tracer is not None
+                else None
+            )
             response = yield SendQuery(
                 server_ip=server_ip,
                 name=name,
@@ -296,6 +361,8 @@ class IterativeMachine:
                 timeout=timeout,
             )
             if response is None:
+                if qspan is not None:
+                    qspan.finish(status=str(Status.TIMEOUT))
                 if step is not None:
                     step.status = str(Status.TIMEOUT)
                     result.trace.add(step)
@@ -305,6 +372,8 @@ class IterativeMachine:
                 reason = validate_response_shape(name, int(qtype), response)
                 if reason is not None:
                     # malformed/hostile response: treat like packet loss
+                    if qspan is not None:
+                        qspan.finish(status=str(Status.FORMERR))
                     if step is not None:
                         step.status = str(Status.FORMERR)
                         result.trace.add(step)
@@ -314,11 +383,28 @@ class IterativeMachine:
                 if config.strict_bailiwick:
                     response, _report = sanitize_response(response, name, int(qtype), zone)
             if response.flags.truncated and not config.tcp_on_truncated:
+                if qspan is not None:
+                    qspan.finish(status=str(Status.TRUNCATED))
                 if step is not None:
                     step.status = str(Status.TRUNCATED)
                     result.trace.add(step)
                 raise _Abort(Status.TRUNCATED)
             if response.flags.truncated and config.tcp_on_truncated:
+                if qspan is not None:
+                    # the UDP leg ended truncated; the TCP retry is its
+                    # own span so both timings stay visible
+                    qspan.finish(status=str(Status.TRUNCATED))
+                    qspan = tracer.start(
+                        "query",
+                        parent=parent,
+                        name=name_text,
+                        layer=layer_text,
+                        depth=step_depth,
+                        name_server=f"{server_ip}:53",
+                        try_count=attempt + 1,
+                        type=qtype_int,
+                        protocol="tcp",
+                    )
                 budget.spend()
                 response_tcp = yield SendQuery(
                     server_ip=server_ip,
@@ -328,6 +414,8 @@ class IterativeMachine:
                     protocol="tcp",
                 )
                 if response_tcp is None:
+                    if qspan is not None:
+                        qspan.finish(status=str(Status.TIMEOUT))
                     if step is not None:
                         step.status = str(Status.TRUNCATED)
                         result.trace.add(step)
@@ -337,12 +425,16 @@ class IterativeMachine:
                 if step is not None:
                     step = replace(step, results=None)
             if response.rcode in (Rcode.SERVFAIL, Rcode.REFUSED):
+                if qspan is not None:
+                    qspan.finish(status=str(status_from_rcode(response.rcode)))
                 if step is not None:
                     step.status = str(status_from_rcode(response.rcode))
                     result.trace.add(step)
                 last_failure = status_from_rcode(response.rcode)
                 budget.retries += 1
                 continue
+            if qspan is not None:
+                qspan.finish(status=str(status_from_rcode(response.rcode)))
             if step is not None:
                 step.status = str(status_from_rcode(response.rcode))
                 if config.record_trace_results:
@@ -351,11 +443,35 @@ class IterativeMachine:
             return response, server_ip, "udp"
         raise _Abort(last_failure)
 
-    def _resolve_glueless(self, delegation: Delegation, result, budget, depth):
+    def _resolve_glueless(self, delegation: Delegation, result, budget, depth, parent=None):
         """Referral without glue: resolve one NS name's address."""
+        tracer = self.config.tracer
+        gspan = (
+            tracer.start(
+                "glueless",
+                parent=parent,
+                layer=delegation.zone.to_text(omit_final_dot=True) or ".",
+                depth=depth,
+            )
+            if tracer is not None
+            else None
+        )
+        try:
+            addresses = yield from self._resolve_glueless_inner(
+                delegation, result, budget, depth, gspan
+            )
+        except _Abort as abort:
+            if gspan is not None:
+                gspan.finish(status=str(abort.status))
+            raise
+        if gspan is not None:
+            gspan.finish(status="NOERROR" if addresses else str(Status.SERVFAIL))
+        return addresses
+
+    def _resolve_glueless_inner(self, delegation, result, budget, depth, gspan):
         for ns_name in delegation.ns_names:
             answers, status = yield from self._resolve_once(
-                ns_name, RRType.A, result, budget, depth + 1
+                ns_name, RRType.A, result, budget, depth + 1, parent=gspan
             )
             addresses = [
                 record.rdata.address
@@ -392,6 +508,12 @@ class ExternalMachine:
         result = LookupResult(name=name.to_text(omit_final_dot=True), qtype=qtype)
         tries = config.retries + 1
         status = Status.TIMEOUT
+        tracer = config.tracer
+        span = (
+            tracer.start("lookup", name=result.name, type=int(qtype), mode="external")
+            if tracer is not None
+            else None
+        )
         for attempt in range(tries):
             # load-balance across upstream resolvers per attempt
             server_ip = self.resolver_ips[
@@ -401,6 +523,18 @@ class ExternalMachine:
             ]
             result.resolver = f"{server_ip}:53"
             result.queries_sent += 1
+            qspan = (
+                tracer.start(
+                    "query",
+                    parent=span,
+                    name=result.name,
+                    name_server=f"{server_ip}:53",
+                    try_count=attempt + 1,
+                    type=int(qtype),
+                )
+                if tracer is not None
+                else None
+            )
             response = yield SendQuery(
                 server_ip=server_ip,
                 name=name,
@@ -409,9 +543,22 @@ class ExternalMachine:
                 recursion_desired=True,
             )
             if response is None:
+                if qspan is not None:
+                    qspan.finish(status=str(Status.TIMEOUT))
                 result.retries_used += 1
                 continue
             if response.flags.truncated and config.tcp_on_truncated:
+                if qspan is not None:
+                    qspan.finish(status=str(Status.TRUNCATED))
+                    qspan = tracer.start(
+                        "query",
+                        parent=span,
+                        name=result.name,
+                        name_server=f"{server_ip}:53",
+                        try_count=attempt + 1,
+                        type=int(qtype),
+                        protocol="tcp",
+                    )
                 result.queries_sent += 1
                 response = yield SendQuery(
                     server_ip=server_ip,
@@ -422,10 +569,14 @@ class ExternalMachine:
                     recursion_desired=True,
                 )
                 if response is None:
+                    if qspan is not None:
+                        qspan.finish(status=str(Status.TIMEOUT))
                     result.retries_used += 1
                     continue
                 result.protocol = "tcp"
             status = status_from_rcode(response.rcode)
+            if qspan is not None:
+                qspan.finish(status=str(status))
             if (
                 config.retry_servfail
                 and status in (Status.SERVFAIL, Status.REFUSED)
@@ -438,6 +589,12 @@ class ExternalMachine:
             result.additionals = list(response.additionals)
             break
         result.status = status
+        if span is not None:
+            span.finish(
+                status=str(status),
+                queries=result.queries_sent,
+                retries=result.retries_used,
+            )
         return result
 
 

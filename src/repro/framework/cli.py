@@ -4,6 +4,12 @@ Mirrors ZDNS's CLI shape: ``pyzdns MODULE [flags] < names``.  Scans run
 against the built-in simulated Internet (this reproduction's substrate);
 ``--live-resolver HOST:PORT`` instead sends real UDP queries, for use
 against a loopback test server or, with network access, real resolvers.
+
+Observability flags (see :mod:`repro.obs`): ``--status-interval`` prints
+a live progress line per interval, ``--metadata-file`` writes a JSON run
+summary (args, durations, metrics, profile), ``--metrics-out`` dumps the
+metrics registry as Prometheus-style text, and ``--spans-file`` streams
+per-lookup spans as JSON lines.
 """
 
 from __future__ import annotations
@@ -11,11 +17,13 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 
 from ..core import ExternalMachine, LiveDriver, ResolverConfig
 from ..ecosystem import EcosystemParams, build_internet
 from ..modules import available_modules, get_module
 from ..net import UDPTransport
+from ..obs import build_run_metadata, format_status_line, write_metadata
 from .io import JsonLineSink, read_names, shard
 from .runner import ScanConfig, ScanRunner
 
@@ -54,7 +62,26 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--metadata-file",
         default=None,
-        help="also write the run statistics as JSON to this path",
+        help="write a JSON run summary (args, durations, statuses, metrics) to this path",
+    )
+    parser.add_argument(
+        "--status-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="print a status line to stderr every SECONDS of scan time",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="dump the metrics registry as Prometheus-style text ('-' = stderr)",
+    )
+    parser.add_argument(
+        "--spans-file",
+        default=None,
+        metavar="PATH",
+        help="stream per-lookup spans as JSON lines to this path",
     )
     return parser
 
@@ -72,23 +99,39 @@ def main(argv: list[str] | None = None) -> int:
     if args.shards > 1:
         names = shard(names, args.shards, args.shard)
     out_handle = open(args.output_file, "w") if args.output_file else sys.stdout
+    started = time.monotonic()
     try:
         if args.live_resolver:
-            stats = _run_live(args, module, names, out_handle)
+            summary, report = _run_live(args, module, names, out_handle)
         else:
-            stats = _run_simulated(args, module, names, out_handle)
+            summary, report = _run_simulated(args, module, names, out_handle)
+        wall_seconds = time.monotonic() - started
         if not args.quiet:
-            print(json.dumps(stats, sort_keys=True), file=sys.stderr)
+            print(json.dumps(summary, sort_keys=True), file=sys.stderr)
+        if args.metrics_out and report is not None:
+            text = report.registry.render_prometheus()
+            if args.metrics_out == "-":
+                sys.stderr.write(text)
+            else:
+                with open(args.metrics_out, "w", encoding="utf-8") as handle:
+                    handle.write(text)
         if args.metadata_file:
-            with open(args.metadata_file, "w", encoding="utf-8") as handle:
-                json.dump(stats, handle, sort_keys=True, indent=1)
+            metadata = build_run_metadata(
+                summary,
+                args=vars(args),
+                wall_seconds=wall_seconds,
+                virtual_seconds=report.stats.duration if report is not None else None,
+                metrics=report.metrics if report is not None and report.metrics else None,
+                profile=report.profile if report is not None else None,
+            )
+            write_metadata(args.metadata_file, metadata)
     finally:
         if args.output_file:
             out_handle.close()
     return 0
 
 
-def _run_simulated(args, module, names, out_handle) -> dict:
+def _run_simulated(args, module, names, out_handle):
     internet = build_internet(params=EcosystemParams(seed=args.seed))
     config = ScanConfig(
         module=args.module,
@@ -102,23 +145,41 @@ def _run_simulated(args, module, names, out_handle) -> dict:
         cores=args.cores,
         record_trace=args.trace,
         seed=args.seed,
+        metrics=bool(args.metrics_out or args.metadata_file),
+        status_interval=args.status_interval,
     )
     sink = JsonLineSink(out_handle, add_timestamp=True)
-    report = ScanRunner(internet, config, module=module, sink=sink).run(names)
+    span_handle = None
+    span_sink = None
+    if args.spans_file:
+        span_handle = open(args.spans_file, "w")
+        span_sink = JsonLineSink(span_handle)
+    try:
+        report = ScanRunner(
+            internet, config, module=module, sink=sink, span_sink=span_sink
+        ).run(names)
+    finally:
+        if span_handle is not None:
+            span_handle.close()
     summary = report.stats.to_json()
     summary["cache"] = report.cache_stats
     summary["cpu_utilisation"] = round(report.cpu_utilisation, 3)
-    return summary
+    return summary, report
 
 
-def _run_live(args, module, names, out_handle) -> dict:
+def _run_live(args, module, names, out_handle):
     """Sequential real-socket scan against one resolver (loopback or,
-    with network access, a public resolver)."""
+    with network access, a public resolver).  ``--status-interval`` here
+    runs on the wall clock, checked between lookups."""
     host, _, port_text = args.live_resolver.partition(":")
     port = int(port_text) if port_text else 53
     config = ResolverConfig(external_timeout=args.timeout, retries=args.retries)
     sink = JsonLineSink(out_handle)
-    total = successes = 0
+    total = successes = timeouts = retries = 0
+    interval = args.status_interval
+    started = time.monotonic()
+    next_status = started + interval if interval else None
+    last_total = 0
     with UDPTransport() as transport:
         driver = LiveDriver(transport, port_override=port, seed=args.seed)
         for raw in names:
@@ -129,7 +190,28 @@ def _run_live(args, module, names, out_handle) -> dict:
             sink(row)
             total += 1
             successes += result.is_success
-    return {"total": total, "successes": successes, "mode": "live"}
+            timeouts += str(result.status) == "TIMEOUT"
+            retries += result.retries_used
+            now = time.monotonic()
+            if next_status is not None and now >= next_status:
+                elapsed = now - started
+                print(
+                    format_status_line(
+                        elapsed=elapsed,
+                        total=total,
+                        interval_rate=(total - last_total) / interval,
+                        average_rate=total / elapsed if elapsed > 0 else 0.0,
+                        success_rate=successes / total if total else 0.0,
+                        in_flight=0,
+                        timeouts=timeouts,
+                        retries=retries,
+                        cache_hit_rate=None,
+                    ),
+                    file=sys.stderr,
+                )
+                last_total = total
+                next_status = now + interval
+    return {"total": total, "successes": successes, "mode": "live"}, None
 
 
 if __name__ == "__main__":

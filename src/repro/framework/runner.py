@@ -2,11 +2,16 @@
 cache, delegates per-query logic to the module, and aggregates stats.
 
 This is ZDNS's "framework" component (Section 3.2): light-weight and
-free of DNS-specific logic.
+free of DNS-specific logic.  The framework also owns the telemetry
+wiring (:mod:`repro.obs`): it builds the run's metrics registry, mirrors
+scan stats into the ``engine`` scope, publishes scheduler and cache
+pressure at scan end, drives the periodic status emitter on the virtual
+clock, and hands the span tracer to the resolver machines.
 """
 
 from __future__ import annotations
 
+import io
 import os
 import random
 from dataclasses import dataclass, field
@@ -16,6 +21,7 @@ from ..core import ClientCostModel, ResolverConfig, SelectiveCache, SimDriver
 from ..ecosystem import SimInternet
 from ..modules import ModuleContext, ScanModule, get_module
 from ..net import CPUModel, GCModel, PortExhaustedError, SimUDPSocket, SourceIPPool
+from ..obs import MetricsRegistry, SpanTracer, StatusEmitter
 from .stats import ScanStats
 
 
@@ -47,6 +53,13 @@ class ScanConfig:
     record_trace: bool = False
     retry_servfail: bool = True
     seed: int = 0
+    #: Collect registry metrics (engine/cache/scheduler scopes).  Off by
+    #: default: the disabled path must cost nothing on the hot loop.
+    metrics: bool = False
+    #: Emit a status line every this many *virtual* seconds (None = off).
+    status_interval: float | None = None
+    #: Wrap every resolution step in tracer spans (see repro.obs.spans).
+    collect_spans: bool = False
 
     def resolver_config(self) -> ResolverConfig:
         return ResolverConfig(
@@ -66,6 +79,15 @@ class ScanReport:
     cache_stats: dict | None = None
     network_stats: dict | None = None
     cpu_utilisation: float = 0.0
+    #: The run's telemetry registry (disabled/empty unless the scan was
+    #: configured with metrics) and its flat snapshot.
+    registry: MetricsRegistry | None = None
+    metrics: dict = field(default_factory=dict)
+    #: Span tracer, when the scan collected spans without a sink.
+    tracer: SpanTracer | None = None
+    #: cProfile output captured by the ``REPRO_PROFILE`` hook, routed
+    #: here so it lands in the metadata file next to the run summary.
+    profile: dict | None = None
 
 
 class ScanRunner:
@@ -78,6 +100,9 @@ class ScanRunner:
         module: ScanModule | None = None,
         sink: Callable[[dict], None] | None = None,
         cpu: CPUModel | None = None,
+        registry: MetricsRegistry | None = None,
+        span_sink: Callable[[dict], None] | None = None,
+        status_stream=None,
     ):
         self.internet = internet
         self.config = config
@@ -87,6 +112,14 @@ class ScanRunner:
         #: Externally supplied CPU model (e.g. shared with a co-located
         #: Unbound); the runner builds its own when None.
         self.cpu = cpu
+        #: Externally supplied registry (e.g. shared across scan phases);
+        #: the runner builds its own per run when None.
+        self.registry = registry
+        #: Finished spans stream here as JSON rows; when None but span
+        #: collection is on, the tracer retains them on the report.
+        self.span_sink = span_sink
+        #: Status lines go here (default stderr).
+        self.status_stream = status_stream
 
     def _resolver_ips(self) -> list[str]:
         config = self.config
@@ -104,6 +137,13 @@ class ScanRunner:
         internet = self.internet
         config = self.config
         sim = internet.sim
+
+        registry = self.registry
+        if registry is None:
+            registry = MetricsRegistry(
+                enabled=config.metrics or config.status_interval is not None
+            )
+        engine_scope = registry.scope("engine")
 
         gc = None
         if config.gc_period is not None and config.gc_pause is not None:
@@ -134,6 +174,10 @@ class ScanRunner:
         if self.sink is None:
             # nothing consumes per-query trace rows: skip assembling them
             resolver_config.collect_trace = False
+        tracer = None
+        if config.collect_spans or self.span_sink is not None:
+            tracer = SpanTracer(clock=lambda: sim.now, sink=self.span_sink)
+            resolver_config.tracer = tracer
         context = ModuleContext(
             mode=mode,
             root_ips=internet.root_ips,
@@ -145,6 +189,10 @@ class ScanRunner:
         )
 
         stats = ScanStats(threads_requested=config.threads, started_at=sim.now)
+        inflight = None
+        if registry.enabled:
+            stats.attach(engine_scope)
+            inflight = engine_scope.gauge("inflight")
         name_iter = iter(names)
         module = self.module
         sink = self.sink
@@ -162,11 +210,15 @@ class ScanRunner:
                 except StopIteration:
                     socket.close()
                     return
+                if inflight is not None:
+                    inflight.inc()
                 lookup_gen = module.lookup(raw, context)
                 row = yield from driver.execute(lookup_gen, socket)
                 result = row.pop("_result", None)
                 queries = result.queries_sent if result is not None else 0
                 retries = result.retries_used if result is not None else 0
+                if inflight is not None:
+                    inflight.dec()
                 stats.record(row.get("status", "ERROR"), sim.now, queries, retries)
                 if sink is not None:
                     sink(row)
@@ -181,15 +233,46 @@ class ScanRunner:
             futures.append(sim.spawn(worker(socket, ramp * index / config.threads)))
         stats.threads_running = len(futures)
 
-        _run_with_optional_profile(sim)
+        emitter = None
+        if config.status_interval is not None:
+            emitter = StatusEmitter(
+                sim,
+                interval=config.status_interval,
+                stats=stats,
+                inflight=inflight,
+                cache=self.cache,
+                stream=self.status_stream,
+            ).start()
+            # the emitter's repeating timer would keep the event loop
+            # alive forever; the last worker to finish cancels it
+            remaining = [len(futures)]
+
+            def _worker_done(_future) -> None:
+                remaining[0] -= 1
+                if remaining[0] == 0:
+                    emitter.stop()
+
+            for future in futures:
+                future.add_done_callback(_worker_done)
+
+        profile = _run_with_optional_profile(sim)
         for future in futures:
             future.result()  # surface any routine crash
 
-        counters = getattr(sim, "counters", None)
-        if counters is not None:
-            stats.scheduler = counters()
+        if registry.enabled:
+            sim.publish_metrics(registry.scope("scheduler"))
+            if self.cache is not None:
+                self.cache.publish_metrics(registry.scope("cache"))
+            net_scope = registry.scope("net")
+            for key, value in vars(internet.network.stats).items():
+                if isinstance(value, (int, float)):
+                    net_scope.gauge(key).set(value)
 
         elapsed = stats.duration
+        cpu_utilisation = cpu.utilisation(elapsed) if elapsed else 0.0
+        if registry.enabled:
+            engine_scope.gauge("cpu_utilisation").set(round(cpu_utilisation, 4))
+            engine_scope.gauge("threads_running").set(stats.threads_running)
         return ScanReport(
             stats=stats,
             cache_stats=(
@@ -206,24 +289,31 @@ class ScanRunner:
                 else None
             ),
             network_stats=vars(internet.network.stats).copy(),
-            cpu_utilisation=cpu.utilisation(elapsed) if elapsed else 0.0,
+            cpu_utilisation=cpu_utilisation,
+            registry=registry,
+            metrics=registry.snapshot(),
+            tracer=tracer if self.span_sink is None else None,
+            profile=profile,
         )
 
 
-def _run_with_optional_profile(sim) -> None:
+def _run_with_optional_profile(sim) -> dict | None:
     """``sim.run()``, optionally under cProfile.
 
     Set ``REPRO_PROFILE=1`` (or ``REPRO_PROFILE=<N>`` for the top N
-    rows) to print cumulative-time hot spots of the event loop after the
-    scan — the profiler only wraps the run itself, not setup or
-    reporting, so the output is the scan's actual hot path.
+    rows) to profile cumulative-time hot spots of the event loop — the
+    profiler only wraps the run itself, not setup or reporting, so the
+    output is the scan's actual hot path.  The report is printed to
+    stderr *and* returned (``{"top": N, "report": text}``) so the
+    runner can route it into the run's metadata file.
     """
     spec = os.environ.get("REPRO_PROFILE", "")
     if not spec or spec == "0":
         sim.run()
-        return
+        return None
     import cProfile
     import pstats
+    import sys
 
     top = int(spec) if spec.isdigit() and int(spec) > 1 else 25
     profiler = cProfile.Profile()
@@ -232,7 +322,11 @@ def _run_with_optional_profile(sim) -> None:
         sim.run()
     finally:
         profiler.disable()
-        pstats.Stats(profiler).sort_stats("cumulative").print_stats(top)
+        buffer = io.StringIO()
+        pstats.Stats(profiler, stream=buffer).sort_stats("cumulative").print_stats(top)
+        report = buffer.getvalue()
+        sys.stderr.write(report)
+    return {"top": top, "report": report}
 
 
 def run_scan(

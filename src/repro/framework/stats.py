@@ -1,9 +1,49 @@
-"""Run-time statistics aggregation (Section 3.2's framework duty)."""
+"""Run-time statistics aggregation (Section 3.2's framework duty).
+
+:class:`ScanStats` is the scan's accumulator *and* a thin view over the
+telemetry registry: when attached to a scope (``engine``), every
+``record()`` mirrors into registry counters and histograms, so the
+status emitter, the Prometheus dump, and the metadata file all read the
+same numbers this class summarises.  Unattached (the default), it costs
+exactly what it did before the observability layer existed.
+"""
 
 from __future__ import annotations
 
+import math
 from collections import Counter
 from dataclasses import dataclass, field
+
+
+class _StatsInstruments:
+    """The registry instruments one scan's ScanStats mirrors into."""
+
+    __slots__ = ("lookups", "successes", "queries", "retries",
+                 "queries_per_lookup", "_status_scope", "_by_status")
+
+    def __init__(self, scope):
+        self.lookups = scope.counter("lookups")
+        self.successes = scope.counter("successes")
+        self.queries = scope.counter("queries_sent")
+        self.retries = scope.counter("retries_used")
+        self.queries_per_lookup = scope.histogram("queries_per_lookup")
+        self._status_scope = scope.scope("status")
+        self._by_status: dict[str, object] = {}
+
+    def record(self, status: str, success: bool, queries: int, retries: int) -> None:
+        self.lookups.inc()
+        if success:
+            self.successes.inc()
+        if queries:
+            self.queries.inc(queries)
+            self.queries_per_lookup.observe(queries)
+        if retries:
+            self.retries.inc(retries)
+        counter = self._by_status.get(status)
+        if counter is None:
+            counter = self._status_scope.counter(status)
+            self._by_status[status] = counter
+        counter.inc()
 
 
 @dataclass
@@ -20,19 +60,28 @@ class ScanStats:
     queries_sent: int = 0
     retries_used: int = 0
     completion_times: list = field(default_factory=list)
-    #: Event-loop pressure counters from ``Simulator.counters()`` —
-    #: peak heap/ready-queue sizes, cancelled timers, compactions.
-    scheduler: dict = field(default_factory=dict)
+    _instruments: object = field(default=None, repr=False, compare=False)
+
+    def attach(self, scope) -> "ScanStats":
+        """Mirror every subsequent :meth:`record` into registry
+        instruments under ``scope`` (e.g. ``registry.scope("engine")``).
+        Returns self for chaining."""
+        self._instruments = _StatsInstruments(scope)
+        return self
 
     def record(self, status: str, now: float, queries: int = 0, retries: int = 0) -> None:
         self.total += 1
         self.by_status[status] += 1
-        if status in ("NOERROR", "NXDOMAIN"):
+        success = status in ("NOERROR", "NXDOMAIN")
+        if success:
             self.successes += 1
         self.finished_at = max(self.finished_at, now)
         self.completion_times.append(now)
         self.queries_sent += queries
         self.retries_used += retries
+        instruments = self._instruments
+        if instruments is not None:
+            instruments.record(status, success, queries, retries)
 
     @property
     def duration(self) -> float:
@@ -54,43 +103,68 @@ class ScanStats:
     def steady_rate(self) -> float:
         """Lookups/second between the 10th and 90th percentile
         completions: excludes ramp-up and straggler-tail artifacts, the
-        way sustained-throughput plots are usually measured."""
-        times = sorted(self.completion_times)
+        way sustained-throughput plots are usually measured.
+
+        Degenerate scans fall back to :attr:`lookups_per_second`
+        (itself 0.0 at zero duration): fewer than 10 completions, or a
+        burst where the 10th and 90th percentiles coincide — including
+        the zero-duration case where every lookup lands on one instant.
+        """
+        times = self.completion_times
+        if not times:
+            return 0.0
         if len(times) < 10:
             return self.lookups_per_second
-        lo = times[len(times) // 10]
-        hi = times[(9 * len(times)) // 10]
+        ordered = sorted(times)
+        lo = ordered[len(ordered) // 10]
+        hi = ordered[(9 * len(ordered)) // 10]
         if hi <= lo:
             return self.lookups_per_second
-        return (0.8 * len(times)) / (hi - lo)
+        return (0.8 * len(ordered)) / (hi - lo)
 
     @property
     def steady_successes_per_second(self) -> float:
         return self.steady_rate * self.success_rate
 
-    def timeline(self, bucket: float = 1.0) -> list[tuple[float, int]]:
+    def timeline(self, bucket: float = 1.0, fill: bool = False) -> list[tuple[float, int]]:
         """Completions per ``bucket`` seconds of virtual time — the data
         behind throughput-over-time plots.
+
+        Sparse by default (buckets with no completions are omitted);
+        ``fill=True`` emits every bucket between the first and last
+        completion, zeros included, which is what plotting against a
+        continuous time axis needs.  An empty scan yields ``[]`` either
+        way.
 
         >>> stats = ScanStats()
         >>> for t in (0.1, 0.2, 1.5):
         ...     stats.record("NOERROR", t)
         >>> stats.timeline(1.0)
         [(0.0, 2), (1.0, 1)]
+        >>> stats.record("NOERROR", 3.5)
+        >>> stats.timeline(1.0, fill=True)
+        [(0.0, 2), (1.0, 1), (2.0, 0), (3.0, 1)]
         """
         if bucket <= 0:
             raise ValueError("bucket must be positive")
+        if not self.completion_times:
+            return []
         counts: dict[int, int] = {}
         for when in self.completion_times:
-            counts[int(when / bucket)] = counts.get(int(when / bucket), 0) + 1
-        return [(index * bucket, counts[index]) for index in sorted(counts)]
+            index = math.floor(when / bucket)
+            counts[index] = counts.get(index, 0) + 1
+        if fill:
+            indices = range(min(counts), max(counts) + 1)
+        else:
+            indices = sorted(counts)
+        return [(index * bucket, counts.get(index, 0)) for index in indices]
 
     @property
     def queries_per_second(self) -> float:
         return self.queries_sent / self.duration if self.duration > 0 else 0.0
 
     def to_json(self) -> dict:
-        out = {
+        return {
             "total": self.total,
             "successes": self.successes,
             "success_rate": round(self.success_rate, 4),
@@ -103,6 +177,3 @@ class ScanStats:
             "queries_sent": self.queries_sent,
             "retries_used": self.retries_used,
         }
-        if self.scheduler:
-            out["scheduler"] = dict(self.scheduler)
-        return out

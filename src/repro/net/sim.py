@@ -228,7 +228,7 @@ class Simulator:
         return len(self._heap) + len(self._ready) - self._cancelled_pending
 
     def counters(self) -> dict:
-        """Scheduler pressure counters for scan reports."""
+        """Scheduler pressure counters (raw dict view)."""
         return {
             "timers_scheduled": self.timers_scheduled,
             "timers_cancelled": self.timers_cancelled,
@@ -237,6 +237,21 @@ class Simulator:
             "peak_ready_depth": self.peak_ready_depth,
             "heap_compactions": self.heap_compactions,
         }
+
+    def publish_metrics(self, scope) -> None:
+        """Publish the pressure counters as registry gauges.
+
+        ``scope`` is a :class:`repro.obs.metrics.Scope` (typically
+        ``registry.scope("scheduler")``).  The loop itself keeps plain
+        ints — incrementing registry instruments per event would tax
+        the hottest path in the tree — and this one-shot publish is how
+        they reach scan reports, the metrics dump, and the metadata
+        file.
+        """
+        for name, value in self.counters().items():
+            scope.gauge(name).set(value)
+        scope.gauge("pending_events").set(self.pending_events)
+        scope.gauge("live_routines").set(self._live_routines)
 
     # -- routines -------------------------------------------------------------
 

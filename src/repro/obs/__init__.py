@@ -1,0 +1,45 @@
+"""repro.obs — the telemetry subsystem (observability layer).
+
+What real ZDNS ships to stay operable at 10K-routine scale, unified in
+one package:
+
+* :mod:`repro.obs.metrics` — a registry of counters, gauges, and
+  log-bucketed histograms with dotted scopes (``engine``, ``cache``,
+  ``scheduler``, ``codec``) and near-zero overhead when disabled.
+* :mod:`repro.obs.spans` — per-lookup spans: parent/child intervals on
+  the virtual clock for every delegation walk, cache probe, query
+  attempt, retry, and timeout; exported as JSON lines.
+* :mod:`repro.obs.status` — the periodic one-line scan status stream.
+* :mod:`repro.obs.metadata` — the ``--metadata-file`` run summary.
+* ``python -m repro.obs.selfcheck`` — an end-to-end smoke test of the
+  whole layer against a tiny simulated scan.
+"""
+
+from .metadata import build_run_metadata, write_metadata
+from .metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullInstrument,
+    Scope,
+)
+from .spans import Span, SpanTracer
+from .status import StatusEmitter, format_status_line
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NullInstrument",
+    "Scope",
+    "Span",
+    "SpanTracer",
+    "StatusEmitter",
+    "build_run_metadata",
+    "format_status_line",
+    "write_metadata",
+]

@@ -1,0 +1,135 @@
+"""Live scan status: one progress line per interval, like real ZDNS.
+
+ZDNS prints a short status line to stderr while a scan runs, which is
+what makes a 10K-thread scan operable — the operator sees throughput,
+success rate, and backpressure without waiting for the summary.  The
+emitter here does the same on the *virtual* clock: it schedules itself
+on the simulator with a cancellable timer, emits a line per interval,
+and is cancelled when the last lookup routine finishes (a pending
+repeating timer would otherwise keep the event loop alive forever).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, TextIO
+
+__all__ = ["StatusEmitter", "format_status_line"]
+
+#: Statuses counted as timeouts on the status line.
+_TIMEOUT_STATUSES = ("TIMEOUT", "ITERATIVE_TIMEOUT")
+
+
+def format_status_line(
+    elapsed: float,
+    total: int,
+    interval_rate: float,
+    average_rate: float,
+    success_rate: float,
+    in_flight: int,
+    timeouts: int,
+    retries: int,
+    cache_hit_rate: float | None,
+) -> str:
+    """The one-line scan status, ZDNS-style semicolon-separated."""
+    parts = [
+        f"t={elapsed:.1f}s",
+        f"{total} done",
+        f"{interval_rate:.1f}/s now",
+        f"{average_rate:.1f}/s avg",
+        f"{success_rate * 100:.1f}% ok",
+        f"{in_flight} in-flight",
+        f"{timeouts} timeouts",
+        f"{retries} retries",
+    ]
+    if cache_hit_rate is not None:
+        parts.append(f"cache {cache_hit_rate * 100:.1f}%")
+    return "; ".join(parts)
+
+
+class StatusEmitter:
+    """Emits a status line every ``interval`` virtual seconds.
+
+    Reads everything through live references — the scan's
+    :class:`~repro.framework.stats.ScanStats`, the ``engine.inflight``
+    gauge, and the delegation cache's stats — so each tick is a handful
+    of attribute reads plus one write to ``stream``.
+    """
+
+    def __init__(
+        self,
+        sim,
+        interval: float,
+        stats,
+        inflight=None,
+        cache=None,
+        stream: TextIO | None = None,
+        write: Callable[[str], None] | None = None,
+    ):
+        if interval <= 0:
+            raise ValueError("status interval must be positive")
+        self.sim = sim
+        self.interval = interval
+        self.stats = stats
+        self.inflight = inflight
+        self.cache = cache
+        if write is None:
+            stream = stream if stream is not None else sys.stderr
+            write = lambda line: print(line, file=stream)  # noqa: E731
+        self.write = write
+        self.lines_emitted = 0
+        self._timer = None
+        self._started_at = 0.0
+        self._last_total = 0
+        self._stopped = False
+
+    def start(self) -> "StatusEmitter":
+        """Begin ticking at ``now + interval`` on the simulator."""
+        self._started_at = self.sim.now
+        self._last_total = self.stats.total
+        self._timer = self.sim.call_later(self.interval, self._tick)
+        return self
+
+    def stop(self, final_line: bool = True) -> None:
+        """Cancel the pending tick (lets the event loop drain) and emit
+        one last line so the stream always ends at 100% of the scan."""
+        if self._stopped:
+            return
+        self._stopped = True
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if final_line and self.stats.total != self._last_total:
+            self.emit()
+
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        self.emit()
+        self._timer = self.sim.call_later(self.interval, self._tick)
+
+    def emit(self) -> None:
+        """Format and write one status line from current state."""
+        stats = self.stats
+        now = self.sim.now
+        elapsed = now - self._started_at
+        done_since = stats.total - self._last_total
+        self._last_total = stats.total
+        timeouts = sum(stats.by_status.get(s, 0) for s in _TIMEOUT_STATUSES)
+        cache_hit = None
+        if self.cache is not None:
+            cache_hit = self.cache.stats.hit_rate
+        self.write(
+            format_status_line(
+                elapsed=elapsed,
+                total=stats.total,
+                interval_rate=done_since / self.interval,
+                average_rate=stats.total / elapsed if elapsed > 0 else 0.0,
+                success_rate=stats.success_rate,
+                in_flight=int(self.inflight.value) if self.inflight is not None else 0,
+                timeouts=timeouts,
+                retries=stats.retries_used,
+                cache_hit_rate=cache_hit,
+            )
+        )
+        self.lines_emitted += 1

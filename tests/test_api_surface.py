@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.framework",
     "repro.modules",
     "repro.net",
+    "repro.obs",
     "repro.workloads",
 ]
 

@@ -64,6 +64,30 @@ class TestScanStats:
         assert stats.successes_per_second == 0.0
         assert stats.steady_rate == 0.0
 
+    def test_steady_rate_zero_duration_burst(self):
+        # every completion at one instant: p10 == p90, duration == 0 —
+        # must not divide by zero, falls back to lookups_per_second (0.0)
+        stats = ScanStats()
+        for _ in range(50):
+            stats.record("NOERROR", 0.0)
+        assert stats.steady_rate == 0.0
+        assert stats.lookups_per_second == 0.0
+
+    def test_steady_rate_identical_percentiles_nonzero_duration(self):
+        # 10th..90th percentile completions coincide but the scan has
+        # real duration: fall back to the overall rate, not a crash
+        stats = ScanStats()
+        stats.record("NOERROR", 0.0)
+        for _ in range(20):
+            stats.record("NOERROR", 5.0)
+        assert stats.steady_rate == pytest.approx(stats.lookups_per_second)
+
+    def test_steady_rate_few_completions(self):
+        stats = ScanStats()
+        for i in range(5):
+            stats.record("NOERROR", (i + 1) * 1.0)
+        assert stats.steady_rate == pytest.approx(stats.lookups_per_second)
+
     def test_json_shape(self):
         stats = ScanStats()
         stats.record("NOERROR", 1.0)
@@ -285,3 +309,24 @@ class TestTimeline:
     def test_bad_bucket(self):
         with pytest.raises(ValueError):
             ScanStats().timeline(0)
+        with pytest.raises(ValueError):
+            ScanStats().timeline(-1.0)
+
+    def test_empty_timeline(self):
+        assert ScanStats().timeline(1.0) == []
+        assert ScanStats().timeline(1.0, fill=True) == []
+
+    def test_fill_emits_zero_buckets(self):
+        stats = ScanStats()
+        for t in (0.1, 3.5):
+            stats.record("NOERROR", t)
+        assert stats.timeline(1.0) == [(0.0, 1), (3.0, 1)]
+        assert stats.timeline(1.0, fill=True) == [
+            (0.0, 1), (1.0, 0), (2.0, 0), (3.0, 1),
+        ]
+
+    def test_fractional_bucket(self):
+        stats = ScanStats()
+        for t in (0.1, 0.2, 0.6):
+            stats.record("NOERROR", t)
+        assert stats.timeline(0.5) == [(0.0, 2), (0.5, 1)]

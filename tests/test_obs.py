@@ -1,0 +1,534 @@
+"""Tests for the observability stack: metrics registry, spans, status
+emitter, metadata, and their wiring through the scan runner and CLI."""
+
+import io
+import json
+import random
+
+import pytest
+
+from repro.core import (
+    IterativeMachine,
+    ResolverConfig,
+    SelectiveCache,
+    SendQuery,
+    Status,
+)
+from repro.dnslib import RRType
+from repro.framework import ScanConfig, ScanRunner
+from repro.framework.stats import ScanStats
+from repro.net.sim import Simulator
+from repro.obs import (
+    MetricsRegistry,
+    NullInstrument,
+    SpanTracer,
+    StatusEmitter,
+    build_run_metadata,
+    format_status_line,
+    write_metadata,
+)
+from repro.obs.metrics import NULL_REGISTRY, bucket_bounds, bucket_index
+
+
+class TestCountersAndGauges:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("lookups")
+        counter.inc()
+        counter.inc(4)
+        assert counter.snapshot() == 5
+        assert registry.snapshot() == {"lookups": 5}
+
+    def test_gauge_moves_both_ways(self):
+        gauge = MetricsRegistry().gauge("inflight")
+        gauge.inc(3)
+        gauge.dec()
+        assert gauge.value == 2
+        gauge.set(17)
+        assert gauge.snapshot() == 17
+
+    def test_same_name_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("a")
+
+    def test_scope_qualifies_names(self):
+        registry = MetricsRegistry()
+        engine = registry.scope("engine")
+        engine.counter("lookups").inc()
+        engine.scope("status").counter("NOERROR").inc()
+        assert set(registry.snapshot()) == {"engine.lookups", "engine.status.NOERROR"}
+
+    def test_disabled_registry_hands_out_shared_null(self):
+        registry = MetricsRegistry(enabled=False)
+        a = registry.counter("a")
+        b = registry.scope("x").histogram("b")
+        assert isinstance(a, NullInstrument) and a is b
+        a.inc()
+        b.observe(3.0)
+        assert len(registry) == 0
+        assert registry.snapshot() == {}
+
+    def test_null_registry_is_disabled(self):
+        assert not NULL_REGISTRY.enabled
+        NULL_REGISTRY.counter("anything").inc()
+        assert len(NULL_REGISTRY) == 0
+
+
+class TestHistogram:
+    def test_bucket_boundaries_contain_their_values(self):
+        # powers of two sit at bucket lower edges; 1.5x points split them
+        for value in (0.001, 0.0015, 0.5, 0.74, 0.75, 1.0, 1.49, 1.5, 2.0, 1000.0):
+            low, high = bucket_bounds(bucket_index(value))
+            assert low <= value < high, (value, low, high)
+
+    def test_bucket_split_at_three_quarters(self):
+        # [0.5, 0.75) and [0.75, 1.0) are distinct half-octave buckets
+        assert bucket_index(0.74) != bucket_index(0.76)
+        assert bucket_bounds(bucket_index(0.5)) == (0.5, 0.75)
+        assert bucket_bounds(bucket_index(0.75)) == (0.75, 1.0)
+
+    def test_non_positive_values_share_underflow_bucket(self):
+        assert bucket_index(0.0) == bucket_index(-5.0)
+        low, high = bucket_bounds(bucket_index(0.0))
+        assert low < 0.0 and high == 0.0
+
+    def test_quantiles_bounded_by_observations(self):
+        histogram = MetricsRegistry().histogram("latency")
+        values = [0.001 * (i + 1) for i in range(100)]
+        for value in values:
+            histogram.observe(value)
+        p50, p99 = histogram.quantile(0.5), histogram.quantile(0.99)
+        assert min(values) <= p50 <= p99 <= max(values)
+        # half-octave buckets bound relative error: p50 within [0.025, 0.1]
+        assert 0.025 <= p50 <= 0.1
+
+    def test_single_value_quantiles_are_exact(self):
+        histogram = MetricsRegistry().histogram("h")
+        for _ in range(10):
+            histogram.observe(0.042)
+        assert histogram.quantile(0.5) == pytest.approx(0.042)
+        assert histogram.quantile(0.99) == pytest.approx(0.042)
+
+    def test_quantile_validation_and_empty(self):
+        histogram = MetricsRegistry().histogram("h")
+        assert histogram.quantile(0.5) == 0.0
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+
+    def test_snapshot_summary(self):
+        histogram = MetricsRegistry().histogram("h")
+        histogram.observe(1.0)
+        histogram.observe(3.0)
+        snap = histogram.snapshot()
+        assert snap["count"] == 2
+        assert snap["sum"] == pytest.approx(4.0)
+        assert snap["min"] == 1.0 and snap["max"] == 3.0
+
+
+class TestPrometheusRendering:
+    def test_render_counters_gauges_histograms(self):
+        registry = MetricsRegistry()
+        registry.scope("engine").counter("lookups").inc(42)
+        registry.scope("cache").gauge("hit_rate").set(0.991)
+        h = registry.scope("engine").histogram("queries_per_lookup")
+        h.observe(3)
+        text = registry.render_prometheus()
+        assert "# TYPE pyzdns_engine_lookups counter" in text
+        assert "pyzdns_engine_lookups 42" in text
+        assert "pyzdns_cache_hit_rate 0.991" in text
+        assert "# TYPE pyzdns_engine_queries_per_lookup summary" in text
+        assert 'pyzdns_engine_queries_per_lookup{quantile="0.5"}' in text
+        assert "pyzdns_engine_queries_per_lookup_count 1" in text
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render_prometheus() == ""
+
+
+class TestSpans:
+    def test_parent_child_nesting(self):
+        tracer = SpanTracer(clock=lambda: 0.0)
+        root = tracer.start("lookup", name="example.com")
+        child = tracer.start("step", parent=root, depth=0)
+        child.finish(status="NOERROR")
+        root.finish(status="NOERROR")
+        rows = [span.to_json() for span in tracer.spans]
+        assert rows[0]["span"] == "step" and rows[0]["parent"] == root.span_id
+        assert rows[1]["span"] == "lookup" and rows[1]["parent"] is None
+
+    def test_finish_is_idempotent(self):
+        clock = iter([0.0, 1.0, 2.0])
+        tracer = SpanTracer(clock=lambda: next(clock))
+        span = tracer.start("x")
+        span.finish(status="A")
+        span.finish(status="B")
+        assert span.status == "A" and span.end == 1.0
+        assert tracer.finished == 1
+
+    def test_sink_streams_rows(self):
+        rows = []
+        tracer = SpanTracer(clock=lambda: 0.0, sink=rows.append)
+        tracer.start("x", name="a.com").finish(status="NOERROR")
+        assert rows == [
+            {
+                "span": "x",
+                "id": 1,
+                "parent": None,
+                "start": 0.0,
+                "end": 0.0,
+                "duration": 0.0,
+                "status": "NOERROR",
+                "name": "a.com",
+            }
+        ]
+        assert tracer.spans == []
+
+    def test_export_jsonl(self):
+        tracer = SpanTracer(clock=lambda: 0.0)
+        tracer.start("x").finish()
+        handle = io.StringIO()
+        assert tracer.export_jsonl(handle) == 1
+        assert json.loads(handle.getvalue())["span"] == "x"
+
+
+class TestMachineSpans:
+    """Span trees produced by the actual resolution machine — driven by
+    scripted responses, including a timeout/retry race."""
+
+    def _resolve(self, responses, config=None):
+        """Drive one A lookup where the leaf server yields ``responses``
+        (a list; None entries are timeouts) and return the span rows."""
+        from tests.test_machine import answer_msg, referral_msg, ROOTS
+
+        tracer = SpanTracer(clock=lambda: 0.0)
+        config = config or ResolverConfig(retries=2)
+        config.tracer = tracer
+        machine = IterativeMachine(
+            SelectiveCache(capacity=100), ROOTS, config, random.Random(0)
+        )
+        script = iter(responses)
+
+        def respond(effect):
+            assert isinstance(effect, SendQuery)
+            if effect.server_ip in ROOTS:
+                return referral_msg("com", ["10.0.0.1"])
+            if effect.server_ip == "10.0.0.1":
+                return referral_msg("example.com", ["10.1.0.1"])
+            return next(script)
+
+        gen = machine.resolve("www.example.com", RRType.A)
+        try:
+            effect = next(gen)
+            while True:
+                effect = gen.send(respond(effect))
+        except StopIteration as stop:
+            result = stop.value
+        return result, [span.to_json() for span in tracer.spans]
+
+    def test_clean_lookup_has_nested_query_spans(self):
+        from tests.test_machine import answer_msg
+
+        result, rows = self._resolve([answer_msg("www.example.com", [])])
+        assert result.status == Status.NOERROR
+        lookup = [r for r in rows if r["span"] == "lookup"]
+        steps = [r for r in rows if r["span"] == "step"]
+        queries = [r for r in rows if r["span"] == "query"]
+        assert len(lookup) == 1 and lookup[0]["parent"] is None
+        assert len(steps) == 1 and steps[0]["parent"] == lookup[0]["id"]
+        assert len(queries) == 3  # root, com, example.com
+        assert all(q["parent"] == steps[0]["id"] for q in queries)
+        assert [q["try_count"] for q in queries] == [1, 1, 1]
+        cache_probes = [r for r in rows if r["span"] == "cache_probe"]
+        assert len(cache_probes) == 1 and cache_probes[0]["status"] == "miss"
+
+    def test_timeout_race_spans_record_each_attempt(self):
+        from tests.test_machine import answer_msg
+
+        # leaf times out twice, then answers on the third attempt
+        result, rows = self._resolve([None, None, answer_msg("www.example.com", [])])
+        assert result.status == Status.NOERROR
+        leaf = [
+            r for r in rows
+            if r["span"] == "query" and r.get("name_server") == "10.1.0.1:53"
+        ]
+        assert [q["try_count"] for q in leaf] == [1, 2, 3]
+        assert [q["status"] for q in leaf] == ["TIMEOUT", "TIMEOUT", "NOERROR"]
+        # parent step span carries the final outcome
+        step = [r for r in rows if r["span"] == "step"][0]
+        assert step["status"] == "NOERROR"
+        assert all(q["parent"] == step["id"] for q in leaf)
+
+    def test_exhausted_retries_close_every_span(self):
+        result, rows = self._resolve([None, None, None])
+        assert result.status == Status.ITERATIVE_TIMEOUT
+        assert all(row["end"] >= row["start"] for row in rows)
+        lookup = [r for r in rows if r["span"] == "lookup"][0]
+        assert lookup["status"] == "ITERATIVE_TIMEOUT"
+
+
+class TestStatusEmitter:
+    def _sim_with_records(self, stats, schedule):
+        """A simulator that records a completion at each (time, status)."""
+        sim = Simulator()
+        for when, status in schedule:
+            sim.call_later(when, lambda s=status, t=when: stats.record(s, t))
+        return sim
+
+    def test_interval_math_on_virtual_clock(self):
+        stats = ScanStats()
+        lines = []
+        sim = self._sim_with_records(
+            stats,
+            [(0.2, "NOERROR"), (0.4, "NOERROR"), (1.3, "TIMEOUT"), (2.7, "NOERROR")],
+        )
+        emitter = StatusEmitter(sim, interval=1.0, stats=stats, write=lines.append)
+        emitter.start()
+        sim.call_later(3.5, emitter.stop)
+        sim.run()
+        # ticks at t=1, 2, 3: rates are completions per 1s interval
+        assert len(lines) == 3
+        assert lines[0].startswith("t=1.0s; 2 done; 2.0/s now; 2.0/s avg")
+        assert lines[1].startswith("t=2.0s; 3 done; 1.0/s now")
+        assert "1 timeouts" in lines[1]
+        assert lines[2].startswith("t=3.0s; 4 done; 1.0/s now")
+
+    def test_stop_emits_final_line_and_drains_loop(self):
+        stats = ScanStats()
+        lines = []
+        sim = self._sim_with_records(stats, [(0.5, "NOERROR")])
+        emitter = StatusEmitter(sim, interval=10.0, stats=stats, write=lines.append)
+        emitter.start()
+        sim.call_later(0.6, emitter.stop)
+        sim.run()  # would never return if the repeating timer survived
+        assert sim.now < 10.0
+        assert len(lines) == 1 and "1 done" in lines[0]
+
+    def test_rejects_non_positive_interval(self):
+        with pytest.raises(ValueError):
+            StatusEmitter(Simulator(), interval=0, stats=ScanStats())
+
+    def test_format_line_shape(self):
+        line = format_status_line(
+            elapsed=5.0, total=1234, interval_rate=800.0, average_rate=246.8,
+            success_rate=0.972, in_flight=50, timeouts=12, retries=34,
+            cache_hit_rate=0.991,
+        )
+        assert line == (
+            "t=5.0s; 1234 done; 800.0/s now; 246.8/s avg; 97.2% ok; "
+            "50 in-flight; 12 timeouts; 34 retries; cache 99.1%"
+        )
+
+    def test_cache_segment_optional(self):
+        line = format_status_line(
+            elapsed=1.0, total=1, interval_rate=1.0, average_rate=1.0,
+            success_rate=1.0, in_flight=0, timeouts=0, retries=0,
+            cache_hit_rate=None,
+        )
+        assert "cache" not in line
+
+
+class TestMetadata:
+    def test_round_trip(self, tmp_path):
+        summary = {"total": 25, "statuses": {"NOERROR": 25}}
+        metadata = build_run_metadata(
+            summary,
+            args={"module": "A", "threads": 5, "_private": "dropped"},
+            wall_seconds=1.23456,
+            virtual_seconds=9.87,
+            metrics={"engine.lookups": 25},
+        )
+        path = tmp_path / "meta.json"
+        write_metadata(path, metadata)
+        data = json.loads(path.read_text())
+        assert data["total"] == 25
+        assert data["statuses"] == {"NOERROR": 25}
+        assert data["args"] == {"module": "A", "threads": 5}
+        assert data["durations"] == {"wall_s": 1.235, "virtual_s": 9.87}
+        assert data["metrics"] == {"engine.lookups": 25}
+        assert data["tool"]["name"] == "pyzdns-repro"
+        assert "profile" not in data
+
+    def test_profile_included_when_present(self):
+        metadata = build_run_metadata(
+            {"total": 0}, profile={"top": 25, "report": "..."}
+        )
+        assert metadata["profile"]["top"] == 25
+
+
+class TestScanStatsRegistryMirror:
+    def test_attach_mirrors_records(self):
+        registry = MetricsRegistry()
+        stats = ScanStats().attach(registry.scope("engine"))
+        stats.record("NOERROR", 1.0, queries=3, retries=1)
+        stats.record("TIMEOUT", 2.0, queries=6)
+        snap = registry.snapshot()
+        assert snap["engine.lookups"] == 2
+        assert snap["engine.successes"] == 1
+        assert snap["engine.queries_sent"] == 9
+        assert snap["engine.retries_used"] == 1
+        assert snap["engine.status.NOERROR"] == 1
+        assert snap["engine.status.TIMEOUT"] == 1
+        assert snap["engine.queries_per_lookup"]["count"] == 2
+
+    def test_unattached_stats_register_nothing(self):
+        stats = ScanStats()
+        stats.record("NOERROR", 1.0)
+        assert stats._instruments is None
+
+
+@pytest.fixture(scope="module")
+def small_scan_names():
+    from repro.workloads import CorpusConfig, DomainCorpus
+
+    return list(DomainCorpus(CorpusConfig(seed=11)).fqdns(60))
+
+
+class TestRunnerIntegration:
+    def _run(self, names, **kwargs):
+        from repro.ecosystem import EcosystemParams, build_internet
+
+        internet = build_internet(params=EcosystemParams(seed=11))
+        config = ScanConfig(threads=10, seed=11, **kwargs)
+        return ScanRunner(internet, config).run(names)
+
+    def test_metrics_cover_engine_scheduler_cache(self, small_scan_names):
+        report = self._run(small_scan_names, metrics=True)
+        metrics = report.metrics
+        assert metrics["engine.lookups"] == 60
+        assert metrics["engine.inflight"] == 0  # all lookups drained
+        assert metrics["scheduler.events_executed"] > 0
+        assert "scheduler.peak_ready_depth" in metrics
+        assert "cache.hit_rate" in metrics
+        assert "net.packets_delivered" in metrics or any(
+            key.startswith("net.") for key in metrics
+        )
+        assert report.registry.enabled
+
+    def test_metrics_match_legacy_stats(self, small_scan_names):
+        report = self._run(small_scan_names, metrics=True)
+        assert report.metrics["engine.queries_sent"] == report.stats.queries_sent
+        assert report.metrics["engine.successes"] == report.stats.successes
+        statuses = {
+            key.rsplit(".", 1)[1]: value
+            for key, value in report.metrics.items()
+            if key.startswith("engine.status.")
+        }
+        assert statuses == dict(report.stats.by_status)
+
+    def test_disabled_run_records_nothing(self, small_scan_names):
+        report = self._run(small_scan_names)
+        assert report.metrics == {}
+        assert not report.registry.enabled
+        assert report.tracer is None
+
+    def test_status_interval_emits_and_terminates(self, small_scan_names):
+        stream = io.StringIO()
+        from repro.ecosystem import EcosystemParams, build_internet
+
+        internet = build_internet(params=EcosystemParams(seed=11))
+        config = ScanConfig(threads=10, seed=11, status_interval=0.5)
+        report = ScanRunner(internet, config, status_stream=stream).run(small_scan_names)
+        lines = stream.getvalue().splitlines()
+        assert lines, "no status lines emitted"
+        assert all("in-flight" in line for line in lines)
+        # final line reports the full scan
+        assert f"{report.stats.total} done" in lines[-1]
+
+    def test_span_collection_on_report(self, small_scan_names):
+        report = self._run(small_scan_names, collect_spans=True)
+        tracer = report.tracer
+        assert tracer is not None and tracer.finished == tracer.started
+        lookups = [s for s in tracer.spans if s.name == "lookup"]
+        assert len(lookups) == 60
+
+    def test_deterministic_across_runs(self, small_scan_names):
+        first = self._run(small_scan_names, metrics=True)
+        second = self._run(small_scan_names, metrics=True)
+        assert first.metrics == second.metrics
+
+
+class TestCliObservability:
+    @pytest.fixture()
+    def names_file(self, tmp_path):
+        from repro.workloads import CorpusConfig, DomainCorpus
+
+        corpus = DomainCorpus(CorpusConfig(seed=3))
+        path = tmp_path / "names.txt"
+        path.write_text("\n".join(corpus.fqdns(20)))
+        return str(path)
+
+    def test_all_three_exports(self, names_file, tmp_path, capsys):
+        from repro.framework.cli import main
+
+        meta = tmp_path / "meta.json"
+        prom = tmp_path / "metrics.prom"
+        spans = tmp_path / "spans.jsonl"
+        out = tmp_path / "out.jsonl"
+        code = main([
+            "A", "-f", names_file, "-o", str(out), "--threads", "5",
+            "--seed", "5", "--quiet",
+            "--status-interval", "1.0",
+            "--metadata-file", str(meta),
+            "--metrics-out", str(prom),
+            "--spans-file", str(spans),
+        ])
+        assert code == 0
+        # status stream went to stderr
+        captured = capsys.readouterr()
+        assert "in-flight" in captured.err
+
+        data = json.loads(meta.read_text())
+        assert data["total"] == 20
+        assert data["args"]["threads"] == 5
+        assert data["durations"]["wall_s"] >= 0
+        assert data["metrics"]["engine.lookups"] == 20
+
+        text = prom.read_text()
+        assert "pyzdns_engine_lookups 20" in text
+        assert "pyzdns_scheduler_events_executed" in text
+        assert "pyzdns_cache_hit_rate" in text
+
+        rows = [json.loads(line) for line in spans.read_text().splitlines()]
+        assert rows and any(row["span"] == "lookup" for row in rows)
+        parents = {row["id"] for row in rows}
+        assert all(
+            row["parent"] in parents for row in rows if row["parent"] is not None
+        )
+
+    def test_profile_routed_to_metadata(self, names_file, tmp_path, monkeypatch, capsys):
+        from repro.framework.cli import main
+
+        monkeypatch.setenv("REPRO_PROFILE", "5")
+        meta = tmp_path / "meta.json"
+        code = main([
+            "A", "-f", names_file, "-o", str(tmp_path / "o.jsonl"),
+            "--threads", "5", "--seed", "5", "--quiet",
+            "--metadata-file", str(meta),
+        ])
+        assert code == 0
+        data = json.loads(meta.read_text())
+        assert data["profile"]["top"] == 5
+        assert "cumulative" in data["profile"]["report"]
+
+    def test_flags_parse(self):
+        from repro.framework.cli import build_parser
+
+        args = build_parser().parse_args([
+            "A", "--status-interval", "2.5", "--metrics-out", "-",
+            "--spans-file", "s.jsonl",
+        ])
+        assert args.status_interval == 2.5
+        assert args.metrics_out == "-"
+
+
+class TestSelfcheck:
+    def test_selfcheck_passes(self, capsys):
+        from repro.obs.selfcheck import main
+
+        assert main() == 0
+        assert "OK" in capsys.readouterr().out
