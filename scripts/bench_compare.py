@@ -173,6 +173,105 @@ def obs_delta(profile: str, repeats: int) -> tuple[float, float, float]:
     return best_off, best_on, best_on / best_off - 1
 
 
+def chaos_smoke(profile: str, repeats: int) -> int:
+    """The fault-injection acceptance gate, in three steps:
+
+    1. A/B the e2e wire-mode scan with no injector vs an attached
+       *empty* fault plan — the virtual-time fingerprints must be
+       identical (the disabled fault path may not change a scan) and
+       the wall-clock cost must stay within the e2e wire tolerance;
+    2. run the same scan under the bundled ``moderate`` plan — it must
+       terminate with every lookup classified and faults actually fired;
+    3. replay the chaotic scan — same seed, same plan must reproduce
+       the same fingerprint and activation counts.
+
+    Returns a process exit status (0 = gate passes).
+    """
+    import io
+
+    from bench_wallclock_hotpath import BENCH_SEED, PROFILES, _timed
+
+    from repro.ecosystem import EcosystemParams, build_internet
+    from repro.faults import FaultInjector, FaultPlan, plan_by_name
+    from repro.framework import ScanConfig, ScanRunner
+    from repro.workloads import DomainCorpus
+
+    sizes = PROFILES[profile]
+    threads, lookups = sizes["e2e_threads"], sizes["e2e_lookups"]
+    names = list(DomainCorpus().fqdns(lookups, start=0))
+
+    def scan(plan, chaos_seed=BENCH_SEED):
+        internet = build_internet(
+            params=EcosystemParams(seed=BENCH_SEED), wire_mode="always"
+        )
+        injector = None
+        if plan is not None:
+            injector = FaultInjector(plan, sim=internet.sim, seed=chaos_seed)
+            injector.attach(internet.network)
+        config = ScanConfig(
+            module="A",
+            mode="iterative",
+            threads=threads,
+            source_prefix=28,
+            cache_size=600_000,
+            seed=BENCH_SEED,
+        )
+        runner = ScanRunner(internet, config)
+        wall, report = _timed(lambda: runner.run(names))
+        stats = report.stats
+        fingerprint = {
+            "total": stats.total,
+            "successes": stats.successes,
+            "statuses": dict(sorted(stats.by_status.items())),
+            "queries_sent": stats.queries_sent,
+            "duration_virtual_s": round(stats.duration, 6),
+        }
+        return wall, fingerprint, injector
+
+    limit = METRIC_TOLERANCE["e2e_wire_wall_s"]
+    off_walls, empty_walls = [], []
+    for i in range(repeats):
+        print(f"chaos A/B pass {i + 1}/{repeats} (no injector, then empty plan) ...")
+        off_wall, off_print, _ = scan(None)
+        empty_wall, empty_print, injector = scan(FaultPlan.empty())
+        if empty_print != off_print:
+            print("FAIL: an empty fault plan changed the scan's virtual-time results")
+            return 1
+        if injector.total_activations() != 0:
+            print("FAIL: empty plan recorded activations")
+            return 1
+        off_walls.append(off_wall)
+        empty_walls.append(empty_wall)
+    best_off, best_empty = min(off_walls), min(empty_walls)
+    delta = best_empty / best_off - 1
+    print(f"  e2e wire, no injector       {best_off:>8.3f} s")
+    print(f"  e2e wire, empty plan        {best_empty:>8.3f} s")
+    print(f"  injector-attached overhead  {delta * 100:>+7.1f} %  (limit +{limit * 100:.0f}%)")
+    if delta > limit:
+        print("FAIL: attached-but-empty injector exceeds the e2e wire tolerance")
+        return 1
+
+    print("chaos run (moderate plan) ...")
+    chaos_wall, chaos_print, chaos_injector = scan(plan_by_name("moderate"))
+    if chaos_print["total"] != lookups or sum(chaos_print["statuses"].values()) != lookups:
+        print("FAIL: chaotic scan lost lookups or left them unclassified")
+        return 1
+    if chaos_injector.total_activations() == 0:
+        print("FAIL: moderate plan fired no faults")
+        return 1
+    _, replay_print, replay_injector = scan(plan_by_name("moderate"))
+    if replay_print != chaos_print or replay_injector.counts != chaos_injector.counts:
+        print("FAIL: chaotic scan did not replay deterministically")
+        return 1
+    print(
+        f"  chaos scan                  {chaos_wall:>8.3f} s  "
+        f"(successes {chaos_print['successes']}/{lookups}, "
+        f"{chaos_injector.total_activations()} fault activations)"
+    )
+    print("\nOK — fault injection gate passes")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--check", action="store_true", help="compare only; write nothing")
@@ -195,7 +294,17 @@ def main(argv: list[str] | None = None) -> int:
         help="A/B the e2e wire scan with telemetry off vs on and report "
         "the overhead (skips the regular suite)",
     )
+    parser.add_argument(
+        "--chaos-smoke",
+        action="store_true",
+        help="fault-injection gate: empty plan must be free and "
+        "fingerprint-identical, a moderate plan must degrade gracefully "
+        "and replay deterministically (skips the regular suite)",
+    )
     args = parser.parse_args(argv)
+
+    if args.chaos_smoke:
+        return chaos_smoke(args.profile, max(1, args.repeat))
 
     if args.obs_delta:
         off, on, delta = obs_delta(args.profile, max(1, args.repeat))

@@ -5,7 +5,9 @@ that execute lookups on simulated or real networks."""
 from .cache import CacheStats, Delegation, SelectiveCache
 from .config import ClientCostModel, ResolverConfig
 from .engine import LiveDriver, Resolver, SimDriver
+from .health import ServerHealthTracker
 from .machine import (
+    Backoff,
     ExternalMachine,
     IterativeMachine,
     LookupResult,
@@ -15,11 +17,13 @@ from .status import Status, status_from_rcode
 from .trace import Trace, TraceStep, message_to_json
 
 __all__ = [
+    "Backoff",
     "CacheStats",
     "ClientCostModel",
     "Delegation",
     "ExternalMachine",
     "IterativeMachine",
+    "ServerHealthTracker",
     "LiveDriver",
     "LookupResult",
     "Resolver",

@@ -49,6 +49,23 @@ class ResolverConfig:
     #: the tracer's clock.  None (the default) costs one attribute read
     #: per lookup step.
     tracer: Any = None
+    #: Exponential backoff with decorrelated jitter between retry
+    #: attempts: the first pause draws uniform from
+    #: ``[backoff_base, 3*backoff_base]`` and each subsequent pause from
+    #: ``[backoff_base, 3*previous]``, capped at :attr:`backoff_cap`
+    #: (the AWS "decorrelated jitter" schedule).  ``0.0`` (the default)
+    #: disables backoff entirely — no delays, no RNG draws — so default
+    #: scans replay byte-identically to pre-backoff builds.
+    backoff_base: float = 0.0
+    #: Upper bound on one backoff pause, seconds.
+    backoff_cap: float = 10.0
+    #: A :class:`repro.core.health.ServerHealthTracker` (or None).  When
+    #: set, the iterative machine records per-server successes/failures
+    #: and orders each layer's candidate servers healthy-first, shedding
+    #: load away from blacked-out or storming servers (§3's
+    #: load-balancing, made failure-aware).  None costs one attribute
+    #: read per layer.
+    health: Any = None
 
 
 @dataclass

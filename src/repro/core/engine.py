@@ -8,6 +8,7 @@ sockets — and feeds the response back in.
 from __future__ import annotations
 
 import random
+import time
 
 from ..dnslib import Message, add_edns
 from ..dnslib.edns import OPT
@@ -17,7 +18,7 @@ from ..dnslib.types import RRType
 from ..net import CPUModel, Routine, SimNetwork, SimUDPSocket, SourceIPPool, UDPTransport
 from .cache import SelectiveCache
 from .config import ClientCostModel, ResolverConfig
-from .machine import ExternalMachine, IterativeMachine, LookupResult, SendQuery
+from .machine import Backoff, ExternalMachine, IterativeMachine, LookupResult, SendQuery
 
 
 class SimDriver:
@@ -84,6 +85,14 @@ class SimDriver:
                 send_cost += self.costs.per_socket_setup
             receive_cost = self.costs.per_receive
         while True:
+            if type(effect) is Backoff:
+                # retry backoff: sleep virtual time, no CPU charged
+                yield effect.delay
+                try:
+                    effect = machine_gen.send(None)
+                except StopIteration as stop:
+                    return stop.value
+                continue
             if cpu is not None:
                 yield cpu.execute(send_cost)
             sent_at = sim.now
@@ -123,6 +132,13 @@ class LiveDriver:
         except StopIteration as stop:
             return stop.value
         while True:
+            if type(effect) is Backoff:
+                time.sleep(effect.delay)
+                try:
+                    effect = machine_gen.send(None)
+                except StopIteration as stop:
+                    return stop.value
+                continue
             message = Message.make_query(
                 effect.name,
                 effect.qtype,

@@ -1,0 +1,120 @@
+"""Per-server health scoring: shed load away from failing servers.
+
+The paper's framework load-balances lookups across a zone's name
+servers (§3); under a blackout or rcode storm that balance is wrong —
+every lookup keeps burning its retry budget on the dead server.  The
+:class:`ServerHealthTracker` keeps one exponentially-decaying failure
+score per server IP on the *virtual* clock and orders candidate server
+lists healthy-first, so a blacked-out server stops receiving first
+tries within a few observed failures and is organically re-probed as
+its score decays back under the threshold.
+
+Determinism: scores are pure arithmetic over virtual time; ordering is
+a deterministic shuffle (the machine's seeded RNG) followed by a stable
+sort on bucketed scores, so equally-healthy servers still load-balance
+and a given seed replays bit-identically.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+__all__ = ["ServerHealthTracker"]
+
+
+class ServerHealthTracker:
+    """Failure scores with exponential time decay over a virtual clock.
+
+    ``clock`` is a zero-argument callable returning virtual seconds
+    (e.g. ``lambda: sim.now``).  A failure adds 1 to the server's
+    score; a success subtracts ``success_credit``; scores halve every
+    ``half_life`` seconds.  Servers at or above ``shed_threshold`` are
+    ordered after healthy ones (and among themselves, worst last).
+    """
+
+    __slots__ = ("clock", "half_life", "success_credit", "shed_threshold",
+                 "_scores", "failures_recorded", "successes_recorded")
+
+    def __init__(
+        self,
+        clock,
+        half_life: float = 15.0,
+        success_credit: float = 0.5,
+        shed_threshold: float = 2.0,
+    ):
+        if half_life <= 0:
+            raise ValueError("half_life must be positive")
+        self.clock = clock
+        self.half_life = half_life
+        self.success_credit = success_credit
+        self.shed_threshold = shed_threshold
+        self._scores: dict[str, tuple[float, float]] = {}  # ip -> (score, stamp)
+        self.failures_recorded = 0
+        self.successes_recorded = 0
+
+    # -- scoring --------------------------------------------------------------
+
+    def score(self, ip: str, now: float | None = None) -> float:
+        """The server's current (decayed) failure score."""
+        entry = self._scores.get(ip)
+        if entry is None:
+            return 0.0
+        score, stamp = entry
+        if now is None:
+            now = self.clock()
+        if now > stamp:
+            score *= math.exp(-math.log(2.0) * (now - stamp) / self.half_life)
+        return score
+
+    def record_failure(self, ip: str) -> None:
+        now = self.clock()
+        self._scores[ip] = (self.score(ip, now) + 1.0, now)
+        self.failures_recorded += 1
+
+    def record_success(self, ip: str) -> None:
+        now = self.clock()
+        decayed = self.score(ip, now) - self.success_credit
+        if decayed <= 0.0:
+            self._scores.pop(ip, None)
+        else:
+            self._scores[ip] = (decayed, now)
+        self.successes_recorded += 1
+
+    def is_shed(self, ip: str) -> bool:
+        return self.score(ip) >= self.shed_threshold
+
+    # -- ordering -------------------------------------------------------------
+
+    def order(self, servers: list[str], rng: random.Random) -> list[str]:
+        """Candidate try-order: healthy servers (shuffled) first, shed
+        servers after in increasing-badness order.  Shed servers stay in
+        the list — when everything is down they are still the only
+        option, and trying them is how recovery is noticed."""
+        order = list(servers)
+        rng.shuffle(order)
+        if not self._scores:
+            return order
+        now = self.clock()
+        threshold = self.shed_threshold
+        return sorted(
+            order,
+            key=lambda ip: (lambda s: 0.0 if s < threshold else s)(self.score(ip, now)),
+        )
+
+    # -- reporting ------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        now = self.clock()
+        shed = [ip for ip in self._scores if self.score(ip, now) >= self.shed_threshold]
+        return {
+            "tracked_servers": len(self._scores),
+            "shed_servers": len(shed),
+            "failures_recorded": self.failures_recorded,
+            "successes_recorded": self.successes_recorded,
+        }
+
+    def publish_metrics(self, scope) -> None:
+        """One-shot publish into a registry scope (``health``)."""
+        for key, value in self.snapshot().items():
+            scope.gauge(key).set(value)

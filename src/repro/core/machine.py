@@ -36,6 +36,17 @@ class SendQuery:
     qclass: int = 1  # IN; CH for e.g. version.bind
 
 
+@dataclass(frozen=True)
+class Backoff:
+    """Effect: pause ``delay`` seconds before the next retry attempt.
+
+    Emitted between failed attempts when ``ResolverConfig.backoff_base``
+    is set; drivers sleep (virtual or wall clock) and send ``None`` back
+    into the machine."""
+
+    delay: float
+
+
 @dataclass
 class LookupResult:
     """Outcome of one full lookup."""
@@ -310,12 +321,21 @@ class IterativeMachine:
 
     def _query_layer(self, name, qtype, servers, result, budget, zone, depth, parent=None):
         """Try the layer's servers (with retries) until one responds."""
-        order = list(servers)
-        self.rng.shuffle(order)
         config = self.config
+        health = config.health
+        if health is not None:
+            # failure-aware ordering: shed load away from unhealthy
+            # servers (blackouts, storms) instead of burning retries
+            order = health.order(list(servers), self.rng)
+        else:
+            order = list(servers)
+            self.rng.shuffle(order)
         tracer = config.tracer
         tries = config.retries + 1
         timeout = config.iteration_timeout
+        backoff_base = config.backoff_base
+        backoff_cap = config.backoff_cap
+        last_pause = 0.0
         # Everything the per-attempt trace rows share is computed once.
         name_text = name.to_text(omit_final_dot=True)
         layer_text = zone.to_text(omit_final_dot=True) or "."
@@ -367,6 +387,14 @@ class IterativeMachine:
                     step.status = str(Status.TIMEOUT)
                     result.trace.add(step)
                 budget.retries += 1
+                if health is not None:
+                    health.record_failure(server_ip)
+                if backoff_base and attempt + 1 < tries:
+                    last_pause = min(
+                        backoff_cap,
+                        self.rng.uniform(backoff_base, 3.0 * (last_pause or backoff_base)),
+                    )
+                    yield Backoff(last_pause)
                 continue
             if config.validate_responses:
                 reason = validate_response_shape(name, int(qtype), response)
@@ -379,6 +407,14 @@ class IterativeMachine:
                         result.trace.add(step)
                     budget.retries += 1
                     last_failure = Status.FORMERR
+                    if health is not None:
+                        health.record_failure(server_ip)
+                    if backoff_base and attempt + 1 < tries:
+                        last_pause = min(
+                            backoff_cap,
+                            self.rng.uniform(backoff_base, 3.0 * (last_pause or backoff_base)),
+                        )
+                        yield Backoff(last_pause)
                     continue
                 if config.strict_bailiwick:
                     response, _report = sanitize_response(response, name, int(qtype), zone)
@@ -420,6 +456,14 @@ class IterativeMachine:
                         step.status = str(Status.TRUNCATED)
                         result.trace.add(step)
                     budget.retries += 1
+                    if health is not None:
+                        health.record_failure(server_ip)
+                    if backoff_base and attempt + 1 < tries:
+                        last_pause = min(
+                            backoff_cap,
+                            self.rng.uniform(backoff_base, 3.0 * (last_pause or backoff_base)),
+                        )
+                        yield Backoff(last_pause)
                     continue
                 response = response_tcp
                 if step is not None:
@@ -432,6 +476,14 @@ class IterativeMachine:
                     result.trace.add(step)
                 last_failure = status_from_rcode(response.rcode)
                 budget.retries += 1
+                if health is not None:
+                    health.record_failure(server_ip)
+                if backoff_base and attempt + 1 < tries:
+                    last_pause = min(
+                        backoff_cap,
+                        self.rng.uniform(backoff_base, 3.0 * (last_pause or backoff_base)),
+                    )
+                    yield Backoff(last_pause)
                 continue
             if qspan is not None:
                 qspan.finish(status=str(status_from_rcode(response.rcode)))
@@ -440,6 +492,8 @@ class IterativeMachine:
                 if config.record_trace_results:
                     step.results = message_to_json(response, f"{server_ip}:53")
                 result.trace.add(step)
+            if health is not None:
+                health.record_success(server_ip)
             return response, server_ip, "udp"
         raise _Abort(last_failure)
 
@@ -509,18 +563,26 @@ class ExternalMachine:
         tries = config.retries + 1
         status = Status.TIMEOUT
         tracer = config.tracer
+        health = config.health
+        backoff_base = config.backoff_base
+        backoff_cap = config.backoff_cap
+        last_pause = 0.0
         span = (
             tracer.start("lookup", name=result.name, type=int(qtype), mode="external")
             if tracer is not None
             else None
         )
         for attempt in range(tries):
-            # load-balance across upstream resolvers per attempt
-            server_ip = self.resolver_ips[
-                self.rng.randrange(len(self.resolver_ips))
-                if len(self.resolver_ips) > 1
-                else 0
-            ]
+            if health is not None and len(self.resolver_ips) > 1:
+                # failure-aware pick: healthy upstreams first
+                server_ip = health.order(self.resolver_ips, self.rng)[0]
+            else:
+                # load-balance across upstream resolvers per attempt
+                server_ip = self.resolver_ips[
+                    self.rng.randrange(len(self.resolver_ips))
+                    if len(self.resolver_ips) > 1
+                    else 0
+                ]
             result.resolver = f"{server_ip}:53"
             result.queries_sent += 1
             qspan = (
@@ -546,6 +608,14 @@ class ExternalMachine:
                 if qspan is not None:
                     qspan.finish(status=str(Status.TIMEOUT))
                 result.retries_used += 1
+                if health is not None:
+                    health.record_failure(server_ip)
+                if backoff_base and attempt + 1 < tries:
+                    last_pause = min(
+                        backoff_cap,
+                        self.rng.uniform(backoff_base, 3.0 * (last_pause or backoff_base)),
+                    )
+                    yield Backoff(last_pause)
                 continue
             if response.flags.truncated and config.tcp_on_truncated:
                 if qspan is not None:
@@ -572,8 +642,33 @@ class ExternalMachine:
                     if qspan is not None:
                         qspan.finish(status=str(Status.TIMEOUT))
                     result.retries_used += 1
+                    if health is not None:
+                        health.record_failure(server_ip)
+                    if backoff_base and attempt + 1 < tries:
+                        last_pause = min(
+                            backoff_cap,
+                            self.rng.uniform(backoff_base, 3.0 * (last_pause or backoff_base)),
+                        )
+                        yield Backoff(last_pause)
                     continue
                 result.protocol = "tcp"
+            if config.validate_responses:
+                reason = validate_response_shape(name, int(qtype), response)
+                if reason is not None:
+                    # malformed/hostile response: treat like packet loss
+                    if qspan is not None:
+                        qspan.finish(status=str(Status.FORMERR))
+                    status = Status.FORMERR
+                    result.retries_used += 1
+                    if health is not None:
+                        health.record_failure(server_ip)
+                    if backoff_base and attempt + 1 < tries:
+                        last_pause = min(
+                            backoff_cap,
+                            self.rng.uniform(backoff_base, 3.0 * (last_pause or backoff_base)),
+                        )
+                        yield Backoff(last_pause)
+                    continue
             status = status_from_rcode(response.rcode)
             if qspan is not None:
                 qspan.finish(status=str(status))
@@ -583,7 +678,17 @@ class ExternalMachine:
                 and attempt + 1 < tries
             ):
                 result.retries_used += 1
+                if health is not None:
+                    health.record_failure(server_ip)
+                if backoff_base:
+                    last_pause = min(
+                        backoff_cap,
+                        self.rng.uniform(backoff_base, 3.0 * (last_pause or backoff_base)),
+                    )
+                    yield Backoff(last_pause)
                 continue
+            if health is not None:
+                health.record_success(server_ip)
             result.answers = list(response.answers)
             result.authorities = list(response.authorities)
             result.additionals = list(response.additionals)

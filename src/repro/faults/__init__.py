@@ -1,0 +1,58 @@
+"""repro.faults — deterministic fault injection for the simulated
+Internet (chaos engineering for the resolver).
+
+The paper's evaluation leans on failure handling — truncation, lame
+delegations, timeouts, retry storms.  This package turns those from
+accidents of the zone generator into *scriptable adversity*:
+
+* :mod:`repro.faults.plan` — the :class:`FaultPlan` schema: typed
+  directives (loss, burst loss, blackout, brownout, rcode storm,
+  truncation, garbage, latency spike, flap) over virtual-time windows,
+  loadable from JSON (``--fault-plan``).
+* :mod:`repro.faults.injector` — the :class:`FaultInjector` that hooks
+  into :class:`repro.net.SimNetwork` and executes a plan from its own
+  seeded RNG (``--chaos-seed``), so runs replay bit-identically and an
+  empty plan is indistinguishable from no injector.
+* :mod:`repro.faults.plans` — the bundled escalating-severity ladder
+  the chaos soak harness (``tests/soak/``) climbs.
+* ``python -m repro.faults.selfcheck`` — an end-to-end smoke test of
+  the whole subsystem, mirroring ``repro.obs.selfcheck``.
+"""
+
+from .injector import FaultInjector, SendVerdict
+from .plan import (
+    Blackout,
+    Brownout,
+    BurstLoss,
+    Directive,
+    FaultPlan,
+    Flap,
+    Garbage,
+    LatencySpike,
+    Loss,
+    PlanError,
+    RcodeStorm,
+    Truncate,
+    directive_from_json,
+)
+from .plans import escalation_ladder, plan_by_name
+
+__all__ = [
+    "Blackout",
+    "Brownout",
+    "BurstLoss",
+    "Directive",
+    "FaultInjector",
+    "FaultPlan",
+    "Flap",
+    "Garbage",
+    "LatencySpike",
+    "Loss",
+    "PlanError",
+    "RcodeStorm",
+    "SendVerdict",
+    "Truncate",
+    "directive_from_json",
+    "escalation_ladder",
+    "plan_by_name",
+]

@@ -1,0 +1,319 @@
+"""Fault-plan schema: typed directives over time windows.
+
+A :class:`FaultPlan` is an ordered list of :class:`Directive` objects,
+each describing one adversity the simulated Internet should exhibit —
+correlated packet loss, server blackouts/brownouts, rcode storms,
+forced truncation, malformed replies, latency spikes, or periodic
+flapping.  Plans are pure data: deterministic given a chaos seed,
+loadable from JSON (``--fault-plan plan.json``), and composable (later
+directives stack on earlier ones).
+
+JSON shape::
+
+    {
+      "name": "escalation-2",
+      "directives": [
+        {"kind": "blackout", "servers": ["10.0.0.1"], "start": 5, "end": 25},
+        {"kind": "rcode_storm", "servers": ["10.1."], "rcode": "SERVFAIL",
+         "probability": 0.6, "start": 0, "end": 60},
+        {"kind": "burst_loss", "servers": ["*"], "p_enter": 0.02,
+         "p_exit": 0.2, "loss_bad": 0.9}
+      ]
+    }
+
+Server selectors are exact IPs, prefixes ending in ``.`` (``"10.1."``
+matches ``10.1.*.*``), or ``"*"`` for every server.  ``start``/``end``
+are virtual-clock seconds (default: always active).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields
+from typing import ClassVar, Iterator
+
+__all__ = [
+    "Blackout",
+    "Brownout",
+    "BurstLoss",
+    "Directive",
+    "FaultPlan",
+    "Flap",
+    "Garbage",
+    "LatencySpike",
+    "Loss",
+    "PlanError",
+    "RcodeStorm",
+    "Truncate",
+]
+
+_ALWAYS = float("inf")
+
+
+class PlanError(ValueError):
+    """A fault plan failed to parse or validate."""
+
+
+@dataclass(frozen=True)
+class Directive:
+    """Base: which servers, over which virtual-time window."""
+
+    kind: ClassVar[str] = ""
+    servers: tuple[str, ...] = ("*",)
+    start: float = 0.0
+    end: float = _ALWAYS
+
+    def __post_init__(self):
+        if self.start < 0 or self.end < self.start:
+            raise PlanError(f"{self.kind}: bad window [{self.start}, {self.end})")
+        if not self.servers:
+            raise PlanError(f"{self.kind}: empty server selector")
+
+    def active(self, now: float) -> bool:
+        return self.start <= now < self.end
+
+    def matches(self, ip: str) -> bool:
+        for selector in self.servers:
+            if selector == "*" or selector == ip:
+                return True
+            if selector.endswith(".") and ip.startswith(selector):
+                return True
+        return False
+
+    @property
+    def label(self) -> str:
+        """Stable human/metrics label: kind plus selector summary."""
+        sel = ",".join(self.servers[:2]) + ("…" if len(self.servers) > 2 else "")
+        return f"{self.kind}[{sel}]"
+
+    def to_json(self) -> dict:
+        out: dict = {"kind": self.kind}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name == "servers":
+                value = list(value)
+            elif f.name == "end" and value == _ALWAYS:
+                continue
+            out[f.name] = value
+        return out
+
+
+def _check_probability(kind: str, name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise PlanError(f"{kind}: {name} must be in [0, 1], got {value!r}")
+
+
+@dataclass(frozen=True)
+class Loss(Directive):
+    """Extra independent per-packet loss (each direction draws once)."""
+
+    kind: ClassVar[str] = "loss"
+    probability: float = 0.1
+
+    def __post_init__(self):
+        super().__post_init__()
+        _check_probability(self.kind, "probability", self.probability)
+
+
+@dataclass(frozen=True)
+class BurstLoss(Directive):
+    """Correlated loss via a Gilbert–Elliott chain per server."""
+
+    kind: ClassVar[str] = "burst_loss"
+    p_enter: float = 0.01
+    p_exit: float = 0.2
+    loss_good: float = 0.0
+    loss_bad: float = 1.0
+
+    def __post_init__(self):
+        super().__post_init__()
+        for name in ("p_enter", "p_exit", "loss_good", "loss_bad"):
+            _check_probability(self.kind, name, getattr(self, name))
+
+
+@dataclass(frozen=True)
+class Blackout(Directive):
+    """Total unreachability: every packet to/from the server is lost."""
+
+    kind: ClassVar[str] = "blackout"
+
+
+@dataclass(frozen=True)
+class Brownout(Directive):
+    """Degraded service: partial loss plus inflated latency."""
+
+    kind: ClassVar[str] = "brownout"
+    probability: float = 0.3
+    latency_factor: float = 2.0
+
+    def __post_init__(self):
+        super().__post_init__()
+        _check_probability(self.kind, "probability", self.probability)
+        if self.latency_factor < 1.0:
+            raise PlanError("brownout: latency_factor must be >= 1")
+
+
+@dataclass(frozen=True)
+class RcodeStorm(Directive):
+    """The server answers with an error rcode instead of its zone."""
+
+    kind: ClassVar[str] = "rcode_storm"
+    rcode: str = "SERVFAIL"
+    probability: float = 1.0
+
+    def __post_init__(self):
+        super().__post_init__()
+        _check_probability(self.kind, "probability", self.probability)
+        if self.rcode not in ("SERVFAIL", "REFUSED", "NOTIMP", "FORMERR"):
+            raise PlanError(f"rcode_storm: unsupported rcode {self.rcode!r}")
+
+
+@dataclass(frozen=True)
+class Truncate(Directive):
+    """Force the TC bit (answers stripped) on UDP replies."""
+
+    kind: ClassVar[str] = "truncate"
+    probability: float = 1.0
+
+    def __post_init__(self):
+        super().__post_init__()
+        _check_probability(self.kind, "probability", self.probability)
+
+
+@dataclass(frozen=True)
+class Garbage(Directive):
+    """Structurally invalid replies (wrong question echoed / non-response),
+    the malformed-payload class the validation layer must reject."""
+
+    kind: ClassVar[str] = "garbage"
+    probability: float = 1.0
+
+    def __post_init__(self):
+        super().__post_init__()
+        _check_probability(self.kind, "probability", self.probability)
+
+
+@dataclass(frozen=True)
+class LatencySpike(Directive):
+    """Added per-exchange delay (seconds) while active."""
+
+    kind: ClassVar[str] = "latency_spike"
+    extra: float = 0.5
+    factor: float = 1.0
+
+    def __post_init__(self):
+        super().__post_init__()
+        if self.extra < 0 or self.factor < 1.0:
+            raise PlanError("latency_spike: extra >= 0 and factor >= 1 required")
+
+
+@dataclass(frozen=True)
+class Flap(Directive):
+    """Periodic blackout: up for ``up_fraction`` of each period."""
+
+    kind: ClassVar[str] = "flap"
+    period: float = 20.0
+    up_fraction: float = 0.5
+
+    def __post_init__(self):
+        super().__post_init__()
+        if self.period <= 0:
+            raise PlanError("flap: period must be positive")
+        _check_probability(self.kind, "up_fraction", self.up_fraction)
+
+    def down(self, now: float) -> bool:
+        """Whether the flap is in its down phase at virtual time ``now``
+        (phase-locked to the window start, so schedules are scriptable)."""
+        phase = (now - self.start) % self.period
+        return phase >= self.period * self.up_fraction
+
+
+_DIRECTIVE_TYPES: dict[str, type[Directive]] = {
+    cls.kind: cls
+    for cls in (Loss, BurstLoss, Blackout, Brownout, RcodeStorm, Truncate,
+                Garbage, LatencySpike, Flap)
+}
+
+
+def directive_from_json(obj: dict) -> Directive:
+    """Parse one directive dict; raises :class:`PlanError` on anything
+    unknown or ill-typed (unknown keys are errors, not silently dropped:
+    a typo'd fault plan must not silently test nothing)."""
+    if not isinstance(obj, dict):
+        raise PlanError(f"directive must be an object, got {type(obj).__name__}")
+    kind = obj.get("kind")
+    cls = _DIRECTIVE_TYPES.get(kind)
+    if cls is None:
+        raise PlanError(
+            f"unknown directive kind {kind!r} (known: {sorted(_DIRECTIVE_TYPES)})"
+        )
+    known = {f.name for f in fields(cls)}
+    kwargs = {}
+    for key, value in obj.items():
+        if key == "kind":
+            continue
+        if key not in known:
+            raise PlanError(f"{kind}: unknown field {key!r} (known: {sorted(known)})")
+        if key == "servers":
+            if isinstance(value, str):
+                value = (value,)
+            elif isinstance(value, list):
+                value = tuple(value)
+            else:
+                raise PlanError(f"{kind}: servers must be a string or list")
+        kwargs[key] = value
+    try:
+        return cls(**kwargs)
+    except TypeError as error:
+        raise PlanError(f"{kind}: {error}") from error
+
+
+@dataclass
+class FaultPlan:
+    """An ordered, composable set of fault directives."""
+
+    directives: list[Directive] = field(default_factory=list)
+    name: str = ""
+
+    def __iter__(self) -> Iterator[Directive]:
+        return iter(self.directives)
+
+    def __len__(self) -> int:
+        return len(self.directives)
+
+    def __bool__(self) -> bool:
+        return bool(self.directives)
+
+    @classmethod
+    def empty(cls, name: str = "empty") -> "FaultPlan":
+        return cls(directives=[], name=name)
+
+    @classmethod
+    def from_json(cls, obj: dict) -> "FaultPlan":
+        if not isinstance(obj, dict):
+            raise PlanError("fault plan must be a JSON object")
+        unknown = set(obj) - {"name", "directives"}
+        if unknown:
+            raise PlanError(f"unknown plan keys {sorted(unknown)}")
+        raw = obj.get("directives", [])
+        if not isinstance(raw, list):
+            raise PlanError("'directives' must be a list")
+        return cls(
+            directives=[directive_from_json(entry) for entry in raw],
+            name=str(obj.get("name", "")),
+        )
+
+    @classmethod
+    def load(cls, path: str) -> "FaultPlan":
+        with open(path, "r", encoding="utf-8") as handle:
+            try:
+                obj = json.load(handle)
+            except json.JSONDecodeError as error:
+                raise PlanError(f"{path}: invalid JSON ({error})") from error
+        return cls.from_json(obj)
+
+    def to_json(self) -> dict:
+        return {
+            "name": self.name,
+            "directives": [directive.to_json() for directive in self.directives],
+        }

@@ -1,0 +1,158 @@
+"""End-to-end sanity check for the fault-injection stack.
+
+Run as ``python -m repro.faults.selfcheck``.  Exercises the plan
+serialisation round-trip, the Gilbert–Elliott loss chain, the injector's
+determinism contract (same seed, same plan → identical activation
+counts), the empty-plan equivalence guarantee (an attached injector with
+no directives must leave a scan byte-identical to no injector at all),
+and one small chaos scan under a severe plan — and exits non-zero if
+any invariant fails.  Cheap enough (~600 lookups) to run in the verify
+loop.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import sys
+
+from ..net import GilbertElliottLoss
+from . import (
+    Blackout,
+    FaultInjector,
+    FaultPlan,
+    Loss,
+    RcodeStorm,
+    directive_from_json,
+    plan_by_name,
+)
+
+
+def check_plan_roundtrip() -> None:
+    plan = plan_by_name("severe")
+    text = json.dumps(plan.to_json(), sort_keys=True)
+    again = FaultPlan.from_json(json.loads(text))
+    assert json.dumps(again.to_json(), sort_keys=True) == text
+    assert len(again) == len(plan)
+
+    directive = directive_from_json(
+        {"kind": "rcode_storm", "rcode": "REFUSED", "probability": 0.5}
+    )
+    assert isinstance(directive, RcodeStorm) and directive.rcode == "REFUSED"
+    for bad in (
+        {"kind": "no_such_fault"},
+        {"kind": "loss", "probability": 2.0},
+        {"kind": "loss", "probability": 0.1, "bogus_field": 1},
+    ):
+        try:
+            directive_from_json(bad)
+        except ValueError:
+            pass
+        else:
+            raise AssertionError(f"accepted invalid directive {bad}")
+
+
+def check_gilbert_elliott() -> None:
+    chain = GilbertElliottLoss(p_enter=0.1, p_exit=0.5, loss_good=0.0, loss_bad=1.0)
+    rng = random.Random(42)
+    draws = [chain.dropped(rng) for _ in range(20_000)]
+    rate = sum(draws) / len(draws)
+    # stationary bad-state share = p_enter / (p_enter + p_exit) = 1/6
+    assert 0.12 < rate < 0.21, rate
+    # losses must be bursty: mean run length ~ 1/p_exit = 2, so the
+    # count of distinct loss runs is well below the count of losses
+    runs = sum(
+        1 for i, d in enumerate(draws) if d and (i == 0 or not draws[i - 1])
+    )
+    assert runs < 0.75 * sum(draws), (runs, sum(draws))
+
+
+def _small_scan(plan: FaultPlan | None, seed: int = 11, names_count: int = 200):
+    from ..ecosystem import EcosystemParams, build_internet
+    from ..framework import ScanConfig, ScanRunner
+    from ..workloads import CorpusConfig, DomainCorpus
+
+    internet = build_internet(params=EcosystemParams(seed=seed))
+    injector = None
+    if plan is not None:
+        injector = FaultInjector(plan, sim=internet.sim, seed=seed)
+        injector.attach(internet.network)
+    rows: list[dict] = []
+    config = ScanConfig(threads=50, seed=seed)
+    names = DomainCorpus(CorpusConfig(seed=seed)).fqdns(names_count)
+    report = ScanRunner(internet, config, sink=rows.append).run(names)
+    return rows, report, injector
+
+
+def check_empty_plan_equivalence() -> None:
+    baseline_rows, baseline_report, _ = _small_scan(None)
+    empty_rows, empty_report, injector = _small_scan(FaultPlan.empty())
+    assert json.dumps(baseline_rows, sort_keys=True) == json.dumps(
+        empty_rows, sort_keys=True
+    ), "empty fault plan changed scan output"
+    assert baseline_report.stats.duration == empty_report.stats.duration
+    assert injector is not None and sum(injector.counts.values()) == 0
+
+
+def check_determinism() -> None:
+    plan = plan_by_name("moderate")
+    rows_a, _, injector_a = _small_scan(plan)
+    rows_b, _, injector_b = _small_scan(plan)
+    assert json.dumps(rows_a, sort_keys=True) == json.dumps(rows_b, sort_keys=True)
+    assert injector_a.counts == injector_b.counts
+    assert sum(injector_a.counts.values()) > 0, injector_a.counts
+
+
+def check_degradation() -> None:
+    _, baseline, _ = _small_scan(None)
+    _, severe, injector = _small_scan(plan_by_name("severe"))
+    assert severe.stats.total == baseline.stats.total
+    assert severe.stats.successes <= baseline.stats.successes, (
+        severe.stats.successes,
+        baseline.stats.successes,
+    )
+    # every lookup still terminates with a classified status
+    classified = sum(severe.stats.by_status.values())
+    assert classified == severe.stats.total, severe.stats.by_status
+    assert sum(injector.counts.values()) > 0
+
+
+def check_targeting() -> None:
+    plan = FaultPlan(
+        [
+            Blackout(servers=("192.7.",)),
+            Loss(probability=1.0, servers=("192.6.3.1",), start=5.0, end=9.0),
+        ]
+    )
+
+    class _Sim:
+        now = 0.0
+
+    sim = _Sim()
+    injector = FaultInjector(plan, sim=sim, seed=0)
+    assert injector.on_send("192.7.4.2", "udp").drop
+    assert injector.on_send("8.8.8.8", "udp") is None
+    assert injector.on_send("192.6.3.1", "udp") is None  # window not open
+    sim.now = 6.0
+    assert injector.on_send("192.6.3.1", "udp").drop
+    sim.now = 10.0
+    assert injector.on_send("192.6.3.1", "udp") is None  # window closed
+
+
+def main() -> int:
+    checks = [
+        check_plan_roundtrip,
+        check_gilbert_elliott,
+        check_targeting,
+        check_empty_plan_equivalence,
+        check_determinism,
+        check_degradation,
+    ]
+    for check in checks:
+        check()
+        print(f"faults selfcheck: {check.__name__} OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -83,6 +83,37 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="stream per-lookup spans as JSON lines to this path",
     )
+    parser.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="PLAN",
+        help="inject faults: a JSON plan file, or a bundled plan name "
+        "(mild, moderate, severe, extreme); simulated scans only",
+    )
+    parser.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=None,
+        help="RNG seed for fault injection (default: --seed)",
+    )
+    parser.add_argument(
+        "--backoff",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="base retry backoff with decorrelated jitter (0 = off)",
+    )
+    parser.add_argument(
+        "--server-health",
+        action="store_true",
+        help="track per-server health and shed load from failing servers",
+    )
+    parser.add_argument(
+        "--no-timestamps",
+        action="store_true",
+        help="omit wall-clock timestamps from result rows (for "
+        "byte-identical replay comparisons)",
+    )
     return parser
 
 
@@ -131,8 +162,31 @@ def main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def _load_fault_plan(spec: str):
+    """A ``--fault-plan`` value: a JSON file path, or a bundled name."""
+    import os
+
+    from ..faults import FaultPlan, plan_by_name
+
+    if os.path.exists(spec):
+        return FaultPlan.load(spec)
+    try:
+        return plan_by_name(spec)
+    except KeyError:
+        raise SystemExit(
+            f"pyzdns: --fault-plan {spec!r} is neither a file nor a "
+            "bundled plan name (mild, moderate, severe, extreme)"
+        )
+
+
 def _run_simulated(args, module, names, out_handle):
     internet = build_internet(params=EcosystemParams(seed=args.seed))
+    if args.fault_plan:
+        from ..faults import FaultInjector
+
+        plan = _load_fault_plan(args.fault_plan)
+        chaos_seed = args.chaos_seed if args.chaos_seed is not None else args.seed
+        FaultInjector(plan, sim=internet.sim, seed=chaos_seed).attach(internet.network)
     config = ScanConfig(
         module=args.module,
         mode=args.mode,
@@ -147,8 +201,10 @@ def _run_simulated(args, module, names, out_handle):
         seed=args.seed,
         metrics=bool(args.metrics_out or args.metadata_file),
         status_interval=args.status_interval,
+        backoff_base=args.backoff,
+        server_health=args.server_health,
     )
-    sink = JsonLineSink(out_handle, add_timestamp=True)
+    sink = JsonLineSink(out_handle, add_timestamp=not args.no_timestamps)
     span_handle = None
     span_sink = None
     if args.spans_file:

@@ -17,7 +17,13 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
-from ..core import ClientCostModel, ResolverConfig, SelectiveCache, SimDriver
+from ..core import (
+    ClientCostModel,
+    ResolverConfig,
+    SelectiveCache,
+    ServerHealthTracker,
+    SimDriver,
+)
 from ..ecosystem import SimInternet
 from ..modules import ModuleContext, ScanModule, get_module
 from ..net import CPUModel, GCModel, PortExhaustedError, SimUDPSocket, SourceIPPool
@@ -60,6 +66,17 @@ class ScanConfig:
     status_interval: float | None = None
     #: Wrap every resolution step in tracer spans (see repro.obs.spans).
     collect_spans: bool = False
+    #: Retry backoff base (decorrelated jitter); 0.0 = no backoff, no
+    #: extra RNG draws — the byte-identical default.
+    backoff_base: float = 0.0
+    backoff_cap: float = 10.0
+    #: Track per-server health and shed load away from failing servers
+    #: (see repro.core.health).  Off by default.
+    server_health: bool = False
+    #: Abort the scan with :class:`repro.net.HangError` if the event
+    #: loop executes more than this many events (hang detection for the
+    #: chaos soak).  None (the default) keeps the unbounded hot loop.
+    max_events: int | None = None
 
     def resolver_config(self) -> ResolverConfig:
         return ResolverConfig(
@@ -68,6 +85,8 @@ class ScanConfig:
             retries=self.retries,
             record_trace_results=self.record_trace,
             retry_servfail=self.retry_servfail,
+            backoff_base=self.backoff_base,
+            backoff_cap=self.backoff_cap,
         )
 
 
@@ -171,6 +190,10 @@ class ScanRunner:
                 seed=config.seed,
             )
         resolver_config = config.resolver_config()
+        health = None
+        if config.server_health:
+            health = ServerHealthTracker(clock=lambda: sim.now)
+            resolver_config.health = health
         if self.sink is None:
             # nothing consumes per-query trace rows: skip assembling them
             resolver_config.collect_trace = False
@@ -255,7 +278,7 @@ class ScanRunner:
             for future in futures:
                 future.add_done_callback(_worker_done)
 
-        profile = _run_with_optional_profile(sim)
+        profile = _run_with_optional_profile(sim, config.max_events)
         for future in futures:
             future.result()  # surface any routine crash
 
@@ -267,6 +290,11 @@ class ScanRunner:
             for key, value in vars(internet.network.stats).items():
                 if isinstance(value, (int, float)):
                     net_scope.gauge(key).set(value)
+            injector = getattr(internet.network, "fault_injector", None)
+            if injector is not None:
+                injector.publish_metrics(registry.scope("faults"))
+            if health is not None:
+                health.publish_metrics(registry.scope("health"))
 
         elapsed = stats.duration
         cpu_utilisation = cpu.utilisation(elapsed) if elapsed else 0.0
@@ -297,7 +325,7 @@ class ScanRunner:
         )
 
 
-def _run_with_optional_profile(sim) -> dict | None:
+def _run_with_optional_profile(sim, max_events: int | None = None) -> dict | None:
     """``sim.run()``, optionally under cProfile.
 
     Set ``REPRO_PROFILE=1`` (or ``REPRO_PROFILE=<N>`` for the top N
@@ -309,7 +337,7 @@ def _run_with_optional_profile(sim) -> dict | None:
     """
     spec = os.environ.get("REPRO_PROFILE", "")
     if not spec or spec == "0":
-        sim.run()
+        sim.run(max_events=max_events)
         return None
     import cProfile
     import pstats
@@ -319,7 +347,7 @@ def _run_with_optional_profile(sim) -> dict | None:
     profiler = cProfile.Profile()
     profiler.enable()
     try:
-        sim.run()
+        sim.run(max_events=max_events)
     finally:
         profiler.disable()
         buffer = io.StringIO()

@@ -7,9 +7,15 @@ use.
 """
 
 from .cpu import CPUModel, GCModel
-from .links import CapacityQueue, LatencyModel, LossModel, TokenBucket
+from .links import (
+    CapacityQueue,
+    GilbertElliottLoss,
+    LatencyModel,
+    LossModel,
+    TokenBucket,
+)
 from .live import UDPServer, UDPTransport
-from .sim import Routine, SimFuture, SimulationError, Simulator, TimerHandle
+from .sim import HangError, Routine, SimFuture, SimulationError, Simulator, TimerHandle
 from .sockets import (
     DEFAULT_PORTS_PER_IP,
     NetworkStats,
@@ -26,6 +32,8 @@ __all__ = [
     "CapacityQueue",
     "DEFAULT_PORTS_PER_IP",
     "GCModel",
+    "GilbertElliottLoss",
+    "HangError",
     "LatencyModel",
     "LossModel",
     "NetworkStats",

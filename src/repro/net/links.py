@@ -28,12 +28,91 @@ class LatencyModel:
 
 @dataclass(frozen=True)
 class LossModel:
-    """Independent per-packet loss."""
+    """Independent per-packet loss.
+
+    **Per-direction semantics.**  ``probability`` is the chance that one
+    *packet* is lost, and the simulated UDP exchange draws it once per
+    direction — once for the request and once for the response (see
+    ``SimNetwork._query``).  A ``LossModel(p)`` therefore yields an
+    end-to-end exchange failure probability of ``1 - (1 - p)**2``
+    (:attr:`round_trip_probability`), not ``p``.  Use
+    :meth:`for_round_trip` when a scenario is specified by its desired
+    *exchange* loss rate; ``LossModel(0.0)`` composes trivially either
+    way (both draws are no-ops).
+    """
 
     probability: float = 0.0
 
     def dropped(self, rng: random.Random) -> bool:
         return self.probability > 0 and rng.random() < self.probability
+
+    @property
+    def round_trip_probability(self) -> float:
+        """Effective probability that a request/response exchange fails
+        when this model is drawn independently in each direction."""
+        return 1.0 - (1.0 - self.probability) ** 2
+
+    @classmethod
+    def for_round_trip(cls, exchange_loss: float) -> "LossModel":
+        """Build the per-direction model whose two independent draws
+        produce ``exchange_loss`` end-to-end: ``p = 1 - sqrt(1 - L)``."""
+        if not 0.0 <= exchange_loss < 1.0:
+            raise ValueError("exchange_loss must be in [0, 1)")
+        return cls(1.0 - math.sqrt(1.0 - exchange_loss))
+
+
+class GilbertElliottLoss:
+    """Correlated (bursty) packet loss: a two-state Markov chain.
+
+    The classic Gilbert–Elliott channel: a *good* state with loss
+    ``loss_good`` and a *bad* state with loss ``loss_bad``; each packet
+    first advances the chain (``p_enter``: good→bad, ``p_exit``:
+    bad→good), then draws loss at the current state's rate.  Expected
+    burst length is ``1 / p_exit`` packets; stationary bad-state
+    occupancy is ``p_enter / (p_enter + p_exit)``.
+
+    Unlike :class:`LossModel` this is *stateful* — the fault injector
+    keeps one chain per (directive, server) so bursts correlate per
+    destination, which is what distinguishes an outage from background
+    noise.
+    """
+
+    __slots__ = ("p_enter", "p_exit", "loss_good", "loss_bad", "bad")
+
+    def __init__(
+        self,
+        p_enter: float,
+        p_exit: float,
+        loss_good: float = 0.0,
+        loss_bad: float = 1.0,
+        start_bad: bool = False,
+    ):
+        for name, value in (
+            ("p_enter", p_enter), ("p_exit", p_exit),
+            ("loss_good", loss_good), ("loss_bad", loss_bad),
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+        self.p_enter = p_enter
+        self.p_exit = p_exit
+        self.loss_good = loss_good
+        self.loss_bad = loss_bad
+        self.bad = start_bad
+
+    def dropped(self, rng: random.Random) -> bool:
+        """Advance the chain one packet and draw loss at the new state."""
+        if self.bad:
+            if self.p_exit and rng.random() < self.p_exit:
+                self.bad = False
+        else:
+            if self.p_enter and rng.random() < self.p_enter:
+                self.bad = True
+        rate = self.loss_bad if self.bad else self.loss_good
+        if rate <= 0.0:
+            return False
+        if rate >= 1.0:
+            return True
+        return rng.random() < rate
 
 
 class TokenBucket:

@@ -47,6 +47,12 @@ class SimulationError(RuntimeError):
     """Raised for scheduling misuse (e.g. waiting on a yielded non-future)."""
 
 
+class HangError(SimulationError):
+    """The event budget of a bounded run was exhausted (see
+    ``Simulator.run(max_events=...)``): the schedule kept producing work
+    past the point the caller considered a hang."""
+
+
 class SimFuture:
     """A single-assignment result container for routine synchronisation."""
 
@@ -301,11 +307,18 @@ class Simulator:
 
     # -- running --------------------------------------------------------------
 
-    def run(self, until: float | None = None) -> None:
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
         """Process events until both queues drain or the clock passes
         ``until``.  Ready-queue work and due timers interleave in global
         schedule order (the shared sequence number), exactly as the old
-        single-heap loop did."""
+        single-heap loop did.
+
+        ``max_events`` bounds the number of callbacks executed and
+        raises :class:`HangError` past it — the chaos-soak harness's
+        hang detector.  The bounded path is a separate loop so the
+        unbounded hot path pays nothing for the feature."""
+        if max_events is not None:
+            return self._run_bounded(until, max_events)
         heap = self._heap
         ready = self._ready
         pop_heap = heapq.heappop
@@ -344,6 +357,57 @@ class Simulator:
                     continue
                 fn.finished = True
                 fn = fn.fn
+            self.events_executed += 1
+            fn()
+        if until is not None:
+            self.now = max(self.now, until)
+
+    def _run_bounded(self, until: float | None, max_events: int) -> None:
+        """The ``run(max_events=...)`` loop: identical scheduling order,
+        plus an event budget that trips :class:`HangError`."""
+        heap = self._heap
+        ready = self._ready
+        pop_heap = heapq.heappop
+        handle_type = TimerHandle
+        budget = max_events
+        while True:
+            while heap:
+                top = heap[0][2]
+                if type(top) is handle_type and top.cancelled:
+                    pop_heap(heap)
+                    if self._cancelled_pending:
+                        self._cancelled_pending -= 1
+                else:
+                    break
+            if ready:
+                seq, fn = ready[0]
+                if heap and heap[0][0] <= self.now and heap[0][1] < seq:
+                    fn = pop_heap(heap)[2]
+                else:
+                    ready.popleft()
+            elif heap:
+                when = heap[0][0]
+                if until is not None and when > until:
+                    self.now = until
+                    return
+                fn = pop_heap(heap)[2]
+                self.now = when
+            else:
+                break
+            if type(fn) is handle_type:
+                if fn.cancelled:
+                    if self._cancelled_pending:
+                        self._cancelled_pending -= 1
+                    continue
+                fn.finished = True
+                fn = fn.fn
+            if budget <= 0:
+                raise HangError(
+                    f"simulation still busy after {max_events} events "
+                    f"(t={self.now:.3f}s, {self.pending_events} pending, "
+                    f"{self._live_routines} live routines)"
+                )
+            budget -= 1
             self.events_executed += 1
             fn()
         if until is not None:

@@ -163,6 +163,11 @@ class SimNetwork:
         self.stats = NetworkStats()
         self._servers: dict[str, _Destination] = {}
         self._packet_count = 0
+        #: Optional :class:`repro.faults.FaultInjector` (see
+        #: ``FaultInjector.attach``).  None costs one attribute read per
+        #: exchange; the injector draws from its *own* RNG, so attaching
+        #: one with an empty plan leaves results byte-identical.
+        self.fault_injector = None
 
     def register_server(
         self,
@@ -220,9 +225,22 @@ class SimNetwork:
             # Unrouted address: silence, then timeout.
             return self.sim.timeout_race(response_future, timeout)
 
+        injector = self.fault_injector
         rtt = destination.latency.sample(self.rng) * (1.0 + extra_rtts)
+        if injector is not None:
+            verdict = injector.on_send(dst_ip, protocol)
+            if verdict is not None:
+                if verdict.drop:
+                    # injected outage/loss: the injector keeps the
+                    # per-directive count; link-level stats stay pure
+                    return self.sim.timeout_race(response_future, timeout)
+                rtt = rtt * verdict.latency_factor + verdict.extra_delay
         query_wire = self._maybe_wire(message)
 
+        # Link loss is drawn once per *direction* (here: the request leg;
+        # below: the response leg), so LossModel(p) yields an exchange
+        # failure rate of 1-(1-p)^2 — see LossModel.round_trip_probability
+        # and LossModel.for_round_trip for the conversion.
         if protocol == "udp" and destination.loss.dropped(self.rng):
             self.stats.lost_outbound += 1
             return self.sim.timeout_race(response_future, timeout)
@@ -231,11 +249,23 @@ class SimNetwork:
 
         def at_server() -> None:
             query = self._maybe_unwire(query_wire, message)
-            reply = destination.server.handle_query(query, src_ip, self.sim.now, protocol)
+            synthetic = (
+                injector.at_server(dst_ip, protocol, query)
+                if injector is not None
+                else None
+            )
+            if synthetic is not None:
+                reply = ServerReply(synthetic)
+            else:
+                reply = destination.server.handle_query(query, src_ip, self.sim.now, protocol)
             if reply is None:
                 self.stats.server_drops += 1
                 return
             response = reply.message
+            if injector is not None:
+                response = injector.on_reply(dst_ip, protocol, query, response)
+                if response is None:
+                    return  # injected inbound drop (counted per directive)
             reply_wire = self._maybe_wire(response)
             if protocol == "udp" and reply_wire is not None:
                 # Size-based truncation against the client's EDNS payload.
@@ -245,6 +275,7 @@ class SimNetwork:
                     response = Message.from_wire(reply_wire)
             if response.flags.truncated:
                 self.stats.truncated_replies += 1
+            # the response leg's independent per-direction loss draw
             if protocol == "udp" and destination.loss.dropped(self.rng):
                 self.stats.lost_inbound += 1
                 return

@@ -1,0 +1,2 @@
+"""Chaos/property soak tests — long-running resilience proofs, excluded
+from tier-1 (``pytest -m soak`` to run them)."""

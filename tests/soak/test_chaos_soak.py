@@ -1,0 +1,133 @@
+"""The chaos soak: a 10k-name scan under escalating fault plans.
+
+Proves the resolver *degrades gracefully* rather than falling over:
+
+* **no hang** — every scan completes within a generous event budget
+  (:class:`repro.net.HangError` otherwise);
+* **no unhandled exception** — worker crashes surface via
+  ``future.result()`` inside the runner and would fail the test;
+* **total accounting** — every name terminates with a classified
+  :class:`repro.core.Status`;
+* **monotonic-ish degradation** — success rate falls (within slack) as
+  the fault ladder escalates, and hard outages never make the scan
+  *better* than baseline;
+* **determinism differential** — the same ``(seed, plan)`` replays
+  byte-identically, and disabled faults are equivalent to an empty
+  plan.
+
+Run with ``pytest -m soak tests/soak`` (tier-1 excludes the marker).
+"""
+
+import json
+
+import pytest
+
+from repro.core import Status
+from repro.ecosystem import EcosystemParams, build_internet
+from repro.faults import FaultInjector, FaultPlan, escalation_ladder
+from repro.framework import ScanConfig, ScanRunner
+from repro.workloads import CorpusConfig, DomainCorpus
+
+pytestmark = pytest.mark.soak
+
+NAMES = 10_000
+SEED = 2022
+#: ~20 events per query and ~6 queries per chaotic lookup, ×10 slack.
+MAX_EVENTS = 60_000_000
+VALID_STATUSES = {str(status) for status in Status}
+
+
+def corpus():
+    return DomainCorpus(CorpusConfig(seed=SEED)).fqdns(NAMES)
+
+
+def run_scan(plan: FaultPlan | None, attach_injector: bool = True):
+    """One full scan; returns (jsonl_lines, report, injector)."""
+    internet = build_internet(params=EcosystemParams(seed=SEED))
+    injector = None
+    if plan is not None and attach_injector:
+        injector = FaultInjector(plan, sim=internet.sim, seed=SEED)
+        injector.attach(internet.network)
+    lines: list[str] = []
+    config = ScanConfig(
+        threads=500,
+        seed=SEED,
+        backoff_base=0.05,
+        server_health=True,
+        max_events=MAX_EVENTS,
+    )
+    report = ScanRunner(
+        internet, config, sink=lambda row: lines.append(json.dumps(row, sort_keys=True))
+    ).run(corpus())
+    return lines, report, injector
+
+
+@pytest.fixture(scope="module")
+def ladder_reports():
+    """Run the whole escalation ladder once; tests share the results."""
+    results = {}
+    for plan in escalation_ladder():
+        results[plan.name] = run_scan(plan)
+    return results
+
+
+class TestEscalationLadder:
+    def test_every_name_terminates_classified(self, ladder_reports):
+        for name, (lines, report, _) in ladder_reports.items():
+            assert report.stats.total == NAMES, f"{name}: lost lookups"
+            assert len(lines) == NAMES, f"{name}: sink rows missing"
+            assert sum(report.stats.by_status.values()) == NAMES, name
+            unknown = set(report.stats.by_status) - VALID_STATUSES
+            assert not unknown, f"{name}: unclassified statuses {unknown}"
+            for line in lines:
+                assert "status" in json.loads(line), f"{name}: row without status"
+
+    def test_faults_actually_fired(self, ladder_reports):
+        for name, (_, _, injector) in ladder_reports.items():
+            if name == "baseline":
+                assert injector.total_activations() == 0
+            else:
+                assert injector.total_activations() > 0, name
+
+    def test_degradation_is_monotonic_ish(self, ladder_reports):
+        order = [plan.name for plan in escalation_ladder()]
+        rates = [ladder_reports[name][1].stats.success_rate for name in order]
+        # escalation may not strictly reduce success (retries absorb mild
+        # plans), but it must never *improve* on baseline by more than
+        # noise, and the harshest plan must visibly hurt
+        baseline = rates[0]
+        assert baseline > 0.9, f"baseline unexpectedly unhealthy: {rates}"
+        for name, rate in zip(order[1:], rates[1:]):
+            assert rate <= baseline + 0.02, f"{name} beat baseline: {rates}"
+        for earlier, later, a, b in zip(order, order[1:], rates, rates[1:]):
+            assert b <= a + 0.05, (
+                f"success rate rose {earlier}->{later}: {rates}"
+            )
+        assert rates[-1] < baseline - 0.05, f"extreme plan had no bite: {rates}"
+
+    def test_virtual_duration_grows_under_adversity(self, ladder_reports):
+        order = [plan.name for plan in escalation_ladder()]
+        baseline = ladder_reports[order[0]][1].stats.duration
+        extreme = ladder_reports[order[-1]][1].stats.duration
+        assert extreme > baseline, (baseline, extreme)
+
+
+class TestDeterminismDifferential:
+    def test_same_seed_same_plan_byte_identical(self, ladder_reports):
+        plan = escalation_ladder()[3]  # severe
+        lines_again, report_again, injector_again = run_scan(plan)
+        lines, report, injector = ladder_reports[plan.name]
+        assert lines == lines_again
+        assert report.stats.duration == report_again.stats.duration
+        assert injector.counts == injector_again.counts
+
+    def test_disabled_faults_equal_empty_plan(self, ladder_reports):
+        no_injector_lines, no_injector_report, _ = run_scan(None)
+        empty_lines, empty_report, injector = run_scan(FaultPlan.empty())
+        assert no_injector_lines == empty_lines
+        assert no_injector_report.stats.duration == empty_report.stats.duration
+        assert injector.total_activations() == 0
+        # and both match the ladder's baseline run
+        baseline_lines, baseline_report, _ = ladder_reports["baseline"]
+        assert baseline_lines == empty_lines
+        assert baseline_report.stats.duration == empty_report.stats.duration

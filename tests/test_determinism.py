@@ -1,0 +1,70 @@
+"""Determinism regression: the CLI run twice with the same seed must be
+byte-identical — output rows, virtual duration, and (with a fault plan)
+injected adversity.  This is the replay contract every debugging and
+chaos workflow leans on; it runs tier-1 so drift is caught at the PR
+that introduces it."""
+
+import json
+
+import pytest
+
+from repro.framework.cli import main
+from repro.workloads import CorpusConfig, DomainCorpus
+
+NAMES = 500
+
+
+@pytest.fixture(scope="module")
+def names_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("determinism") / "names.txt"
+    path.write_text("\n".join(DomainCorpus(CorpusConfig(seed=41)).fqdns(NAMES)) + "\n")
+    return path
+
+
+def _run_cli(tmp_path, names_file, tag, extra_args=()):
+    out = tmp_path / f"out-{tag}.jsonl"
+    meta = tmp_path / f"meta-{tag}.json"
+    code = main(
+        [
+            "A",
+            "--input-file", str(names_file),
+            "--output-file", str(out),
+            "--metadata-file", str(meta),
+            "--no-timestamps",
+            "--quiet",
+            "--seed", "77",
+            "--threads", "100",
+            *extra_args,
+        ]
+    )
+    assert code == 0
+    return out.read_bytes(), json.loads(meta.read_text())
+
+
+def test_same_seed_is_byte_identical(tmp_path, names_file):
+    output_a, meta_a = _run_cli(tmp_path, names_file, "a")
+    output_b, meta_b = _run_cli(tmp_path, names_file, "b")
+    assert output_a == output_b
+    assert output_a.count(b"\n") == NAMES
+    # virtual time is part of the replay contract; wall time is not
+    assert meta_a["durations"]["virtual_s"] == meta_b["durations"]["virtual_s"]
+    assert meta_a["statuses"] == meta_b["statuses"]
+    assert meta_a["metrics"] == meta_b["metrics"]
+
+
+def test_chaos_run_is_byte_identical(tmp_path, names_file):
+    chaos = ("--fault-plan", "moderate", "--chaos-seed", "5",
+             "--backoff", "0.05", "--server-health")
+    output_a, meta_a = _run_cli(tmp_path, names_file, "ca", chaos)
+    output_b, meta_b = _run_cli(tmp_path, names_file, "cb", chaos)
+    assert output_a == output_b
+    assert meta_a["durations"]["virtual_s"] == meta_b["durations"]["virtual_s"]
+    assert meta_a["metrics"] == meta_b["metrics"]
+    assert meta_a["metrics"]["faults.total_activations"] > 0
+
+
+def test_different_chaos_seed_diverges(tmp_path, names_file):
+    base = ("--fault-plan", "moderate", "--backoff", "0.05")
+    output_a, _ = _run_cli(tmp_path, names_file, "s5", ("--chaos-seed", "5", *base))
+    output_b, _ = _run_cli(tmp_path, names_file, "s6", ("--chaos-seed", "6", *base))
+    assert output_a != output_b

@@ -321,6 +321,141 @@ class TestCNAMEChasing:
         assert len(result.answers) == 1
 
 
+class FaultyResponder:
+    """Wraps a responder with a :class:`FaultInjector`, mimicking the
+    hook order of ``SimNetwork._query`` (on_send → at_server → on_reply)
+    so a scripted :class:`FaultPlan` can drive the sans-IO machine
+    directly — no simulator needed.  The fake clock advances one second
+    per query, so time-windowed directives script multi-attempt
+    scenarios (e.g. "SERVFAIL until t=0.5, then recover")."""
+
+    def __init__(self, inner, plan, seed=0):
+        from repro.faults import FaultInjector
+
+        class _Clock:
+            now = 0.0
+
+        self.clock = _Clock()
+        self.injector = FaultInjector(plan, sim=self.clock, seed=seed)
+        self.inner = inner
+
+    def __call__(self, effect):
+        from repro.dnslib import Message
+
+        injector = self.injector
+        try:
+            verdict = injector.on_send(effect.server_ip, effect.protocol)
+            if verdict is not None and verdict.drop:
+                return None
+            query = Message.make_query(effect.name, effect.qtype)
+            synthetic = injector.at_server(effect.server_ip, effect.protocol, query)
+            if synthetic is not None:
+                return synthetic
+            response = self.inner(effect)
+            if response is None:
+                return None
+            return injector.on_reply(effect.server_ip, effect.protocol, query, response)
+        finally:
+            self.clock.now += 1.0
+
+
+class TestFaultPlanDriven:
+    """The satellite scenarios: scripted fault plans proving the machine
+    recovers through rcode storms and forced truncation."""
+
+    def test_retry_servfail_recovers_after_storm_window(self):
+        from repro.faults import FaultPlan, RcodeStorm
+
+        # the resolver SERVFAILs until t=0.5, then serves normally: with
+        # retry_servfail on, attempt 1 eats the storm and attempt 2 wins
+        plan = FaultPlan([RcodeStorm(rcode="SERVFAIL", end=0.5)])
+        net = ScriptedInternet()
+        net.add("8.8.8.8", lambda e: answer_msg(
+            "x.com", [rr("x.com", RRType.A, A("5.5.5.5"))]
+        ))
+        responder = FaultyResponder(net, plan)
+        gen = ExternalMachine(
+            ["8.8.8.8"], ResolverConfig(retries=1, retry_servfail=True)
+        ).resolve("x.com", RRType.A)
+        result = drive(gen, responder)
+        assert result.status == Status.NOERROR
+        assert result.queries_sent == 2
+        assert responder.injector.counts["rcode_storm_0"] == 1
+
+    def test_retry_servfail_off_reports_storm_rcode(self):
+        from repro.faults import FaultPlan, RcodeStorm
+
+        plan = FaultPlan([RcodeStorm(rcode="REFUSED")])
+        net = ScriptedInternet()
+        net.add("8.8.8.8", lambda e: answer_msg(
+            "x.com", [rr("x.com", RRType.A, A("5.5.5.5"))]
+        ))
+        gen = ExternalMachine(
+            ["8.8.8.8"], ResolverConfig(retries=2, retry_servfail=False)
+        ).resolve("x.com", RRType.A)
+        result = drive(gen, FaultyResponder(net, plan))
+        assert result.status == Status.REFUSED
+        assert result.queries_sent == 1
+
+    def test_iterative_storm_tries_next_root(self):
+        from repro.faults import FaultPlan, RcodeStorm
+
+        # only the first-tried root storms; the machine moves on
+        plan = FaultPlan([RcodeStorm(rcode="SERVFAIL", end=0.5)])
+        net = standard_tree()
+        result = drive(
+            machine(config=ResolverConfig(retries=2)).resolve(
+                "www.example.com", RRType.A
+            ),
+            FaultyResponder(net, plan),
+        )
+        assert result.status == Status.NOERROR
+        assert result.answers[0].rdata == A("93.0.0.1")
+
+    def test_forced_truncation_falls_back_to_tcp(self):
+        from repro.faults import FaultPlan, Truncate
+
+        # every UDP reply gets the TC bit: the machine must re-ask each
+        # layer over TCP (which the injector leaves untouched)
+        plan = FaultPlan([Truncate()])
+        net = standard_tree()
+        responder = FaultyResponder(net, plan)
+        result = drive(machine().resolve("www.example.com", RRType.A), responder)
+        assert result.status == Status.NOERROR
+        assert result.answers[0].rdata == A("93.0.0.1")
+        protocols = [entry[3] for entry in net.log]
+        assert "tcp" in protocols
+        assert responder.injector.counts["truncate_0"] >= 1
+
+    def test_truncation_with_tcp_disabled_fails(self):
+        from repro.faults import FaultPlan, Truncate
+
+        plan = FaultPlan([Truncate()])
+        config = ResolverConfig(retries=0, tcp_on_truncated=False)
+        result = drive(
+            machine(config=config).resolve("www.example.com", RRType.A),
+            FaultyResponder(standard_tree(), plan),
+        )
+        assert result.status != Status.NOERROR
+
+    def test_garbage_reply_rejected_not_interpreted(self):
+        from repro.faults import FaultPlan, Garbage
+
+        # garbage until t=1.5 (2 queries), then clean: validation must
+        # reject the bogus replies and the retry path must still win
+        plan = FaultPlan([Garbage(end=1.5)])
+        net = ScriptedInternet()
+        net.add("8.8.8.8", lambda e: answer_msg(
+            "x.com", [rr("x.com", RRType.A, A("5.5.5.5"))]
+        ))
+        gen = ExternalMachine(
+            ["8.8.8.8"], ResolverConfig(retries=3)
+        ).resolve("x.com", RRType.A)
+        result = drive(gen, FaultyResponder(net, plan))
+        assert result.status == Status.NOERROR
+        assert result.queries_sent >= 2
+
+
 class TestGluelessReferrals:
     def test_ns_address_resolved_out_of_band(self):
         net = ScriptedInternet()

@@ -241,3 +241,76 @@ def test_message_reencode_identical(txid, qname, answers):
     first = message.to_wire()
     second = Message.from_wire(first).to_wire()
     assert second == first
+
+
+# --------------------------------------------------------------------------
+# truncation robustness: a scanner on a hostile Internet sees cut-off
+# datagrams constantly (UDP truncation, the fault injector's Truncate/
+# Garbage directives).  Every *prefix* of a valid message must either
+# decode cleanly or raise WireError — never a different exception, never
+# a hang.
+
+
+@settings(max_examples=40)
+@given(
+    st.integers(0, 0xFFFF),
+    hostnames,
+    st.lists(records, max_size=4),
+    st.data(),
+)
+def test_every_prefix_decodes_or_raises(txid, qname, answers, data):
+    message = Message(
+        id=txid,
+        flags=Flags(response=True),
+        questions=[Question(qname, RRType.A)],
+        answers=answers,
+    )
+    wire = message.to_wire()
+    cut = data.draw(st.integers(min_value=0, max_value=len(wire)))
+    try:
+        Message.from_wire(wire[:cut])
+    except WireError:
+        pass
+
+
+def test_all_prefixes_of_reference_message():
+    """Exhaustive byte-slice sweep of one representative response —
+    deterministic companion to the sampled hypothesis property."""
+    qname = Name.from_text("www.example.com")
+    message = Message(
+        id=0x1234,
+        flags=Flags(response=True, authoritative=True),
+        questions=[Question(qname, RRType.A)],
+        answers=[ResourceRecord(qname, RRType.A, DNSClass.IN, 300, A("93.0.0.1"))],
+        authorities=[
+            ResourceRecord(
+                Name.from_text("example.com"), RRType.NS, DNSClass.IN, 300,
+                NS(Name.from_text("ns1.example.com")),
+            )
+        ],
+    )
+    wire = message.to_wire()
+    decoded = 0
+    for cut in range(len(wire) + 1):
+        try:
+            Message.from_wire(wire[:cut])
+            decoded += 1
+        except WireError:
+            pass
+    # only the complete packet parses: every counted section is present
+    assert decoded == 1
+
+
+@given(st.binary(max_size=64))
+def test_compression_pointer_fuzz_terminates(prefix):
+    """Packets whose name fields are compression pointers into arbitrary
+    places (including each other) must decode-or-raise, not loop."""
+    # craft a header claiming one question, then arbitrary bytes ending
+    # in a pointer back into the header region
+    header = (0x1234).to_bytes(2, "big") + b"\x80\x00" + b"\x00\x01" + b"\x00\x00" * 3
+    for offset in (0, 2, 12, 13):
+        wire = header + prefix + bytes([0xC0, offset]) + b"\x00\x01\x00\x01"
+        try:
+            Message.from_wire(wire)
+        except WireError:
+            pass
