@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -272,6 +273,126 @@ def chaos_smoke(profile: str, repeats: int) -> int:
     return 0
 
 
+def mp_smoke(profile: str, repeats: int) -> int:
+    """The multi-process executor's acceptance gate, in three steps:
+
+    1. the same scan at ``--processes 1`` and ``--processes 4`` (fixed
+       seed, fixed logical shard count) must merge to byte-identical
+       output — even after a stable sort, which the check subsumes —
+       with identical fleet stats;
+    2. the merged metrics registry must equal the sum of the per-shard
+       registries: every shard is re-run in-process through the same
+       worker code path, its registry dumped, and the dumps folded with
+       the same per-shard relabelling the parent applies (the run-shape
+       ``mp.*`` topology gauges are excluded — they describe the
+       topology, not the scan);
+    3. the observed 4-process speedup is reported (informational: on a
+       host with fewer than 4 cores there is nothing to assert).
+
+    ``repeats`` is ignored — every comparison here is deterministic.
+    Returns a process exit status (0 = gate passes).
+    """
+    import io
+
+    from bench_wallclock_hotpath import BENCH_SEED, PROFILES, _timed
+
+    from repro.framework import ScanConfig, run_parallel_scan
+    from repro.framework.parallel import _relabel_for, _run_shard, _ShardSpec
+    from repro.obs import MetricsRegistry
+    from repro.workloads import DomainCorpus
+
+    sizes = PROFILES[profile]
+    threads, lookups = sizes["e2e_threads"], sizes["e2e_lookups"]
+    names = list(DomainCorpus().fqdns(lookups, start=0))
+    shards = 8
+    config = ScanConfig(
+        module="A",
+        mode="iterative",
+        threads=threads,
+        source_prefix=28,
+        cache_size=600_000,
+        seed=BENCH_SEED,
+    )
+
+    def run(processes):
+        out = io.StringIO()
+        wall, report = _timed(
+            lambda: run_parallel_scan(
+                names,
+                config,
+                processes=processes,
+                out=out,
+                shards=shards,
+                collect_metrics=True,
+                add_timestamp=False,
+            )
+        )
+        return wall, out.getvalue(), report
+
+    def scan_metrics(report):
+        return {
+            key: value
+            for key, value in report.metrics.items()
+            if not key.startswith("mp.")
+        }
+
+    print(f"mp smoke: {lookups} names, {shards} logical shards ...")
+    wall_1, out_1, report_1 = run(1)
+    wall_4, out_4, report_4 = run(4)
+
+    if sorted(out_1.splitlines()) != sorted(out_4.splitlines()):
+        print("FAIL: 1-process and 4-process outputs differ even as row sets")
+        return 1
+    if out_1 != out_4:
+        print("FAIL: merged output order depends on the process count")
+        return 1
+    if report_1.stats.to_json() != report_4.stats.to_json():
+        print("FAIL: merged fleet stats depend on the process count")
+        return 1
+    if scan_metrics(report_1) != scan_metrics(report_4):
+        print("FAIL: merged metrics depend on the process count")
+        return 1
+
+    class _Collector:
+        """Stands in for the worker's pipe end: keeps messages local."""
+
+        def __init__(self):
+            self.payload = None
+
+        def send(self, message):
+            if message[0] == "shard_done":
+                self.payload = message[2]
+
+    print("mp smoke: re-running each shard in-process to check the metric sums ...")
+    spec = _ShardSpec(
+        names=names,
+        shards=shards,
+        config=config,
+        collect_metrics=True,
+        add_timestamp=False,
+    )
+    expected = MetricsRegistry(enabled=True)
+    for shard_index in range(shards):
+        collector = _Collector()
+        _run_shard(shard_index, spec, collector)
+        expected.merge_dump(
+            collector.payload["metrics"], rename=_relabel_for(shard_index)
+        )
+    if expected.snapshot() != scan_metrics(report_4):
+        print("FAIL: merged registry != sum of the per-shard registries")
+        return 1
+
+    speedup = wall_1 / wall_4 if wall_4 else 0.0
+    cores = os.cpu_count() or 1
+    print(f"  1-process fleet wall        {wall_1:>8.3f} s")
+    print(f"  4-process fleet wall        {wall_4:>8.3f} s")
+    print(f"  speedup                     {speedup:>8.2f} x  ({cores} host core(s))")
+    print(f"  rows merged                 {report_4.rows_written:>8,}")
+    print("\nOK — multi-process executor gate passes "
+          "(byte-identical merge, metrics sum exactly)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--check", action="store_true", help="compare only; write nothing")
@@ -301,7 +422,17 @@ def main(argv: list[str] | None = None) -> int:
         "fingerprint-identical, a moderate plan must degrade gracefully "
         "and replay deterministically (skips the regular suite)",
     )
+    parser.add_argument(
+        "--mp-smoke",
+        action="store_true",
+        help="multi-process executor gate: 1-process and 4-process runs "
+        "must merge to identical bytes and the merged metrics must equal "
+        "the per-shard sums (skips the regular suite)",
+    )
     args = parser.parse_args(argv)
+
+    if args.mp_smoke:
+        return mp_smoke(args.profile, max(1, args.repeat))
 
     if args.chaos_smoke:
         return chaos_smoke(args.profile, max(1, args.repeat))

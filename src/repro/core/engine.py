@@ -104,10 +104,18 @@ class SimDriver:
             response = yield future
             if response is not None and cpu is not None:
                 yield cpu.execute(receive_cost)
-                if sim.now - sent_at > effect.timeout:
+                if sim.now >= sent_at + effect.timeout:
                     # processed too late (e.g. a GC stall, Section 3.4):
                     # the deadline passed, so the lookup logic sees a
-                    # timeout even though bytes eventually arrived
+                    # timeout even though bytes eventually arrived.
+                    # The deadline instant itself counts as a timeout —
+                    # same tie-break as the socket-level race, where the
+                    # timer (scheduled at send, so sequenced first) beats
+                    # a delivery landing at exactly sent_at + timeout.
+                    # ``sent_at + timeout`` reproduces the timer's
+                    # deadline bit-for-bit; a subtraction on the left
+                    # would round differently and reopen the disagreement
+                    # for either protocol (UDP and TCP share this path).
                     response = None
             try:
                 effect = machine_gen.send(response)

@@ -51,16 +51,28 @@ def build_internet(
     params: EcosystemParams | None = None,
     wire_mode: str = "always",
     wire_sample: int = 16,
+    net_seed: int | None = None,
 ) -> SimInternet:
     """Construct the whole simulated DNS universe.
 
     Registers: 13 roots, 2 servers per TLD, every provider nameserver
     host, the ``example`` infrastructure servers, the arpa servers, two
     hosts per reverse-DNS operator, and both public resolvers.
+
+    ``net_seed`` decouples the network RNG (latency/loss draws) from the
+    ecosystem seed (zone contents).  The multi-process executor builds
+    the *same* universe in every shard (``params.seed``) but gives each
+    shard an independent packet-level RNG stream, exactly as disjoint
+    slices of one Internet would behave.
     """
     params = params or EcosystemParams()
     sim = sim or Simulator()
-    network = SimNetwork(sim, seed=params.seed, wire_mode=wire_mode, wire_sample=wire_sample)
+    network = SimNetwork(
+        sim,
+        seed=params.seed if net_seed is None else net_seed,
+        wire_mode=wire_mode,
+        wire_sample=wire_sample,
+    )
     synth = ZoneSynthesizer(params)
 
     root_latency = LatencyModel(median=params.root_rtt)

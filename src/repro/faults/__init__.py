@@ -35,7 +35,7 @@ from .plan import (
     Truncate,
     directive_from_json,
 )
-from .plans import escalation_ladder, plan_by_name
+from .plans import escalation_ladder, plan_by_name, resolve_plan
 
 __all__ = [
     "Blackout",
@@ -55,4 +55,5 @@ __all__ = [
     "directive_from_json",
     "escalation_ladder",
     "plan_by_name",
+    "resolve_plan",
 ]

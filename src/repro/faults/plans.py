@@ -24,7 +24,7 @@ from .plan import (
     Truncate,
 )
 
-__all__ = ["escalation_ladder", "plan_by_name"]
+__all__ = ["escalation_ladder", "plan_by_name", "resolve_plan"]
 
 
 def _mild() -> FaultPlan:
@@ -105,3 +105,24 @@ def plan_by_name(name: str) -> FaultPlan:
         if plan.name == name:
             return plan
     raise KeyError(f"no bundled fault plan named {name!r}")
+
+
+def resolve_plan(spec: str) -> FaultPlan:
+    """A ``--fault-plan`` value: a JSON file path, or a bundled name.
+
+    Shared by the CLI and the multi-process shard workers, which re-load
+    the plan from its spec instead of pickling plan objects across the
+    process boundary.  Raises :class:`KeyError` when the spec is neither
+    a readable file nor a bundled plan name.
+    """
+    import os
+
+    if os.path.exists(spec):
+        return FaultPlan.load(spec)
+    try:
+        return plan_by_name(spec)
+    except KeyError:
+        raise KeyError(
+            f"--fault-plan {spec!r} is neither a file nor a bundled plan "
+            "name (mild, moderate, severe, extreme)"
+        ) from None

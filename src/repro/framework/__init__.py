@@ -1,18 +1,24 @@
 """repro.framework — scan orchestration: configuration, routine
-spawning, input/output encoding, statistics, and the CLI."""
+spawning, input/output encoding, statistics, the multi-process shard
+executor, and the CLI."""
 
-from .io import JsonLineSink, clean_row, read_names, shard, write_rows
+from .io import JsonLineSink, clean_row, encode_row, read_names, shard, write_rows
+from .parallel import DEFAULT_LOGICAL_SHARDS, ParallelReport, run_parallel_scan
 from .runner import ScanConfig, ScanReport, ScanRunner, run_scan
 from .stats import ScanStats
 
 __all__ = [
+    "DEFAULT_LOGICAL_SHARDS",
     "JsonLineSink",
+    "ParallelReport",
     "ScanConfig",
     "ScanReport",
     "ScanRunner",
     "ScanStats",
     "clean_row",
+    "encode_row",
     "read_names",
+    "run_parallel_scan",
     "run_scan",
     "shard",
     "write_rows",

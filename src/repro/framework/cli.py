@@ -25,6 +25,7 @@ from ..modules import available_modules, get_module
 from ..net import UDPTransport
 from ..obs import build_run_metadata, format_status_line, write_metadata
 from .io import JsonLineSink, read_names, shard
+from .parallel import DEFAULT_LOGICAL_SHARDS, run_parallel_scan
 from .runner import ScanConfig, ScanRunner
 
 
@@ -58,6 +59,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--shards", type=int, default=1, help="total scanner shards")
     parser.add_argument("--shard", type=int, default=0, help="this instance's shard index")
+    parser.add_argument(
+        "--processes",
+        "-p",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fork N worker processes, each scanning disjoint logical "
+        "shards through its own simulated Internet; results merge into "
+        "one order-normalized stream (simulated scans only)",
+    )
+    parser.add_argument(
+        "--mp-shards",
+        type=int,
+        default=None,
+        metavar="S",
+        help="logical shard count for --processes (default "
+        f"{DEFAULT_LOGICAL_SHARDS}); for a fixed seed and S the merged "
+        "output is byte-identical for any process count",
+    )
     parser.add_argument("--quiet", action="store_true", help="suppress the stats summary")
     parser.add_argument(
         "--metadata-file",
@@ -126,6 +146,27 @@ def main(argv: list[str] | None = None) -> int:
     except KeyError as error:
         parser.error(str(error))
 
+    # Validate the sharding/process topology eagerly: a bad combination
+    # must exit as a clean usage error, not a traceback mid-scan.
+    if args.shards < 1:
+        parser.error(f"--shards must be >= 1 (got {args.shards})")
+    if not 0 <= args.shard < args.shards:
+        parser.error(
+            f"--shard {args.shard} outside 0..{args.shards - 1} "
+            f"(of --shards {args.shards})"
+        )
+    if args.processes is not None:
+        if args.processes < 1:
+            parser.error(f"--processes must be >= 1 (got {args.processes})")
+        if args.mp_shards is not None and args.mp_shards < 1:
+            parser.error(f"--mp-shards must be >= 1 (got {args.mp_shards})")
+        if args.live_resolver:
+            parser.error("--processes applies to simulated scans only")
+        if args.spans_file:
+            parser.error("--spans-file is not supported with --processes")
+    elif args.mp_shards is not None:
+        parser.error("--mp-shards requires --processes")
+
     names = read_names(args.input_file)
     if args.shards > 1:
         names = shard(names, args.shards, args.shard)
@@ -134,6 +175,8 @@ def main(argv: list[str] | None = None) -> int:
     try:
         if args.live_resolver:
             summary, report = _run_live(args, module, names, out_handle)
+        elif args.processes is not None:
+            summary, report = _run_parallel(args, names, out_handle)
         else:
             summary, report = _run_simulated(args, module, names, out_handle)
         wall_seconds = time.monotonic() - started
@@ -164,30 +207,17 @@ def main(argv: list[str] | None = None) -> int:
 
 def _load_fault_plan(spec: str):
     """A ``--fault-plan`` value: a JSON file path, or a bundled name."""
-    import os
+    from ..faults import resolve_plan
 
-    from ..faults import FaultPlan, plan_by_name
-
-    if os.path.exists(spec):
-        return FaultPlan.load(spec)
     try:
-        return plan_by_name(spec)
-    except KeyError:
-        raise SystemExit(
-            f"pyzdns: --fault-plan {spec!r} is neither a file nor a "
-            "bundled plan name (mild, moderate, severe, extreme)"
-        )
+        return resolve_plan(spec)
+    except KeyError as error:
+        raise SystemExit(f"pyzdns: {error.args[0]}")
 
 
-def _run_simulated(args, module, names, out_handle):
-    internet = build_internet(params=EcosystemParams(seed=args.seed))
-    if args.fault_plan:
-        from ..faults import FaultInjector
-
-        plan = _load_fault_plan(args.fault_plan)
-        chaos_seed = args.chaos_seed if args.chaos_seed is not None else args.seed
-        FaultInjector(plan, sim=internet.sim, seed=chaos_seed).attach(internet.network)
-    config = ScanConfig(
+def _scan_config(args) -> ScanConfig:
+    """The ScanConfig both the in-process and multi-process paths share."""
+    return ScanConfig(
         module=args.module,
         mode=args.mode,
         resolver_ips=[s for s in args.name_servers.split(",") if s],
@@ -204,6 +234,39 @@ def _run_simulated(args, module, names, out_handle):
         backoff_base=args.backoff,
         server_health=args.server_health,
     )
+
+
+def _run_parallel(args, names, out_handle):
+    """Multi-process scan: fork workers, merge shards (see
+    :mod:`repro.framework.parallel`)."""
+    if args.fault_plan:
+        _load_fault_plan(args.fault_plan)  # fail fast on a bad spec
+    config = _scan_config(args)
+    config.status_interval = None  # the parent emits the fleet-wide line
+    report = run_parallel_scan(
+        names,
+        config,
+        processes=args.processes,
+        out=out_handle,
+        shards=args.mp_shards,
+        collect_metrics=config.metrics,
+        status_interval=args.status_interval,
+        fault_plan=args.fault_plan,
+        chaos_seed=args.chaos_seed,
+        add_timestamp=not args.no_timestamps,
+    )
+    return report.summary(), report
+
+
+def _run_simulated(args, module, names, out_handle):
+    internet = build_internet(params=EcosystemParams(seed=args.seed))
+    if args.fault_plan:
+        from ..faults import FaultInjector
+
+        plan = _load_fault_plan(args.fault_plan)
+        chaos_seed = args.chaos_seed if args.chaos_seed is not None else args.seed
+        FaultInjector(plan, sim=internet.sim, seed=chaos_seed).attach(internet.network)
+    config = _scan_config(args)
     sink = JsonLineSink(out_handle, add_timestamp=not args.no_timestamps)
     span_handle = None
     span_sink = None

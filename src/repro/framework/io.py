@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import json
 import sys
+from datetime import datetime, timezone
 from typing import Iterable, Iterator, TextIO
 
 
@@ -32,12 +33,22 @@ def shard(items: Iterable[str], shards: int, index: int) -> Iterator[str]:
     """ZMap-style sharding: the ``index``-th of ``shards`` partitions.
 
     Lets multiple scanner instances split one input deterministically:
-    item ``i`` belongs to shard ``i % shards``.
+    item ``i`` belongs to shard ``i % shards``.  The partition is exact:
+    over all indices the shards are pairwise disjoint and their union
+    (in position order) is the input.
+
+    Argument validation happens eagerly, at the call — not at the first
+    ``next()`` — so callers holding a bad shard spec fail at setup time
+    instead of deep inside a scan.
     """
     if shards < 1:
         raise ValueError("shards must be >= 1")
     if not 0 <= index < shards:
         raise ValueError(f"shard index {index} outside 0..{shards - 1}")
+    return _shard_iter(items, shards, index)
+
+
+def _shard_iter(items: Iterable[str], shards: int, index: int) -> Iterator[str]:
     for position, item in enumerate(items):
         if position % shards == index:
             yield item
@@ -65,6 +76,25 @@ def _write(rows: Iterable[dict], handle: TextIO) -> int:
     return count
 
 
+def encode_row(row: dict, add_timestamp: bool = False) -> str:
+    """One output row as its canonical JSON line (newline included).
+
+    The single source of truth for the output byte format: the
+    in-process :class:`JsonLineSink` and the multi-process shard workers
+    (:mod:`repro.framework.parallel`) both emit through here, so a
+    merged multi-core run is byte-compatible with a single-process one.
+    ``add_timestamp=True`` stamps the row with the wall-clock write
+    time, matching ZDNS's output (Appendix C).
+    """
+    row = clean_row(row)
+    if add_timestamp:
+        # datetime/timezone are module-level imports: this runs once per
+        # output row, and re-executing the import machinery on the hot
+        # output path cost a dict probe per row for nothing.
+        row["timestamp"] = datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
+    return json.dumps(row, sort_keys=True) + "\n"
+
+
 class JsonLineSink:
     """A sink for ScanRunner that streams rows to a file handle.
 
@@ -78,13 +108,5 @@ class JsonLineSink:
         self.count = 0
 
     def __call__(self, row: dict) -> None:
-        row = clean_row(row)
-        if self.add_timestamp:
-            import datetime
-
-            row["timestamp"] = (
-                datetime.datetime.now(datetime.timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
-            )
-        self.handle.write(json.dumps(row, sort_keys=True))
-        self.handle.write("\n")
+        self.handle.write(encode_row(row, self.add_timestamp))
         self.count += 1

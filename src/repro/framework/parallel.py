@@ -1,0 +1,461 @@
+"""Multi-process shard executor: true multi-core scans.
+
+The paper's headline result is ZDNS saturating a 24-core server with
+tens of thousands of goroutines.  A single CPython interpreter cannot —
+the GIL serialises the simulator's pure-Python hot loop — so this module
+supplies the missing layer: ``--processes N`` forks N workers, each
+running a disjoint *logical shard* of the corpus through its own
+``SimNetwork``/engine, and the parent merges the per-shard JSONL streams
+and telemetry into one fleet-wide result.
+
+Design invariants, in order:
+
+1. **Shard decomposition is independent of process count.**  The corpus
+   is split into ``shards`` logical shards (``i % shards``, exactly as
+   ZMap-style ``--shards/--shard`` manual sharding does); processes only
+   decide *where* each shard runs.  Every shard is hermetic — its own
+   simulated Internet (same ecosystem seed, so the same universe), its
+   own network/driver/cache RNG streams derived via
+   :func:`repro.net.derive_seed` — so a run with 1 process and a run
+   with 8 produce byte-identical merged output for the same
+   ``(seed, shards)``.
+2. **Merged output is order-normalized.**  Rows are emitted grouped by
+   shard index, each shard in its deterministic completion order: shard
+   0 streams live while later shards buffer, and each shard's stream is
+   flushed the moment every earlier shard has finished.  The merged file
+   equals the concatenation of the per-shard files a manual
+   ``--shards S --shard k`` fleet would have produced.
+3. **Telemetry merges, not samples.**  ``ScanStats`` fold together
+   (status counts, completion times, retries), metrics registries merge
+   (counter/gauge sums, histogram bucket adds), and fault-injection /
+   server-health scopes are relabelled per shard
+   (``faults.* -> faults.shardK.*``) so a post-mortem can still tell
+   which slice of the fleet saw the trouble.
+
+Workers stream row batches over pipes as they complete, so the parent
+overlaps merging with scanning; a final per-shard payload carries the
+mergeable stats/metrics state.  ``fork`` is preferred (the corpus is
+inherited copy-on-write); the spec is picklable, so ``spawn`` platforms
+work too, just with a higher start-up cost.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import sys
+import time
+import traceback
+from dataclasses import dataclass, field, replace
+from multiprocessing.connection import wait as _connection_wait
+from typing import Iterable, TextIO
+
+from ..net import derive_seed
+from ..obs import MetricsRegistry, format_status_line
+from .io import encode_row, shard
+from .runner import ScanConfig, ScanRunner
+from .stats import ScanStats
+
+__all__ = [
+    "DEFAULT_LOGICAL_SHARDS",
+    "ParallelReport",
+    "run_parallel_scan",
+]
+
+#: Default logical shard count.  Fixed — deliberately *not* derived from
+#: the process count — so ``--processes 1`` and ``--processes 4`` run
+#: the identical shard decomposition and merge to identical bytes.  Also
+#: the load-balancing granularity: 8 shards over 4 workers lets a fast
+#: worker pick up a second shard while a slow one finishes its first.
+DEFAULT_LOGICAL_SHARDS = 8
+
+#: Rows per pipe message.  Large enough to amortise pickling, small
+#: enough that the parent's merge (and status line) stays live.
+_ROW_BATCH = 256
+
+
+@dataclass
+class _ShardSpec:
+    """Everything a worker needs to run its shards (picklable)."""
+
+    names: list[str]
+    shards: int
+    config: ScanConfig
+    wire_mode: str = "always"
+    wire_sample: int = 16
+    collect_metrics: bool = False
+    fault_plan: str | None = None
+    chaos_seed: int | None = None
+    add_timestamp: bool = True
+
+
+class _PipeSink:
+    """Worker-side sink: encodes rows and ships them in batches.
+
+    Encoding happens in the worker — that is the point of the exercise:
+    JSON serialisation parallelises across cores instead of serialising
+    in the parent.  Alongside each batch travel the shard's cumulative
+    progress counters, which the parent sums into the fleet status line.
+    """
+
+    def __init__(self, conn, shard_index: int, add_timestamp: bool):
+        self._conn = conn
+        self._shard = shard_index
+        self._add_timestamp = add_timestamp
+        self._lines: list[str] = []
+        self.total = 0
+        self.successes = 0
+        self.timeouts = 0
+
+    def __call__(self, row: dict) -> None:
+        status = row.get("status")
+        self.total += 1
+        if status in ("NOERROR", "NXDOMAIN"):
+            self.successes += 1
+        elif status == "TIMEOUT":
+            self.timeouts += 1
+        self._lines.append(encode_row(row, self._add_timestamp))
+        if len(self._lines) >= _ROW_BATCH:
+            self.flush()
+
+    def flush(self) -> None:
+        if self._lines:
+            self._conn.send(
+                ("rows", self._shard, self._lines,
+                 (self.total, self.successes, self.timeouts))
+            )
+            self._lines = []
+
+
+def _run_shard(shard_index: int, spec: _ShardSpec, conn) -> None:
+    """One hermetic sub-scan: own Internet, own RNG streams, own cache."""
+    from ..ecosystem import EcosystemParams, build_internet
+    from ..modules import get_module
+
+    base_seed = spec.config.seed
+    internet = build_internet(
+        params=EcosystemParams(seed=base_seed),
+        wire_mode=spec.wire_mode,
+        wire_sample=spec.wire_sample,
+        net_seed=derive_seed(base_seed, "net", shard_index),
+    )
+    if spec.fault_plan is not None:
+        from ..faults import FaultInjector, resolve_plan
+
+        chaos_base = spec.chaos_seed if spec.chaos_seed is not None else base_seed
+        FaultInjector(
+            resolve_plan(spec.fault_plan),
+            sim=internet.sim,
+            seed=derive_seed(chaos_base, "chaos", shard_index),
+        ).attach(internet.network)
+
+    config = replace(
+        spec.config,
+        seed=derive_seed(base_seed, "scan", shard_index),
+        metrics=spec.collect_metrics,
+        status_interval=None,  # the parent emits the fleet-wide line
+        collect_spans=False,
+    )
+    sink = _PipeSink(conn, shard_index, spec.add_timestamp)
+    report = ScanRunner(
+        internet, config, module=get_module(config.module), sink=sink
+    ).run(shard(spec.names, spec.shards, shard_index))
+    sink.flush()
+    registry = report.registry
+    conn.send(
+        (
+            "shard_done",
+            shard_index,
+            {
+                "stats": report.stats.to_state(),
+                "metrics": registry.dump() if registry is not None and registry.enabled else [],
+                "cache": report.cache_stats,
+                "cpu_utilisation": report.cpu_utilisation,
+            },
+        )
+    )
+
+
+def _worker_main(worker_index: int, shard_indices: list[int], spec: _ShardSpec, conn) -> None:
+    """Worker process entry point: run assigned shards, lowest first."""
+    try:
+        for shard_index in shard_indices:
+            _run_shard(shard_index, spec, conn)
+    except BaseException:
+        conn.send(("error", worker_index, traceback.format_exc()))
+    else:
+        conn.send(("done", worker_index, None))
+    finally:
+        conn.close()
+
+
+@dataclass
+class ParallelReport:
+    """Fleet-wide outcome of a multi-process scan.
+
+    Duck-compatible with :class:`repro.framework.runner.ScanReport`
+    where the CLI needs it (``stats``, ``registry``, ``metrics``,
+    ``cache_stats``, ``cpu_utilisation``, ``profile``) plus the
+    executor's own shape: per-shard summaries and the process/shard
+    topology.
+    """
+
+    stats: ScanStats
+    registry: MetricsRegistry | None = None
+    metrics: dict = field(default_factory=dict)
+    cache_stats: dict | None = None
+    #: Mean across shards — each shard models its own core pool.
+    cpu_utilisation: float = 0.0
+    shard_summaries: list[dict] = field(default_factory=list)
+    processes: int = 0
+    shards: int = 0
+    rows_written: int = 0
+    #: The mp executor never profiles (cProfile per worker would need
+    #: per-process files); present for ScanReport duck-compatibility.
+    profile: dict | None = None
+
+    def summary(self) -> dict:
+        """The CLI's stderr summary, same shape as a single-process run
+        plus an ``mp`` topology block."""
+        summary = self.stats.to_json()
+        summary["cache"] = self.cache_stats
+        summary["cpu_utilisation"] = round(self.cpu_utilisation, 3)
+        summary["mp"] = {"processes": self.processes, "shards": self.shards}
+        return summary
+
+
+def _mp_context():
+    """Prefer ``fork`` (copy-on-write corpus, no re-import); fall back
+    to the platform default (``spawn`` on macOS/Windows — the spec is
+    picklable, so it works, just slower to start)."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+def _relabel_for(shard_index: int):
+    """Metric renamer: per-shard labels for the scopes where summing
+    would destroy the signal (which server slice was faulted / unhealthy
+    in *this* shard's chaos stream), fleet sums for everything else."""
+
+    def relabel(name: str) -> str:
+        for scope in ("faults.", "health."):
+            if name.startswith(scope):
+                return f"{scope}shard{shard_index}.{name[len(scope):]}"
+        return name
+
+    return relabel
+
+
+def run_parallel_scan(
+    names: Iterable[str],
+    config: ScanConfig,
+    *,
+    processes: int,
+    out: TextIO,
+    shards: int | None = None,
+    wire_mode: str = "always",
+    wire_sample: int = 16,
+    collect_metrics: bool = False,
+    status_interval: float | None = None,
+    status_stream: TextIO | None = None,
+    fault_plan: str | None = None,
+    chaos_seed: int | None = None,
+    add_timestamp: bool = True,
+) -> ParallelReport:
+    """Run one scan across ``processes`` OS processes.
+
+    ``names`` is materialised once; ``shards`` logical shards (default
+    :data:`DEFAULT_LOGICAL_SHARDS`) are distributed round-robin over the
+    workers, so shard 0 starts immediately and the merged output can
+    stream.  Merged rows are written to ``out`` grouped by shard index
+    (see the module docstring for why that order is the normal form).
+
+    Determinism contract: for a fixed ``(config.seed, shards)`` the
+    merged output bytes, merged stats, and merged metrics are identical
+    for *any* process count — ``processes`` is purely a wall-clock knob.
+    """
+    if processes < 1:
+        raise ValueError("processes must be >= 1")
+    shards = DEFAULT_LOGICAL_SHARDS if shards is None else shards
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    names = list(names)
+    processes = min(processes, shards)
+    spec = _ShardSpec(
+        names=names,
+        shards=shards,
+        config=config,
+        wire_mode=wire_mode,
+        wire_sample=wire_sample,
+        collect_metrics=collect_metrics,
+        fault_plan=fault_plan,
+        chaos_seed=chaos_seed,
+        add_timestamp=add_timestamp,
+    )
+
+    ctx = _mp_context()
+    workers, connections = [], []
+    for index in range(processes):
+        # round-robin: worker w owns shards w, w+P, w+2P, ... — shard 0
+        # belongs to the first worker, so the head of the merged stream
+        # flushes while the tail is still scanning
+        assigned = list(range(index, shards, processes))
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        process = ctx.Process(
+            target=_worker_main,
+            args=(index, assigned, spec, child_conn),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()  # the parent only reads; the child holds the write end
+        workers.append(process)
+        connections.append(parent_conn)
+
+    buffers: dict[int, list[str]] = {k: [] for k in range(shards)}
+    payloads: dict[int, dict] = {}
+    progress: dict[int, tuple[int, int, int]] = {}
+    done_shards: set[int] = set()
+    errors: list[tuple[int, str]] = []
+    next_flush = 0
+    rows_written = 0
+    started = time.monotonic()
+    last_status_total = 0
+    next_status = started + status_interval if status_interval else None
+    stream = status_stream if status_stream is not None else sys.stderr
+
+    def emit_status() -> None:
+        nonlocal last_status_total
+        elapsed = time.monotonic() - started
+        total = sum(p[0] for p in progress.values())
+        successes = sum(p[1] for p in progress.values())
+        timeouts = sum(p[2] for p in progress.values())
+        retries = sum(p["stats"]["retries_used"] for p in payloads.values())
+        print(
+            format_status_line(
+                elapsed=elapsed,
+                total=total,
+                interval_rate=(total - last_status_total) / status_interval,
+                average_rate=total / elapsed if elapsed > 0 else 0.0,
+                success_rate=successes / total if total else 0.0,
+                in_flight=shards - len(done_shards),
+                timeouts=timeouts,
+                retries=retries,
+                cache_hit_rate=None,
+            ),
+            file=stream,
+        )
+        last_status_total = total
+
+    try:
+        live = set(connections)
+        while live:
+            timeout = None
+            if next_status is not None:
+                timeout = max(0.0, next_status - time.monotonic())
+            for conn in _connection_wait(list(live), timeout):
+                try:
+                    message = conn.recv()
+                except EOFError:
+                    live.discard(conn)
+                    continue
+                kind = message[0]
+                if kind == "rows":
+                    _, shard_index, lines, counters = message
+                    progress[shard_index] = counters
+                    rows_written += len(lines)
+                    if shard_index == next_flush:
+                        out.writelines(lines)
+                    else:
+                        buffers[shard_index].extend(lines)
+                elif kind == "shard_done":
+                    _, shard_index, payload = message
+                    payloads[shard_index] = payload
+                    done_shards.add(shard_index)
+                    # advance past every consecutively finished shard,
+                    # then let the new head shard's buffer catch up so
+                    # its subsequent batches stream directly
+                    while next_flush in done_shards:
+                        out.writelines(buffers.pop(next_flush, []))
+                        next_flush += 1
+                    if next_flush < shards and next_flush in buffers:
+                        out.writelines(buffers.pop(next_flush))
+                        buffers[next_flush] = []
+                elif kind == "done":
+                    live.discard(conn)
+                elif kind == "error":
+                    _, worker_index, formatted = message
+                    errors.append((worker_index, formatted))
+                    live.discard(conn)
+            if next_status is not None and time.monotonic() >= next_status:
+                emit_status()
+                next_status += status_interval
+        for process in workers:
+            process.join()
+    finally:
+        for process in workers:
+            if process.is_alive():  # pragma: no cover - error unwind only
+                process.terminate()
+                process.join()
+
+    if errors:
+        details = "\n\n".join(
+            f"[worker {index}]\n{formatted}" for index, formatted in errors
+        )
+        raise RuntimeError(f"parallel scan worker(s) crashed:\n{details}")
+    if len(payloads) != shards:
+        missing = sorted(set(range(shards)) - set(payloads))
+        raise RuntimeError(f"workers exited without finishing shards {missing}")
+
+    # ---- fold the fleet together -----------------------------------------
+    merged_stats = ScanStats()
+    registry = MetricsRegistry(enabled=collect_metrics)
+    cache_totals: dict[str, int] = {}
+    cache_seen = False
+    utilisations = []
+    shard_summaries = []
+    for shard_index in sorted(payloads):
+        payload = payloads[shard_index]
+        shard_stats = ScanStats.from_state(payload["stats"])
+        merged_stats.merge(shard_stats)
+        registry.merge_dump(payload["metrics"], rename=_relabel_for(shard_index))
+        utilisations.append(payload["cpu_utilisation"])
+        if payload["cache"] is not None:
+            cache_seen = True
+            for key, value in payload["cache"].items():
+                if key != "hit_rate":
+                    cache_totals[key] = cache_totals.get(key, 0) + value
+        shard_summaries.append(
+            {
+                "shard": shard_index,
+                "total": shard_stats.total,
+                "successes": shard_stats.successes,
+                "duration_s": round(shard_stats.duration, 3),
+                "queries_sent": shard_stats.queries_sent,
+            }
+        )
+    cache_stats = None
+    if cache_seen:
+        probes = cache_totals.get("hits", 0) + cache_totals.get("misses", 0)
+        cache_stats = dict(cache_totals)
+        cache_stats["hit_rate"] = round(
+            cache_totals.get("hits", 0) / probes if probes else 0.0, 4
+        )
+    cpu_utilisation = sum(utilisations) / len(utilisations) if utilisations else 0.0
+    if registry.enabled:
+        mp_scope = registry.scope("mp")
+        mp_scope.gauge("processes").set(processes)
+        mp_scope.gauge("shards").set(shards)
+        mp_scope.gauge("rows_merged").set(rows_written)
+
+    return ParallelReport(
+        stats=merged_stats,
+        registry=registry,
+        metrics=registry.snapshot(),
+        cache_stats=cache_stats,
+        cpu_utilisation=cpu_utilisation,
+        shard_summaries=shard_summaries,
+        processes=processes,
+        shards=shards,
+        rows_written=rows_written,
+    )

@@ -11,6 +11,7 @@ exactly what it did before the observability layer existed.
 from __future__ import annotations
 
 import math
+from bisect import bisect_right
 from collections import Counter
 from dataclasses import dataclass, field
 
@@ -83,6 +84,64 @@ class ScanStats:
         if instruments is not None:
             instruments.record(status, success, queries, retries)
 
+    def to_state(self) -> dict:
+        """Plain-data export for cross-process aggregation (the shard
+        workers of :mod:`repro.framework.parallel` ship this over the
+        result pipe; :meth:`from_state` and :meth:`merge` rebuild the
+        fleet-wide view in the parent)."""
+        return {
+            "total": self.total,
+            "successes": self.successes,
+            "by_status": dict(self.by_status),
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "threads_requested": self.threads_requested,
+            "threads_running": self.threads_running,
+            "queries_sent": self.queries_sent,
+            "retries_used": self.retries_used,
+            "completion_times": list(self.completion_times),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "ScanStats":
+        """Inverse of :meth:`to_state`."""
+        stats = cls(
+            total=state["total"],
+            successes=state["successes"],
+            by_status=Counter(state["by_status"]),
+            started_at=state["started_at"],
+            finished_at=state["finished_at"],
+            threads_requested=state["threads_requested"],
+            threads_running=state["threads_running"],
+            queries_sent=state["queries_sent"],
+            retries_used=state["retries_used"],
+        )
+        stats.completion_times = list(state["completion_times"])
+        return stats
+
+    def merge(self, other: "ScanStats") -> "ScanStats":
+        """Fold another scan's stats into this one (in place).
+
+        Counts, statuses, and completion times pool; the time window
+        widens to cover both scans.  Shards of a multi-process run all
+        start their virtual clocks at zero and run concurrently, so the
+        merged ``duration`` is the slowest shard's — the fleet-wide
+        virtual wall clock — and rate properties read as fleet rates.
+        Returns self for chaining.
+        """
+        self.total += other.total
+        self.successes += other.successes
+        self.by_status.update(other.by_status)
+        if other.total or other.finished_at:
+            self.started_at = min(self.started_at, other.started_at)
+            self.finished_at = max(self.finished_at, other.finished_at)
+        self.threads_requested += other.threads_requested
+        self.threads_running += other.threads_running
+        self.queries_sent += other.queries_sent
+        self.retries_used += other.retries_used
+        self.completion_times.extend(other.completion_times)
+        return self
+
     @property
     def duration(self) -> float:
         return max(0.0, self.finished_at - self.started_at)
@@ -120,7 +179,12 @@ class ScanStats:
         hi = ordered[(9 * len(ordered)) // 10]
         if hi <= lo:
             return self.lookups_per_second
-        return (0.8 * len(ordered)) / (hi - lo)
+        # Count the completions actually inside (lo, hi] rather than
+        # assuming the index-based percentile samples bracket exactly
+        # 80% of them — with ties or sizes not divisible by 10 they
+        # don't, and the hardcoded 0.8*n numerator overstated the rate.
+        inside = bisect_right(ordered, hi) - bisect_right(ordered, lo)
+        return inside / (hi - lo)
 
     @property
     def steady_successes_per_second(self) -> float:

@@ -15,7 +15,15 @@ from .links import (
     TokenBucket,
 )
 from .live import UDPServer, UDPTransport
-from .sim import HangError, Routine, SimFuture, SimulationError, Simulator, TimerHandle
+from .sim import (
+    HangError,
+    Routine,
+    SimFuture,
+    SimulationError,
+    Simulator,
+    TimerHandle,
+    derive_seed,
+)
 from .sockets import (
     DEFAULT_PORTS_PER_IP,
     NetworkStats,
@@ -51,6 +59,7 @@ __all__ = [
     "TokenBucket",
     "UDPServer",
     "UDPTransport",
+    "derive_seed",
 ]
 
 from .encrypted import EncryptedTransportParams, SimEncryptedSocket  # noqa: E402

@@ -31,11 +31,34 @@ a constant-factor optimisation.
 
 from __future__ import annotations
 
+import hashlib
 import heapq
 from collections import deque
 from typing import Any, Callable, Generator, Iterable
 
 Routine = Generator[Any, Any, Any]
+
+
+def derive_seed(base: int, *streams: int | str) -> int:
+    """Derive an independent RNG seed from ``base`` and stream labels.
+
+    The multi-process shard executor gives every shard its own
+    simulation (network RNG, driver txids, cache eviction RNG, chaos
+    RNG).  Seeding those ``base + shard`` apart would correlate the
+    streams — Mersenne Twister states seeded with nearby integers start
+    out similar — so instead the base seed and the labels are hashed
+    into a fresh 63-bit seed.  Deterministic across processes and
+    platforms (pure SHA-256, no ``PYTHONHASHSEED`` dependence), so a
+    sharded run replays byte-identically.
+
+    >>> derive_seed(2022, "net", 0) == derive_seed(2022, "net", 0)
+    True
+    >>> derive_seed(2022, "net", 0) != derive_seed(2022, "net", 1)
+    True
+    """
+    text = ":".join(str(part) for part in (base, *streams))
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
 
 #: Compact the timer heap when at least this many cancelled entries are
 #: pending *and* they outnumber the live ones (asyncio uses the same

@@ -25,7 +25,7 @@ Design constraints, in order:
 from __future__ import annotations
 
 import math
-from typing import Iterator
+from typing import Callable, Iterator
 
 __all__ = [
     "Counter",
@@ -156,6 +156,30 @@ class Histogram:
                 return min(max(estimate, self.min), self.max)
         return self.max
 
+    def state(self) -> dict:
+        """Full internal state — mergeable, unlike :meth:`snapshot`'s
+        quantile summary (quantiles of sub-scans cannot be combined;
+        buckets can)."""
+        return {
+            "buckets": dict(self.buckets),
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    def merge_state(self, state: dict) -> None:
+        """Fold another histogram's :meth:`state` into this one
+        (bucket-wise addition; min/max widen)."""
+        for index, count in state["buckets"].items():
+            self.buckets[index] = self.buckets.get(index, 0) + count
+        self.count += state["count"]
+        self.total += state["total"]
+        if state["min"] < self.min:
+            self.min = state["min"]
+        if state["max"] > self.max:
+            self.max = state["max"]
+
     def snapshot(self) -> dict:
         if self.count == 0:
             return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
@@ -283,6 +307,45 @@ class MetricsRegistry:
         """Flat ``{dotted-name: value}`` view (histograms become summary
         dicts).  Deterministic: insertion-ordered, virtual-time only."""
         return {name: m.snapshot() for name, m in self._metrics.items()}
+
+    def dump(self) -> list[tuple[str, str, object]]:
+        """Mergeable export: ``(name, kind, state)`` per instrument.
+
+        Counters and gauges export their raw value; histograms export
+        full bucket state (:meth:`Histogram.state`).  This is the wire
+        format the multi-process executor ships from shard workers to
+        the parent, where :meth:`merge_dump` folds the fleet together —
+        ``snapshot()`` is *not* mergeable because histogram quantiles of
+        sub-scans cannot be combined.
+        """
+        out: list[tuple[str, str, object]] = []
+        for name, metric in self._metrics.items():
+            state = metric.state() if metric.kind == "histogram" else metric.value
+            out.append((name, metric.kind, state))
+        return out
+
+    def merge_dump(
+        self,
+        dump: list[tuple[str, str, object]],
+        rename: "Callable[[str], str] | None" = None,
+    ) -> None:
+        """Fold another registry's :meth:`dump` into this one.
+
+        Counters and gauges add (fleet totals are sums — a merged gauge
+        like ``inflight`` reads as the across-shard total); histograms
+        merge bucket-wise.  ``rename`` maps each incoming metric name to
+        its name here — the executor uses it to keep per-shard scopes
+        (``faults.* -> faults.shard3.*``) distinguishable while summing
+        everything else.  No-op on a disabled registry.
+        """
+        if not self.enabled:
+            return
+        for name, kind, state in dump:
+            target = self._instrument(kind, rename(name) if rename else name)
+            if kind == "histogram":
+                target.merge_state(state)
+            else:
+                target.inc(state)
 
     def tree(self) -> dict:
         """Snapshot nested by scope: ``{"engine": {"lookups": ...}}``."""

@@ -118,3 +118,105 @@ class TestSimDriver:
         result = run_lookup(internet, driver, machine.resolve(existing_name(internet), RRType.A))
         assert result.status == Status.NOERROR
         assert result.queries_sent >= 3
+
+
+class TestTimeoutBoundaryInstant:
+    """Regression: what happens *exactly* at ``sent_at + timeout``.
+
+    Two layers can observe the deadline.  At the socket layer,
+    ``timeout_race`` schedules the timeout timer at send time, so when a
+    delivery lands at the exact deadline instant the timer (earlier
+    sequence number) fires first and the exchange resolves to ``None``.
+    The engine's late-reply check — a reply that arrived in time but
+    whose processing (CPU receive cost, GC stalls) finished late — must
+    agree with that tie-break: the deadline instant itself counts as a
+    timeout, for UDP and TCP alike.  These tests pin both layers at the
+    exact instant with FP-exact binary fractions.
+    """
+
+    def _socket_level(self, protocol, median, timeout=3.0):
+        from repro.net import LatencyModel, ServerReply, SimNetwork
+
+        sim = Simulator()
+        network = SimNetwork(sim, seed=0, wire_mode="never")
+
+        class Echo:
+            def handle_query(self, query, client_ip, now, proto):
+                return ServerReply(query.make_response(authoritative=True))
+
+        # sigma=0 makes the log-normal degenerate: rtt == median exactly
+        network.register_server(
+            "10.0.0.1", Echo(), latency=LatencyModel(median=median, sigma=0.0)
+        )
+        message = Message.make_query("boundary.test", RRType.A, txid=7)
+        if protocol == "tcp":
+            future = network.query_tcp("198.18.0.0", "10.0.0.1", message, timeout)
+        else:
+            future = network.query_udp("198.18.0.0", "10.0.0.1", message, timeout)
+        sim.run()
+        return future.result()
+
+    def test_udp_delivery_at_exact_deadline_times_out(self):
+        # rtt == timeout: the reply lands at sent_at + timeout exactly,
+        # the same instant the timer fires; the timer wins the tie.
+        assert self._socket_level("udp", median=3.0) is None
+
+    def test_udp_delivery_just_inside_deadline_wins(self):
+        assert self._socket_level("udp", median=2.5) is not None
+
+    def test_tcp_delivery_at_exact_deadline_times_out(self):
+        # TCP doubles the rtt (one handshake round trip), so a median of
+        # timeout/2 lands the reply exactly on the deadline.
+        assert self._socket_level("tcp", median=1.5) is None
+
+    def test_tcp_delivery_just_inside_deadline_wins(self):
+        assert self._socket_level("tcp", median=1.25) is not None
+
+    def _engine_level(self, protocol, median, per_receive, timeout=1.0):
+        from repro.net import LatencyModel, ServerReply, SimNetwork
+
+        sim = Simulator()
+        network = SimNetwork(sim, seed=0, wire_mode="never")
+
+        class Echo:
+            def handle_query(self, query, client_ip, now, proto):
+                return ServerReply(query.make_response(authoritative=True))
+
+        network.register_server(
+            "10.0.0.1", Echo(), latency=LatencyModel(median=median, sigma=0.0)
+        )
+        cpu = CPUModel(sim, cores=1)
+        costs = ClientCostModel(per_send=0.0, per_receive=per_receive, per_lookup=0.0)
+        driver = SimDriver(network, cpu=cpu, costs=costs)
+
+        def machine():
+            response = yield SendQuery(
+                server_ip="10.0.0.1",
+                name=Name.from_text("boundary.test"),
+                qtype=RRType.A,
+                timeout=timeout,
+                protocol=protocol,
+            )
+            return response
+
+        socket = SimUDPSocket(network, SourceIPPool())
+        future = sim.spawn(driver.execute(machine(), socket))
+        sim.run()
+        return future.result()
+
+    def test_udp_processing_at_exact_deadline_is_dropped(self):
+        # Reply delivered at 0.75, receive cost pushes processing to
+        # exactly sent_at + 1.0: the engine must agree with the socket
+        # race and report a timeout.  All values are exact binary
+        # fractions, so there is no FP wiggle to hide behind.
+        assert self._engine_level("udp", median=0.75, per_receive=0.25) is None
+
+    def test_udp_processing_just_inside_deadline_kept(self):
+        assert self._engine_level("udp", median=0.75, per_receive=0.125) is not None
+
+    def test_tcp_processing_at_exact_deadline_is_dropped(self):
+        # TCP rtt doubles: median 0.375 delivers at 0.75, as above.
+        assert self._engine_level("tcp", median=0.375, per_receive=0.25) is None
+
+    def test_tcp_processing_just_inside_deadline_kept(self):
+        assert self._engine_level("tcp", median=0.375, per_receive=0.125) is not None

@@ -1,0 +1,337 @@
+"""Tests for the multi-process shard executor and its building blocks.
+
+Covers the determinism contract (same seed, any process count, identical
+merged bytes), the exact-partition property of ``io.shard``, the merge
+semantics of stats and metrics, and the CLI's eager validation of bad
+shard/process topologies (clean usage errors, never tracebacks).
+"""
+
+import io as io_module
+import json
+import random
+
+import pytest
+
+from repro.framework import ScanConfig, run_parallel_scan
+from repro.framework.cli import main
+from repro.framework.io import shard
+from repro.framework.stats import ScanStats
+from repro.obs import MetricsRegistry
+from repro.workloads import CorpusConfig, DomainCorpus
+
+
+# ---------------------------------------------------------------------------
+# io.shard: exact partition property
+# ---------------------------------------------------------------------------
+
+
+class TestShardPartition:
+    def test_partitions_exactly_randomised(self):
+        """For any (size, shards): shards are pairwise disjoint and their
+        union, re-interleaved by position, is exactly the input."""
+        rng = random.Random(2024)
+        for _ in range(50):
+            size = rng.randrange(0, 200)
+            shards = rng.randrange(1, 12)
+            items = [f"item-{i}" for i in range(size)]
+            parts = [list(shard(items, shards, k)) for k in range(shards)]
+            # pairwise disjoint
+            seen = set()
+            for part in parts:
+                overlap = seen & set(part)
+                assert not overlap, f"items in two shards: {overlap}"
+                seen.update(part)
+            # union == input, and positions interleave back exactly
+            assert sorted(seen) == sorted(items)
+            reassembled = [None] * size
+            for k, part in enumerate(parts):
+                for j, item in enumerate(part):
+                    reassembled[j * shards + k] = item
+            assert reassembled == items
+
+    def test_single_shard_is_identity(self):
+        items = ["a", "b", "c"]
+        assert list(shard(items, 1, 0)) == items
+
+    def test_more_shards_than_items(self):
+        items = ["a", "b"]
+        parts = [list(shard(items, 5, k)) for k in range(5)]
+        assert parts == [["a"], ["b"], [], [], []]
+
+    def test_validation_is_eager(self):
+        """A bad spec must raise at the call, not at the first next()."""
+        with pytest.raises(ValueError):
+            shard(["a"], 0, 0)
+        with pytest.raises(ValueError):
+            shard(["a"], 2, 2)
+        with pytest.raises(ValueError):
+            shard(["a"], 2, -1)
+
+    def test_generator_preserves_order(self):
+        items = [str(i) for i in range(10)]
+        assert list(shard(items, 3, 1)) == ["1", "4", "7"]
+
+
+# ---------------------------------------------------------------------------
+# merge semantics: ScanStats and MetricsRegistry
+# ---------------------------------------------------------------------------
+
+
+class TestScanStatsMerge:
+    def _stats(self, statuses, start, finish):
+        stats = ScanStats(started_at=start)
+        now = start
+        for status in statuses:
+            now += 0.5
+            stats.record(status, now, queries=2, retries=1)
+        stats.finished_at = finish
+        return stats
+
+    def test_merge_sums_counts_and_statuses(self):
+        a = self._stats(["NOERROR", "TIMEOUT"], start=0.0, finish=2.0)
+        b = self._stats(["NOERROR", "NOERROR", "NXDOMAIN"], start=0.0, finish=5.0)
+        a.merge(b)
+        assert a.total == 5
+        assert a.by_status["NOERROR"] == 3
+        assert a.by_status["TIMEOUT"] == 1
+        assert a.by_status["NXDOMAIN"] == 1
+        assert a.queries_sent == 10
+        assert a.retries_used == 5
+        # merged duration = the slowest shard (virtual clocks all start
+        # at zero and shards run concurrently)
+        assert a.duration == 5.0
+        assert len(a.completion_times) == 5
+
+    def test_state_round_trip(self):
+        stats = self._stats(["NOERROR", "SERVFAIL"], start=0.0, finish=3.0)
+        clone = ScanStats.from_state(stats.to_state())
+        assert clone.to_json() == stats.to_json()
+        assert clone.completion_times == stats.completion_times
+
+
+class TestMetricsMerge:
+    def _shard_registry(self, base):
+        registry = MetricsRegistry(enabled=True)
+        registry.counter("lookups.total").inc(base)
+        registry.gauge("queue.depth").set(base)
+        hist = registry.histogram("lookup.seconds")
+        for value in (0.01 * base, 0.1 * base, 1.0):
+            hist.observe(value)
+        registry.scope("faults").counter("injected").inc(base)
+        return registry
+
+    def test_counters_and_gauges_sum(self):
+        merged = MetricsRegistry(enabled=True)
+        merged.merge_dump(self._shard_registry(2).dump())
+        merged.merge_dump(self._shard_registry(3).dump())
+        snap = merged.snapshot()
+        assert snap["lookups.total"] == 5
+        assert snap["queue.depth"] == 5
+
+    def test_histogram_buckets_add(self):
+        merged = MetricsRegistry(enabled=True)
+        merged.merge_dump(self._shard_registry(2).dump())
+        merged.merge_dump(self._shard_registry(3).dump())
+        hist = merged.snapshot()["lookup.seconds"]
+        assert hist["count"] == 6
+        # min/max widen across shards
+        assert hist["min"] == pytest.approx(0.02)
+        assert hist["max"] == pytest.approx(1.0)
+
+    def test_relabel_renames_scoped_metrics(self):
+        merged = MetricsRegistry(enabled=True)
+        for index in (0, 1):
+            merged.merge_dump(
+                self._shard_registry(1).dump(),
+                rename=lambda name, k=index: (
+                    f"faults.shard{k}.{name[len('faults.'):]}"
+                    if name.startswith("faults.")
+                    else name
+                ),
+            )
+        snap = merged.snapshot()
+        assert snap["faults.shard0.injected"] == 1
+        assert snap["faults.shard1.injected"] == 1
+        assert "faults.injected" not in snap
+        # unscoped metrics still summed under the original name
+        assert snap["lookups.total"] == 2
+
+    def test_merge_into_disabled_registry_is_noop(self):
+        merged = MetricsRegistry(enabled=False)
+        merged.merge_dump(self._shard_registry(2).dump())
+        assert merged.snapshot() == {}
+
+
+# ---------------------------------------------------------------------------
+# the executor: determinism across process counts
+# ---------------------------------------------------------------------------
+
+
+NAMES = 48
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return list(DomainCorpus(CorpusConfig(seed=91)).fqdns(NAMES))
+
+
+def _config(metrics=False):
+    return ScanConfig(
+        module="A", mode="iterative", threads=50, seed=11, metrics=metrics
+    )
+
+
+def _run(corpus, processes, shards=4, metrics=False):
+    out = io_module.StringIO()
+    report = run_parallel_scan(
+        corpus,
+        _config(metrics=metrics),
+        processes=processes,
+        out=out,
+        shards=shards,
+        collect_metrics=metrics,
+        add_timestamp=False,
+    )
+    return out.getvalue(), report
+
+
+class TestParallelDeterminism:
+    def test_merged_output_independent_of_process_count(self, corpus):
+        """The determinism contract: for fixed (seed, shards) the merged
+        bytes, stats, and metrics are identical for any process count."""
+        out_1, report_1 = _run(corpus, processes=1, metrics=True)
+        out_4, report_4 = _run(corpus, processes=4, metrics=True)
+        assert out_1 == out_4
+        assert out_1.count("\n") == NAMES
+        assert report_1.stats.to_json() == report_4.stats.to_json()
+        # topology gauges describe the run, not the scan: exclude them
+        snap_1 = {k: v for k, v in report_1.metrics.items() if not k.startswith("mp.")}
+        snap_4 = {k: v for k, v in report_4.metrics.items() if not k.startswith("mp.")}
+        assert snap_1 == snap_4
+
+    def test_rows_cover_every_name_exactly_once(self, corpus):
+        out, report = _run(corpus, processes=2)
+        names = [json.loads(line)["name"] for line in out.splitlines()]
+        assert sorted(names) == sorted(corpus)
+        assert report.rows_written == NAMES
+        assert report.stats.total == NAMES
+
+    def test_output_is_shard_grouped(self, corpus):
+        """Order normalisation: the merged stream is the concatenation
+        of the per-shard streams in shard-index order."""
+        shards = 4
+        out, _ = _run(corpus, processes=2, shards=shards)
+        names = [json.loads(line)["name"] for line in out.splitlines()]
+        expected = []
+        for k in range(shards):
+            expected.extend(shard(corpus, shards, k))
+        assert sorted(names[:12]) == sorted(expected[:12])  # shard 0 first
+        assert sorted(names) == sorted(expected)
+
+    def test_shard_summaries_cover_topology(self, corpus):
+        _, report = _run(corpus, processes=3, shards=5)
+        assert report.processes == 3
+        assert report.shards == 5
+        assert [s["shard"] for s in report.shard_summaries] == [0, 1, 2, 3, 4]
+        assert sum(s["total"] for s in report.shard_summaries) == NAMES
+
+    def test_processes_clamped_to_shards(self, corpus):
+        _, report = _run(corpus, processes=8, shards=2)
+        assert report.processes == 2
+
+    def test_worker_crash_raises_with_traceback(self, corpus):
+        out = io_module.StringIO()
+        config = _config()
+        config.module = "A"
+        with pytest.raises(RuntimeError, match="worker"):
+            run_parallel_scan(
+                corpus,
+                config,
+                processes=2,
+                out=out,
+                shards=2,
+                fault_plan="no-such-plan",  # resolve_plan raises in-worker
+                add_timestamp=False,
+            )
+
+
+# ---------------------------------------------------------------------------
+# CLI: bad topologies exit as clean usage errors
+# ---------------------------------------------------------------------------
+
+
+class TestCliValidation:
+    def _expect_usage_error(self, argv, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2  # argparse usage error, no traceback
+        return capsys.readouterr().err
+
+    def test_shards_must_be_positive(self, capsys):
+        err = self._expect_usage_error(["A", "--shards", "0"], capsys)
+        assert "--shards" in err
+
+    def test_shard_index_in_range(self, capsys):
+        err = self._expect_usage_error(["A", "--shards", "2", "--shard", "2"], capsys)
+        assert "--shard" in err
+
+    def test_negative_shard_index(self, capsys):
+        err = self._expect_usage_error(["A", "--shards", "2", "--shard", "-1"], capsys)
+        assert "--shard" in err
+
+    def test_processes_must_be_positive(self, capsys):
+        err = self._expect_usage_error(["A", "--processes", "0"], capsys)
+        assert "--processes" in err
+
+    def test_mp_shards_must_be_positive(self, capsys):
+        err = self._expect_usage_error(
+            ["A", "--processes", "2", "--mp-shards", "0"], capsys
+        )
+        assert "--mp-shards" in err
+
+    def test_mp_shards_requires_processes(self, capsys):
+        err = self._expect_usage_error(["A", "--mp-shards", "4"], capsys)
+        assert "--mp-shards requires --processes" in err
+
+    def test_processes_rejects_live_resolver(self, capsys):
+        err = self._expect_usage_error(
+            ["A", "--processes", "2", "--live-resolver", "127.0.0.1:53"], capsys
+        )
+        assert "simulated" in err
+
+    def test_processes_rejects_spans_file(self, capsys):
+        err = self._expect_usage_error(
+            ["A", "--processes", "2", "--spans-file", "spans.jsonl"], capsys
+        )
+        assert "--spans-file" in err
+
+    def test_unknown_module_is_clean(self, capsys):
+        self._expect_usage_error(["NOSUCHMODULE"], capsys)
+
+
+class TestCliParallel:
+    """End-to-end through the CLI entry point."""
+
+    def test_cli_determinism_across_process_counts(self, tmp_path, corpus):
+        names_file = tmp_path / "names.txt"
+        names_file.write_text("\n".join(corpus) + "\n")
+        outputs = []
+        for tag, procs in (("p1", "1"), ("p2", "2")):
+            out = tmp_path / f"out-{tag}.jsonl"
+            code = main(
+                [
+                    "A",
+                    "--input-file", str(names_file),
+                    "--output-file", str(out),
+                    "--processes", procs,
+                    "--mp-shards", "3",
+                    "--no-timestamps",
+                    "--quiet",
+                    "--seed", "7",
+                    "--threads", "50",
+                ]
+            )
+            assert code == 0
+            outputs.append(out.read_bytes())
+        assert outputs[0] == outputs[1]
+        assert outputs[0].count(b"\n") == NAMES
