@@ -393,6 +393,77 @@ def mp_smoke(profile: str, repeats: int) -> int:
     return 0
 
 
+def oracle_smoke(profile: str, repeats: int) -> int:
+    """The differential oracle's acceptance gate, in two halves:
+
+    1. **Agreement** — a sweep over generated names under every cache
+       policy × eviction × fault-plan combination in the reduced
+       matrix must produce zero divergences (cold and warm lookups are
+       both checked, plus the cold-vs-warm self-agreement invariant);
+    2. **Teeth** — a deliberately planted cache bug (the answer table
+       serves a fabricated address) must be caught as a divergence and
+       the shrinker must reduce it to a minimal (name, seed, plan)
+       triple whose fault plan is empty.
+
+    A sweep that cannot catch a planted bug proves nothing by passing.
+    ``repeats`` is ignored — the sweep is deterministic.  Returns a
+    process exit status (0 = gate passes).
+    """
+    from bench_wallclock_hotpath import _timed
+
+    from repro.oracle import DifferentialConfig, run_differential
+    from repro.oracle.selfcheck import planted_bug_canary
+
+    names = 80 if profile == "full" else 40
+    config = DifferentialConfig(
+        seed=2022,
+        names=names,
+        policies=("selective", "all"),
+        evictions=("random", "lru"),
+        fault_plans=(None, "moderate"),
+    )
+    combos = (
+        len(config.policies) * len(config.evictions) * len(config.fault_plans)
+    )
+    print(f"oracle smoke: {names} names x {combos} combinations ...")
+    wall, report = _timed(lambda: run_differential(config))
+    print(
+        f"  sweep                       {report.checks:>8,} checks over "
+        f"{report.names_checked:,} names in {wall:.1f} s"
+    )
+    print(
+        f"  agreed / inconclusive       {report.agreed:>8,} / {report.inconclusive:,}"
+    )
+    if report.divergences:
+        for divergence in report.divergences[:5]:
+            print(f"FAIL: divergence on {divergence.name!r}: {divergence.reason}")
+        print(f"FAIL: {len(report.divergences)} divergence(s) — resolver disagrees "
+              "with the reference oracle")
+        return 1
+
+    print("oracle smoke: planting a lying answer cache to prove the gate has teeth ...")
+    divergence, minimal = planted_bug_canary(seed=2022)
+    if divergence is None:
+        print("FAIL: planted cache bug was NOT caught — the oracle has no teeth")
+        return 1
+    plan_ok = minimal is not None and minimal.reproduced and (
+        minimal.plan is None or len(minimal.plan) == 0
+    )
+    if not plan_ok:
+        print("FAIL: planted bug caught but not shrunk to a fault-free minimal case")
+        return 1
+    print(
+        f"  canary caught               {divergence.name!r} ({divergence.reason})"
+    )
+    print(
+        f"  shrunk to                   name={minimal.name!r} seed={minimal.seed} "
+        f"plan={'-' if minimal.plan is None else minimal.plan.name}"
+    )
+    print("\nOK — differential oracle gate passes "
+          "(zero divergences, planted bug caught and shrunk)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--check", action="store_true", help="compare only; write nothing")
@@ -429,7 +500,17 @@ def main(argv: list[str] | None = None) -> int:
         "must merge to identical bytes and the merged metrics must equal "
         "the per-shard sums (skips the regular suite)",
     )
+    parser.add_argument(
+        "--oracle-smoke",
+        action="store_true",
+        help="differential oracle gate: zero divergences over the reduced "
+        "policy x eviction x fault-plan matrix, and a planted cache bug "
+        "must be caught and shrunk (skips the regular suite)",
+    )
     args = parser.parse_args(argv)
+
+    if args.oracle_smoke:
+        return oracle_smoke(args.profile, max(1, args.repeat))
 
     if args.mp_smoke:
         return mp_smoke(args.profile, max(1, args.repeat))

@@ -8,6 +8,12 @@ Unbound-style) and ``none`` — and two eviction strategies: ``random``
 (a hash-map eviction like the Go implementation's, whose interaction
 with hot upper-layer entries produces Figure 2's cache-size
 sensitivity) and ``lru``.
+
+Entries carry a lifetime: each insert records ``expires_at`` from the
+minimum RR TTL of the cached records against the supplied virtual
+clock, and a probe that finds an expired entry treats it as a miss and
+drops it lazily (``CacheStats.expired`` counts those drops).  Without a
+clock — the standalone/legacy construction — entries never expire.
 """
 
 from __future__ import annotations
@@ -15,17 +21,24 @@ from __future__ import annotations
 import random
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from typing import Callable
 
 from ..dnslib import Name, ResourceRecord
 
 
 @dataclass(frozen=True)
 class Delegation:
-    """A cached zone cut: nameserver names plus any glue addresses."""
+    """A cached zone cut: nameserver names plus any glue addresses.
+
+    ``ttl`` is the minimum TTL over the NS and glue records the cut was
+    built from (None when unknown, e.g. hand-built test fixtures —
+    such delegations never expire).
+    """
 
     zone: Name
     ns_names: tuple[Name, ...]
     glue: tuple[tuple[Name, str], ...]  # (ns name, IPv4) pairs
+    ttl: int | None = None
 
     def addresses(self) -> list[str]:
         return [ip for _, ip in self.glue]
@@ -40,6 +53,8 @@ class CacheStats:
     misses: int = 0
     evictions: int = 0
     inserts: int = 0
+    updates: int = 0  # overwrites of a live key (not counted as inserts)
+    expired: int = 0  # entries dropped because their TTL ran out
     answer_hits: int = 0  # leaf-answer lookups (policy="all" only)
     answer_misses: int = 0
 
@@ -55,7 +70,12 @@ class CacheStats:
 
 
 class SelectiveCache:
-    """Bounded delegation cache with pluggable eviction."""
+    """Bounded delegation cache with pluggable eviction.
+
+    ``clock`` is a zero-argument callable returning the current
+    (virtual) time; entry lifetimes are measured against it.  ``None``
+    disables expiry entirely.
+    """
 
     def __init__(
         self,
@@ -63,6 +83,7 @@ class SelectiveCache:
         policy: str = "selective",
         eviction: str = "random",
         seed: int = 0,
+        clock: Callable[[], float] | None = None,
     ):
         if capacity < 1:
             raise ValueError("capacity must be positive")
@@ -75,13 +96,19 @@ class SelectiveCache:
         self.eviction = eviction
         self.stats = CacheStats()
         self._rng = random.Random(seed)
-        self._delegations: OrderedDict[tuple, Delegation] = OrderedDict()
+        self._clock = clock
+        #: One table for delegations *and* leaf answers, in one recency
+        #: order: keys are ("ns", canonical_key) or ("ans",
+        #: canonical_key, qtype), values are (payload, expires_at|None).
+        #: A single OrderedDict means "lru" eviction removes the
+        #: globally least-recent entry, not the oldest of whichever
+        #: table happens to be larger.
+        self._entries: OrderedDict[tuple, tuple] = OrderedDict()
         self._keys: list[tuple] = []  # for O(1) random eviction
         self._key_pos: dict[tuple, int] = {}
-        self._answers: OrderedDict[tuple, list[ResourceRecord]] = OrderedDict()
 
     def __len__(self) -> int:
-        return len(self._delegations) + len(self._answers)
+        return len(self._entries)
 
     def publish_metrics(self, scope) -> None:
         """Publish cache statistics as registry gauges.
@@ -98,10 +125,45 @@ class SelectiveCache:
         scope.gauge("answer_hits").set(stats.answer_hits)
         scope.gauge("answer_misses").set(stats.answer_misses)
         scope.gauge("inserts").set(stats.inserts)
+        scope.gauge("updates").set(stats.updates)
+        scope.gauge("expired").set(stats.expired)
         scope.gauge("evictions").set(stats.evictions)
         scope.gauge("hit_rate").set(round(stats.hit_rate, 4))
         scope.gauge("size").set(len(self))
         scope.gauge("capacity").set(self.capacity)
+
+    # -- shared entry plumbing --------------------------------------------
+
+    def _store(self, key: tuple, value, ttl: int | None) -> None:
+        expires = None
+        if self._clock is not None and ttl is not None:
+            expires = self._clock() + ttl
+        entries = self._entries
+        if key in entries:
+            entries[key] = (value, expires)
+            # an overwrite refreshes recency; capacity is unchanged
+            entries.move_to_end(key)
+            self.stats.updates += 1
+            return
+        self._register_key(key)
+        entries[key] = (value, expires)
+        self.stats.inserts += 1
+        self._enforce_capacity()
+
+    def _probe(self, key: tuple):
+        """The live payload at ``key``, or None.  An expired entry is
+        indistinguishable from a miss — it is dropped on the spot."""
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        value, expires = entry
+        if expires is not None and self._clock() >= expires:
+            self._drop_key(key)
+            self.stats.expired += 1
+            return None
+        if self.eviction == "lru":
+            self._entries.move_to_end(key)
+        return value
 
     # -- delegations -----------------------------------------------------
 
@@ -109,24 +171,17 @@ class SelectiveCache:
         if self.policy == "none":
             return
         key = ("ns", delegation.zone.canonical_key())
-        if key not in self._delegations:
-            self._register_key(key)
-        self._delegations[key] = delegation
-        self.stats.inserts += 1
-        self._enforce_capacity()
+        self._store(key, delegation, delegation.ttl)
 
     def get_delegation(self, zone: Name) -> Delegation | None:
-        key = ("ns", zone.canonical_key())
-        entry = self._delegations.get(key)
-        if entry is not None and self.eviction == "lru":
-            self._delegations.move_to_end(key)
-        return entry
+        return self._probe(("ns", zone.canonical_key()))
 
     def best_delegation(self, qname: Name) -> Delegation | None:
         """The deepest cached zone cut at or above ``qname``.
 
         A hit means iteration can start below the root; a total miss
-        means a full walk from the root servers.
+        means a full walk from the root servers.  An expired cut is
+        dropped and the walk continues to shallower ancestors.
 
         The walk probes sliced views of ``qname``'s canonical key
         directly — one memoised key fetch, zero :class:`Name`
@@ -134,16 +189,23 @@ class SelectiveCache:
         This is the hottest cache path: every lookup starts here.
         """
         key = qname.canonical_key()
-        delegations = self._delegations
+        entries = self._entries
         lru = self.eviction == "lru"
+        clock = self._clock
         for i in range(len(key) + 1):
             probe = ("ns", key[i:])
-            entry = delegations.get(probe)
-            if entry is not None:
-                if lru:
-                    delegations.move_to_end(probe)
-                self.stats.hits += 1
-                return entry
+            entry = entries.get(probe)
+            if entry is None:
+                continue
+            value, expires = entry
+            if expires is not None and clock() >= expires:
+                self._drop_key(probe)
+                self.stats.expired += 1
+                continue
+            if lru:
+                entries.move_to_end(probe)
+            self.stats.hits += 1
+            return value
         self.stats.misses += 1
         return None
 
@@ -153,24 +215,21 @@ class SelectiveCache:
         if self.policy != "all":
             return
         key = ("ans", qname.canonical_key(), int(qtype))
-        if key not in self._answers:
-            self._register_key(key)
-        self._answers[key] = list(records)
-        self.stats.inserts += 1
-        self._enforce_capacity()
+        ttl = None
+        for record in records:
+            if ttl is None or record.ttl < ttl:
+                ttl = record.ttl
+        self._store(key, list(records), ttl)
 
     def get_answer(self, qname: Name, qtype: int) -> list[ResourceRecord] | None:
         if self.policy != "all":
             return None
-        key = ("ans", qname.canonical_key(), int(qtype))
-        entry = self._answers.get(key)
-        if entry is None:
+        value = self._probe(("ans", qname.canonical_key(), int(qtype)))
+        if value is None:
             self.stats.answer_misses += 1
             return None
-        if self.eviction == "lru":
-            self._answers.move_to_end(key)
         self.stats.answer_hits += 1
-        return entry
+        return value
 
     # -- eviction ---------------------------------------------------------
 
@@ -184,20 +243,13 @@ class SelectiveCache:
         if last != key:
             self._keys[position] = last
             self._key_pos[last] = position
-        self._delegations.pop(key, None)
-        self._answers.pop(key, None)
+        self._entries.pop(key, None)
 
     def _enforce_capacity(self) -> None:
-        while len(self) > self.capacity:
+        while len(self._entries) > self.capacity:
             if self.eviction == "random":
                 victim = self._keys[self._rng.randrange(len(self._keys))]
-            else:  # lru: oldest entry of the larger table
-                if self._delegations and (
-                    not self._answers
-                    or len(self._delegations) >= len(self._answers)
-                ):
-                    victim = next(iter(self._delegations))
-                else:
-                    victim = next(iter(self._answers))
+            else:  # lru: the globally least-recently-touched entry
+                victim = next(iter(self._entries))
             self._drop_key(victim)
             self.stats.evictions += 1

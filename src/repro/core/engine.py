@@ -184,7 +184,9 @@ class Resolver:
         if record_trace:
             self.config.record_trace_results = True
         # "cache or ..." would wrongly discard an empty cache (it has __len__)
-        self.cache = cache if cache is not None else SelectiveCache(capacity=600_000)
+        self.cache = cache if cache is not None else SelectiveCache(
+            capacity=600_000, clock=lambda: internet.sim.now
+        )
         self.mode = mode
         self._pool = SourceIPPool(prefix_length=32)
         self._driver = SimDriver(internet.network)

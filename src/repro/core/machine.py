@@ -117,17 +117,24 @@ def _referral_zone(response: Message) -> Name | None:
 
 
 def _delegation_from(response: Message, zone: Name) -> Delegation:
-    ns_names = tuple(
-        record.rdata.target
-        for record in response.authorities
-        if int(record.rrtype) == int(RRType.NS) and record.name == zone
-    )
-    glue = tuple(
-        (record.name, record.rdata.address)
-        for record in response.additionals
-        if int(record.rrtype) == int(RRType.A) and record.name in ns_names
-    )
-    return Delegation(zone=zone, ns_names=ns_names, glue=glue)
+    ns_names = []
+    ttl = None
+    for record in response.authorities:
+        if int(record.rrtype) == int(RRType.NS) and record.name == zone:
+            ns_names.append(record.rdata.target)
+            if ttl is None or record.ttl < ttl:
+                ttl = record.ttl
+    ns_names = tuple(ns_names)
+    glue = []
+    for record in response.additionals:
+        if int(record.rrtype) == int(RRType.A) and record.name in ns_names:
+            glue.append((record.name, record.rdata.address))
+            if ttl is None or record.ttl < ttl:
+                ttl = record.ttl
+    # The cut's lifetime is bounded by its shortest constituent record:
+    # once any NS/glue RR would have fallen out of a classic resolver's
+    # cache, the whole delegation must be re-fetched.
+    return Delegation(zone=zone, ns_names=ns_names, glue=tuple(glue), ttl=ttl)
 
 
 class IterativeMachine:
@@ -465,6 +472,31 @@ class IterativeMachine:
                         )
                         yield Backoff(last_pause)
                     continue
+                if config.validate_responses:
+                    # the TCP retry is as forgeable as the UDP leg was:
+                    # a malformed/hostile reply here must not sail past
+                    # the shape checks just because it arrived over TCP
+                    # (found by the differential oracle: a truncated
+                    # UDP response followed by a garbage TCP reply was
+                    # accepted as an authoritative NODATA)
+                    reason = validate_response_shape(name, int(qtype), response_tcp)
+                    if reason is not None:
+                        if qspan is not None:
+                            qspan.finish(status=str(Status.FORMERR))
+                        if step is not None:
+                            step.status = str(Status.FORMERR)
+                            result.trace.add(step)
+                        budget.retries += 1
+                        last_failure = Status.FORMERR
+                        if health is not None:
+                            health.record_failure(server_ip)
+                        if backoff_base and attempt + 1 < tries:
+                            last_pause = min(
+                                backoff_cap,
+                                self.rng.uniform(backoff_base, 3.0 * (last_pause or backoff_base)),
+                            )
+                            yield Backoff(last_pause)
+                        continue
                 response = response_tcp
                 if step is not None:
                     step = replace(step, results=None)
@@ -527,18 +559,22 @@ class IterativeMachine:
             answers, status = yield from self._resolve_once(
                 ns_name, RRType.A, result, budget, depth + 1, parent=gspan
             )
-            addresses = [
-                record.rdata.address
-                for record in answers
-                if int(record.rrtype) == int(RRType.A)
-            ]
+            addresses = []
+            ttl = delegation.ttl
+            for record in answers:
+                if int(record.rrtype) == int(RRType.A):
+                    addresses.append(record.rdata.address)
+                    if ttl is None or record.ttl < ttl:
+                        ttl = record.ttl
             if status == Status.NOERROR and addresses:
-                # refresh the cache with the learned glue
+                # refresh the cache with the learned glue; the refreshed
+                # cut lives no longer than its shortest record
                 self.cache.put_delegation(
                     Delegation(
                         zone=delegation.zone,
                         ns_names=delegation.ns_names,
                         glue=tuple((ns_name, ip) for ip in addresses),
+                        ttl=ttl,
                     )
                 )
                 return addresses

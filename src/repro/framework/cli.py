@@ -129,6 +129,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="track per-server health and shed load from failing servers",
     )
     parser.add_argument(
+        "--oracle-check",
+        type=int,
+        default=None,
+        metavar="K",
+        help="shadow every Kth lookup against the differential "
+        "reference resolver; divergences become structured output rows "
+        "(simulated iterative scans only)",
+    )
+    parser.add_argument(
         "--no-timestamps",
         action="store_true",
         help="omit wall-clock timestamps from result rows (for "
@@ -166,6 +175,16 @@ def main(argv: list[str] | None = None) -> int:
             parser.error("--spans-file is not supported with --processes")
     elif args.mp_shards is not None:
         parser.error("--mp-shards requires --processes")
+
+    if args.oracle_check is not None:
+        if args.oracle_check < 1:
+            parser.error(f"--oracle-check must be >= 1 (got {args.oracle_check})")
+        if args.live_resolver:
+            parser.error("--oracle-check applies to simulated scans only")
+        if args.processes is not None:
+            parser.error("--oracle-check is not supported with --processes")
+        if args.mode != "iterative":
+            parser.error("--oracle-check requires --mode iterative")
 
     names = read_names(args.input_file)
     if args.shards > 1:
@@ -233,6 +252,7 @@ def _scan_config(args) -> ScanConfig:
         status_interval=args.status_interval,
         backoff_base=args.backoff,
         server_health=args.server_health,
+        oracle_check=getattr(args, "oracle_check", None),
     )
 
 
@@ -283,6 +303,8 @@ def _run_simulated(args, module, names, out_handle):
     summary = report.stats.to_json()
     summary["cache"] = report.cache_stats
     summary["cpu_utilisation"] = round(report.cpu_utilisation, 3)
+    if report.oracle_stats is not None:
+        summary["oracle"] = report.oracle_stats
     return summary, report
 
 

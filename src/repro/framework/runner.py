@@ -77,6 +77,11 @@ class ScanConfig:
     #: loop executes more than this many events (hang detection for the
     #: chaos soak).  None (the default) keeps the unbounded hot loop.
     max_events: int | None = None
+    #: Shadow every Kth lookup against the differential oracle
+    #: (:mod:`repro.oracle`): divergences become structured output rows
+    #: and ``oracle.*`` counters.  None/0 = off.  Simulated iterative
+    #: scans of single-qtype modules only.
+    oracle_check: int | None = None
 
     def resolver_config(self) -> ResolverConfig:
         return ResolverConfig(
@@ -107,6 +112,9 @@ class ScanReport:
     #: cProfile output captured by the ``REPRO_PROFILE`` hook, routed
     #: here so it lands in the metadata file next to the run summary.
     profile: dict | None = None
+    #: Differential-oracle counters (``--oracle-check`` scans only):
+    #: checked / agreed / inconclusive / divergences.
+    oracle_stats: dict | None = None
 
 
 class ScanRunner:
@@ -188,6 +196,7 @@ class ScanRunner:
                 policy=config.cache_policy,
                 eviction=config.cache_eviction,
                 seed=config.seed,
+                clock=lambda: sim.now,
             )
         resolver_config = config.resolver_config()
         health = None
@@ -210,6 +219,20 @@ class ScanRunner:
             rng=random.Random(config.seed),
             build_rows=self.sink is not None,
         )
+
+        oracle = None
+        oracle_every = int(config.oracle_check or 0)
+        if oracle_every:
+            if mode != "iterative":
+                raise ValueError("oracle_check requires iterative mode")
+            if self.module.qtype is None:
+                raise ValueError(
+                    f"oracle_check needs a single-qtype module, not {self.module.name}"
+                )
+            from ..oracle import DifferentialOracle
+
+            oracle = DifferentialOracle(seed=config.seed)
+        oracle_seen = [0]
 
         stats = ScanStats(threads_requested=config.threads, started_at=sim.now)
         inflight = None
@@ -243,6 +266,14 @@ class ScanRunner:
                 if inflight is not None:
                     inflight.dec()
                 stats.record(row.get("status", "ERROR"), sim.now, queries, retries)
+                if oracle is not None and result is not None:
+                    oracle_seen[0] += 1
+                    if (oracle_seen[0] - 1) % oracle_every == 0:
+                        divergence = oracle.check(
+                            module.parse_input(raw), module.qtype, result
+                        )
+                        if divergence is not None and sink is not None:
+                            sink(divergence.to_row())
                 if sink is not None:
                     sink(row)
 
@@ -295,6 +326,8 @@ class ScanRunner:
                 injector.publish_metrics(registry.scope("faults"))
             if health is not None:
                 health.publish_metrics(registry.scope("health"))
+            if oracle is not None:
+                oracle.publish_metrics(registry.scope("oracle"))
 
         elapsed = stats.duration
         cpu_utilisation = cpu.utilisation(elapsed) if elapsed else 0.0
@@ -309,6 +342,8 @@ class ScanRunner:
                     "misses": self.cache.stats.misses,
                     "hit_rate": round(self.cache.stats.hit_rate, 4),
                     "evictions": self.cache.stats.evictions,
+                    "expired": self.cache.stats.expired,
+                    "updates": self.cache.stats.updates,
                     "size": len(self.cache),
                     "answer_hits": self.cache.stats.answer_hits,
                     "answer_misses": self.cache.stats.answer_misses,
@@ -322,6 +357,7 @@ class ScanRunner:
             metrics=registry.snapshot(),
             tracer=tracer if self.span_sink is None else None,
             profile=profile,
+            oracle_stats=oracle.stats() if oracle is not None else None,
         )
 
 

@@ -39,12 +39,13 @@ class ALookupModule(ScanModule):
             "data": {"ipv4_addresses": _addresses(result)},
         }
         if self.include_ipv6:
-            result6 = yield from context.machine().resolve(name, RRType.AAAA)
-            row["data"]["ipv6_addresses"] = [
-                record.rdata.address
-                for record in result6.answers
-                if int(record.rrtype) == int(RRType.AAAA)
-            ]
+            # Same machine as the IPv4 leg: shared cache/health/rng
+            # state, and the AAAA leg's query and retry accounting folds
+            # into the row's result instead of vanishing.
+            result6 = yield from machine.resolve(name, RRType.AAAA)
+            row["data"]["ipv6_addresses"] = _addresses(result6, RRType.AAAA)
+            result.queries_sent += result6.queries_sent
+            result.retries_used += result6.retries_used
         row["_result"] = result
         return row
 

@@ -1,0 +1,66 @@
+"""Differential resolution oracle (the correctness backstop).
+
+The production resolver is fast because of caching, memoisation and
+fast-path codecs — each a place correctness can quietly rot.  This
+package holds the independent ground truth and the machinery that
+compares the two:
+
+* :class:`ReferenceResolver` — a deliberately naive recursive-descent
+  resolver over its own private copy of the simulated Internet (zone
+  content is a pure function of the seed): no cache, no memos, no
+  fast-path codec, no randomness.
+* :func:`compare_views` / :class:`DifferentialOracle` — the agreement
+  relation on (status, final CNAME target, sorted terminal rdata set),
+  with production failures on the lossy fabric classified as
+  inconclusive rather than divergent, and per-nameserver-inconsistent
+  domains matched against a *set* of acceptable answers.
+* :func:`run_differential` — the sweep harness: every name resolved
+  cold *and* warm under each cache policy × eviction × fault-plan
+  combination, all checked against the oracle plus the cold-vs-warm
+  self-agreement invariant.
+* :func:`shrink_divergence` / :func:`check_one` — reduce any divergence
+  to a minimal (name, seed, plan) triple that reproduces in isolation.
+
+Scan integration: ``pyzdns <module> --oracle-check K`` shadows every
+Kth lookup of a simulated iterative scan (divergences become structured
+output rows; counters land in the ``oracle.*`` metric scope), and
+``scripts/bench_compare.py --oracle-smoke`` is the CI gate.
+
+Run ``python -m repro.oracle.selfcheck`` for a quick standalone sweep.
+"""
+
+from .harness import (
+    ComboReport,
+    DifferentialConfig,
+    DifferentialOracle,
+    DifferentialReport,
+    Divergence,
+    ProductionView,
+    compare_views,
+    production_view,
+    run_differential,
+)
+from .reference import (
+    SEMANTIC_STATUSES,
+    OracleResult,
+    ReferenceResolver,
+)
+from .shrink import MinimalCase, check_one, shrink_divergence
+
+__all__ = [
+    "SEMANTIC_STATUSES",
+    "OracleResult",
+    "ReferenceResolver",
+    "ProductionView",
+    "production_view",
+    "compare_views",
+    "Divergence",
+    "DifferentialOracle",
+    "DifferentialConfig",
+    "ComboReport",
+    "DifferentialReport",
+    "run_differential",
+    "MinimalCase",
+    "check_one",
+    "shrink_divergence",
+]

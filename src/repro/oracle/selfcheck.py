@@ -1,0 +1,153 @@
+"""Standalone oracle self-check: ``python -m repro.oracle.selfcheck``.
+
+Two halves, mirroring what a correctness gate must prove:
+
+1. **Agreement** — a differential sweep over generated names and a
+   policy × eviction × fault-plan matrix must report zero divergences.
+2. **Teeth** — a cache with a deliberately planted bug (the answer
+   table serves a fabricated address) must be *caught* as a divergence,
+   and the shrinker must reduce it to a minimal (name, seed, plan)
+   triple whose fault plan is empty (the bug needs no faults).
+
+A sweep that cannot catch a planted bug proves nothing by passing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from ..core import SelectiveCache
+from ..dnslib import RRType
+from ..dnslib.message import ResourceRecord
+from ..dnslib.rdata.address import A
+from .harness import DifferentialConfig, Divergence, run_differential
+from .shrink import MinimalCase, check_one, shrink_divergence
+
+#: The fabricated address the planted bug serves (TEST-NET-3 space, so
+#: it can never collide with a synthesized zone's real data).
+BOGUS_IP = "203.0.113.99"
+
+
+class StaleAnswerCache(SelectiveCache):
+    """Deliberately buggy cache for canary tests: every answer-table hit
+    is rewritten to a fabricated A record, as a stale/corrupt entry
+    would be served.  Only meaningful with ``policy="all"``."""
+
+    def get_answer(self, qname, qtype):
+        value = super().get_answer(qname, qtype)
+        if not value:
+            return value
+        return [
+            ResourceRecord(record.name, RRType.A, record.rrclass, record.ttl, A(BOGUS_IP))
+            for record in value
+        ]
+
+
+def stale_cache_factory(policy, eviction, capacity, internet) -> StaleAnswerCache:
+    """``cache_factory`` hook planting :class:`StaleAnswerCache`."""
+    return StaleAnswerCache(
+        capacity=capacity,
+        policy=policy,
+        eviction=eviction,
+        clock=lambda: internet.sim.now,
+    )
+
+
+def planted_bug_canary(
+    seed: int = 2022, name: str | None = None, plan="moderate"
+) -> tuple[Divergence | None, MinimalCase | None]:
+    """Run one name through a production resolver whose answer cache
+    lies, under a fault plan.  Returns (divergence, shrunk case) — the
+    divergence must exist for the oracle to have teeth, and the shrunk
+    plan must be empty because the bug reproduces without faults."""
+    if name is None:
+        from ..workloads import CorpusConfig, DomainCorpus
+
+        # the first corpus name that diverges under the lying cache
+        # (most do: any warm NOERROR answer is rewritten)
+        for candidate in DomainCorpus(CorpusConfig(seed=seed)).fqdns(25):
+            divergence = check_one(
+                candidate,
+                seed=seed,
+                policy="all",
+                plan=plan,
+                cache_factory=stale_cache_factory,
+            )
+            if divergence is not None:
+                name = candidate
+                break
+        else:
+            return None, None
+    else:
+        divergence = check_one(
+            name, seed=seed, policy="all", plan=plan, cache_factory=stale_cache_factory
+        )
+        if divergence is None:
+            return None, None
+    minimal = shrink_divergence(divergence, cache_factory=stale_cache_factory)
+    return divergence, minimal
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description="oracle self-check")
+    parser.add_argument("--seed", type=int, default=2022)
+    parser.add_argument("--names", type=int, default=30, help="names per combination")
+    parser.add_argument("--json", action="store_true", help="emit a JSON report")
+    args = parser.parse_args(argv)
+
+    config = DifferentialConfig(
+        seed=args.seed,
+        names=args.names,
+        policies=("selective", "all"),
+        evictions=("random", "lru"),
+        fault_plans=(None, "moderate"),
+    )
+    report = run_differential(config, log=None if args.json else print)
+    divergence, minimal = planted_bug_canary(seed=args.seed)
+    teeth_ok = (
+        divergence is not None
+        and minimal is not None
+        and minimal.reproduced
+        and (minimal.plan is None or len(minimal.plan) == 0)
+    )
+    ok = report.ok and teeth_ok
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "sweep": report.to_json(),
+                    "canary": {
+                        "caught": divergence is not None,
+                        "minimal": minimal.to_json() if minimal is not None else None,
+                        "ok": teeth_ok,
+                    },
+                    "ok": ok,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        print(
+            f"sweep: {report.checks} checks over {report.names_checked} names, "
+            f"{report.agreed} agreed, {report.inconclusive} inconclusive, "
+            f"{len(report.divergences)} divergences"
+        )
+        for d in report.divergences[:5]:
+            print(f"  DIVERGENCE {d.name}: {d.reason}", file=sys.stderr)
+        if divergence is None:
+            print("canary: planted bug NOT caught — the oracle has no teeth", file=sys.stderr)
+        else:
+            print(
+                f"canary: planted bug caught ({divergence.reason}); "
+                f"shrunk to name={minimal.name!r} seed={minimal.seed} "
+                f"plan={'-' if minimal.plan is None else minimal.plan.name}"
+            )
+        print("oracle selfcheck:", "OK" if ok else "FAILED")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

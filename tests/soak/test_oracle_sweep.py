@@ -1,0 +1,33 @@
+"""Nightly differential-oracle sweep: the full policy × eviction ×
+fault-plan matrix over enough generated names that the acceptance bar
+(≥ 5,000 names with zero divergences) is met in one run.
+
+Tier-1 excludes this via the ``slow`` marker; run it with::
+
+    PYTHONPATH=src pytest -m slow tests/soak
+"""
+
+import pytest
+
+from repro.oracle import DifferentialConfig, run_differential
+
+pytestmark = pytest.mark.slow
+
+
+def test_full_matrix_sweep_has_no_divergences():
+    config = DifferentialConfig(
+        seed=2022,
+        # 12 combinations x 420 names = 5,040 distinct names checked
+        names=420,
+        policies=("selective", "all", "none"),
+        evictions=("random", "lru"),
+        fault_plans=(None, "moderate"),
+    )
+    report = run_differential(config)
+    assert report.names_checked >= 5_000
+    assert report.ok, "\n".join(
+        f"{d.name} [{d.combo}]: {d.reason}" for d in report.divergences[:20]
+    )
+    # the sweep must actually exercise the semantic path, not just
+    # shrug at fabric losses
+    assert report.agreed > report.checks * 0.8

@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.modules",
     "repro.net",
     "repro.obs",
+    "repro.oracle",
     "repro.workloads",
 ]
 

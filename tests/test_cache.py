@@ -190,3 +190,127 @@ class TestEviction:
             cache.put_delegation(delegation(f"d{i}.com", "1.1.1.1"))
         cache.put_answer(N("x.com"), RRType.A, [record])
         assert len(cache) == 4
+
+    def test_lru_recency_is_shared_across_tables(self):
+        """Regression: "lru" used to evict the oldest entry of whichever
+        table happened to be *larger*, so a just-touched delegation
+        could be thrown out while a never-read answer survived.  The
+        recency order must span both tables."""
+        cache = SelectiveCache(capacity=3, policy="all", eviction="lru")
+        answer = ResourceRecord(N("a1.com"), RRType.A, DNSClass.IN, 300, A("1.2.3.4"))
+        cache.put_delegation(delegation("d1.com", "1.1.1.1"))
+        cache.put_delegation(delegation("d2.com", "2.2.2.2"))
+        cache.put_answer(N("a1.com"), RRType.A, [answer])
+        # touch both delegations: the answer is now globally least recent
+        assert cache.get_delegation(N("d1.com")) is not None
+        assert cache.get_delegation(N("d2.com")) is not None
+        another = ResourceRecord(N("a2.com"), RRType.A, DNSClass.IN, 300, A("5.6.7.8"))
+        cache.put_answer(N("a2.com"), RRType.A, [another])
+        # pre-fix: the delegation table was larger, so d1 got evicted
+        assert cache.get_delegation(N("d1.com")) is not None
+        assert cache.get_delegation(N("d2.com")) is not None
+        assert cache.get_answer(N("a1.com"), RRType.A) is None
+
+
+class TestInsertAccounting:
+    def test_overwrite_is_an_update_not_an_insert(self):
+        """Regression: overwriting a live key used to count as a fresh
+        insert, so long scans reported more inserts than the cache had
+        ever held entries and the hit-rate denominators drifted."""
+        cache = SelectiveCache(capacity=10)
+        cache.put_delegation(delegation("com", "1.1.1.1"))
+        cache.put_delegation(delegation("com", "9.9.9.9"))
+        assert cache.stats.inserts == 1
+        assert cache.stats.updates == 1
+        assert len(cache) == 1
+
+    def test_answer_overwrite_counted_as_update(self):
+        cache = SelectiveCache(capacity=10, policy="all")
+        record = ResourceRecord(N("a.com"), RRType.A, DNSClass.IN, 300, A("1.2.3.4"))
+        cache.put_answer(N("a.com"), RRType.A, [record])
+        cache.put_answer(N("a.com"), RRType.A, [record])
+        assert cache.stats.inserts == 1
+        assert cache.stats.updates == 1
+
+
+class TestExpiry:
+    """Entry lifetimes against a virtual clock.
+
+    Regression suite: the cache used to have no notion of time at all —
+    every entry lived forever, so a scan running longer than a zone's
+    TTL kept serving dead delegations (and, under policy="all", stale
+    leaf answers)."""
+
+    def _clocked(self, **kwargs):
+        now = [0.0]
+        cache = SelectiveCache(clock=lambda: now[0], **kwargs)
+        return cache, now
+
+    def test_delegation_expires_after_ttl(self):
+        cache, now = self._clocked(capacity=10)
+        entry = delegation("com", "1.1.1.1")
+        entry = Delegation(zone=entry.zone, ns_names=entry.ns_names, glue=entry.glue, ttl=60)
+        cache.put_delegation(entry)
+        now[0] = 59.9
+        assert cache.get_delegation(N("com")) is not None
+        now[0] = 60.0  # expiry boundary: TTL seconds after insert is dead
+        assert cache.get_delegation(N("com")) is None
+        assert cache.stats.expired == 1
+        assert len(cache) == 0  # dropped lazily on the probe
+
+    def test_expired_cut_falls_back_to_ancestor(self):
+        cache, now = self._clocked(capacity=10)
+        com = delegation("com", "1.1.1.1")
+        cache.put_delegation(com)  # ttl None: never expires
+        deep = delegation("example.com", "2.2.2.2")
+        deep = Delegation(zone=deep.zone, ns_names=deep.ns_names, glue=deep.glue, ttl=30)
+        cache.put_delegation(deep)
+        best = cache.best_delegation(N("www.example.com"))
+        assert best.zone == N("example.com")
+        now[0] = 31.0
+        best = cache.best_delegation(N("www.example.com"))
+        assert best is not None and best.zone == N("com")
+        assert cache.stats.expired == 1
+        assert cache.stats.hits == 2  # the ancestor still counts as a hit
+
+    def test_expiry_walk_can_end_in_a_miss(self):
+        cache, now = self._clocked(capacity=10)
+        entry = delegation("org", "1.1.1.1")
+        entry = Delegation(zone=entry.zone, ns_names=entry.ns_names, glue=entry.glue, ttl=10)
+        cache.put_delegation(entry)
+        now[0] = 11.0
+        assert cache.best_delegation(N("a.org")) is None
+        assert cache.stats.misses == 1
+        assert cache.stats.expired == 1
+
+    def test_answer_lifetime_is_min_record_ttl(self):
+        cache, now = self._clocked(capacity=10, policy="all")
+        short = ResourceRecord(N("a.com"), RRType.A, DNSClass.IN, 20, A("1.2.3.4"))
+        long = ResourceRecord(N("a.com"), RRType.A, DNSClass.IN, 300, A("5.6.7.8"))
+        cache.put_answer(N("a.com"), RRType.A, [short, long])
+        now[0] = 19.9
+        assert cache.get_answer(N("a.com"), RRType.A) is not None
+        now[0] = 20.0
+        assert cache.get_answer(N("a.com"), RRType.A) is None
+        assert cache.stats.expired == 1
+        assert cache.stats.answer_misses == 1
+
+    def test_no_clock_means_no_expiry(self):
+        cache = SelectiveCache(capacity=10)
+        entry = delegation("com", "1.1.1.1")
+        entry = Delegation(zone=entry.zone, ns_names=entry.ns_names, glue=entry.glue, ttl=1)
+        cache.put_delegation(entry)
+        assert cache.get_delegation(N("com")) is not None  # forever
+
+    def test_overwrite_refreshes_lifetime(self):
+        cache, now = self._clocked(capacity=10)
+        entry = delegation("com", "1.1.1.1")
+        cache.put_delegation(
+            Delegation(zone=entry.zone, ns_names=entry.ns_names, glue=entry.glue, ttl=10)
+        )
+        now[0] = 8.0
+        cache.put_delegation(
+            Delegation(zone=entry.zone, ns_names=entry.ns_names, glue=entry.glue, ttl=10)
+        )
+        now[0] = 15.0  # past the first deadline, inside the second
+        assert cache.get_delegation(N("com")) is not None

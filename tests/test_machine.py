@@ -19,6 +19,7 @@ from repro.dnslib import (
     Flags,
     Message,
     Name,
+    Question,
     Rcode,
     ResourceRecord,
     RRType,
@@ -319,6 +320,106 @@ class TestCNAMEChasing:
         result = drive(machine().resolve("www.example.com", RRType.CNAME), net)
         assert result.status == Status.NOERROR
         assert len(result.answers) == 1
+
+    def test_self_loop_aborts(self):
+        """A CNAME pointing at its own owner (a -> a) must exhaust the
+        chase budget and abort, not spin or return the bare CNAME as a
+        terminal answer."""
+        net = standard_tree()
+
+        def auth(effect):
+            qname = effect.name.to_text(omit_final_dot=True)
+            return answer_msg(qname, [rr(qname, RRType.CNAME, CNAME(N(qname)))])
+
+        net.add("10.1.0.1", auth)
+        result = drive(machine().resolve("www.example.com", RRType.A), net)
+        assert result.status == Status.ERROR
+
+    def _chain_tree(self, links):
+        """c0 -> c1 -> ... -> c<links>, with an A record at the end."""
+        net = standard_tree()
+
+        def auth(effect):
+            qname = effect.name.to_text(omit_final_dot=True)
+            index = int(qname.split(".", 1)[0][1:])
+            if index < links:
+                target = f"c{index + 1}.example.com"
+                return answer_msg(qname, [rr(qname, RRType.CNAME, CNAME(N(target)))])
+            return answer_msg(qname, [rr(qname, RRType.A, A("7.7.7.7"))])
+
+        net.add("10.1.0.1", auth)
+        return net
+
+    def test_chain_at_chase_limit_succeeds(self):
+        config = ResolverConfig(retries=1, max_cname_chase=3)
+        net = self._chain_tree(links=3)
+        result = drive(
+            machine(config=config).resolve("c0.example.com", RRType.A), net
+        )
+        assert result.status == Status.NOERROR
+        assert any(int(record.rrtype) == int(RRType.A) for record in result.answers)
+
+    def test_chain_one_past_limit_aborts(self):
+        config = ResolverConfig(retries=1, max_cname_chase=3)
+        net = self._chain_tree(links=4)
+        result = drive(
+            machine(config=config).resolve("c0.example.com", RRType.A), net
+        )
+        assert result.status == Status.ERROR
+
+    def test_apex_cname_warm_hit_with_answer_cache(self):
+        """A CNAME at a zone apex under policy="all": the warm lookup
+        must be served from the answer cache and present the same view
+        of the chain as the cold one."""
+        cache = SelectiveCache(capacity=100, policy="all")
+        net = standard_tree()
+
+        def auth(effect):
+            qname = effect.name.to_text(omit_final_dot=True)
+            if qname == "example.com":
+                return answer_msg(
+                    qname, [rr(qname, RRType.CNAME, CNAME(N("alias.example.com")))]
+                )
+            return answer_msg(qname, [rr(qname, RRType.A, A("7.7.7.7"))])
+
+        net.add("10.1.0.1", auth)
+
+        def view(res):
+            return sorted(
+                (record.name.to_text(), int(record.rrtype), repr(record.rdata))
+                for record in res.answers
+            )
+
+        cold = drive(machine(cache).resolve("example.com", RRType.A), net)
+        assert cold.status == Status.NOERROR
+        warm = drive(machine(cache).resolve("example.com", RRType.A), net)
+        assert warm.status == Status.NOERROR
+        assert cache.stats.answer_hits >= 1
+        assert view(cold) == view(warm)
+
+
+class TestTCPFallbackValidation:
+    def test_garbage_tcp_retry_is_not_trusted(self):
+        """Regression (found by the differential oracle): the TCP retry
+        after a truncated UDP response skipped response validation, so a
+        wrong-question garbage reply over TCP was ingested and surfaced
+        as an authoritative NODATA (NOERROR with no answers)."""
+        net = standard_tree()
+
+        def auth(effect):
+            qname = effect.name.to_text(omit_final_dot=True)
+            if effect.protocol == "tcp":
+                garbage = answer_msg("garbage.invalid", [])
+                garbage.questions = [Question(N("garbage.invalid"), RRType.A)]
+                return garbage
+            return answer_msg(
+                qname, [rr(qname, RRType.A, A("7.7.7.7"))], truncated=True
+            )
+
+        net.add("10.1.0.1", auth)
+        result = drive(machine().resolve("www.example.com", RRType.A), net)
+        assert not (result.status == Status.NOERROR and not result.answers)
+        assert result.status != Status.NOERROR
 
 
 class FaultyResponder:

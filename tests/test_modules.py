@@ -151,6 +151,107 @@ class TestLookupModules:
         assert ips == {ns.ip for ns in profile.nameservers}
 
 
+class TestALookupIPv6Leg:
+    """Regression: the --ipv6 leg used to run on a *second* machine from
+    ``context.machine()`` (separate health/rng view) and its query and
+    retry accounting was thrown away — ``queries_sent`` covered only the
+    IPv4 leg, undercounting the scan's real traffic."""
+
+    def _drive_counting(self, gen, internet):
+        """Drive a module generator by answering SendQuery effects
+        straight from the simulated servers, counting every query."""
+        from repro.core import Backoff, SendQuery
+        from repro.dnslib import Message
+
+        sent = 0
+        try:
+            effect = next(gen)
+            while True:
+                if isinstance(effect, Backoff):
+                    effect = gen.send(None)
+                    continue
+                assert isinstance(effect, SendQuery)
+                sent += 1
+                server = internet.network.server_for(effect.server_ip)
+                response = None
+                if server is not None:
+                    query = Message.make_query(effect.name, effect.qtype)
+                    reply = server.handle_query(
+                        query, "192.0.2.77", 0.0, effect.protocol
+                    )
+                    response = reply.message if reply is not None else None
+                effect = gen.send(response)
+        except StopIteration as stop:
+            return stop.value, sent
+
+    def test_ipv6_leg_queries_are_accounted(self):
+        from repro.modules.lookups import ALookupModule
+
+        internet = build_internet(params=EcosystemParams(seed=7))
+        synth = internet.synth
+        module = ALookupModule()
+        module.include_ipv6 = True
+
+        name = None
+        for i in range(50_000):
+            candidate = f"v6test-{i}.com"
+            profile = synth.profile(N(candidate))
+            if profile.exists and not profile.truncates and all(
+                ns.drop_prob == 0 and not ns.lame for ns in profile.nameservers
+            ):
+                name = candidate
+                break
+        assert name is not None
+
+        context = ModuleContext(
+            mode="iterative",
+            root_ips=internet.root_ips,
+            resolver_ips=[],
+            cache=SelectiveCache(capacity=10_000),
+            config=ResolverConfig(retries=2),
+        )
+        row, sent = self._drive_counting(module.lookup(name, context), internet)
+        assert row["status"] == "NOERROR"
+        assert "ipv6_addresses" in row["data"]
+        result = row["_result"]
+        # the AAAA leg is at least one extra query beyond the IPv4 walk,
+        # and every wire query must be visible in the row's accounting
+        assert result.queries_sent == sent
+        assert sent >= 2
+
+    def test_ipv6_leg_reuses_the_cache(self):
+        """The AAAA leg must start from the delegations the IPv4 walk
+        just cached — one shared machine, not a cold second resolver."""
+        from repro.modules.lookups import ALookupModule
+
+        internet = build_internet(params=EcosystemParams(seed=7))
+        synth = internet.synth
+        module = ALookupModule()
+        module.include_ipv6 = True
+        name = None
+        for i in range(50_000):
+            candidate = f"v6test-{i}.com"
+            profile = synth.profile(N(candidate))
+            if profile.exists and not profile.truncates and all(
+                ns.drop_prob == 0 and not ns.lame for ns in profile.nameservers
+            ):
+                name = candidate
+                break
+        cache = SelectiveCache(capacity=10_000)
+        context = ModuleContext(
+            mode="iterative",
+            root_ips=internet.root_ips,
+            resolver_ips=[],
+            cache=cache,
+            config=ResolverConfig(retries=2),
+        )
+        row, sent = self._drive_counting(module.lookup(name, context), internet)
+        assert row["status"] == "NOERROR"
+        # IPv4 leg: root + com + auth = 3; AAAA leg rides the cached
+        # delegation chain, so the total stays well under two full walks
+        assert sent <= 4
+
+
 class TestMiscModules:
     def test_spf_found(self, internet, synth):
         name, _ = find(synth, lambda p: p.exists and p.has_spf)

@@ -57,8 +57,8 @@ class TestCacheInvariants:
         for zone, _ in ops:
             cache.put_delegation(delegation_for(zone))
             # internal key list and table must agree at all times
-            assert len(cache._keys) == len(cache._delegations)
-            assert set(cache._keys) == set(cache._delegations)
+            assert len(cache._keys) == len(cache._entries)
+            assert set(cache._keys) == set(cache._entries)
 
     @given(st.lists(zone_names, min_size=1, max_size=50))
     @settings(max_examples=40)
