@@ -208,8 +208,11 @@ def _sample_messages():
 
 
 def bench_codec(iterations: int) -> dict:
-    from repro.dnslib import Message
+    from repro.dnslib import Message, clear_codec_caches
 
+    # re-arm the adaptive codec memos: an e2e scan earlier in the suite
+    # may have tripped their hit-rate gates off
+    clear_codec_caches()
     messages = _sample_messages()
     wires = [message.to_wire() for message in messages]
 

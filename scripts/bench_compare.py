@@ -464,6 +464,134 @@ def oracle_smoke(profile: str, repeats: int) -> int:
     return 0
 
 
+def codec_smoke(profile: str, repeats: int, write: bool = True) -> int:
+    """The wire-codec rewrite's acceptance gate, in three steps:
+
+    1. **Throughput floors** — the hot-path codec microbenchmark,
+       host-speed normalised against the stored ``baseline`` section,
+       must show decode at ≥5x and encode at ≥2x the pre-rewrite
+       figures (the flat-scan/lazy/memo rewrite's headline claim);
+    2. **Behaviour fingerprints** — fig1/fig2/table2-shaped smoke scans
+       run under ``wire_mode="always"`` (every packet crosses the
+       codec) must produce virtual-time fingerprints identical to the
+       ``wire_mode="never"`` runs of the same shapes *and* to the
+       pre-rewrite reference stored under ``codec.smoke_fingerprints``;
+    3. **End-to-end** — the e2e wire-mode scan must reproduce the
+       baseline's virtual-time fingerprint byte-identically and beat
+       its wall-clock after host-speed normalisation.
+
+    With ``write`` true, the measured ``codec_*_per_s`` figures (and,
+    on first run, the smoke-fingerprint reference) are recorded under
+    the ``codec`` section of ``BENCH_hotpath.json``.
+
+    Returns a process exit status (0 = gate passes).
+    """
+    import bench_codec
+    from bench_wallclock_hotpath import _HostSpeed, bench_codec as bench_codec_hotpath
+    from bench_wallclock_hotpath import PROFILES, bench_e2e
+
+    stored = json.loads(RESULTS_PATH.read_text()) if RESULTS_PATH.exists() else {}
+    baseline = stored.get("baseline", {})
+    base_spin = baseline.get("_host_spin_per_s")
+    base_decode = baseline.get("codec_decode_per_s")
+    base_encode = baseline.get("codec_encode_per_s")
+    if not (base_spin and base_decode and base_encode):
+        print("FAIL: no stored baseline codec numbers to compare against")
+        return 1
+
+    # 1) throughput floors, spin-calibrated against the baseline's host window
+    host = _HostSpeed()
+    runs = []
+    iters = PROFILES[profile]["codec_iters"]
+    for i in range(repeats):
+        print(f"codec floors pass {i + 1}/{repeats} ...")
+        host.sample()
+        runs.append(bench_codec_hotpath(iters))
+        host.sample()
+    decode = max(run["codec_decode_per_s"] for run in runs)
+    encode = max(run["codec_encode_per_s"] for run in runs)
+    load = host.median() / base_spin
+    decode_x = decode / load / base_decode
+    encode_x = encode / load / base_encode
+    print(f"  decode                      {decode:>10,} msgs/s  "
+          f"({decode_x:.1f}x baseline, host-speed x{load:.2f}, floor 5x)")
+    print(f"  encode                      {encode:>10,} msgs/s  "
+          f"({encode_x:.1f}x baseline, floor 2x)")
+    status = 0
+    if decode_x < 5.0:
+        print("FAIL: codec decode below the 5x floor")
+        status = 1
+    if encode_x < 2.0:
+        print("FAIL: codec encode below the 2x floor")
+        status = 1
+
+    print("codec corpus microbenchmarks ...")
+    corpus = bench_codec.bench_codec_corpus(profile if profile in bench_codec.PROFILES else "check")
+    print("\n".join(bench_codec.metric_lines(corpus)))
+
+    # 2) behaviour fingerprints across the experiment shapes
+    reference = stored.get("codec", {}).get("smoke_fingerprints")
+    fresh_reference = False
+    for shape in bench_codec.SMOKE_SHAPES:
+        print(f"smoke fingerprint: {shape} (wire_mode always vs never) ...")
+        always = bench_codec.smoke_fingerprint(shape, "always")
+        never = bench_codec.smoke_fingerprint(shape, "never")
+        if always != never:
+            print(f"FAIL: {shape} smoke scan resolves differently once packets "
+                  "cross the codec")
+            status = 1
+            continue
+        if reference is None:
+            continue
+        if always != reference.get(shape):
+            print(f"FAIL: {shape} smoke fingerprint drifted from the stored "
+                  f"reference: {always} != {reference.get(shape)}")
+            status = 1
+    if reference is None and status == 0:
+        print("note: no stored smoke-fingerprint reference; storing this run's")
+        reference = bench_codec.smoke_fingerprints("always")
+        fresh_reference = True
+
+    # 3) e2e wire mode: identical results, faster wall clock
+    sizes = PROFILES[profile]
+    e2e_walls = []
+    for i in range(repeats):
+        print(f"e2e wire pass {i + 1}/{repeats} ...")
+        host.sample()
+        e2e = bench_e2e(sizes["e2e_threads"], sizes["e2e_lookups"], "always")
+        if e2e["_e2e_wire_fingerprint"] != baseline.get("_e2e_wire_fingerprint"):
+            print("FAIL: e2e wire-mode fingerprint differs from the baseline "
+                  "(the rewrite changed what a scan resolves)")
+            status = 1
+        e2e_walls.append(e2e["e2e_wire_wall_s"])
+    load = host.median() / base_spin
+    wall = min(e2e_walls)
+    adjusted = wall * load
+    base_wall = baseline.get("e2e_wire_wall_s", 0.0)
+    speedup = base_wall / adjusted if adjusted else 0.0
+    print(f"  e2e wire wall               {wall:>8.3f} s  "
+          f"(baseline {base_wall:.3f} s, {speedup:.2f}x normalised)")
+    if base_wall and adjusted >= base_wall:
+        print("FAIL: e2e wire-mode scan is not faster than the pre-rewrite baseline")
+        status = 1
+
+    if write and status == 0:
+        section = stored.setdefault("codec", {})
+        section.update(corpus)
+        section["codec_decode_per_s"] = decode
+        section["codec_encode_per_s"] = encode
+        section["_host_spin_per_s"] = round(host.median())
+        if fresh_reference or "smoke_fingerprints" not in section:
+            section["smoke_fingerprints"] = reference
+        RESULTS_PATH.write_text(json.dumps(stored, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {RESULTS_PATH.relative_to(REPO_ROOT)}")
+
+    if status == 0:
+        print("\nOK — wire codec gate passes "
+              "(floors met, fingerprints identical across wire modes and vs reference)")
+    return status
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--check", action="store_true", help="compare only; write nothing")
@@ -507,7 +635,18 @@ def main(argv: list[str] | None = None) -> int:
         "policy x eviction x fault-plan matrix, and a planted cache bug "
         "must be caught and shrunk (skips the regular suite)",
     )
+    parser.add_argument(
+        "--codec-smoke",
+        action="store_true",
+        help="wire-codec gate: decode/encode throughput floors vs the "
+        "pre-rewrite baseline, fingerprint-identical smoke scans in "
+        "wire vs structured mode, and an e2e wire-mode wall-clock "
+        "improvement check (skips the regular suite)",
+    )
     args = parser.parse_args(argv)
+
+    if args.codec_smoke:
+        return codec_smoke(args.profile, max(1, args.repeat), write=not args.check)
 
     if args.oracle_smoke:
         return oracle_smoke(args.profile, max(1, args.repeat))
@@ -565,6 +704,14 @@ def main(argv: list[str] | None = None) -> int:
         stored["last_run"] = current
         RESULTS_PATH.write_text(json.dumps(stored, indent=2, sort_keys=True) + "\n")
         print(f"wrote {RESULTS_PATH.relative_to(REPO_ROOT)}")
+
+    # the behaviour gates ride along with the default run: the codec
+    # gate re-reads BENCH_hotpath.json itself, so it must come after
+    # the write above
+    print("\ncodec smoke gate ...")
+    status |= codec_smoke(args.profile, 1, write=not args.check)
+    print("\noracle smoke gate ...")
+    status |= oracle_smoke(args.profile, 1)
     return status
 
 

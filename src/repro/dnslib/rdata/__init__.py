@@ -38,11 +38,31 @@ def registered_types() -> frozenset[int]:
     return frozenset(_REGISTRY)
 
 
+#: class -> value-field names, in MRO definition order.  ``__slots__`` on
+#: the *leaf* class is empty for most registered types (NS, TXT, MX, ...
+#: inherit their fields), so equality must walk every class in the MRO
+#: rather than read ``self.__slots__`` directly.
+_FIELD_NAMES: dict[type, tuple[str, ...]] = {}
+
+
+def _field_names(cls: type) -> tuple[str, ...]:
+    seen: list[str] = []
+    for klass in reversed(cls.__mro__):
+        for slot in klass.__dict__.get("__slots__", ()):
+            if slot != "_hash" and slot not in seen:
+                seen.append(slot)
+    names = tuple(seen)
+    _FIELD_NAMES[cls] = names
+    return names
+
+
 class RData:
     """Base class for decoded record data."""
 
     rrtype: ClassVar[RRType]
-    __slots__ = ()
+    #: Value-immutable by convention, so the hash is computed once and
+    #: cached (encode templates hash whole record tuples per message).
+    __slots__ = ("_hash",)
 
     def to_wire(self, writer: WireWriter) -> None:
         raise NotImplementedError
@@ -59,7 +79,11 @@ class RData:
         return self.to_text()
 
     def _fields(self) -> tuple:
-        return tuple(getattr(self, slot) for slot in self.__slots__)
+        cls = type(self)
+        names = _FIELD_NAMES.get(cls)
+        if names is None:
+            names = _field_names(cls)
+        return tuple(getattr(self, name) for name in names)
 
     def __eq__(self, other: object) -> bool:
         if type(other) is not type(self):
@@ -67,11 +91,19 @@ class RData:
         return self._fields() == other._fields()
 
     def __hash__(self) -> int:
-        return hash((type(self).__name__, self._fields()))
+        try:
+            return self._hash
+        except AttributeError:
+            value = self._hash = hash((type(self).__name__, self._fields()))
+            return value
 
     def __repr__(self) -> str:
-        pairs = ", ".join(f"{slot}={getattr(self, slot)!r}" for slot in self.__slots__)
-        return f"{type(self).__name__}({pairs})"
+        cls = type(self)
+        names = _FIELD_NAMES.get(cls)
+        if names is None:
+            names = _field_names(cls)
+        pairs = ", ".join(f"{name}={getattr(self, name)!r}" for name in names)
+        return f"{cls.__name__}({pairs})"
 
 
 class GenericRData(RData):

@@ -10,6 +10,7 @@ from __future__ import annotations
 import base64
 import binascii
 import shlex
+from functools import lru_cache
 
 from .name import Name
 from .rdata import GenericRData, RData
@@ -19,14 +20,22 @@ from .rdata.mail import AFSDB, KX, MX, NAPTR, RT, SRV
 from .rdata.names import CNAME, DNAME, MB, MG, MR, NS, PTR, SOA
 from .rdata.security import CAA, SSHFP, TLSA, URI
 from .rdata.text import HINFO, SPF, TXT
-from .types import RRType, type_from_text
+from .types import RRTYPE_BY_INT, RRType, type_from_text
 
 
 class TextParseError(ValueError):
     """Raised when presentation-format rdata cannot be parsed."""
 
 
+#: Characters that force the full shlex pass: quoting, escapes,
+#: comments.  The overwhelming majority of rdata strings (addresses,
+#: names, integers) contain none of them and split on whitespace.
+_NEEDS_LEXER = frozenset("\"'\\;")
+
+
 def _tokens(text: str) -> list[str]:
+    if not _NEEDS_LEXER.intersection(text):
+        return text.split()
     lexer = shlex.shlex(text, posix=True)
     lexer.whitespace_split = True
     lexer.commenters = ";"
@@ -58,11 +67,21 @@ def _int(token: str, what: str) -> int:
 def rdata_from_text(rrtype: RRType | str, text: str, origin: Name | None = None) -> RData:
     """Parse one record's presentation-format RDATA.
 
+    Results are memoised on ``(type, text, origin)``: rdata objects are
+    value-immutable, and synthesised/loaded zones repeat the same
+    handful of rdata strings (shared nameservers, glue addresses)
+    across thousands of lines.
+
     >>> rdata_from_text("MX", "10 mail.example.com.").exchange.to_text()
     'mail.example.com.'
     """
     if isinstance(rrtype, str):
         rrtype = type_from_text(rrtype)
+    return _rdata_from_text(int(rrtype), text, origin)
+
+
+@lru_cache(maxsize=65_536)
+def _rdata_from_text(rrtype: int, text: str, origin: Name | None) -> RData:
     tokens = _tokens(text)
     # posix lexing strips the backslash escape from the RFC 3597 marker
     if tokens and tokens[0] in (r"\#", "#"):
@@ -76,9 +95,10 @@ def rdata_from_text(rrtype: RRType | str, text: str, origin: Name | None = None)
         return GenericRData(data)
 
     try:
-        parser = _PARSERS[int(rrtype)]
+        parser = _PARSERS[rrtype]
     except KeyError:
-        raise TextParseError(f"no presentation parser for {rrtype}") from None
+        label = RRTYPE_BY_INT.get(rrtype, rrtype)
+        raise TextParseError(f"no presentation parser for {label!s}") from None
     return parser(tokens, origin)
 
 

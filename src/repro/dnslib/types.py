@@ -139,6 +139,16 @@ class Rcode(enum.IntEnum):
         return self.name
 
 
+#: Known-value lookups; a plain dict probe replaces the try/except
+#: ``Enum(value)`` dance (an exception on every unknown code, a __call__
+#: on every hit) on the decode hot path.  Unknown codes survive as raw
+#: integers wherever these are consulted with ``.get(code, code)``.
+RRTYPE_BY_INT = {int(t): t for t in RRType}
+CLASS_BY_INT = {int(c): c for c in DNSClass}
+OPCODE_BY_INT = {int(o): o for o in Opcode}
+RCODE_BY_INT = {int(r): r for r in Rcode}
+
+
 def type_from_text(text: str) -> RRType:
     """Parse a record type from its mnemonic or ``TYPExx`` form."""
     text = text.strip().upper()

@@ -5,7 +5,12 @@ Hot-path notes: fixed-width fields go through prebound
 :class:`struct.Struct` pack/unpack (no per-call format parsing), names
 are written from their memoised length-prefixed label encodings in one
 buffer append per label, and decoded names are interned so repeated
-owners share one validated instance."""
+owners share one validated instance.
+
+Name decoding lives in the module-level :func:`decode_name_at` so the
+flat message scanner in :mod:`repro.dnslib.message` and the cursor
+:class:`WireReader` share one pointer-target memo format
+(``start offset -> (Name, end offset)``) and one validated walk."""
 
 from __future__ import annotations
 
@@ -17,9 +22,18 @@ from .name import MAX_NAME_LENGTH, Name
 _POINTER_MASK = 0xC0
 _MAX_POINTER = 0x3FFF
 
+#: Sentinel key set in a name memo when any pointer targeted the
+#: transaction-id bytes (offsets 0-1).  Such a decode depends on the
+#: txid, so the packet must not enter txid-agnostic decode memos.
+#: Real entries are keyed on non-negative start offsets, so the
+#: sentinel can never collide with a pointer target.
+TAINT_KEY = -1
+_TAINT_ENTRY = (None, -1)
+
 _U16 = struct.Struct("!H")
 _U32 = struct.Struct("!I")
 _U48 = struct.Struct("!HI")
+_HEADER = struct.Struct("!HHHHHH")
 _pack_u16 = _U16.pack
 _pack_u32 = _U32.pack
 _unpack_u16 = _U16.unpack_from
@@ -29,6 +43,94 @@ _intern_name = Name.intern
 
 class WireError(ValueError):
     """Raised when a packet cannot be decoded."""
+
+
+def peek_txid(data) -> int:
+    """The transaction id of a packet without decoding anything else.
+
+    Reply matching uses this to discard wrong-txid datagrams (cross-talk,
+    late retransmissions) without paying for a full message decode."""
+    if len(data) < 2:
+        raise WireError(f"packet shorter than a transaction id: {len(data)} bytes")
+    return (data[0] << 8) | data[1]
+
+
+def peek_header(data) -> tuple[int, int, int, int, int, int]:
+    """Decode only the fixed 12-byte header.
+
+    Returns ``(id, flags_int, qdcount, ancount, nscount, arcount)``; the
+    flags stay a raw integer so this never touches the enum layer."""
+    if len(data) < 12:
+        raise WireError(f"message shorter than header: {len(data)} bytes")
+    return _HEADER.unpack_from(data, 0)
+
+
+def decode_name_at(
+    data: bytes, start: int, names: dict[int, tuple[Name, int]]
+) -> tuple[Name, int]:
+    """Decode a possibly compressed name at ``start``, guarding against
+    pointer loops.  Returns ``(name, offset after the name at start)``
+    and memoises the result in ``names`` keyed on ``start``."""
+    cached = names.get(start)
+    if cached is not None:
+        return cached
+    size = len(data)
+    labels: list[bytes] = []
+    total = 1
+    jumps = 0
+    cursor = start
+    resume: int | None = None
+    name: Name | None = None
+    while True:
+        if cursor >= size:
+            raise WireError("name runs off end of packet")
+        length = data[cursor]
+        if length & _POINTER_MASK == _POINTER_MASK:
+            if cursor + 1 >= size:
+                raise WireError("truncated compression pointer")
+            target = (length & ~_POINTER_MASK) << 8 | data[cursor + 1]
+            if resume is None:
+                resume = cursor + 2
+            if target >= cursor:
+                raise WireError("forward compression pointer")
+            if target < 2:
+                names[TAINT_KEY] = _TAINT_ENTRY
+            hit = names.get(target)
+            if hit is not None:
+                # The tail from here was already decoded (and its walk
+                # validated) — splice it instead of re-chasing.
+                tail = hit[0]
+                total += tail._wlen - 1
+                if total > MAX_NAME_LENGTH:
+                    raise WireError("decoded name too long")
+                if labels:
+                    labels.extend(tail.labels)
+                else:
+                    name = tail
+                break
+            jumps += 1
+            if jumps > 64:
+                raise WireError("compression pointer loop")
+            cursor = target
+        elif length & _POINTER_MASK:
+            raise WireError(f"reserved label type 0x{length & _POINTER_MASK:02x}")
+        elif length == 0:
+            cursor += 1
+            break
+        else:
+            if cursor + 1 + length > size:
+                raise WireError("label runs off end of packet")
+            labels.append(data[cursor + 1 : cursor + 1 + length])
+            total += length + 1
+            if total > MAX_NAME_LENGTH:
+                raise WireError("decoded name too long")
+            cursor += 1 + length
+    end = resume if resume is not None else cursor
+    if name is None:
+        name = _intern_name(tuple(labels))
+    entry = (name, end)
+    names[start] = entry
+    return entry
 
 
 class WireWriter:
@@ -75,8 +177,16 @@ class WireWriter:
             return
         offsets = self._offsets
         offsets_get = offsets.get
-        encoded = name.encoded_labels()
         suffixes = name.suffix_keys()
+        if use_compression:
+            # whole-name hit first: repeated owners (every answer in a
+            # section, glue matching an NS target) collapse to one probe
+            # and a two-byte pointer
+            target = offsets_get(suffixes[0])
+            if target is not None:
+                buf += _pack_u16(0xC000 | target)
+                return
+        encoded = name.encoded_labels()
         index = 0
         count = len(labels)
         while index < count:
@@ -164,65 +274,6 @@ class WireReader:
 
     def read_name(self) -> Name:
         """Decode a possibly compressed name, guarding against pointer loops."""
-        names = self._names
-        start = self.offset
-        cached = names.get(start)
-        if cached is not None:
-            self.offset = cached[1]
-            return cached[0]
-        data = self.data
-        size = len(data)
-        labels: list[bytes] = []
-        total = 1
-        jumps = 0
-        cursor = start
-        resume: int | None = None
-        name: Name | None = None
-        while True:
-            if cursor >= size:
-                raise WireError("name runs off end of packet")
-            length = data[cursor]
-            if length & _POINTER_MASK == _POINTER_MASK:
-                if cursor + 1 >= size:
-                    raise WireError("truncated compression pointer")
-                target = (length & ~_POINTER_MASK) << 8 | data[cursor + 1]
-                if resume is None:
-                    resume = cursor + 2
-                if target >= cursor:
-                    raise WireError("forward compression pointer")
-                hit = names.get(target)
-                if hit is not None:
-                    # The tail from here was already decoded (and its walk
-                    # validated) — splice it instead of re-chasing.
-                    tail = hit[0]
-                    total += tail._wlen - 1
-                    if total > MAX_NAME_LENGTH:
-                        raise WireError("decoded name too long")
-                    if labels:
-                        labels.extend(tail.labels)
-                    else:
-                        name = tail
-                    break
-                jumps += 1
-                if jumps > 64:
-                    raise WireError("compression pointer loop")
-                cursor = target
-            elif length & _POINTER_MASK:
-                raise WireError(f"reserved label type 0x{length & _POINTER_MASK:02x}")
-            elif length == 0:
-                cursor += 1
-                break
-            else:
-                if cursor + 1 + length > size:
-                    raise WireError("label runs off end of packet")
-                labels.append(data[cursor + 1 : cursor + 1 + length])
-                total += length + 1
-                if total > MAX_NAME_LENGTH:
-                    raise WireError("decoded name too long")
-                cursor += 1 + length
-        end = resume if resume is not None else cursor
+        name, end = decode_name_at(self.data, self.offset, self._names)
         self.offset = end
-        if name is None:
-            name = _intern_name(tuple(labels))
-        names[start] = (name, end)
         return name

@@ -65,6 +65,10 @@ def _logical_lines(text: str):
 
 
 def _strip_comment(line: str) -> str:
+    if ";" not in line:
+        return line  # fast path: nothing to strip, no escape scan needed
+    if '"' not in line and "\\" not in line:
+        return line[: line.index(";")]
     out = []
     in_quotes = False
     escaped = False
@@ -87,6 +91,19 @@ def _strip_comment(line: str) -> str:
 
 def parse_zone(text: str, origin: Name | str | None = None, default_ttl: int = 3600) -> Zone:
     """Parse zone-file text into a :class:`Zone`."""
+    return parse_zone_lines(_logical_lines(text), origin=origin, default_ttl=default_ttl)
+
+
+def parse_zone_lines(
+    lines, origin: Name | str | None = None, default_ttl: int = 3600
+) -> Zone:
+    """Bulk-parse presentation-format records from an iterable of
+    logical lines — either plain strings or ``(line_number, line)``
+    pairs.  Zone synthesis that already holds clean generated lines
+    feeds them here directly, skipping the comment-stripping and
+    parenthesis-joining passes of :func:`parse_zone`; rdata parsing is
+    memoised in :func:`repro.dnslib.text_format.rdata_from_text`, so
+    repeated rdata strings cost one parse for the whole batch."""
     if isinstance(origin, str):
         origin = Name.from_text(origin)
     current_origin = origin
@@ -94,7 +111,8 @@ def parse_zone(text: str, origin: Name | str | None = None, default_ttl: int = 3
     last_owner: Name | None = None
     records: list[ResourceRecord] = []
 
-    for number, line in _logical_lines(text):
+    for entry in _numbered(lines):
+        number, line = entry
         starts_with_space = line[:1] in (" ", "\t")
         fields = line.split()
         if not fields:
@@ -152,6 +170,15 @@ def parse_zone(text: str, origin: Name | str | None = None, default_ttl: int = 3
             raise ZoneParseError("empty zone and no origin")
         current_origin = records[0].name
     return Zone(origin=current_origin, records=records)
+
+
+def _numbered(lines):
+    """Normalise a line iterable to (number, line) pairs."""
+    for index, item in enumerate(lines, start=1):
+        if isinstance(item, tuple):
+            yield item
+        else:
+            yield index, item
 
 
 def _owner_name(token: str, origin: Name | None, number: int) -> Name:

@@ -13,7 +13,7 @@ import socket
 import threading
 from typing import Callable
 
-from ..dnslib import Message, WireError
+from ..dnslib import Message, WireError, peek_txid
 
 #: Buffer large enough for any EDNS payload we advertise.
 _RECV_SIZE = 4096
@@ -41,6 +41,7 @@ class UDPTransport:
         received packet within the window is unparseable.
         """
         wire = message.to_wire()
+        want_txid = message.id & 0xFFFF
         self._sock.settimeout(timeout)
         self._sock.sendto(wire, server)
         while True:
@@ -48,12 +49,16 @@ class UDPTransport:
                 data, _ = self._sock.recvfrom(_RECV_SIZE)
             except socket.timeout:
                 return None
+            # peek the transaction id first: wrong-txid datagrams
+            # (cross-talk, late retransmissions) are discarded without
+            # ever paying for a full message decode
             try:
+                if peek_txid(data) != want_txid:
+                    continue
                 response = Message.from_wire(data)
             except WireError:
                 continue  # garbage or cross-talk: keep listening
-            if response.id == message.id:
-                return response
+            return response
 
     def close(self) -> None:
         self._sock.close()

@@ -79,13 +79,17 @@ class HangError(SimulationError):
 class SimFuture:
     """A single-assignment result container for routine synchronisation."""
 
-    __slots__ = ("_done", "_result", "_exception", "_callbacks")
+    __slots__ = ("_done", "_result", "_exception", "_callbacks", "abandoned")
 
     def __init__(self):
         self._done = False
         self._result = None
         self._exception: BaseException | None = None
         self._callbacks: list[Callable[["SimFuture"], None]] = []
+        #: Set by timeout_race when the waiter gave up on this future:
+        #: producers (the network reply path) may then skip expensive
+        #: work — e.g. decoding a reply nobody will ever read.
+        self.abandoned = False
 
     @property
     def done(self) -> bool:
@@ -459,6 +463,7 @@ class Simulator:
 
         def on_timeout() -> None:
             if not race.done:
+                future.abandoned = True
                 race.set_result(None)
 
         timer = self.call_later(timeout, on_timeout)

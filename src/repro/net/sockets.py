@@ -283,7 +283,12 @@ class SimNetwork:
 
             def deliver() -> None:
                 if not response_future.done:
-                    response_future.set_result(self._maybe_unwire(reply_wire, response))
+                    if response_future.abandoned:
+                        # the waiter already timed out: resolve without
+                        # decoding a reply nobody will ever read
+                        response_future.set_result(response)
+                    else:
+                        response_future.set_result(self._maybe_unwire(reply_wire, response))
 
             self.sim._at(deliver_at, deliver)
 

@@ -314,3 +314,134 @@ def test_compression_pointer_fuzz_terminates(prefix):
             Message.from_wire(wire)
         except WireError:
             pass
+
+
+def _header(qd=0, an=0, ns=0, ar=0, txid=0x1234, flags=0x8400) -> bytes:
+    return (
+        txid.to_bytes(2, "big")
+        + flags.to_bytes(2, "big")
+        + qd.to_bytes(2, "big")
+        + an.to_bytes(2, "big")
+        + ns.to_bytes(2, "big")
+        + ar.to_bytes(2, "big")
+    )
+
+
+_QNAME = b"\x01a\x07example\x00"  # "a.example" at offset 12, 11 bytes
+
+
+def _null_rr(rdata: bytes) -> bytes:
+    """A root-owned NULL record carrying raw bytes — the opaque rdata is
+    kept verbatim, so it can smuggle pointer bytes into the packet."""
+    return b"\x00" + b"\x00\x0a\x00\x01" + b"\x00\x00\x00\x00" + len(rdata).to_bytes(2, "big") + rdata
+
+
+def test_pointer_to_pointer_chain_decodes():
+    """A name that is a pointer to a pointer (both backward) must chase
+    the chain and land on the original labels."""
+    # question "a.example" at 12..22, fixed fields to 27; NULL rdata at
+    # offset 38 holds a pointer to the question name; the A record's
+    # owner at offset 40 points at that pointer.
+    wire = (
+        _header(qd=1, an=2)
+        + _QNAME
+        + b"\x00\x01\x00\x01"
+        + _null_rr(b"\xc0\x0c")
+        + b"\xc0\x26"  # owner: pointer to offset 38 (inside the NULL rdata)
+        + b"\x00\x01\x00\x01" + b"\x00\x00\x01\x2c" + b"\x00\x04" + b"\x5d\x00\x00\x01"
+    )
+    decoded = Message.from_wire(wire)
+    assert decoded.answers[1].name == Name.from_text("a.example")
+    assert decoded.answers[1].rrtype == RRType.A
+    assert decoded.answers[1].rdata == A("93.0.0.1")
+
+
+def test_self_pointer_raises():
+    """A name whose first byte is a pointer to itself is rejected (the
+    codec only accepts strictly backward targets)."""
+    wire = _header(qd=1) + b"\xc0\x0c" + b"\x00\x01\x00\x01"
+    try:
+        Message.from_wire(wire)
+        raise AssertionError("self-pointer accepted")
+    except WireError:
+        pass
+
+
+def test_label_pointer_loop_raises():
+    """label + pointer back to the label's own start: each chase re-reads
+    the label, so only the jump guard can terminate it."""
+    wire = _header(qd=1) + b"\x01a\xc0\x0c" + b"\x00\x01\x00\x01"
+    try:
+        Message.from_wire(wire)
+        raise AssertionError("pointer loop accepted")
+    except WireError:
+        pass
+
+
+def _chain_packet(jumps: int) -> bytes:
+    """An A record whose owner name chases ``jumps`` chained pointers
+    (smuggled in NULL rdata) before reaching the question name."""
+    head = _header(qd=1, an=2) + _QNAME + b"\x00\x01\x00\x01"
+    rdata_start = len(head) + 1 + 4 + 4 + 2  # after the NULL rr's fixed fields
+    chain = bytearray(b"\xc0\x0c")  # first hop: the question name at 12
+    for hop in range(1, jumps):
+        target = rdata_start + (hop - 1) * 2
+        chain += bytes([0xC0 | (target >> 8), target & 0xFF])
+    last = rdata_start + (jumps - 1) * 2
+    return (
+        head
+        + _null_rr(bytes(chain))
+        + bytes([0xC0 | (last >> 8), last & 0xFF])
+        + b"\x00\x01\x00\x01" + b"\x00\x00\x01\x2c" + b"\x00\x04" + b"\x5d\x00\x00\x01"
+    )
+
+
+def test_pointer_chain_depth_limits():
+    """A modest chain decodes to the spliced name; a chain past the jump
+    guard raises instead of walking forever."""
+    decoded = Message.from_wire(_chain_packet(16))
+    assert decoded.answers[1].name == Name.from_text("a.example")
+    try:
+        Message.from_wire(_chain_packet(80))
+        raise AssertionError("80-jump chain accepted")
+    except WireError:
+        pass
+
+
+def test_all_prefixes_of_rich_message():
+    """Exhaustive truncation sweep of a response exercising EDNS, lazy
+    char-string rdata, SOA, AAAA and CNAME: only the full packet may
+    parse, and malformed slices raise WireError, never anything else."""
+    from repro.dnslib import add_edns
+    from repro.dnslib.rdata.names import SOA
+
+    qname = Name.from_text("www.example.com")
+    apex = Name.from_text("example.com")
+    message = Message(
+        id=0x7777,
+        flags=Flags(response=True, authoritative=True),
+        questions=[Question(qname, RRType.TXT)],
+        answers=[
+            ResourceRecord(qname, RRType.CNAME, DNSClass.IN, 300, CNAME(apex)),
+            ResourceRecord(apex, RRType.TXT, DNSClass.IN, 300, TXT((b"v=spf1 -all",))),
+            ResourceRecord(apex, RRType.AAAA, DNSClass.IN, 300, AAAA("2001:db8::1")),
+        ],
+        authorities=[
+            ResourceRecord(
+                apex, RRType.SOA, DNSClass.IN, 3600,
+                SOA(Name.from_text("ns1.example.com"),
+                    Name.from_text("hostmaster.example.com"),
+                    2024010101, 7200, 3600, 1209600, 300),
+            )
+        ],
+    )
+    add_edns(message, payload_size=1232)
+    wire = message.to_wire()
+    decoded = 0
+    for cut in range(len(wire) + 1):
+        try:
+            Message.from_wire(wire[:cut])
+            decoded += 1
+        except WireError:
+            pass
+    assert decoded == 1
