@@ -393,6 +393,133 @@ def mp_smoke(profile: str, repeats: int) -> int:
     return 0
 
 
+def http_smoke(profile: str, repeats: int) -> int:
+    """The live control plane's acceptance gate, in four steps:
+
+    1. run a 4-process scan with a :class:`FleetView` + HTTP server
+       attached while a poller thread scrapes ``/status.json`` every
+       ~25 ms — every poll must parse, and the fleet ``done`` counter
+       must advance monotonically with at least one mid-run value
+       strictly between 0 and the total (live progress, not just a
+       final snapshot);
+    2. mid-run ``/metrics`` scrapes must pass the strict Prometheus
+       exposition parser;
+    3. per-shard progress must be visible: some poll must report a
+       shard row with ``0 < done``;
+    4. the scan's merged output must be byte-identical to the same
+       scan with no server attached — watching may not change the scan.
+
+    ``repeats`` is ignored — one scan provides every assertion.
+    Returns a process exit status (0 = gate passes).
+    """
+    import io
+    import json as json_module
+    import threading
+    import urllib.request
+
+    from bench_wallclock_hotpath import BENCH_SEED, PROFILES, _timed
+
+    from repro.framework import FleetView, ScanConfig, run_parallel_scan
+    from repro.obs import parse_prometheus
+    from repro.obs.server import TelemetryServer
+    from repro.workloads import DomainCorpus
+
+    sizes = PROFILES[profile]
+    threads, lookups = sizes["e2e_threads"], sizes["e2e_lookups"]
+    names = list(DomainCorpus().fqdns(lookups, start=0))
+    config = ScanConfig(
+        module="A",
+        mode="iterative",
+        threads=threads,
+        source_prefix=28,
+        cache_size=600_000,
+        seed=BENCH_SEED,
+    )
+
+    def run(fleet=None):
+        out = io.StringIO()
+        wall, _report = _timed(
+            lambda: run_parallel_scan(
+                names,
+                config,
+                processes=4,
+                out=out,
+                shards=8,
+                add_timestamp=False,
+                fleet_view=fleet,
+            )
+        )
+        return wall, out.getvalue()
+
+    fleet = FleetView(run_info={"module": "A", "gate": "http-smoke"})
+    server = TelemetryServer(status=fleet.status_snapshot, metrics=fleet.prometheus).start()
+    print(f"http smoke: scanning {lookups} names behind {server.url} ...")
+
+    done_series: list[int] = []
+    shard_progress_seen = [False]
+    metrics_scrapes = [0]
+    poll_errors: list[str] = []
+    stop = threading.Event()
+
+    def poller():
+        while not stop.is_set():
+            try:
+                with urllib.request.urlopen(f"{server.url}/status.json", timeout=5) as r:
+                    snapshot = json_module.loads(r.read())
+                done_series.append(snapshot["fleet"]["done"])
+                if any(row["done"] > 0 for row in snapshot["shards"]):
+                    shard_progress_seen[0] = True
+                with urllib.request.urlopen(f"{server.url}/metrics", timeout=5) as r:
+                    parse_prometheus(r.read().decode("utf-8"))
+                metrics_scrapes[0] += 1
+            except Exception as error:  # noqa: BLE001 - gate reports, not raises
+                poll_errors.append(repr(error))
+            stop.wait(0.025)
+
+    thread = threading.Thread(target=poller, daemon=True)
+    thread.start()
+    try:
+        wall_on, out_on = run(fleet)
+    finally:
+        stop.set()
+        thread.join(timeout=10)
+        server.stop()
+
+    status = 0
+    if poll_errors:
+        print(f"FAIL: {len(poll_errors)} scrape error(s), first: {poll_errors[0]}")
+        status = 1
+    if done_series != sorted(done_series):
+        print("FAIL: fleet done counter went backwards between polls")
+        status = 1
+    mid_run = [d for d in done_series if 0 < d < lookups]
+    if not mid_run:
+        print(f"FAIL: no mid-run progress observed across {len(done_series)} polls "
+              "(server only ever saw 0 or the final total)")
+        status = 1
+    if not shard_progress_seen[0]:
+        print("FAIL: no poll ever showed per-shard progress")
+        status = 1
+    if metrics_scrapes[0] == 0:
+        print("FAIL: /metrics was never scraped successfully")
+        status = 1
+
+    print("http smoke: re-running with no server attached ...")
+    wall_off, out_off = run()
+    if out_on != out_off:
+        print("FAIL: output differs between server-on and server-off runs")
+        status = 1
+
+    print(f"  polls answered              {len(done_series):>8,}  "
+          f"({len(mid_run)} mid-run, {metrics_scrapes[0]} /metrics scrapes)")
+    print(f"  wall, server on             {wall_on:>8.3f} s")
+    print(f"  wall, server off            {wall_off:>8.3f} s")
+    if status == 0:
+        print("\nOK — control plane gate passes "
+              "(live monotonic progress, valid exposition text, byte-identical output)")
+    return status
+
+
 def oracle_smoke(profile: str, repeats: int) -> int:
     """The differential oracle's acceptance gate, in two halves:
 
@@ -636,6 +763,14 @@ def main(argv: list[str] | None = None) -> int:
         "must be caught and shrunk (skips the regular suite)",
     )
     parser.add_argument(
+        "--http-smoke",
+        action="store_true",
+        help="control-plane gate: scrape /status.json and /metrics during "
+        "a 4-process scan, assert valid exposition text, monotonic live "
+        "progress, and byte-identical output vs a server-off run (skips "
+        "the regular suite)",
+    )
+    parser.add_argument(
         "--codec-smoke",
         action="store_true",
         help="wire-codec gate: decode/encode throughput floors vs the "
@@ -644,6 +779,9 @@ def main(argv: list[str] | None = None) -> int:
         "improvement check (skips the regular suite)",
     )
     args = parser.parse_args(argv)
+
+    if args.http_smoke:
+        return http_smoke(args.profile, max(1, args.repeat))
 
     if args.codec_smoke:
         return codec_smoke(args.profile, max(1, args.repeat), write=not args.check)
@@ -712,6 +850,16 @@ def main(argv: list[str] | None = None) -> int:
     status |= codec_smoke(args.profile, 1, write=not args.check)
     print("\noracle smoke gate ...")
     status |= oracle_smoke(args.profile, 1)
+    print("\ncontrol-plane smoke gate ...")
+    status |= http_smoke(args.profile, 1)
+    print("\nobs selfcheck ...")
+    try:
+        from repro.obs.selfcheck import main as obs_selfcheck
+
+        status |= obs_selfcheck()
+    except AssertionError as error:
+        print(f"FAIL: obs selfcheck assertion: {error}")
+        status = 1
     return status
 
 

@@ -16,6 +16,7 @@ from .message import (
     Question,
     ResourceRecord,
     clear_codec_caches,
+    codec_memo_stats,
     decode_many,
 )
 from .name import Name, NameError_, name_from_ipv4_ptr
@@ -60,6 +61,7 @@ __all__ = [
     "WireWriter",
     "add_edns",
     "clear_codec_caches",
+    "codec_memo_stats",
     "decode_many",
     "get_edns",
     "load_zone",

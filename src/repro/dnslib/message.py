@@ -634,6 +634,26 @@ def clear_codec_caches() -> None:
     _template_memo_probes = _template_memo_hits = 0
 
 
+def codec_memo_stats() -> dict:
+    """Snapshot of the adaptive memo gates (probes, hits, on/off).
+
+    Read-only companion to :data:`CODEC_STATS` for telemetry: the
+    framework publishes these as gauges under the ``codec.*`` scope so
+    an operator can see whether the self-disabling memos stayed on for
+    this workload."""
+    return {
+        "decode_memo_q_enabled": int(_decode_memo_q_enabled),
+        "decode_memo_q_probes": _decode_memo_q_probes,
+        "decode_memo_q_hits": _decode_memo_q_hits,
+        "decode_memo_r_enabled": int(_decode_memo_r_enabled),
+        "decode_memo_r_probes": _decode_memo_r_probes,
+        "decode_memo_r_hits": _decode_memo_r_hits,
+        "template_memo_enabled": int(_template_memo_enabled),
+        "template_memo_probes": _template_memo_probes,
+        "template_memo_hits": _template_memo_hits,
+    }
+
+
 _QUERY_FLAGS_RD = Flags(recursion_desired=True)
 _QUERY_FLAGS_NO_RD = Flags(recursion_desired=False)
 

@@ -6,15 +6,20 @@ from .io import JsonLineSink, clean_row, encode_row, read_names, shard, write_ro
 from .parallel import DEFAULT_LOGICAL_SHARDS, ParallelReport, run_parallel_scan
 from .runner import ScanConfig, ScanReport, ScanRunner, run_scan
 from .stats import ScanStats
+from .telemetry import DELTA_VERSION, FleetView, ScanView, TelemetryDelta
 
 __all__ = [
     "DEFAULT_LOGICAL_SHARDS",
+    "DELTA_VERSION",
+    "FleetView",
     "JsonLineSink",
     "ParallelReport",
     "ScanConfig",
     "ScanReport",
     "ScanRunner",
     "ScanStats",
+    "ScanView",
+    "TelemetryDelta",
     "clean_row",
     "encode_row",
     "read_names",

@@ -101,7 +101,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--spans-file",
         default=None,
         metavar="PATH",
-        help="stream per-lookup spans as JSON lines to this path",
+        help="stream per-lookup spans as JSON lines to this path (with "
+        "--processes, rows carry a 'shard' tag and merge shard-ordered)",
+    )
+    parser.add_argument(
+        "--http-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve a live control plane on 127.0.0.1:PORT while the "
+        "scan runs: /metrics (Prometheus text), /status.json (fleet "
+        "snapshot), / (dashboard); 0 picks a free port (simulated scans "
+        "only, off by default)",
     )
     parser.add_argument(
         "--fault-plan",
@@ -171,10 +182,14 @@ def main(argv: list[str] | None = None) -> int:
             parser.error(f"--mp-shards must be >= 1 (got {args.mp_shards})")
         if args.live_resolver:
             parser.error("--processes applies to simulated scans only")
-        if args.spans_file:
-            parser.error("--spans-file is not supported with --processes")
     elif args.mp_shards is not None:
         parser.error("--mp-shards requires --processes")
+
+    if args.http_port is not None:
+        if args.http_port < 0 or args.http_port > 65535:
+            parser.error(f"--http-port must be 0..65535 (got {args.http_port})")
+        if args.live_resolver:
+            parser.error("--http-port applies to simulated scans only")
 
     if args.oracle_check is not None:
         if args.oracle_check < 1:
@@ -256,25 +271,67 @@ def _scan_config(args) -> ScanConfig:
     )
 
 
+def _run_info(args) -> dict:
+    """Run metadata shown on the dashboard and in ``/status.json``."""
+    return {
+        "module": args.module,
+        "mode": args.mode,
+        "seed": args.seed,
+        "threads": args.threads,
+        "processes": args.processes or 1,
+    }
+
+
+def _start_server(args, view):
+    """Start the control-plane server over ``view`` when ``--http-port``
+    was given; announces the URL on stderr (the scan owns stdout)."""
+    if args.http_port is None:
+        return None
+    from ..obs.server import TelemetryServer
+
+    server = TelemetryServer(
+        status=view.status_snapshot, metrics=view.prometheus, port=args.http_port
+    ).start()
+    if not args.quiet:
+        print(f"pyzdns: control plane at {server.url}", file=sys.stderr)
+    return server
+
+
 def _run_parallel(args, names, out_handle):
     """Multi-process scan: fork workers, merge shards (see
     :mod:`repro.framework.parallel`)."""
+    from .telemetry import FleetView
+
     if args.fault_plan:
         _load_fault_plan(args.fault_plan)  # fail fast on a bad spec
     config = _scan_config(args)
     config.status_interval = None  # the parent emits the fleet-wide line
-    report = run_parallel_scan(
-        names,
-        config,
-        processes=args.processes,
-        out=out_handle,
-        shards=args.mp_shards,
-        collect_metrics=config.metrics,
-        status_interval=args.status_interval,
-        fault_plan=args.fault_plan,
-        chaos_seed=args.chaos_seed,
-        add_timestamp=not args.no_timestamps,
-    )
+    fleet = FleetView(run_info=_run_info(args))
+    server = _start_server(args, fleet)
+    span_handle = None
+    if args.spans_file:
+        span_handle = open(args.spans_file, "w")
+    try:
+        report = run_parallel_scan(
+            names,
+            config,
+            processes=args.processes,
+            out=out_handle,
+            shards=args.mp_shards,
+            collect_metrics=config.metrics,
+            status_interval=args.status_interval,
+            fault_plan=args.fault_plan,
+            chaos_seed=args.chaos_seed,
+            add_timestamp=not args.no_timestamps,
+            collect_spans=span_handle is not None,
+            span_out=span_handle,
+            fleet_view=fleet if server is not None else None,
+        )
+    finally:
+        if span_handle is not None:
+            span_handle.close()
+        if server is not None:
+            server.stop()
     return report.summary(), report
 
 
@@ -293,13 +350,34 @@ def _run_simulated(args, module, names, out_handle):
     if args.spans_file:
         span_handle = open(args.spans_file, "w")
         span_sink = JsonLineSink(span_handle)
+    view = None
+    server = None
+    target = None
+    if args.http_port is not None or args.status_interval is not None:
+        # done/target and ETA need the total up front; stdin is a stream,
+        # so materialise (the mp path already does the same)
+        names = list(names)
+        target = len(names)
+    if args.http_port is not None:
+        from .telemetry import ScanView
+
+        view = ScanView(run_info=_run_info(args))
+        server = _start_server(args, view)
     try:
         report = ScanRunner(
-            internet, config, module=module, sink=sink, span_sink=span_sink
+            internet,
+            config,
+            module=module,
+            sink=sink,
+            span_sink=span_sink,
+            view=view,
+            target=target,
         ).run(names)
     finally:
         if span_handle is not None:
             span_handle.close()
+        if server is not None:
+            server.stop()
     summary = report.stats.to_json()
     summary["cache"] = report.cache_stats
     summary["cpu_utilisation"] = round(report.cpu_utilisation, 3)

@@ -34,9 +34,18 @@ Design invariants, in order:
 
 Workers stream row batches over pipes as they complete, so the parent
 overlaps merging with scanning; a final per-shard payload carries the
-mergeable stats/metrics state.  ``fork`` is preferred (the corpus is
-inherited copy-on-write); the spec is picklable, so ``spawn`` platforms
-work too, just with a higher start-up cost.
+mergeable stats/metrics state.  Between batches, workers also stream
+:class:`~repro.framework.telemetry.TelemetryDelta` snapshots (periodic
+on each shard's virtual clock) that the parent folds into a live
+:class:`~repro.framework.telemetry.FleetView` — the fleet status line
+and the HTTP control plane read the view; the authoritative end-of-scan
+merge still comes only from the final ``shard_done`` payloads, so the
+live path can never perturb the determinism contract.  Span rows
+(``--spans-file``) travel shard-tagged over the same pipes and are
+merged with the same shard-ordered buffering as output rows.  ``fork``
+is preferred (the corpus is inherited copy-on-write); the spec is
+picklable, so ``spawn`` platforms work too, just with a higher start-up
+cost.
 """
 
 from __future__ import annotations
@@ -51,15 +60,23 @@ from typing import Iterable, TextIO
 
 from ..net import derive_seed
 from ..obs import MetricsRegistry, format_status_line
+from ..obs.status import estimate_eta
 from .io import encode_row, shard
 from .runner import ScanConfig, ScanRunner
 from .stats import ScanStats
+from .telemetry import FleetView, TelemetryDelta
 
 __all__ = [
     "DEFAULT_LOGICAL_SHARDS",
     "ParallelReport",
     "run_parallel_scan",
 ]
+
+#: Default interval, in *virtual* seconds on each shard's clock, between
+#: streamed telemetry deltas.  Deterministic for a fixed corpus (virtual
+#: timers fire at the same points regardless of wall-clock load), so the
+#: message sequence itself is reproducible.
+DEFAULT_DELTA_INTERVAL = 0.5
 
 #: Default logical shard count.  Fixed — deliberately *not* derived from
 #: the process count — so ``--processes 1`` and ``--processes 4`` run
@@ -86,6 +103,11 @@ class _ShardSpec:
     fault_plan: str | None = None
     chaos_seed: int | None = None
     add_timestamp: bool = True
+    #: Stream resolution spans back shard-tagged (lifts the old
+    #: ``--spans-file × --processes`` restriction).
+    collect_spans: bool = False
+    #: Virtual seconds between telemetry deltas; None = no streaming.
+    delta_interval: float | None = None
 
 
 class _PipeSink:
@@ -126,10 +148,44 @@ class _PipeSink:
             self._lines = []
 
 
+class _SpanPipeSink:
+    """Worker-side span sink: shard-tags each span row and ships batches.
+
+    Spans ride the same pipe as output rows but under their own message
+    kind, so the parent can merge them into the spans file with the same
+    shard-ordered buffering — a merged multi-process spans file is the
+    concatenation of the per-shard spans files, shard 0 first.
+    """
+
+    def __init__(self, conn, shard_index: int):
+        self._conn = conn
+        self._shard = shard_index
+        self._lines: list[str] = []
+        self.count = 0
+
+    def __call__(self, span_row: dict) -> None:
+        span_row["shard"] = self._shard
+        self._lines.append(encode_row(span_row))
+        self.count += 1
+        if len(self._lines) >= _ROW_BATCH:
+            self.flush()
+
+    def flush(self) -> None:
+        if self._lines:
+            self._conn.send(("spans", self._shard, self._lines))
+            self._lines = []
+
+
 def _run_shard(shard_index: int, spec: _ShardSpec, conn) -> None:
     """One hermetic sub-scan: own Internet, own RNG streams, own cache."""
+    from ..dnslib import clear_codec_caches
     from ..ecosystem import EcosystemParams, build_internet
     from ..modules import get_module
+
+    # codec memos are process-global: start each shard cold so its
+    # codec.* metrics depend only on the shard's own traffic — the same
+    # numbers whether 8 shards share one process or get one each
+    clear_codec_caches()
 
     base_seed = spec.config.seed
     internet = build_internet(
@@ -153,13 +209,55 @@ def _run_shard(shard_index: int, spec: _ShardSpec, conn) -> None:
         seed=derive_seed(base_seed, "scan", shard_index),
         metrics=spec.collect_metrics,
         status_interval=None,  # the parent emits the fleet-wide line
-        collect_spans=False,
+        collect_spans=False,  # spans flow through the pipe sink instead
     )
     sink = _PipeSink(conn, shard_index, spec.add_timestamp)
+    span_sink = _SpanPipeSink(conn, shard_index) if spec.collect_spans else None
+    shard_names = list(shard(spec.names, spec.shards, shard_index))
+
+    progress = None
+    if spec.delta_interval is not None:
+        seq = [0]
+        target = len(shard_names)
+
+        def progress(*, stats, registry, in_flight, now, complete):
+            seq[0] += 1
+            timeouts = sum(
+                stats.by_status.get(s, 0) for s in ("TIMEOUT", "ITERATIVE_TIMEOUT")
+            )
+            delta = TelemetryDelta(
+                shard=shard_index,
+                seq=seq[0],
+                done=stats.total,
+                successes=stats.successes,
+                timeouts=timeouts,
+                retries=stats.retries_used,
+                queries_sent=stats.queries_sent,
+                in_flight=in_flight,
+                virtual_now=now,
+                cursor=sink.total,
+                target=target,
+                complete=complete,
+                # cumulative mergeable state: the final (complete) delta
+                # is exactly a shard checkpoint
+                stats=stats.to_state(),
+                metrics=registry.dump() if registry.enabled else [],
+            )
+            conn.send(("delta", shard_index, delta.to_payload()))
+
     report = ScanRunner(
-        internet, config, module=get_module(config.module), sink=sink
-    ).run(shard(spec.names, spec.shards, shard_index))
+        internet,
+        config,
+        module=get_module(config.module),
+        sink=sink,
+        span_sink=span_sink,
+        progress=progress,
+        progress_interval=spec.delta_interval,
+        target=len(shard_names),
+    ).run(shard_names)
     sink.flush()
+    if span_sink is not None:
+        span_sink.flush()
     registry = report.registry
     conn.send(
         (
@@ -209,6 +307,8 @@ class ParallelReport:
     processes: int = 0
     shards: int = 0
     rows_written: int = 0
+    #: Shard-tagged span rows merged into the spans file.
+    spans_written: int = 0
     #: The mp executor never profiles (cProfile per worker would need
     #: per-process files); present for ScanReport duck-compatibility.
     profile: dict | None = None
@@ -236,10 +336,11 @@ def _mp_context():
 def _relabel_for(shard_index: int):
     """Metric renamer: per-shard labels for the scopes where summing
     would destroy the signal (which server slice was faulted / unhealthy
-    in *this* shard's chaos stream), fleet sums for everything else."""
+    in *this* shard's chaos stream, whether *this* shard's codec memo
+    gates stayed on), fleet sums for everything else."""
 
     def relabel(name: str) -> str:
-        for scope in ("faults.", "health."):
+        for scope in ("faults.", "health.", "codec."):
             if name.startswith(scope):
                 return f"{scope}shard{shard_index}.{name[len(scope):]}"
         return name
@@ -262,6 +363,10 @@ def run_parallel_scan(
     fault_plan: str | None = None,
     chaos_seed: int | None = None,
     add_timestamp: bool = True,
+    collect_spans: bool = False,
+    span_out: TextIO | None = None,
+    fleet_view: FleetView | None = None,
+    delta_interval: float | None = None,
 ) -> ParallelReport:
     """Run one scan across ``processes`` OS processes.
 
@@ -270,6 +375,10 @@ def run_parallel_scan(
     workers, so shard 0 starts immediately and the merged output can
     stream.  Merged rows are written to ``out`` grouped by shard index
     (see the module docstring for why that order is the normal form).
+    ``collect_spans`` streams shard-tagged resolution spans to
+    ``span_out`` with the same shard-ordered merge.  ``fleet_view``
+    (when given) receives streamed telemetry deltas — hang the HTTP
+    control plane off it; the fleet status line reads the same view.
 
     Determinism contract: for a fixed ``(config.seed, shards)`` the
     merged output bytes, merged stats, and merged metrics are identical
@@ -282,6 +391,13 @@ def run_parallel_scan(
         raise ValueError("shards must be >= 1")
     names = list(names)
     processes = min(processes, shards)
+    # deltas power both the fleet view and the parent status line; when
+    # neither consumer exists the workers skip streaming entirely
+    if delta_interval is None and (fleet_view is not None or status_interval is not None):
+        delta_interval = DEFAULT_DELTA_INTERVAL
+    fleet = fleet_view if fleet_view is not None else FleetView()
+    fleet.shards = shards
+    fleet.target = len(names)
     spec = _ShardSpec(
         names=names,
         shards=shards,
@@ -292,6 +408,8 @@ def run_parallel_scan(
         fault_plan=fault_plan,
         chaos_seed=chaos_seed,
         add_timestamp=add_timestamp,
+        collect_spans=collect_spans and span_out is not None,
+        delta_interval=delta_interval,
     )
 
     ctx = _mp_context()
@@ -313,35 +431,38 @@ def run_parallel_scan(
         connections.append(parent_conn)
 
     buffers: dict[int, list[str]] = {k: [] for k in range(shards)}
+    span_buffers: dict[int, list[str]] = {k: [] for k in range(shards)}
     payloads: dict[int, dict] = {}
-    progress: dict[int, tuple[int, int, int]] = {}
     done_shards: set[int] = set()
     errors: list[tuple[int, str]] = []
     next_flush = 0
     rows_written = 0
+    spans_written = 0
     started = time.monotonic()
     last_status_total = 0
     next_status = started + status_interval if status_interval else None
     stream = status_stream if status_stream is not None else sys.stderr
+    target = len(names)
 
     def emit_status() -> None:
         nonlocal last_status_total
         elapsed = time.monotonic() - started
-        total = sum(p[0] for p in progress.values())
-        successes = sum(p[1] for p in progress.values())
-        timeouts = sum(p[2] for p in progress.values())
-        retries = sum(p["stats"]["retries_used"] for p in payloads.values())
+        counters = fleet.fleet_counters()
+        total = counters["done"]
+        average_rate = total / elapsed if elapsed > 0 else 0.0
         print(
             format_status_line(
                 elapsed=elapsed,
                 total=total,
                 interval_rate=(total - last_status_total) / status_interval,
-                average_rate=total / elapsed if elapsed > 0 else 0.0,
-                success_rate=successes / total if total else 0.0,
-                in_flight=shards - len(done_shards),
-                timeouts=timeouts,
-                retries=retries,
+                average_rate=average_rate,
+                success_rate=counters["successes"] / total if total else 0.0,
+                in_flight=counters["in_flight"],
+                timeouts=counters["timeouts"],
+                retries=counters["retries"],
                 cache_hit_rate=None,
+                target=target,
+                eta=estimate_eta(total, target, average_rate),
             ),
             file=stream,
         )
@@ -361,13 +482,23 @@ def run_parallel_scan(
                     continue
                 kind = message[0]
                 if kind == "rows":
-                    _, shard_index, lines, counters = message
-                    progress[shard_index] = counters
+                    _, shard_index, lines, _counters = message
                     rows_written += len(lines)
                     if shard_index == next_flush:
                         out.writelines(lines)
                     else:
                         buffers[shard_index].extend(lines)
+                elif kind == "delta":
+                    _, shard_index, payload = message
+                    fleet.update(TelemetryDelta.from_payload(payload))
+                elif kind == "spans":
+                    _, shard_index, lines = message
+                    spans_written += len(lines)
+                    if span_out is not None:
+                        if shard_index == next_flush:
+                            span_out.writelines(lines)
+                        else:
+                            span_buffers[shard_index].extend(lines)
                 elif kind == "shard_done":
                     _, shard_index, payload = message
                     payloads[shard_index] = payload
@@ -377,10 +508,16 @@ def run_parallel_scan(
                     # its subsequent batches stream directly
                     while next_flush in done_shards:
                         out.writelines(buffers.pop(next_flush, []))
+                        if span_out is not None:
+                            span_out.writelines(span_buffers.pop(next_flush, []))
                         next_flush += 1
-                    if next_flush < shards and next_flush in buffers:
-                        out.writelines(buffers.pop(next_flush))
-                        buffers[next_flush] = []
+                    if next_flush < shards:
+                        if next_flush in buffers:
+                            out.writelines(buffers.pop(next_flush))
+                            buffers[next_flush] = []
+                        if span_out is not None and next_flush in span_buffers:
+                            span_out.writelines(span_buffers.pop(next_flush))
+                            span_buffers[next_flush] = []
                 elif kind == "done":
                     live.discard(conn)
                 elif kind == "error":
@@ -406,6 +543,7 @@ def run_parallel_scan(
     if len(payloads) != shards:
         missing = sorted(set(range(shards)) - set(payloads))
         raise RuntimeError(f"workers exited without finishing shards {missing}")
+    fleet.finish()
 
     # ---- fold the fleet together -----------------------------------------
     merged_stats = ScanStats()
@@ -458,4 +596,5 @@ def run_parallel_scan(
         processes=processes,
         shards=shards,
         rows_written=rows_written,
+        spans_written=spans_written,
     )

@@ -24,6 +24,7 @@ from ..core import (
     ServerHealthTracker,
     SimDriver,
 )
+from ..dnslib import CODEC_STATS, clear_codec_caches, codec_memo_stats
 from ..ecosystem import SimInternet
 from ..modules import ModuleContext, ScanModule, get_module
 from ..net import CPUModel, GCModel, PortExhaustedError, SimUDPSocket, SourceIPPool
@@ -130,6 +131,10 @@ class ScanRunner:
         registry: MetricsRegistry | None = None,
         span_sink: Callable[[dict], None] | None = None,
         status_stream=None,
+        view=None,
+        progress: Callable[..., None] | None = None,
+        progress_interval: float | None = None,
+        target: int | None = None,
     ):
         self.internet = internet
         self.config = config
@@ -147,6 +152,22 @@ class ScanRunner:
         self.span_sink = span_sink
         #: Status lines go here (default stderr).
         self.status_stream = status_stream
+        #: Control-plane view (:class:`~repro.framework.telemetry.ScanView`):
+        #: bound to the live stats/registry/cache at run start, marked
+        #: complete when the last routine finishes.  Read-only consumers
+        #: (the HTTP server) hang off it; the scan never reads it back.
+        self.view = view
+        #: Streaming telemetry hook: called every ``progress_interval``
+        #: *virtual* seconds with keyword args ``stats``, ``registry``,
+        #: ``in_flight``, ``now``, ``complete`` — and exactly once more,
+        #: ``complete=True``, when the last routine finishes.  The shard
+        #: executor uses it to stream :class:`TelemetryDelta` messages.
+        self.progress = progress
+        self.progress_interval = progress_interval
+        #: Total lookups this run will perform, when the caller knows it
+        #: (materialised name lists) — enables done/target and ETA on
+        #: status lines and in the control-plane views.
+        self.target = target
 
     def _resolver_ips(self) -> list[str]:
         config = self.config
@@ -167,10 +188,25 @@ class ScanRunner:
 
         registry = self.registry
         if registry is None:
+            # the control plane (view / streaming progress) needs live
+            # metrics even when the run itself was not asked to keep them
             registry = MetricsRegistry(
-                enabled=config.metrics or config.status_interval is not None
+                enabled=config.metrics
+                or config.status_interval is not None
+                or self.view is not None
+                or self.progress is not None
             )
         engine_scope = registry.scope("engine")
+        # codec counters are process-global; the per-run contribution is
+        # the delta against this baseline (see the codec scope below).
+        # A metered run also starts with cold codec memos: warmness left
+        # over from an earlier scan in the same process would otherwise
+        # leak into this run's codec.* numbers and break run-to-run
+        # metric determinism (the memos are transparent, so output rows
+        # are unaffected either way).
+        if registry.enabled:
+            clear_codec_caches()
+        codec_baseline = dict(CODEC_STATS)
 
         gc = None
         if config.gc_period is not None and config.gc_pause is not None:
@@ -239,6 +275,15 @@ class ScanRunner:
         if registry.enabled:
             stats.attach(engine_scope)
             inflight = engine_scope.gauge("inflight")
+        if self.view is not None:
+            self.view.bind(
+                stats=stats,
+                registry=registry,
+                cache=self.cache,
+                sim=sim,
+                inflight=inflight,
+                target=self.target,
+            )
         name_iter = iter(names)
         module = self.module
         sink = self.sink
@@ -287,7 +332,10 @@ class ScanRunner:
             futures.append(sim.spawn(worker(socket, ramp * index / config.threads)))
         stats.threads_running = len(futures)
 
-        emitter = None
+        #: callables to run when the last routine finishes — repeating
+        #: virtual timers (status, progress) would otherwise keep the
+        #: event loop alive forever
+        finishers = []
         if config.status_interval is not None:
             emitter = StatusEmitter(
                 sim,
@@ -296,18 +344,56 @@ class ScanRunner:
                 inflight=inflight,
                 cache=self.cache,
                 stream=self.status_stream,
+                target=self.target,
             ).start()
-            # the emitter's repeating timer would keep the event loop
-            # alive forever; the last worker to finish cancels it
+            finishers.append(emitter.stop)
+
+        if self.progress is not None:
+            progress = self.progress
+            interval = self.progress_interval or 1.0
+            progress_timer = [None]
+
+            def _emit_progress(complete: bool) -> None:
+                progress(
+                    stats=stats,
+                    registry=registry,
+                    in_flight=int(inflight.value) if inflight is not None else 0,
+                    now=sim.now,
+                    complete=complete,
+                )
+
+            def _progress_tick() -> None:
+                _emit_progress(False)
+                progress_timer[0] = sim.call_later(interval, _progress_tick)
+
+            progress_timer[0] = sim.call_later(interval, _progress_tick)
+
+            def _progress_finish() -> None:
+                if progress_timer[0] is not None:
+                    progress_timer[0].cancel()
+                    progress_timer[0] = None
+                # the final, complete delta: doubles as a shard checkpoint
+                _emit_progress(True)
+
+            finishers.append(_progress_finish)
+
+        if self.view is not None:
+            finishers.append(self.view.finish)
+
+        if finishers:
             remaining = [len(futures)]
 
             def _worker_done(_future) -> None:
                 remaining[0] -= 1
                 if remaining[0] == 0:
-                    emitter.stop()
+                    for finish in finishers:
+                        finish()
 
             for future in futures:
                 future.add_done_callback(_worker_done)
+            if not futures:
+                for finish in finishers:
+                    finish()
 
         profile = _run_with_optional_profile(sim, config.max_events)
         for future in futures:
@@ -328,6 +414,17 @@ class ScanRunner:
                 health.publish_metrics(registry.scope("health"))
             if oracle is not None:
                 oracle.publish_metrics(registry.scope("oracle"))
+            # wire-codec work this run paid for: counters are the delta
+            # against the process-global baseline taken at run start, so
+            # a shard's numbers are its own even when several scans share
+            # the process; memo gate state is a point-in-time gauge
+            codec_scope = registry.scope("codec")
+            for key, value in CODEC_STATS.items():
+                paid = value - codec_baseline[key]
+                if paid:
+                    codec_scope.counter(key).inc(paid)
+            for key, value in codec_memo_stats().items():
+                codec_scope.gauge(key).set(value)
 
         elapsed = stats.duration
         cpu_utilisation = cpu.utilisation(elapsed) if elapsed else 0.0

@@ -1,0 +1,370 @@
+"""Live scan telemetry: the streaming delta protocol and fleet views.
+
+The storage layer (:mod:`repro.obs`) can *record* a scan; this module is
+what lets an operator *watch* one from outside the process.  Three
+pieces:
+
+* :class:`TelemetryDelta` — the versioned message shard workers stream
+  to the parent over the executor's pipes: a cumulative snapshot of the
+  shard's progress counters, its :class:`~repro.framework.stats.ScanStats`
+  state, its metrics-registry dump, and its cursor (rows emitted so
+  far).  *Cumulative* is the load-bearing property: a lost or coalesced
+  delta costs freshness, never correctness, and the final delta of a
+  shard is exactly the state a future checkpoint/resume needs.
+* :class:`FleetView` — the parent-side fold.  It keeps the latest delta
+  per shard and rebuilds the fleet aggregate on demand (via
+  :meth:`ScanStats.merge` / :meth:`MetricsRegistry.merge_dump`), so the
+  HTTP control plane and the fleet status line read one consistent
+  snapshot without ever touching worker state.
+* :class:`ScanView` — the single-process equivalent: a thin, lock-free
+  view over the runner's *live* stats/registry/cache objects, shaped
+  like a one-shard fleet so ``/status.json`` looks the same either way.
+
+Both views are read-only over the scan: the HTTP server thread only
+calls ``status_snapshot()`` / ``prometheus()``, never mutates, which is
+what keeps the server-on and server-off runs byte-identical.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import asdict, dataclass, field
+
+from ..obs import MetricsRegistry
+from .stats import ScanStats
+
+__all__ = ["DELTA_VERSION", "FleetView", "ScanView", "TelemetryDelta"]
+
+#: Wire version of :class:`TelemetryDelta`.  Bump when fields change
+#: meaning; consumers (the parent fold today, checkpoint files tomorrow)
+#: must reject versions they do not understand rather than misread them.
+DELTA_VERSION = 1
+
+
+@dataclass
+class TelemetryDelta:
+    """One shard's cumulative progress snapshot (pipe message).
+
+    Everything is *cumulative since shard start*, so the parent can
+    always overwrite its previous view of the shard; ``seq`` orders
+    deltas and exposes gaps.  ``stats`` is ``ScanStats.to_state()`` and
+    ``metrics`` is ``MetricsRegistry.dump()`` — both already the
+    mergeable cross-process formats the end-of-scan fold uses, which is
+    deliberate: the live fleet view and the final merge are the same
+    computation at different times, and a ``complete=True`` delta is a
+    shard checkpoint.
+    """
+
+    shard: int
+    seq: int
+    done: int = 0
+    successes: int = 0
+    timeouts: int = 0
+    retries: int = 0
+    queries_sent: int = 0
+    in_flight: int = 0
+    #: Virtual-clock reading in the shard's simulator at emission time.
+    virtual_now: float = 0.0
+    #: Rows emitted so far — the shard's resume cursor: merged output is
+    #: ordered per shard, so a restart replays the shard and skips this
+    #: many completions.
+    cursor: int = 0
+    #: Names assigned to this shard (the shard-local total target).
+    target: int | None = None
+    complete: bool = False
+    stats: dict | None = None
+    metrics: list | None = None
+    version: int = DELTA_VERSION
+
+    def to_payload(self) -> dict:
+        """Plain-dict form (JSON-safe apart from the metrics tuples)."""
+        return asdict(self)
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "TelemetryDelta":
+        version = payload.get("version", 0)
+        if version != DELTA_VERSION:
+            raise ValueError(
+                f"telemetry delta version {version} != supported {DELTA_VERSION}"
+            )
+        return cls(**payload)
+
+
+#: Statuses the views count as timeouts (mirrors the status line).
+_TIMEOUT_STATUSES = ("TIMEOUT", "ITERATIVE_TIMEOUT")
+
+#: Registry scopes surfaced verbatim in ``/status.json`` so an operator
+#: sees *where* the fleet is hurting without scraping ``/metrics``.
+_STATUS_SCOPES = ("faults", "health")
+
+
+def _shard_row(delta: TelemetryDelta, elapsed: float) -> dict:
+    """One per-shard row of the ``/status.json`` fleet snapshot."""
+    return {
+        "shard": delta.shard,
+        "seq": delta.seq,
+        "done": delta.done,
+        "target": delta.target,
+        "successes": delta.successes,
+        "timeouts": delta.timeouts,
+        "retries": delta.retries,
+        "queries_sent": delta.queries_sent,
+        "in_flight": delta.in_flight,
+        "virtual_now": round(delta.virtual_now, 6),
+        "rate_per_s": round(delta.done / elapsed, 2) if elapsed > 0 else 0.0,
+        "complete": delta.complete,
+    }
+
+
+def _scope_tree(registry: MetricsRegistry) -> dict:
+    """The ``faults``/``health`` sub-trees of a registry, when present."""
+    tree = registry.tree()
+    return {scope: tree[scope] for scope in _STATUS_SCOPES if scope in tree}
+
+
+class FleetView:
+    """Thread-safe live state of a multi-process scan.
+
+    The executor's parent loop feeds it (:meth:`update` per delta,
+    :meth:`finish` at the end); the HTTP server and the fleet status
+    line read consistent snapshots.  All aggregation happens at read
+    time from the latest per-shard deltas — updates are a dict store
+    under a lock, so feeding the view never slows the merge loop.
+    """
+
+    def __init__(
+        self,
+        run_info: dict | None = None,
+        shards: int = 0,
+        target: int | None = None,
+        clock=time.monotonic,
+    ):
+        self._lock = threading.Lock()
+        self._deltas: dict[int, TelemetryDelta] = {}
+        self.run_info = dict(run_info or {})
+        self.shards = shards
+        self.target = target
+        self._clock = clock
+        self._started = clock()
+        self.complete = False
+
+    def update(self, delta: TelemetryDelta) -> None:
+        """Fold one shard delta in (latest-wins per shard)."""
+        if delta.version != DELTA_VERSION:
+            raise ValueError(
+                f"telemetry delta version {delta.version} != supported {DELTA_VERSION}"
+            )
+        with self._lock:
+            previous = self._deltas.get(delta.shard)
+            if previous is None or delta.seq >= previous.seq:
+                self._deltas[delta.shard] = delta
+
+    def finish(self) -> None:
+        """Mark the scan complete (post-scan scrapes see a final view)."""
+        with self._lock:
+            self.complete = True
+
+    @property
+    def elapsed(self) -> float:
+        return max(0.0, self._clock() - self._started)
+
+    def fleet_counters(self) -> dict:
+        """Cheap fleet totals (no stats/metrics folding) — what the
+        parent's periodic status line reads."""
+        with self._lock:
+            deltas = list(self._deltas.values())
+        return {
+            "done": sum(d.done for d in deltas),
+            "successes": sum(d.successes for d in deltas),
+            "timeouts": sum(d.timeouts for d in deltas),
+            "retries": sum(d.retries for d in deltas),
+            "queries_sent": sum(d.queries_sent for d in deltas),
+            "in_flight": sum(d.in_flight for d in deltas),
+            "shards_complete": sum(1 for d in deltas if d.complete),
+        }
+
+    def fleet_stats(self) -> ScanStats:
+        """Merged :class:`ScanStats` from the latest per-shard states."""
+        merged = ScanStats()
+        with self._lock:
+            states = [d.stats for d in self._deltas.values() if d.stats]
+        for state in states:
+            merged.merge(ScanStats.from_state(state))
+        return merged
+
+    def merged_registry(self) -> MetricsRegistry:
+        """Live fleet registry: latest per-shard dumps folded together
+        with the same per-shard relabelling the end-of-scan merge uses."""
+        from .parallel import _relabel_for  # local: avoid an import cycle
+
+        registry = MetricsRegistry(enabled=True)
+        with self._lock:
+            dumps = [
+                (shard, delta.metrics)
+                for shard, delta in sorted(self._deltas.items())
+                if delta.metrics
+            ]
+        for shard, dump in dumps:
+            registry.merge_dump(dump, rename=_relabel_for(shard))
+        return registry
+
+    def prometheus(self) -> str:
+        return self.merged_registry().render_prometheus()
+
+    def status_snapshot(self) -> dict:
+        """The ``/status.json`` document: run metadata, fleet totals,
+        per-shard progress rows, and the fault/health scopes."""
+        from ..obs.status import estimate_eta
+
+        with self._lock:
+            deltas = sorted(self._deltas.values(), key=lambda d: d.shard)
+            complete = self.complete
+        elapsed = self.elapsed
+        done = sum(d.done for d in deltas)
+        successes = sum(d.successes for d in deltas)
+        average_rate = done / elapsed if elapsed > 0 else 0.0
+        eta = None if complete else estimate_eta(done, self.target, average_rate)
+        return {
+            "version": DELTA_VERSION,
+            "run": dict(self.run_info),
+            "wall_elapsed_s": round(elapsed, 3),
+            "fleet": {
+                "done": done,
+                "target": self.target,
+                "successes": successes,
+                "success_rate": round(successes / done, 4) if done else 0.0,
+                "timeouts": sum(d.timeouts for d in deltas),
+                "retries": sum(d.retries for d in deltas),
+                "queries_sent": sum(d.queries_sent for d in deltas),
+                "in_flight": sum(d.in_flight for d in deltas),
+                "rate_per_s": round(average_rate, 2),
+                "eta_s": None if eta is None else round(eta, 1),
+                "virtual_now": round(max((d.virtual_now for d in deltas), default=0.0), 6),
+                "shards": self.shards,
+                "shards_reporting": len(deltas),
+                "shards_complete": sum(1 for d in deltas if d.complete),
+                "complete": complete,
+            },
+            "shards": [_shard_row(d, elapsed) for d in deltas],
+            "scopes": _scope_tree(self.merged_registry()),
+        }
+
+
+class ScanView:
+    """Single-process control-plane view: live references, fleet shape.
+
+    Bound by :class:`~repro.framework.runner.ScanRunner` at run start to
+    the scan's *live* ``ScanStats``, registry, cache, and simulator.
+    Reads happen from the HTTP server thread while the simulator thread
+    mutates; every read is either a plain attribute load (atomic under
+    the GIL) or retried on the rare ``RuntimeError`` a resizing dict
+    raises mid-iteration — the view never blocks or mutates the scan.
+    """
+
+    def __init__(self, run_info: dict | None = None, clock=time.monotonic):
+        self.run_info = dict(run_info or {})
+        self._clock = clock
+        self._started = clock()
+        self.target: int | None = None
+        self._stats = None
+        self._registry = None
+        self._cache = None
+        self._sim = None
+        self._inflight = None
+        self.complete = False
+
+    def bind(self, *, stats, registry=None, cache=None, sim=None,
+             inflight=None, target=None) -> "ScanView":
+        """Attach the live scan objects (called by the runner)."""
+        self._stats = stats
+        self._registry = registry
+        self._cache = cache
+        self._sim = sim
+        self._inflight = inflight
+        if target is not None:
+            self.target = target
+        self._started = self._clock()
+        return self
+
+    def finish(self) -> None:
+        self.complete = True
+
+    def _retry(self, fn, default):
+        """Run a read against live, mutating structures; a concurrently
+        resizing dict raises RuntimeError — retry, then fall back."""
+        for _ in range(8):
+            try:
+                return fn()
+            except RuntimeError:
+                continue
+        return default
+
+    def prometheus(self) -> str:
+        registry = self._registry
+        if registry is None or not registry.enabled:
+            return ""
+        return self._retry(registry.render_prometheus, "")
+
+    def status_snapshot(self) -> dict:
+        from ..obs.status import estimate_eta
+
+        elapsed = max(0.0, self._clock() - self._started)
+        stats = self._stats
+        done = stats.total if stats is not None else 0
+        successes = stats.successes if stats is not None else 0
+        timeouts = 0
+        if stats is not None:
+            timeouts = self._retry(
+                lambda: sum(stats.by_status.get(s, 0) for s in _TIMEOUT_STATUSES), 0
+            )
+        in_flight = int(self._inflight.value) if self._inflight is not None else 0
+        virtual_now = float(self._sim.now) if self._sim is not None else 0.0
+        average_rate = done / elapsed if elapsed > 0 else 0.0
+        complete = self.complete
+        eta = None if complete else estimate_eta(done, self.target, average_rate)
+        shard_row = {
+            "shard": 0,
+            "seq": done,
+            "done": done,
+            "target": self.target,
+            "successes": successes,
+            "timeouts": timeouts,
+            "retries": stats.retries_used if stats is not None else 0,
+            "queries_sent": stats.queries_sent if stats is not None else 0,
+            "in_flight": in_flight,
+            "virtual_now": round(virtual_now, 6),
+            "rate_per_s": round(average_rate, 2),
+            "complete": complete,
+        }
+        scopes = {}
+        if self._registry is not None and self._registry.enabled:
+            scopes = self._retry(lambda: _scope_tree(self._registry), {})
+        snapshot = {
+            "version": DELTA_VERSION,
+            "run": dict(self.run_info),
+            "wall_elapsed_s": round(elapsed, 3),
+            "fleet": {
+                "done": done,
+                "target": self.target,
+                "successes": successes,
+                "success_rate": round(successes / done, 4) if done else 0.0,
+                "timeouts": timeouts,
+                "retries": shard_row["retries"],
+                "queries_sent": shard_row["queries_sent"],
+                "in_flight": in_flight,
+                "rate_per_s": round(average_rate, 2),
+                "eta_s": None if eta is None else round(eta, 1),
+                "virtual_now": round(virtual_now, 6),
+                "shards": 1,
+                "shards_reporting": 1 if stats is not None else 0,
+                "shards_complete": 1 if complete else 0,
+                "complete": complete,
+            },
+            "shards": [shard_row] if stats is not None else [],
+            "scopes": scopes,
+        }
+        cache = self._cache
+        if cache is not None:
+            snapshot["fleet"]["cache_hit_rate"] = round(cache.stats.hit_rate, 4)
+        return snapshot

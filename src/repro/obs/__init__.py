@@ -11,6 +11,8 @@ one package:
   attempt, retry, and timeout; exported as JSON lines.
 * :mod:`repro.obs.status` — the periodic one-line scan status stream.
 * :mod:`repro.obs.metadata` — the ``--metadata-file`` run summary.
+* :mod:`repro.obs.server` — the live HTTP control plane (``/metrics``,
+  ``/status.json``, and the ``/`` dashboard) behind ``--http-port``.
 * ``python -m repro.obs.selfcheck`` — an end-to-end smoke test of the
   whole layer against a tiny simulated scan.
 """
@@ -24,9 +26,11 @@ from .metrics import (
     MetricsRegistry,
     NullInstrument,
     Scope,
+    parse_prometheus,
 )
+from .server import TelemetryServer
 from .spans import Span, SpanTracer
-from .status import StatusEmitter, format_status_line
+from .status import StatusEmitter, estimate_eta, format_status_line
 
 __all__ = [
     "Counter",
@@ -39,7 +43,10 @@ __all__ = [
     "Span",
     "SpanTracer",
     "StatusEmitter",
+    "TelemetryServer",
     "build_run_metadata",
+    "estimate_eta",
     "format_status_line",
+    "parse_prometheus",
     "write_metadata",
 ]

@@ -25,6 +25,7 @@ Design constraints, in order:
 from __future__ import annotations
 
 import math
+import re
 from typing import Callable, Iterator
 
 __all__ = [
@@ -35,6 +36,7 @@ __all__ = [
     "NULL_REGISTRY",
     "NullInstrument",
     "Scope",
+    "parse_prometheus",
 ]
 
 
@@ -361,17 +363,28 @@ class MetricsRegistry:
     def render_prometheus(self, namespace: str = "pyzdns") -> str:
         """Prometheus text-exposition dump of every instrument.
 
-        Counters/gauges emit one sample; histograms emit summary-style
-        quantile samples plus ``_count`` and ``_sum``.
+        Conforms to the text exposition format a real scraper parses:
+        every metric family gets ``# HELP`` and ``# TYPE`` lines (the
+        HELP text carries the original dotted registry name), names are
+        sanitized to ``[a-zA-Z_:][a-zA-Z0-9_:]*``, and histograms emit
+        *cumulative* ``_bucket{le="..."}`` series — each bucket counts
+        every observation at or below its upper bound, closing with the
+        mandatory ``le="+Inf"`` bucket that equals ``_count`` — plus
+        ``_sum`` and ``_count`` samples.  :func:`parse_prometheus` is
+        the verifying inverse.
         """
         lines: list[str] = []
         for name, metric in self._metrics.items():
             flat = _sanitize(f"{namespace}_{name}" if namespace else name)
+            lines.append(f"# HELP {flat} registry metric {name}")
             if metric.kind == "histogram":
-                lines.append(f"# TYPE {flat} summary")
-                for q in ("0.5", "0.9", "0.99"):
-                    value = metric.quantile(float(q))
-                    lines.append(f'{flat}{{quantile="{q}"}} {_fmt(value)}')
+                lines.append(f"# TYPE {flat} histogram")
+                cumulative = 0
+                for index in sorted(metric.buckets):
+                    cumulative += metric.buckets[index]
+                    _, high = bucket_bounds(index)
+                    lines.append(f'{flat}_bucket{{le="{_fmt(high)}"}} {cumulative}')
+                lines.append(f'{flat}_bucket{{le="+Inf"}} {metric.count}')
                 lines.append(f"{flat}_sum {_fmt(metric.total)}")
                 lines.append(f"{flat}_count {metric.count}")
             else:
@@ -381,8 +394,130 @@ class MetricsRegistry:
 
 
 def _sanitize(name: str) -> str:
-    """Prometheus metric names allow ``[a-zA-Z0-9_:]`` only."""
-    return "".join(c if (c.isalnum() or c in "_:") else "_" for c in name)
+    """Prometheus metric names allow ``[a-zA-Z0-9_:]`` only, and may not
+    start with a digit."""
+    flat = "".join(c if (c.isalnum() or c in "_:") else "_" for c in name)
+    if flat and flat[0].isdigit():
+        flat = "_" + flat
+    return flat
+
+
+#: ``metric_name`` / ``label_name`` grammar from the exposition format.
+_METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+#: One sample line: ``name{labels} value`` with optional label block.
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^{}]*)\})?"
+    r" (?P<value>\S+)$"
+)
+_LABEL_RE = re.compile(r'^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$')
+
+
+def parse_prometheus(text: str) -> dict:
+    """Parse (and validate) Prometheus text-exposition output.
+
+    The strict inverse of :meth:`MetricsRegistry.render_prometheus`,
+    used by the round-trip tests and the ``--http-smoke`` gate: every
+    sample must belong to an announced ``# TYPE`` family, names must
+    match the exposition grammar, values must parse as floats, and
+    histogram families must form a *cumulative* bucket series —
+    monotonically non-decreasing in ``le`` order, closed by ``+Inf``,
+    with ``+Inf == _count``.  Violations raise :class:`ValueError`.
+
+    Returns ``{family: {"type": kind, "help": str, "samples":
+    [(name, labels, value), ...]}}``.
+    """
+    families: dict[str, dict] = {}
+
+    def family_of(name: str) -> dict:
+        if name in families:
+            return families[name]
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix):
+                base = families.get(name[: -len(suffix)])
+                if base is not None and base["type"] == "histogram":
+                    return base
+        raise ValueError(f"sample {name!r} precedes its # TYPE line")
+
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            if not _METRIC_NAME_RE.match(name):
+                raise ValueError(f"line {lineno}: bad HELP metric name {name!r}")
+            families.setdefault(name, {"type": None, "help": None, "samples": []})
+            families[name]["help"] = help_text
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4:
+                raise ValueError(f"line {lineno}: malformed TYPE line {line!r}")
+            name, kind = parts[2], parts[3]
+            if not _METRIC_NAME_RE.match(name):
+                raise ValueError(f"line {lineno}: bad TYPE metric name {name!r}")
+            if kind not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                raise ValueError(f"line {lineno}: unknown metric type {kind!r}")
+            family = families.setdefault(name, {"type": None, "help": None, "samples": []})
+            if family["samples"]:
+                raise ValueError(f"line {lineno}: TYPE for {name!r} after its samples")
+            family["type"] = kind
+            continue
+        if line.startswith("#"):
+            continue  # comment
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: unparseable sample {line!r}")
+        name = match.group("name")
+        labels: dict[str, str] = {}
+        raw_labels = match.group("labels")
+        if raw_labels:
+            for pair in raw_labels.split(","):
+                label = _LABEL_RE.match(pair.strip())
+                if label is None:
+                    raise ValueError(f"line {lineno}: bad label pair {pair!r}")
+                labels[label.group(1)] = label.group(2)
+        try:
+            value = float(match.group("value"))
+        except ValueError:
+            raise ValueError(
+                f"line {lineno}: non-numeric sample value {match.group('value')!r}"
+            ) from None
+        family_of(name)["samples"].append((name, labels, value))
+
+    for name, family in families.items():
+        if family["type"] is None:
+            raise ValueError(f"family {name!r} has samples but no # TYPE line")
+        if family["type"] != "histogram":
+            continue
+        buckets = [
+            (labels["le"], value)
+            for sample_name, labels, value in family["samples"]
+            if sample_name == f"{name}_bucket"
+        ]
+        counts = {
+            sample_name: value
+            for sample_name, _, value in family["samples"]
+            if sample_name in (f"{name}_count", f"{name}_sum")
+        }
+        if f"{name}_count" not in counts or f"{name}_sum" not in counts:
+            raise ValueError(f"histogram {name!r} missing _sum/_count")
+        if not buckets or buckets[-1][0] != "+Inf":
+            raise ValueError(f"histogram {name!r} does not end in le=\"+Inf\"")
+        previous = None
+        for le, value in buckets:
+            bound = math.inf if le == "+Inf" else float(le)
+            if previous is not None:
+                last_bound, last_value = previous
+                if bound <= last_bound:
+                    raise ValueError(f"histogram {name!r} buckets out of le order")
+                if value < last_value:
+                    raise ValueError(f"histogram {name!r} buckets not cumulative")
+            previous = (bound, value)
+        if buckets[-1][1] != counts[f"{name}_count"]:
+            raise ValueError(f"histogram {name!r}: +Inf bucket != _count")
+    return families
 
 
 def _fmt(value) -> str:

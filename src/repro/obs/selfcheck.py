@@ -11,7 +11,13 @@ from __future__ import annotations
 
 import sys
 
-from . import MetricsRegistry, build_run_metadata, format_status_line
+from . import (
+    MetricsRegistry,
+    build_run_metadata,
+    estimate_eta,
+    format_status_line,
+    parse_prometheus,
+)
 from .metrics import bucket_bounds, bucket_index
 
 
@@ -33,7 +39,12 @@ def check_registry() -> None:
         assert low <= value < high, (value, low, high)
     text = registry.render_prometheus()
     assert "pyzdns_engine_lookups 7" in text, text
-    assert "# TYPE pyzdns_engine_latency summary" in text, text
+    assert "# TYPE pyzdns_engine_latency histogram" in text, text
+    assert 'pyzdns_engine_latency_bucket{le="+Inf"} 5' in text, text
+    # the rendering must satisfy a strict exposition-format parser
+    families = parse_prometheus(text)
+    assert families["pyzdns_engine_lookups"]["type"] == "counter", families
+    assert families["pyzdns_engine_latency"]["type"] == "histogram", families
 
     disabled = MetricsRegistry(enabled=False)
     disabled.scope("x").counter("y").inc()
@@ -94,6 +105,20 @@ def check_scan() -> None:
         cache_hit_rate=0.991,
     )
     assert line.startswith("t=2.0s; 100 done; 50.0/s now"), line
+    line = format_status_line(
+        elapsed=2.0,
+        total=100,
+        interval_rate=50.0,
+        average_rate=50.0,
+        success_rate=0.97,
+        in_flight=20,
+        timeouts=1,
+        retries=2,
+        cache_hit_rate=None,
+        target=500,
+        eta=estimate_eta(100, 500, 50.0),
+    )
+    assert line.startswith("t=2.0s; 100/500 done; eta 8s"), line
 
     metadata = build_run_metadata(
         report.stats.to_json(),
@@ -107,8 +132,49 @@ def check_scan() -> None:
     assert metadata["args"]["threads"] == 20, metadata
 
 
+def check_control_plane() -> None:
+    """A scan with the HTTP control plane attached: both endpoints must
+    serve valid documents and the final snapshot must agree with the
+    scan report."""
+    import json
+    import urllib.request
+
+    from ..ecosystem import EcosystemParams, build_internet
+    from ..framework import ScanConfig, ScanRunner, ScanView
+    from ..workloads import CorpusConfig, DomainCorpus
+    from .server import TelemetryServer
+
+    internet = build_internet(params=EcosystemParams(seed=7))
+    config = ScanConfig(threads=20, seed=7, metrics=True)
+    names = list(DomainCorpus(CorpusConfig(seed=7)).fqdns(200))
+    view = ScanView(run_info={"module": "A", "mode": "iterative"})
+    server = TelemetryServer(status=view.status_snapshot, metrics=view.prometheus).start()
+    try:
+        report = ScanRunner(
+            internet, config, view=view, target=len(names)
+        ).run(names)
+        with urllib.request.urlopen(f"{server.url}/status.json", timeout=5) as response:
+            snapshot = json.loads(response.read())
+        assert snapshot["fleet"]["done"] == 200, snapshot["fleet"]
+        assert snapshot["fleet"]["complete"] is True, snapshot["fleet"]
+        assert snapshot["run"]["module"] == "A", snapshot["run"]
+        assert len(snapshot["shards"]) == 1, snapshot["shards"]
+        with urllib.request.urlopen(f"{server.url}/metrics", timeout=5) as response:
+            families = parse_prometheus(response.read().decode("utf-8"))
+        assert families["pyzdns_engine_lookups"]["samples"][0][2] == 200.0, (
+            families["pyzdns_engine_lookups"]
+        )
+        assert any(name.startswith("pyzdns_codec_") for name in families), sorted(families)
+        with urllib.request.urlopen(f"{server.url}/", timeout=5) as response:
+            dashboard = response.read().decode("utf-8")
+        assert "status.json" in dashboard and "<svg" in dashboard
+        assert report.stats.total == 200
+    finally:
+        server.stop()
+
+
 def main() -> int:
-    checks = [check_registry, check_scan]
+    checks = [check_registry, check_scan, check_control_plane]
     for check in checks:
         check()
         print(f"obs selfcheck: {check.__name__} OK")

@@ -1,0 +1,300 @@
+"""The scan control plane: a stdlib-only background HTTP server.
+
+ZDNS stays operable at 10K-routine scale because the operator can watch
+it run; this module extends that from a stderr stream to a live HTTP
+surface cheap enough to leave enabled:
+
+* ``GET /metrics`` — the metrics registry's Prometheus text rendering
+  (:meth:`~repro.obs.metrics.MetricsRegistry.render_prometheus`), so a
+  real scraper can poll a running scan;
+* ``GET /status.json`` — the fleet snapshot (run metadata, fleet
+  totals with rate/ETA, per-shard progress rows, fault/health scopes);
+* ``GET /`` — a self-contained HTML dashboard that polls
+  ``status.json``: fleet status bar, per-shard progress rows, and a
+  throughput sparkline.
+
+The server is strictly read-only: it calls the two *provider*
+callables it was constructed with (``status() -> dict`` and
+``metrics() -> str``) and never touches scan state itself — which is
+how a scan with the server on stays byte-identical to one with it off.
+It runs as a daemon thread off a ``ThreadingHTTPServer``; ``port=0``
+binds an ephemeral port (read it back from :attr:`TelemetryServer.port`).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable
+
+__all__ = ["DASHBOARD_HTML", "TelemetryServer"]
+
+
+class TelemetryServer:
+    """Background HTTP server over a status provider and a metrics
+    provider.  ``start()`` returns self; ``stop()`` shuts the listener
+    down and joins the serving thread."""
+
+    def __init__(
+        self,
+        status: Callable[[], dict],
+        metrics: Callable[[], str],
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self._status = status
+        self._metrics = metrics
+        self._host = host
+        self._requested_port = port
+        self._httpd: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> "TelemetryServer":
+        if self._httpd is not None:
+            return self
+        server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            # one scan, localhost, short requests: no keep-alive races
+            protocol_version = "HTTP/1.0"
+
+            def log_message(self, *_args) -> None:  # stderr belongs to the scan
+                pass
+
+            def _send(self, status: int, content_type: str, body: bytes) -> None:
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                path = self.path.split("?", 1)[0]
+                try:
+                    if path == "/":
+                        self._send(200, "text/html; charset=utf-8",
+                                   DASHBOARD_HTML.encode("utf-8"))
+                    elif path == "/status.json":
+                        body = json.dumps(server._status(), sort_keys=True)
+                        self._send(200, "application/json", body.encode("utf-8"))
+                    elif path == "/metrics":
+                        self._send(
+                            200,
+                            "text/plain; version=0.0.4; charset=utf-8",
+                            server._metrics().encode("utf-8"),
+                        )
+                    else:
+                        self._send(404, "text/plain; charset=utf-8", b"not found\n")
+                except Exception as error:  # provider hiccup, not a crash
+                    try:
+                        self._send(
+                            500,
+                            "text/plain; charset=utf-8",
+                            f"telemetry provider error: {error}\n".encode("utf-8"),
+                        )
+                    except OSError:
+                        pass  # client already gone
+
+        self._httpd = ThreadingHTTPServer((self._host, self._requested_port), Handler)
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="pyzdns-telemetry",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` to the ephemeral pick)."""
+        if self._httpd is None:
+            return self._requested_port
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self._host}:{self.port}"
+
+    def stop(self) -> None:
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._httpd = None
+        self._thread = None
+
+    def __enter__(self) -> "TelemetryServer":
+        return self.start()
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()
+
+
+#: The `/` dashboard: one self-contained page, no external assets, that
+#: polls ``/status.json`` once a second.  Fleet status bar (stat tiles),
+#: a throughput sparkline built client-side from successive polls, and
+#: one progress row per shard.  Light/dark via CSS custom properties;
+#: the single series wears one hue and identity is never color-alone
+#: (every mark sits next to its text label).
+DASHBOARD_HTML = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>pyzdns scan</title>
+<style>
+  :root {
+    color-scheme: light;
+    --surface: #fcfcfb; --surface-2: #f1f0ee; --border: #dddcd8;
+    --text: #0b0b0b; --text-2: #52514e;
+    --series: #2a78d6;           /* throughput / progress */
+    --good: #008300; --bad: #e34948;
+  }
+  @media (prefers-color-scheme: dark) {
+    :root {
+      color-scheme: dark;
+      --surface: #1a1a19; --surface-2: #242422; --border: #3a3936;
+      --text: #ffffff; --text-2: #c3c2b7;
+      --series: #3987e5;
+      --good: #3fa950; --bad: #e66767;
+    }
+  }
+  body { margin: 0; padding: 16px 20px; background: var(--surface);
+         color: var(--text);
+         font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif; }
+  h1 { font-size: 16px; font-weight: 600; margin: 0 0 2px; }
+  .sub { color: var(--text-2); font-size: 12px; margin-bottom: 14px; }
+  .tiles { display: flex; flex-wrap: wrap; gap: 8px; margin-bottom: 14px; }
+  .tile { background: var(--surface-2); border: 1px solid var(--border);
+          border-radius: 6px; padding: 8px 14px; min-width: 96px; }
+  .tile .v { font-size: 20px; font-weight: 600; font-variant-numeric: tabular-nums; }
+  .tile .k { font-size: 11px; color: var(--text-2); text-transform: uppercase;
+             letter-spacing: 0.04em; }
+  .spark { margin-bottom: 16px; }
+  .spark .cap { font-size: 12px; color: var(--text-2); margin-bottom: 2px; }
+  .spark svg { display: block; width: 100%; height: 56px; }
+  table { border-collapse: collapse; width: 100%; font-variant-numeric: tabular-nums; }
+  th { text-align: left; font-size: 11px; color: var(--text-2);
+       text-transform: uppercase; letter-spacing: 0.04em; font-weight: 500;
+       padding: 4px 10px 4px 0; border-bottom: 1px solid var(--border); }
+  td { padding: 5px 10px 5px 0; border-bottom: 1px solid var(--border); }
+  td.num, th.num { text-align: right; }
+  .bar { background: var(--surface-2); border-radius: 4px; height: 10px;
+         width: 180px; overflow: hidden; }
+  .bar i { display: block; height: 100%; background: var(--series);
+           border-radius: 4px 0 0 4px; }
+  .done-flag { color: var(--good); font-weight: 600; }
+  .err { color: var(--bad); }
+  .muted { color: var(--text-2); }
+</style>
+</head>
+<body>
+<h1>pyzdns live scan</h1>
+<div class="sub" id="run">connecting&hellip;</div>
+<div class="tiles" id="tiles"></div>
+<div class="spark">
+  <div class="cap">throughput <span style="color:var(--series)">&#9644;</span>
+    lookups/s (last 2 minutes) <span id="sparkval" class="muted"></span></div>
+  <svg id="spark" viewBox="0 0 600 56" preserveAspectRatio="none"
+       role="img" aria-label="lookups per second over time"></svg>
+</div>
+<table>
+  <thead><tr>
+    <th>shard</th><th>progress</th><th class="num">done</th>
+    <th class="num">ok %</th><th class="num">rate/s</th>
+    <th class="num">in-flight</th><th class="num">retries</th>
+    <th class="num">virtual t</th><th>state</th>
+  </tr></thead>
+  <tbody id="shards"></tbody>
+</table>
+<script>
+"use strict";
+const hist = [];           // [wall_elapsed_s, fleet done] poll history
+const HIST_MAX = 120;      // ~2 minutes at 1 Hz
+const fmt = n => n == null ? "\\u2013" : n.toLocaleString("en-US");
+
+function tiles(f) {
+  const pct = f.target ? (100 * f.done / f.target).toFixed(1) + "%" : "\\u2013";
+  const eta = f.complete ? "done" :
+    (f.eta_s == null ? "\\u2013" : Math.round(f.eta_s) + "s");
+  const items = [
+    [f.target ? fmt(f.done) + " / " + fmt(f.target) : fmt(f.done), "done"],
+    [pct, "progress"], [eta, "eta"],
+    [fmt(f.rate_per_s), "lookups/s"],
+    [(100 * f.success_rate).toFixed(1) + "%", "success"],
+    [fmt(f.in_flight), "in-flight"], [fmt(f.timeouts), "timeouts"],
+    [fmt(f.retries), "retries"],
+    [f.shards_complete + " / " + f.shards, "shards done"],
+  ];
+  document.getElementById("tiles").innerHTML = items.map(
+    ([v, k]) => `<div class="tile"><div class="v">${v}</div><div class="k">${k}</div></div>`
+  ).join("");
+}
+
+function spark() {
+  const svg = document.getElementById("spark");
+  if (hist.length < 2) { svg.innerHTML = ""; return; }
+  const rates = [];
+  for (let i = 1; i < hist.length; i++) {
+    const dt = hist[i][0] - hist[i - 1][0];
+    rates.push(dt > 0 ? (hist[i][1] - hist[i - 1][1]) / dt : 0);
+  }
+  const max = Math.max(1, ...rates);
+  const w = 600, h = 56, pad = 3;
+  const x = i => pad + i * (w - 2 * pad) / Math.max(1, rates.length - 1);
+  const y = r => h - pad - (r / max) * (h - 2 * pad);
+  const pts = rates.map((r, i) => `${x(i).toFixed(1)},${y(r).toFixed(1)}`);
+  svg.innerHTML =
+    `<polyline points="${pts.join(" ")}" fill="none" stroke="var(--series)"
+      stroke-width="2" stroke-linejoin="round" stroke-linecap="round"/>` +
+    `<circle cx="${x(rates.length - 1)}" cy="${y(rates[rates.length - 1])}"
+      r="3" fill="var(--series)"/>`;
+  document.getElementById("sparkval").textContent =
+    "now " + Math.round(rates[rates.length - 1]).toLocaleString("en-US") + "/s";
+}
+
+function shardRows(shards) {
+  document.getElementById("shards").innerHTML = shards.map(s => {
+    const pct = s.target ? Math.min(100, 100 * s.done / s.target) : 0;
+    const ok = s.done ? (100 * s.successes / s.done).toFixed(1) : "0.0";
+    const state = s.complete ? '<span class="done-flag">&#10003; complete</span>'
+                             : '<span class="muted">running</span>';
+    return `<tr><td>${s.shard}</td>
+      <td><div class="bar"><i style="width:${pct.toFixed(1)}%"></i></div></td>
+      <td class="num">${fmt(s.done)}${s.target ? '<span class="muted"> / ' + fmt(s.target) + "</span>" : ""}</td>
+      <td class="num">${ok}</td><td class="num">${fmt(s.rate_per_s)}</td>
+      <td class="num">${fmt(s.in_flight)}</td><td class="num">${fmt(s.retries)}</td>
+      <td class="num">${s.virtual_now.toFixed(1)}s</td><td>${state}</td></tr>`;
+  }).join("");
+}
+
+async function poll() {
+  try {
+    const r = await fetch("status.json", {cache: "no-store"});
+    const s = await r.json();
+    const run = s.run || {};
+    document.getElementById("run").textContent =
+      `module ${run.module ?? "?"} \\u00b7 mode ${run.mode ?? "?"} \\u00b7 ` +
+      `seed ${run.seed ?? "?"} \\u00b7 ${run.processes ?? 1} process(es) \\u00b7 ` +
+      `${s.fleet.shards} shard(s) \\u00b7 wall ${s.wall_elapsed_s.toFixed(1)}s` +
+      (s.fleet.complete ? " \\u00b7 complete" : "");
+    hist.push([s.wall_elapsed_s, s.fleet.done]);
+    if (hist.length > HIST_MAX + 1) hist.shift();
+    tiles(s.fleet);
+    spark();
+    shardRows(s.shards || []);
+  } catch (e) {
+    document.getElementById("run").innerHTML =
+      '<span class="err">scan endpoint unreachable (scan finished?)</span>';
+  }
+}
+poll();
+setInterval(poll, 1000);
+</script>
+</body>
+</html>
+"""

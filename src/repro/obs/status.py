@@ -14,10 +14,26 @@ from __future__ import annotations
 import sys
 from typing import Callable, TextIO
 
-__all__ = ["StatusEmitter", "format_status_line"]
+__all__ = ["StatusEmitter", "estimate_eta", "format_status_line"]
 
 #: Statuses counted as timeouts on the status line.
 _TIMEOUT_STATUSES = ("TIMEOUT", "ITERATIVE_TIMEOUT")
+
+
+def estimate_eta(total: int, target: int | None, average_rate: float) -> float | None:
+    """Seconds until ``target`` completions at ``average_rate``.
+
+    ``None`` when there is no target or no rate to extrapolate from;
+    0.0 once the target is reached (the scan is draining, not behind).
+    """
+    if target is None or target <= 0:
+        return None
+    remaining = target - total
+    if remaining <= 0:
+        return 0.0
+    if average_rate <= 0:
+        return None
+    return remaining / average_rate
 
 
 def format_status_line(
@@ -30,11 +46,20 @@ def format_status_line(
     timeouts: int,
     retries: int,
     cache_hit_rate: float | None,
+    target: int | None = None,
+    eta: float | None = None,
 ) -> str:
-    """The one-line scan status, ZDNS-style semicolon-separated."""
-    parts = [
-        f"t={elapsed:.1f}s",
-        f"{total} done",
+    """The one-line scan status, ZDNS-style semicolon-separated.
+
+    ``target`` turns the progress segment into ``12000/50000 done`` and
+    ``eta`` (seconds) appends ``eta 41s`` right after it, so an operator
+    reads *how far along* and *how much longer* in one glance.
+    """
+    done = f"{total}/{target} done" if target is not None else f"{total} done"
+    parts = [f"t={elapsed:.1f}s", done]
+    if eta is not None:
+        parts.append(f"eta {eta:.0f}s")
+    parts += [
         f"{interval_rate:.1f}/s now",
         f"{average_rate:.1f}/s avg",
         f"{success_rate * 100:.1f}% ok",
@@ -65,6 +90,7 @@ class StatusEmitter:
         cache=None,
         stream: TextIO | None = None,
         write: Callable[[str], None] | None = None,
+        target: int | None = None,
     ):
         if interval <= 0:
             raise ValueError("status interval must be positive")
@@ -73,6 +99,9 @@ class StatusEmitter:
         self.stats = stats
         self.inflight = inflight
         self.cache = cache
+        #: Total lookups the scan will perform, when known — adds the
+        #: ``done/target`` and ``eta`` segments to every line.
+        self.target = target
         if write is None:
             stream = stream if stream is not None else sys.stderr
             write = lambda line: print(line, file=stream)  # noqa: E731
@@ -119,17 +148,20 @@ class StatusEmitter:
         cache_hit = None
         if self.cache is not None:
             cache_hit = self.cache.stats.hit_rate
+        average_rate = stats.total / elapsed if elapsed > 0 else 0.0
         self.write(
             format_status_line(
                 elapsed=elapsed,
                 total=stats.total,
                 interval_rate=done_since / self.interval,
-                average_rate=stats.total / elapsed if elapsed > 0 else 0.0,
+                average_rate=average_rate,
                 success_rate=stats.success_rate,
                 in_flight=int(self.inflight.value) if self.inflight is not None else 0,
                 timeouts=timeouts,
                 retries=stats.retries_used,
                 cache_hit_rate=cache_hit,
+                target=self.target,
+                eta=estimate_eta(stats.total, self.target, average_rate),
             )
         )
         self.lines_emitted += 1

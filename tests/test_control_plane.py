@@ -1,0 +1,247 @@
+"""Tests for the live scan control plane (repro.framework.telemetry +
+repro.obs.server): the versioned delta protocol, the parent-side fleet
+fold, the single-process view, ETA estimation, and the HTTP endpoints.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.ecosystem import EcosystemParams, build_internet
+from repro.framework import (
+    DELTA_VERSION,
+    FleetView,
+    ScanConfig,
+    ScanRunner,
+    ScanView,
+    TelemetryDelta,
+)
+from repro.obs import MetricsRegistry, estimate_eta, parse_prometheus
+from repro.obs.server import DASHBOARD_HTML, TelemetryServer
+from repro.workloads import CorpusConfig, DomainCorpus
+
+
+# ---------------------------------------------------------------------------
+# TelemetryDelta: the versioned wire message
+# ---------------------------------------------------------------------------
+
+
+class TestTelemetryDelta:
+    def test_payload_round_trip(self):
+        delta = TelemetryDelta(
+            shard=3, seq=7, done=120, successes=110, timeouts=4, retries=9,
+            queries_sent=500, in_flight=12, virtual_now=8.25, cursor=118,
+            target=400, complete=False, stats={"total": 120},
+        )
+        clone = TelemetryDelta.from_payload(delta.to_payload())
+        assert clone == delta
+
+    def test_unknown_version_rejected(self):
+        payload = TelemetryDelta(shard=0, seq=1).to_payload()
+        payload["version"] = DELTA_VERSION + 1
+        with pytest.raises(ValueError, match="version"):
+            TelemetryDelta.from_payload(payload)
+
+    def test_fleet_view_rejects_unknown_version(self):
+        delta = TelemetryDelta(shard=0, seq=1)
+        delta.version = DELTA_VERSION + 1
+        with pytest.raises(ValueError, match="version"):
+            FleetView().update(delta)
+
+
+# ---------------------------------------------------------------------------
+# FleetView: latest-wins folding and fleet aggregation
+# ---------------------------------------------------------------------------
+
+
+def _delta(shard, seq, done, complete=False, metrics=None):
+    return TelemetryDelta(
+        shard=shard, seq=seq, done=done, successes=done, queries_sent=3 * done,
+        in_flight=5, virtual_now=float(seq), target=100, complete=complete,
+        metrics=metrics,
+    )
+
+
+class TestFleetView:
+    def test_latest_delta_wins_per_shard(self):
+        fleet = FleetView(shards=2)
+        fleet.update(_delta(0, seq=1, done=10))
+        fleet.update(_delta(0, seq=3, done=30))
+        fleet.update(_delta(0, seq=2, done=20))  # stale: arrived late
+        assert fleet.fleet_counters()["done"] == 30
+
+    def test_counters_sum_across_shards(self):
+        fleet = FleetView(shards=3, target=300)
+        for shard in range(3):
+            fleet.update(_delta(shard, seq=1, done=10 * (shard + 1)))
+        counters = fleet.fleet_counters()
+        assert counters["done"] == 60
+        assert counters["in_flight"] == 15
+        assert counters["shards_complete"] == 0
+
+    def test_snapshot_shape_and_eta(self):
+        clock_value = [0.0]
+        fleet = FleetView(
+            run_info={"module": "A"}, shards=2, target=100,
+            clock=lambda: clock_value[0],
+        )
+        clock_value[0] = 2.0  # 2s elapsed
+        fleet.update(_delta(0, seq=4, done=20))
+        fleet.update(_delta(1, seq=4, done=30, complete=True))
+        snapshot = fleet.status_snapshot()
+        assert snapshot["version"] == DELTA_VERSION
+        assert snapshot["fleet"]["done"] == 50
+        assert snapshot["fleet"]["rate_per_s"] == 25.0
+        # 50 remaining at 25/s
+        assert snapshot["fleet"]["eta_s"] == 2.0
+        assert snapshot["fleet"]["shards_reporting"] == 2
+        assert snapshot["fleet"]["shards_complete"] == 1
+        assert [row["shard"] for row in snapshot["shards"]] == [0, 1]
+        assert json.dumps(snapshot)  # JSON-serialisable end to end
+
+    def test_merged_registry_relabels_scoped_metrics(self):
+        def dump_for(shard):
+            registry = MetricsRegistry(enabled=True)
+            registry.scope("engine").counter("lookups").inc(10)
+            registry.scope("faults").counter("injected").inc(shard + 1)
+            return registry.dump()
+
+        fleet = FleetView(shards=2)
+        for shard in range(2):
+            fleet.update(_delta(shard, seq=1, done=10, metrics=dump_for(shard)))
+        snap = fleet.merged_registry().snapshot()
+        assert snap["engine.lookups"] == 20
+        assert snap["faults.shard0.injected"] == 1
+        assert snap["faults.shard1.injected"] == 2
+
+    def test_finish_marks_complete_and_clears_eta(self):
+        fleet = FleetView(shards=1, target=100)
+        fleet.update(_delta(0, seq=1, done=100, complete=True))
+        fleet.finish()
+        snapshot = fleet.status_snapshot()
+        assert snapshot["fleet"]["complete"] is True
+        assert snapshot["fleet"]["eta_s"] is None
+
+
+# ---------------------------------------------------------------------------
+# estimate_eta
+# ---------------------------------------------------------------------------
+
+
+class TestEstimateEta:
+    def test_basic_extrapolation(self):
+        assert estimate_eta(100, 500, 50.0) == pytest.approx(8.0)
+
+    def test_no_target_or_rate(self):
+        assert estimate_eta(100, None, 50.0) is None
+        assert estimate_eta(100, 0, 50.0) is None
+        assert estimate_eta(0, 500, 0.0) is None
+
+    def test_target_reached_is_zero(self):
+        assert estimate_eta(500, 500, 50.0) == 0.0
+        assert estimate_eta(600, 500, 50.0) == 0.0
+
+
+# ---------------------------------------------------------------------------
+# ScanView + TelemetryServer: single-process control plane end to end
+# ---------------------------------------------------------------------------
+
+
+def _get(url, timeout=5):
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return response.status, response.headers.get("Content-Type"), response.read()
+
+
+class TestServerEndpoints:
+    def test_endpoints_serve_live_scan_state(self):
+        internet = build_internet(params=EcosystemParams(seed=5))
+        names = list(DomainCorpus(CorpusConfig(seed=5)).fqdns(60))
+        view = ScanView(run_info={"module": "A", "mode": "iterative"})
+        server = TelemetryServer(
+            status=view.status_snapshot, metrics=view.prometheus
+        ).start()
+        try:
+            assert server.port > 0
+            # before the scan binds: empty but well-formed documents
+            status, ctype, body = _get(f"{server.url}/status.json")
+            assert status == 200 and ctype == "application/json"
+            early = json.loads(body)
+            assert early["fleet"]["done"] == 0
+            assert early["shards"] == []
+
+            report = ScanRunner(
+                internet,
+                ScanConfig(module="A", threads=30, seed=5),
+                view=view,
+                target=len(names),
+            ).run(names)
+
+            status, _, body = _get(f"{server.url}/status.json")
+            snapshot = json.loads(body)
+            assert snapshot["fleet"]["done"] == report.stats.total == 60
+            assert snapshot["fleet"]["target"] == 60
+            assert snapshot["fleet"]["complete"] is True
+            assert snapshot["run"]["module"] == "A"
+            assert snapshot["fleet"]["cache_hit_rate"] >= 0.0
+
+            status, ctype, body = _get(f"{server.url}/metrics")
+            assert status == 200 and "text/plain" in ctype
+            families = parse_prometheus(body.decode("utf-8"))
+            assert families["pyzdns_engine_lookups"]["samples"][0][2] == 60.0
+
+            status, ctype, body = _get(f"{server.url}/")
+            assert status == 200 and "text/html" in ctype
+            assert b"status.json" in body
+        finally:
+            server.stop()
+
+    def test_unknown_path_is_404(self):
+        view = ScanView()
+        with TelemetryServer(status=view.status_snapshot, metrics=view.prometheus) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(f"{server.url}/nope")
+            assert excinfo.value.code == 404
+
+    def test_provider_error_is_500_not_crash(self):
+        def broken():
+            raise RuntimeError("boom")
+
+        with TelemetryServer(status=broken, metrics=lambda: "") as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(f"{server.url}/status.json")
+            assert excinfo.value.code == 500
+            # the server survives the provider error
+            status, _, _ = _get(f"{server.url}/metrics")
+            assert status == 200
+
+    def test_stop_is_idempotent_and_start_rebinds(self):
+        view = ScanView()
+        server = TelemetryServer(status=view.status_snapshot, metrics=view.prometheus)
+        server.start()
+        first_port = server.port
+        server.stop()
+        server.stop()
+        server.start()
+        assert server.port != 0
+        status, _, _ = _get(f"{server.url}/")
+        assert status == 200
+        server.stop()
+        assert first_port > 0
+
+
+class TestDashboard:
+    def test_dashboard_is_self_contained(self):
+        """No external scripts, stylesheets, or fonts: the dashboard must
+        render from a scan box with no internet access."""
+        lowered = DASHBOARD_HTML.lower()
+        assert "<script src" not in lowered
+        assert "<link" not in lowered
+        assert "@import" not in lowered
+        assert "http://" not in lowered and "https://" not in lowered
+
+    def test_dashboard_polls_status_and_draws_shards(self):
+        assert 'fetch("status.json"' in DASHBOARD_HTML
+        assert "shards" in DASHBOARD_HTML
+        assert "prefers-color-scheme: dark" in DASHBOARD_HTML

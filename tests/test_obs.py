@@ -24,7 +24,9 @@ from repro.obs import (
     SpanTracer,
     StatusEmitter,
     build_run_metadata,
+    estimate_eta,
     format_status_line,
+    parse_prometheus,
     write_metadata,
 )
 from repro.obs.metrics import NULL_REGISTRY, bucket_bounds, bucket_index
@@ -132,22 +134,86 @@ class TestHistogram:
 
 
 class TestPrometheusRendering:
-    def test_render_counters_gauges_histograms(self):
+    def _registry(self):
         registry = MetricsRegistry()
         registry.scope("engine").counter("lookups").inc(42)
         registry.scope("cache").gauge("hit_rate").set(0.991)
         h = registry.scope("engine").histogram("queries_per_lookup")
-        h.observe(3)
-        text = registry.render_prometheus()
+        for value in (0.5, 3, 3, 700):
+            h.observe(value)
+        return registry
+
+    def test_render_counters_gauges_histograms(self):
+        text = self._registry().render_prometheus()
+        assert "# HELP pyzdns_engine_lookups" in text
         assert "# TYPE pyzdns_engine_lookups counter" in text
         assert "pyzdns_engine_lookups 42" in text
+        assert "# TYPE pyzdns_cache_hit_rate gauge" in text
         assert "pyzdns_cache_hit_rate 0.991" in text
-        assert "# TYPE pyzdns_engine_queries_per_lookup summary" in text
-        assert 'pyzdns_engine_queries_per_lookup{quantile="0.5"}' in text
-        assert "pyzdns_engine_queries_per_lookup_count 1" in text
+        # exposition-format histogram: cumulative buckets ending at +Inf,
+        # plus _sum/_count — no summary quantiles
+        assert "# TYPE pyzdns_engine_queries_per_lookup histogram" in text
+        assert 'pyzdns_engine_queries_per_lookup_bucket{le="+Inf"} 4' in text
+        assert "pyzdns_engine_queries_per_lookup_count 4" in text
+        assert "quantile=" not in text
+
+    def test_round_trip_through_parser(self):
+        """The rendering must survive a strict exposition-format parser:
+        name grammar, TYPE-before-samples, le-ordered cumulative buckets,
+        +Inf == _count, _sum/_count presence."""
+        families = parse_prometheus(self._registry().render_prometheus())
+        assert families["pyzdns_engine_lookups"]["type"] == "counter"
+        assert families["pyzdns_engine_lookups"]["samples"][0][2] == 42.0
+        hist = families["pyzdns_engine_queries_per_lookup"]
+        assert hist["type"] == "histogram"
+        buckets = [s for s in hist["samples"] if s[0].endswith("_bucket")]
+        counts = [value for _, _, value in buckets]
+        assert counts == sorted(counts)  # cumulative
+        assert buckets[-1][1]["le"] == "+Inf"
+        assert buckets[-1][2] == 4.0
+
+    def test_parser_rejects_malformed_text(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("9bad_name 1\n")
+        with pytest.raises(ValueError):
+            parse_prometheus("ok_metric notanumber\n")
+        with pytest.raises(ValueError):
+            # buckets must be cumulative
+            parse_prometheus(
+                "# TYPE h histogram\n"
+                'h_bucket{le="1"} 5\nh_bucket{le="2"} 3\nh_bucket{le="+Inf"} 5\n'
+                "h_sum 4\nh_count 5\n"
+            )
+        with pytest.raises(ValueError):
+            # +Inf bucket must equal _count
+            parse_prometheus(
+                "# TYPE h histogram\n"
+                'h_bucket{le="+Inf"} 4\nh_sum 4\nh_count 5\n'
+            )
+
+    def test_merged_fleet_registry_round_trips(self):
+        """A multi-shard merged dump (relabelled scopes and all) still
+        renders valid exposition text."""
+        fleet = MetricsRegistry()
+        for shard in range(2):
+            worker = MetricsRegistry()
+            worker.scope("engine").counter("lookups").inc(10 + shard)
+            worker.scope("faults").counter("injected").inc(shard)
+            worker.scope("engine").histogram("latency").observe(0.01 * (shard + 1))
+            rename = lambda name, s=shard: (
+                f"faults.shard{s}.{name[len('faults.'):]}"
+                if name.startswith("faults.")
+                else name
+            )
+            fleet.merge_dump(worker.dump(), rename=rename)
+        families = parse_prometheus(fleet.render_prometheus())
+        assert families["pyzdns_engine_lookups"]["samples"][0][2] == 21.0
+        assert "pyzdns_faults_shard0_injected" in families
+        assert "pyzdns_faults_shard1_injected" in families
 
     def test_empty_registry_renders_empty(self):
         assert MetricsRegistry().render_prometheus() == ""
+        assert parse_prometheus("") == {}
 
 
 class TestSpans:

@@ -12,11 +12,11 @@ import random
 
 import pytest
 
-from repro.framework import ScanConfig, run_parallel_scan
+from repro.framework import FleetView, ScanConfig, run_parallel_scan
 from repro.framework.cli import main
 from repro.framework.io import shard
 from repro.framework.stats import ScanStats
-from repro.obs import MetricsRegistry
+from repro.obs import MetricsRegistry, parse_prometheus
 from repro.workloads import CorpusConfig, DomainCorpus
 
 
@@ -256,6 +256,135 @@ class TestParallelDeterminism:
 
 
 # ---------------------------------------------------------------------------
+# spans under --processes: shard-tagged, merged shard-ordered
+# ---------------------------------------------------------------------------
+
+
+class TestParallelSpans:
+    def _run_spans(self, corpus, processes, shards=4):
+        out, spans = io_module.StringIO(), io_module.StringIO()
+        report = run_parallel_scan(
+            corpus,
+            _config(),
+            processes=processes,
+            out=out,
+            shards=shards,
+            add_timestamp=False,
+            collect_spans=True,
+            span_out=spans,
+        )
+        return spans.getvalue(), report
+
+    def test_span_stream_independent_of_process_count(self, corpus):
+        spans_1, report_1 = self._run_spans(corpus, processes=1)
+        spans_4, report_4 = self._run_spans(corpus, processes=4)
+        assert spans_1 == spans_4
+        assert report_1.spans_written == report_4.spans_written > 0
+
+    def test_spans_are_shard_tagged_and_shard_ordered(self, corpus):
+        shards = 4
+        text, report = self._run_spans(corpus, processes=2, shards=shards)
+        rows = [json.loads(line) for line in text.splitlines()]
+        assert len(rows) == report.spans_written
+        tags = [row["shard"] for row in rows]
+        assert set(tags) == set(range(shards))
+        # merged stream is grouped by shard index, shard 0 first
+        assert tags == sorted(tags)
+
+    def test_span_count_matches_single_process_equivalent(self, corpus):
+        """The executor must not lose or duplicate spans: one lookup
+        root span per name, exactly as a 1-process scan produces."""
+        text, _ = self._run_spans(corpus, processes=3)
+        rows = [json.loads(line) for line in text.splitlines()]
+        lookups = [row for row in rows if row["span"] == "lookup"]
+        assert len(lookups) == NAMES
+        names = sorted(row["name"] for row in lookups)
+        assert names == sorted(corpus)
+
+
+# ---------------------------------------------------------------------------
+# streaming telemetry: deltas fold into a live FleetView
+# ---------------------------------------------------------------------------
+
+
+class TestFleetTelemetry:
+    def test_fleet_view_sees_every_shard_complete(self, corpus):
+        fleet = FleetView(run_info={"module": "A"})
+        out = io_module.StringIO()
+        run_parallel_scan(
+            corpus,
+            _config(),
+            processes=2,
+            out=out,
+            shards=4,
+            add_timestamp=False,
+            fleet_view=fleet,
+        )
+        snapshot = fleet.status_snapshot()
+        assert snapshot["fleet"]["done"] == NAMES
+        assert snapshot["fleet"]["target"] == NAMES
+        assert snapshot["fleet"]["complete"] is True
+        assert snapshot["fleet"]["shards_complete"] == 4
+        assert snapshot["run"]["module"] == "A"
+        rows = snapshot["shards"]
+        assert [row["shard"] for row in rows] == [0, 1, 2, 3]
+        for row in rows:
+            assert row["complete"] is True
+            assert row["done"] == row["target"]
+            assert row["seq"] >= 1
+        assert sum(row["done"] for row in rows) == NAMES
+
+    def test_fleet_prometheus_renders_merged_registry(self, corpus):
+        fleet = FleetView()
+        out = io_module.StringIO()
+        run_parallel_scan(
+            corpus,
+            _config(),
+            processes=2,
+            out=out,
+            shards=2,
+            add_timestamp=False,
+            fleet_view=fleet,
+        )
+        families = parse_prometheus(fleet.prometheus())
+        assert families["pyzdns_engine_lookups"]["samples"][0][2] == float(NAMES)
+
+    def test_deltas_do_not_perturb_merged_output(self, corpus):
+        """The live path reads, never writes: output bytes are identical
+        with and without a fleet view attached."""
+        plain, _ = _run(corpus, processes=2)
+        fleet = FleetView()
+        out = io_module.StringIO()
+        run_parallel_scan(
+            corpus,
+            _config(),
+            processes=2,
+            out=out,
+            shards=4,
+            add_timestamp=False,
+            fleet_view=fleet,
+        )
+        assert out.getvalue() == plain
+
+    def test_fleet_status_line_carries_target(self, corpus):
+        """The parent's fleet-wide status line shows done/target (and an
+        eta once a rate exists)."""
+        out, status = io_module.StringIO(), io_module.StringIO()
+        run_parallel_scan(
+            corpus,
+            _config(),
+            processes=2,
+            out=out,
+            shards=4,
+            add_timestamp=False,
+            status_interval=0.02,
+            status_stream=status,
+        )
+        for line in status.getvalue().splitlines():
+            assert f"/{NAMES} done" in line
+
+
+# ---------------------------------------------------------------------------
 # CLI: bad topologies exit as clean usage errors
 # ---------------------------------------------------------------------------
 
@@ -299,11 +428,15 @@ class TestCliValidation:
         )
         assert "simulated" in err
 
-    def test_processes_rejects_spans_file(self, capsys):
+    def test_http_port_rejects_live_resolver(self, capsys):
         err = self._expect_usage_error(
-            ["A", "--processes", "2", "--spans-file", "spans.jsonl"], capsys
+            ["A", "--http-port", "0", "--live-resolver", "127.0.0.1:53"], capsys
         )
-        assert "--spans-file" in err
+        assert "--http-port" in err
+
+    def test_http_port_range_checked(self, capsys):
+        err = self._expect_usage_error(["A", "--http-port", "70000"], capsys)
+        assert "--http-port" in err
 
     def test_unknown_module_is_clean(self, capsys):
         self._expect_usage_error(["NOSUCHMODULE"], capsys)
