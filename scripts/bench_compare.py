@@ -297,7 +297,13 @@ def mp_smoke(profile: str, repeats: int) -> int:
     from bench_wallclock_hotpath import BENCH_SEED, PROFILES, _timed
 
     from repro.framework import ScanConfig, run_parallel_scan
-    from repro.framework.parallel import _relabel_for, _run_shard, _ShardSpec
+    from repro.framework.io import shard as shard_names
+    from repro.framework.parallel import (
+        _plan_tasks,
+        _relabel_for,
+        _run_task,
+        _ShardSpec,
+    )
     from repro.obs import MetricsRegistry
     from repro.workloads import DomainCorpus
 
@@ -360,10 +366,10 @@ def mp_smoke(profile: str, repeats: int) -> int:
             self.payload = None
 
         def send(self, message):
-            if message[0] == "shard_done":
+            if message[0] == "task_done":
                 self.payload = message[2]
 
-    print("mp smoke: re-running each shard in-process to check the metric sums ...")
+    print("mp smoke: re-running each task in-process to check the metric sums ...")
     spec = _ShardSpec(
         names=names,
         shards=shards,
@@ -371,15 +377,18 @@ def mp_smoke(profile: str, repeats: int) -> int:
         collect_metrics=True,
         add_timestamp=False,
     )
+    shard_sizes = [
+        len(list(shard_names(names, shards, index))) for index in range(shards)
+    ]
     expected = MetricsRegistry(enabled=True)
-    for shard_index in range(shards):
+    for task in _plan_tasks(shard_sizes, None):
         collector = _Collector()
-        _run_shard(shard_index, spec, collector)
+        _run_task(task, spec, collector)
         expected.merge_dump(
-            collector.payload["metrics"], rename=_relabel_for(shard_index)
+            collector.payload["metrics"], rename=_relabel_for(task.shard)
         )
     if expected.snapshot() != scan_metrics(report_4):
-        print("FAIL: merged registry != sum of the per-shard registries")
+        print("FAIL: merged registry != sum of the per-task registries")
         return 1
 
     speedup = wall_1 / wall_4 if wall_4 else 0.0
@@ -517,6 +526,137 @@ def http_smoke(profile: str, repeats: int) -> int:
     if status == 0:
         print("\nOK — control plane gate passes "
               "(live monotonic progress, valid exposition text, byte-identical output)")
+    return status
+
+
+def resume_smoke(profile: str, repeats: int) -> int:
+    """The durability gate (checkpoint/resume + work stealing), in four:
+
+    1. an uninterrupted 4-process CLI scan with checkpointing enabled —
+       the byte-identity reference (checkpoint telemetry schedules
+       virtual-clock timers, so it is part of the scan configuration
+       and the reference must carry it too);
+    2. the same scan SIGKILLed mid-flight: ``REPRO_TEST_CRASH`` makes
+       the parent kill itself right after journaling its 10th task
+       record (of 16), exactly like ``kill -9`` on a real scan box;
+    3. ``--resume`` from the checkpoint directory: the merged rows,
+       metrics dump, spans file and stderr stats summary must be
+       *byte-identical* to step 1;
+    4. work-proportionality: with 10/16 tasks already journalled, the
+       resume may not cost more than 60% of the from-scratch wall
+       clock (on this single-core host wall tracks work directly).
+
+    ``repeats`` is ignored — determinism does the work.  Returns a
+    process exit status (0 = gate passes).
+    """
+    import subprocess
+    import tempfile
+    import time
+
+    from bench_wallclock_hotpath import BENCH_SEED, PROFILES
+
+    from repro.workloads import DomainCorpus
+
+    sizes = PROFILES[profile]
+    threads, lookups = sizes["e2e_threads"], sizes["e2e_lookups"]
+    shards = 4
+    # 4 segments per shard -> 16 tasks; the kill lands after task 10.
+    shard_size = -(-lookups // shards)
+    quantum = -(-shard_size // 4)
+    kill_after = 10
+
+    def run(workdir, tag, *, checkpoint=None, resume=None, crash=None):
+        out = workdir / f"{tag}.jsonl"
+        prom = workdir / f"{tag}.prom"
+        spans = workdir / f"{tag}.spans"
+        argv = [
+            sys.executable, "-m", "repro.framework.cli", "A",
+            "-f", str(workdir / "names.txt"), "-o", str(out),
+            "--processes", "4", "--mp-shards", str(shards),
+            "--steal-quantum", str(quantum), "--no-timestamps",
+            "--seed", str(BENCH_SEED), "--threads", str(threads),
+            "--metrics-out", str(prom), "--spans-file", str(spans),
+        ]
+        if checkpoint is not None:
+            argv += ["--checkpoint-dir", str(checkpoint)]
+        if resume is not None:
+            argv += ["--resume", str(resume)]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        env.pop("REPRO_TEST_CRASH", None)
+        if crash is not None:
+            env["REPRO_TEST_CRASH"] = crash
+        started = time.perf_counter()
+        proc = subprocess.run(
+            argv, env=env, capture_output=True, text=True, timeout=600,
+        )
+        wall = time.perf_counter() - started
+        summary = [
+            line for line in proc.stderr.splitlines() if line.startswith("{")
+        ]
+        return proc, wall, {
+            "rows": out, "prom": prom, "spans": spans,
+            "summary": summary[-1] if summary else None,
+        }
+
+    with tempfile.TemporaryDirectory(prefix="resume-smoke-") as tmp:
+        workdir = Path(tmp)
+        (workdir / "names.txt").write_text(
+            "\n".join(DomainCorpus().fqdns(lookups, start=0)) + "\n"
+        )
+
+        print(f"resume smoke: {lookups} names, {shards} shards x 4 segments, "
+              f"uninterrupted reference ...")
+        base_proc, base_wall, base = run(
+            workdir, "base", checkpoint=workdir / "ck-base"
+        )
+        if base_proc.returncode != 0:
+            print(f"FAIL: reference scan exited {base_proc.returncode}:\n"
+                  f"{base_proc.stderr[-2000:]}")
+            return 1
+
+        print(f"resume smoke: killing the parent after task {kill_after}/16 ...")
+        ck = workdir / "ck"
+        crash_proc, _, _ = run(
+            workdir, "int", checkpoint=ck,
+            crash=f"parent:after:{kill_after}",
+        )
+        if crash_proc.returncode != -9:
+            print(f"FAIL: crash run exited {crash_proc.returncode}, expected "
+                  "SIGKILL (-9) — the kill never fired")
+            return 1
+
+        print("resume smoke: resuming from the checkpoint ...")
+        resumed_proc, resumed_wall, resumed = run(workdir, "res", resume=ck)
+        if resumed_proc.returncode != 0:
+            print(f"FAIL: resume exited {resumed_proc.returncode}:\n"
+                  f"{resumed_proc.stderr[-2000:]}")
+            return 1
+
+        status = 0
+        for artefact in ("rows", "prom", "spans"):
+            if resumed[artefact].read_bytes() != base[artefact].read_bytes():
+                print(f"FAIL: resumed {artefact} differ from the "
+                      "uninterrupted reference")
+                status = 1
+        if resumed["summary"] != base["summary"]:
+            print("FAIL: resumed stats summary differs from the reference")
+            status = 1
+
+        ratio = resumed_wall / base_wall if base_wall else 1.0
+        print(f"  from-scratch wall           {base_wall:>8.3f} s")
+        print(f"  resumed wall                {resumed_wall:>8.3f} s")
+        print(f"  ratio                       {ratio:>8.2f}    (limit 0.60)")
+        if ratio >= 0.60:
+            print("FAIL: resume is not work-proportional — it cost "
+                  f"{ratio * 100:.0f}% of a from-scratch run")
+            status = 1
+
+    if status == 0:
+        print("\nOK — durability gate passes "
+              "(byte-identical resume, work-proportional wall clock)")
     return status
 
 
@@ -771,6 +911,14 @@ def main(argv: list[str] | None = None) -> int:
         "the regular suite)",
     )
     parser.add_argument(
+        "--resume-smoke",
+        action="store_true",
+        help="durability gate: a 4-process scan is SIGKILLed mid-flight, "
+        "resumed from its checkpoint journal, and must land on bytes "
+        "identical to an uninterrupted run in under 60%% of the "
+        "from-scratch wall clock (skips the regular suite)",
+    )
+    parser.add_argument(
         "--codec-smoke",
         action="store_true",
         help="wire-codec gate: decode/encode throughput floors vs the "
@@ -779,6 +927,9 @@ def main(argv: list[str] | None = None) -> int:
         "improvement check (skips the regular suite)",
     )
     args = parser.parse_args(argv)
+
+    if args.resume_smoke:
+        return resume_smoke(args.profile, max(1, args.repeat))
 
     if args.http_smoke:
         return http_smoke(args.profile, max(1, args.repeat))
@@ -852,6 +1003,8 @@ def main(argv: list[str] | None = None) -> int:
     status |= oracle_smoke(args.profile, 1)
     print("\ncontrol-plane smoke gate ...")
     status |= http_smoke(args.profile, 1)
+    print("\ndurability smoke gate ...")
+    status |= resume_smoke(args.profile, 1)
     print("\nobs selfcheck ...")
     try:
         from repro.obs.selfcheck import main as obs_selfcheck

@@ -1,0 +1,515 @@
+"""Durable scan state: the ``--checkpoint-dir`` journal and exact resume.
+
+A billion-name scan must survive crashes.  The shard executor
+(:mod:`repro.framework.parallel`) decomposes a scan into hermetic
+*tasks* — ``(shard, segment)`` slices of the corpus, each resolved in
+its own simulated Internet with RNG streams derived from the scan seed —
+so the unit of durability is the task: once a task's output rows are on
+disk and its mergeable payload is journaled, a future run never needs to
+repeat it.  This module owns that on-disk state.
+
+Layout of a checkpoint directory::
+
+    journal.jsonl          append-only WAL (versioned header first)
+    state.json             atomic (tmp + rename) operator snapshot
+    spool/shard-K.seg-S.rows    raw merged-output bytes of one task
+    spool/shard-K.seg-S.spans   raw span bytes of one task (``--spans-file``)
+
+``journal.jsonl`` records, one JSON object per line:
+
+* ``header`` — journal version, the scan *config fingerprint* (see
+  :func:`config_fingerprint`), and the task plan.  Written first and
+  fsynced; a journal whose header cannot be read is rejected whole.
+* ``task`` — one completed task: spool byte/line counts (the spool is
+  flushed and fsynced *before* this record, so a record implies a valid
+  spool), the task's mergeable payload (``ScanStats`` state, metrics
+  dump, cache counters, CPU utilisation), and its final
+  :class:`~repro.framework.telemetry.TelemetryDelta` payload.
+* ``delta`` — a periodic progress snapshot for a still-running task
+  (cadence checkpoints; freshness only, never needed for correctness).
+* ``resume`` — appended when a later session resumes this journal.
+
+Failure model: the journal is append-only, so the only corruption a
+crash can produce is a torn final line — :meth:`CheckpointJournal.load`
+tolerates exactly that (the torn record is discarded) and treats any
+*earlier* unparsable line, a bad header, or a spool shorter than its
+journaled byte count as real corruption (:class:`CheckpointError`).
+The fsync policy trades durability for speed: ``always`` fsyncs spool +
+journal at every task completion, ``interval`` only at the cadence
+checkpoint, ``never`` leaves flushing to the OS.
+
+Exact resume leans on determinism, not on snapshotting simulator
+internals: completed tasks are *replayed from the spool* byte-for-byte,
+incomplete tasks are *re-run from scratch* with their derived RNG
+streams (a task is hermetic, so the rerun is byte-identical to the lost
+first attempt), and the merge fold walks tasks in canonical order — so
+an interrupted-then-resumed scan emits the same rows, stats, metrics,
+and spans as an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import asdict
+from typing import Iterable
+
+__all__ = [
+    "CheckpointError",
+    "CheckpointJournal",
+    "CheckpointWriter",
+    "JOURNAL_VERSION",
+    "config_fingerprint",
+    "restore_metrics_dump",
+]
+
+#: Version of the journal format.  Bump when record shapes change;
+#: readers reject versions they do not understand.
+JOURNAL_VERSION = 1
+
+JOURNAL_NAME = "journal.jsonl"
+STATE_NAME = "state.json"
+SPOOL_DIR = "spool"
+
+#: Accepted ``--checkpoint-fsync`` policies.
+FSYNC_POLICIES = ("always", "interval", "never")
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint directory cannot be used: missing, corrupt,
+    truncated, or written by an incompatible scan configuration."""
+
+
+def config_fingerprint(
+    *,
+    config,
+    shards: int,
+    steal_quantum: int | None,
+    wire_mode: str,
+    wire_sample: int,
+    collect_metrics: bool,
+    fault_plan: str | None,
+    chaos_seed: int | None,
+    add_timestamp: bool,
+    collect_spans: bool,
+    names_digest: str,
+) -> str:
+    """SHA-256 fingerprint of everything that shapes a scan's bytes.
+
+    Two runs with equal fingerprints produce byte-identical merged
+    output — that is the property resume validation leans on.  The
+    fingerprint covers the full :class:`ScanConfig` (minus
+    ``status_interval``, which only affects stderr), the shard/segment
+    topology, the fault plan, and a digest of the input names.
+    Deliberately *not* covered: the process count (a pure wall-clock
+    knob) and the checkpoint cadence/fsync policy.
+    """
+    material = asdict(config)
+    material.pop("status_interval", None)
+    material["__topology__"] = {
+        "shards": shards,
+        "steal_quantum": steal_quantum,
+        "wire_mode": wire_mode,
+        "wire_sample": wire_sample,
+        "collect_metrics": collect_metrics,
+        "fault_plan": fault_plan,
+        "chaos_seed": chaos_seed,
+        "add_timestamp": add_timestamp,
+        "collect_spans": collect_spans,
+        "names": names_digest,
+    }
+    canonical = json.dumps(
+        material, sort_keys=True, separators=(",", ":"), default=repr
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def restore_metrics_dump(dump: Iterable) -> list[tuple]:
+    """Undo the JSON round-trip on a ``MetricsRegistry.dump()``.
+
+    JSON turns the dump's tuples into lists and — the part that would
+    silently corrupt a merge — histogram bucket keys from ints into
+    strings.  ``merge_dump`` adds buckets keyed by exact value, so a
+    restored dump must match the live format bit-for-bit.
+    """
+    restored = []
+    for entry in dump:
+        name, kind, state = entry
+        if kind == "histogram":
+            state = dict(state)
+            state["buckets"] = {
+                int(index): count for index, count in state["buckets"].items()
+            }
+        restored.append((name, kind, state))
+    return restored
+
+
+def _restore_task_payload(payload: dict) -> dict:
+    payload = dict(payload)
+    payload["metrics"] = restore_metrics_dump(payload.get("metrics") or [])
+    return payload
+
+
+def _restore_delta_payload(payload: dict | None) -> dict | None:
+    if payload is None:
+        return None
+    payload = dict(payload)
+    if payload.get("metrics"):
+        payload["metrics"] = restore_metrics_dump(payload["metrics"])
+    return payload
+
+
+def _spool_name(key: tuple[int, int], suffix: str) -> str:
+    return f"shard-{key[0]}.seg-{key[1]}.{suffix}"
+
+
+def _atomic_write_json(path: str, document: dict) -> None:
+    """Write-then-rename so readers never observe a half-written file."""
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, sort_keys=True)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+class CheckpointWriter:
+    """Parent-side journal writer for one executor session.
+
+    The *parent* merge loop is the only writer — workers never touch the
+    checkpoint directory, so a SIGKILLed worker cannot corrupt it.  Rows
+    and spans spool incrementally as their pipe batches arrive; a task
+    becomes durable at :meth:`task_done` (spool flush + fsync, then the
+    journal record); :meth:`checkpoint` is the cadence hook that
+    journals progress deltas for still-running tasks and rewrites
+    ``state.json`` atomically.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        *,
+        fingerprint: str,
+        plan: dict,
+        fsync: str = "always",
+        resume: bool = False,
+    ):
+        if fsync not in FSYNC_POLICIES:
+            raise ValueError(f"fsync policy must be one of {FSYNC_POLICIES}, not {fsync!r}")
+        self.directory = directory
+        self.fingerprint = fingerprint
+        self.plan = plan
+        self._fsync = fsync
+        journal_path = os.path.join(directory, JOURNAL_NAME)
+        if not resume and os.path.exists(journal_path):
+            raise CheckpointError(
+                f"checkpoint directory already holds a journal: {journal_path} "
+                "(resume it, or point --checkpoint-dir at a fresh directory)"
+            )
+        os.makedirs(os.path.join(directory, SPOOL_DIR), exist_ok=True)
+        self._journal = open(journal_path, "a", encoding="utf-8")
+        #: per-key open spool handles; first write in a session truncates
+        #: (an incomplete task's stale spool must not survive the rerun)
+        self._rows: dict[tuple[int, int], object] = {}
+        self._spans: dict[tuple[int, int], object] = {}
+        self._counts: dict[tuple[int, int], dict] = {}
+        self._latest: dict[tuple[int, int], dict] = {}
+        self._dirty: set[tuple[int, int]] = set()
+        self._done: set[tuple[int, int]] = set()
+        self._closed = False
+        if resume:
+            self._append({"kind": "resume", "time": time.time()}, sync=True)
+        else:
+            self._append(
+                {
+                    "kind": "header",
+                    "version": JOURNAL_VERSION,
+                    "fingerprint": fingerprint,
+                    "plan": plan,
+                    "time": time.time(),
+                },
+                sync=True,
+            )
+
+    # -- internals ----------------------------------------------------------
+
+    def _append(self, record: dict, sync: bool) -> None:
+        self._journal.write(json.dumps(record, sort_keys=True) + "\n")
+        self._journal.flush()
+        if sync:
+            os.fsync(self._journal.fileno())
+
+    def _spool_handle(self, key: tuple[int, int], suffix: str, table: dict):
+        handle = table.get(key)
+        if handle is None:
+            path = os.path.join(self.directory, SPOOL_DIR, _spool_name(key, suffix))
+            handle = table[key] = open(path, "wb")
+        return handle
+
+    def _count(self, key: tuple[int, int]) -> dict:
+        counts = self._counts.get(key)
+        if counts is None:
+            counts = self._counts[key] = {
+                "rows": 0, "row_bytes": 0, "spans": 0, "span_bytes": 0,
+            }
+        return counts
+
+    # -- streaming input from the merge loop --------------------------------
+
+    def spool_rows(self, key: tuple[int, int], lines: list[str]) -> None:
+        data = "".join(lines).encode("utf-8")
+        self._spool_handle(key, "rows", self._rows).write(data)
+        counts = self._count(key)
+        counts["rows"] += len(lines)
+        counts["row_bytes"] += len(data)
+
+    def spool_spans(self, key: tuple[int, int], lines: list[str]) -> None:
+        data = "".join(lines).encode("utf-8")
+        self._spool_handle(key, "spans", self._spans).write(data)
+        counts = self._count(key)
+        counts["spans"] += len(lines)
+        counts["span_bytes"] += len(data)
+
+    def note_delta(self, key: tuple[int, int], payload: dict) -> None:
+        """Remember the task's latest telemetry delta; journaled at the
+        next cadence checkpoint (or inside its ``task`` record)."""
+        self._latest[key] = payload
+        self._dirty.add(key)
+
+    # -- durability points --------------------------------------------------
+
+    def task_done(self, key: tuple[int, int], payload: dict) -> None:
+        """Make one finished task durable.
+
+        Order matters: spool flush (+fsync under ``always``) *before*
+        the journal record, so a ``task`` record is a guarantee that the
+        spool bytes it counts exist.
+        """
+        sync = self._fsync == "always"
+        for table in (self._rows, self._spans):
+            handle = table.get(key)
+            if handle is not None:
+                handle.flush()
+                if sync:
+                    os.fsync(handle.fileno())
+        counts = self._count(key)
+        self._append(
+            {
+                "kind": "task",
+                "key": list(key),
+                **counts,
+                "payload": payload,
+                "delta": self._latest.get(key),
+            },
+            sync=sync,
+        )
+        self._dirty.discard(key)
+        self._done.add(key)
+
+    def checkpoint(self, counters: dict | None = None) -> None:
+        """Cadence hook: journal progress deltas for running tasks and
+        atomically rewrite the ``state.json`` snapshot."""
+        for key in sorted(self._dirty):
+            self._append(
+                {"kind": "delta", "key": list(key), "delta": self._latest[key]},
+                sync=False,
+            )
+        self._dirty.clear()
+        if self._fsync in ("always", "interval"):
+            os.fsync(self._journal.fileno())
+        self._write_state(complete=False, counters=counters)
+
+    def _write_state(self, *, complete: bool, counters: dict | None) -> None:
+        planned = len(self.plan.get("tasks", ()))
+        _atomic_write_json(
+            os.path.join(self.directory, STATE_NAME),
+            {
+                "version": JOURNAL_VERSION,
+                "fingerprint": self.fingerprint,
+                "tasks_planned": planned,
+                "tasks_done": sorted(list(key) for key in self._done),
+                "complete": complete,
+                "counters": counters or {},
+                "updated": time.time(),
+            },
+        )
+
+    def finalize(self, *, complete: bool, counters: dict | None = None) -> None:
+        """Flush everything and close; safe to call once, in any exit
+        path — an incomplete journal is exactly what resume consumes."""
+        if self._closed:
+            return
+        self._closed = True
+        for table in (self._rows, self._spans):
+            for handle in table.values():
+                handle.flush()
+                if self._fsync != "never":
+                    os.fsync(handle.fileno())
+                handle.close()
+        for key in sorted(self._dirty):
+            self._append(
+                {"kind": "delta", "key": list(key), "delta": self._latest[key]},
+                sync=False,
+            )
+        self._dirty.clear()
+        if self._fsync != "never":
+            os.fsync(self._journal.fileno())
+        self._journal.close()
+        self._write_state(complete=complete, counters=counters)
+
+
+class CheckpointJournal:
+    """A loaded (and validated) checkpoint directory.
+
+    ``tasks`` maps ``(shard, segment)`` to the journal's ``task``
+    record, with metric dumps restored to their live in-memory format
+    (see :func:`restore_metrics_dump`); :meth:`rows_for` /
+    :meth:`spans_for` replay a durable task's exact output bytes.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        *,
+        version: int,
+        fingerprint: str,
+        plan: dict,
+        tasks: dict,
+        deltas: dict,
+        resumes: int,
+    ):
+        self.directory = directory
+        self.version = version
+        self.fingerprint = fingerprint
+        self.plan = plan
+        self.tasks = tasks
+        self.deltas = deltas
+        self.resumes = resumes
+
+    @classmethod
+    def load(cls, directory: str) -> "CheckpointJournal":
+        path = os.path.join(directory, JOURNAL_NAME)
+        if not os.path.exists(path):
+            raise CheckpointError(f"no checkpoint journal at {path}")
+        with open(path, "rb") as handle:
+            raw_lines = handle.read().split(b"\n")
+        if raw_lines and raw_lines[-1] == b"":
+            raw_lines.pop()  # trailing newline of the last complete record
+        if not raw_lines:
+            raise CheckpointError(f"empty checkpoint journal at {path}")
+        try:
+            header = json.loads(raw_lines[0])
+        except ValueError as error:
+            raise CheckpointError(f"unreadable journal header in {path}: {error}")
+        if not isinstance(header, dict) or header.get("kind") != "header":
+            raise CheckpointError(f"journal {path} does not start with a header record")
+        version = header.get("version")
+        if version != JOURNAL_VERSION:
+            raise CheckpointError(
+                f"journal version {version} != supported {JOURNAL_VERSION} ({path})"
+            )
+        tasks: dict[tuple[int, int], dict] = {}
+        deltas: dict[tuple[int, int], dict] = {}
+        resumes = 0
+        last = len(raw_lines) - 1
+        for number, raw in enumerate(raw_lines[1:], start=1):
+            try:
+                record = json.loads(raw)
+                if not isinstance(record, dict) or "kind" not in record:
+                    raise ValueError("not a journal record")
+            except ValueError as error:
+                if number == last:
+                    break  # torn tail from a crash mid-append: discard
+                raise CheckpointError(
+                    f"corrupt journal record at {path}:{number + 1}: {error}"
+                )
+            kind = record["kind"]
+            if kind == "task":
+                key = tuple(record["key"])
+                record["payload"] = _restore_task_payload(record["payload"])
+                record["delta"] = _restore_delta_payload(record.get("delta"))
+                tasks[key] = record
+            elif kind == "delta":
+                deltas[tuple(record["key"])] = _restore_delta_payload(record["delta"])
+            elif kind == "resume":
+                resumes += 1
+            # unknown record kinds under the same version are ignored
+        journal = cls(
+            directory,
+            version=version,
+            fingerprint=header.get("fingerprint", ""),
+            plan=header.get("plan", {}),
+            tasks=tasks,
+            deltas=deltas,
+            resumes=resumes,
+        )
+        journal._check_spools()
+        return journal
+
+    def _check_spools(self) -> None:
+        """Every journaled task must have its spool bytes on disk — the
+        writer fsyncs spools before journal records, so a short spool is
+        corruption, not a crash artifact."""
+        for key, record in self.tasks.items():
+            for suffix, bytes_key in (("rows", "row_bytes"), ("spans", "span_bytes")):
+                expected = record.get(bytes_key, 0)
+                if not expected:
+                    continue
+                path = os.path.join(self.directory, SPOOL_DIR, _spool_name(key, suffix))
+                try:
+                    size = os.path.getsize(path)
+                except OSError:
+                    raise CheckpointError(f"missing checkpoint spool {path}")
+                if size < expected:
+                    raise CheckpointError(
+                        f"truncated checkpoint spool {path}: "
+                        f"{size} bytes < journaled {expected}"
+                    )
+
+    def validate(self, *, fingerprint: str, plan: dict) -> None:
+        """Reject resume under a different scan configuration."""
+        if fingerprint != self.fingerprint:
+            raise CheckpointError(
+                "checkpoint was written by a different scan configuration "
+                f"(journal fingerprint {self.fingerprint[:12]}…, "
+                f"this run {fingerprint[:12]}…); seed, shards, quantum, "
+                "fault plan, flags, and input names must all match"
+            )
+        if plan != self.plan:
+            raise CheckpointError(
+                "checkpoint task plan does not match this run's plan"
+            )
+
+    def _spool_lines(
+        self, key: tuple[int, int], suffix: str, count_key: str, bytes_key: str
+    ) -> list[str]:
+        record = self.tasks[key]
+        expected_lines = record.get(count_key, 0)
+        expected_bytes = record.get(bytes_key, 0)
+        if not expected_lines:
+            return []
+        path = os.path.join(self.directory, SPOOL_DIR, _spool_name(key, suffix))
+        with open(path, "rb") as handle:
+            data = handle.read(expected_bytes)
+        if len(data) < expected_bytes:
+            raise CheckpointError(
+                f"truncated checkpoint spool {path}: "
+                f"{len(data)} bytes < journaled {expected_bytes}"
+            )
+        lines = data.decode("utf-8").splitlines(keepends=True)
+        if len(lines) != expected_lines:
+            raise CheckpointError(
+                f"checkpoint spool {path} holds {len(lines)} rows, "
+                f"journal recorded {expected_lines}"
+            )
+        return lines
+
+    def rows_for(self, key: tuple[int, int]) -> list[str]:
+        """The exact output lines a durable task produced."""
+        return self._spool_lines(key, "rows", "rows", "row_bytes")
+
+    def spans_for(self, key: tuple[int, int]) -> list[str]:
+        """The exact span lines a durable task produced."""
+        return self._spool_lines(key, "spans", "spans", "span_bytes")

@@ -78,6 +78,48 @@ def build_parser() -> argparse.ArgumentParser:
         f"{DEFAULT_LOGICAL_SHARDS}); for a fixed seed and S the merged "
         "output is byte-identical for any process count",
     )
+    parser.add_argument(
+        "--steal-quantum",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --processes: pre-segment each logical shard every N "
+        "names so idle workers can steal a straggler's tail segments; "
+        "output bytes depend on N but not on the steal schedule",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="with --processes: journal completed tasks and periodic "
+        "progress to DIR so an interrupted scan can be resumed exactly "
+        "(see --resume)",
+    )
+    parser.add_argument(
+        "--checkpoint-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock seconds between cadence checkpoints "
+        "(default 5.0; requires --checkpoint-dir or --resume)",
+    )
+    parser.add_argument(
+        "--checkpoint-fsync",
+        choices=["always", "interval", "never"],
+        default=None,
+        help="journal fsync policy: 'always' syncs at every task "
+        "completion (default), 'interval' only at cadence checkpoints, "
+        "'never' leaves flushing to the OS",
+    )
+    parser.add_argument(
+        "--resume",
+        default=None,
+        metavar="DIR",
+        help="resume an interrupted --checkpoint-dir scan: validate the "
+        "journal against this run's configuration, replay completed "
+        "tasks from the spool, and re-run only the rest — the merged "
+        "output is byte-identical to an uninterrupted run",
+    )
     parser.add_argument("--quiet", action="store_true", help="suppress the stats summary")
     parser.add_argument(
         "--metadata-file",
@@ -184,6 +226,30 @@ def main(argv: list[str] | None = None) -> int:
             parser.error("--processes applies to simulated scans only")
     elif args.mp_shards is not None:
         parser.error("--mp-shards requires --processes")
+
+    # Durability flags ride on the multi-process executor only.
+    if args.processes is None:
+        for flag, value in (
+            ("--steal-quantum", args.steal_quantum),
+            ("--checkpoint-dir", args.checkpoint_dir),
+            ("--resume", args.resume),
+        ):
+            if value is not None:
+                parser.error(f"{flag} requires --processes")
+    if args.steal_quantum is not None and args.steal_quantum < 1:
+        parser.error(f"--steal-quantum must be >= 1 (got {args.steal_quantum})")
+    if args.resume is not None and args.checkpoint_dir is not None:
+        parser.error("--resume already names the checkpoint directory; drop --checkpoint-dir")
+    checkpointing = args.checkpoint_dir is not None or args.resume is not None
+    if args.checkpoint_interval is not None:
+        if not checkpointing:
+            parser.error("--checkpoint-interval requires --checkpoint-dir or --resume")
+        if args.checkpoint_interval <= 0:
+            parser.error(
+                f"--checkpoint-interval must be > 0 (got {args.checkpoint_interval})"
+            )
+    if args.checkpoint_fsync is not None and not checkpointing:
+        parser.error("--checkpoint-fsync requires --checkpoint-dir or --resume")
 
     if args.http_port is not None:
         if args.http_port < 0 or args.http_port > 65535:
@@ -300,6 +366,7 @@ def _start_server(args, view):
 def _run_parallel(args, names, out_handle):
     """Multi-process scan: fork workers, merge shards (see
     :mod:`repro.framework.parallel`)."""
+    from .checkpoint import CheckpointError
     from .telemetry import FleetView
 
     if args.fault_plan:
@@ -326,7 +393,14 @@ def _run_parallel(args, names, out_handle):
             collect_spans=span_handle is not None,
             span_out=span_handle,
             fleet_view=fleet if server is not None else None,
+            steal_quantum=args.steal_quantum,
+            checkpoint_dir=args.resume or args.checkpoint_dir,
+            checkpoint_interval=args.checkpoint_interval,
+            checkpoint_fsync=args.checkpoint_fsync or "always",
+            resume=args.resume is not None,
         )
+    except CheckpointError as error:
+        raise SystemExit(f"pyzdns: {error}")
     finally:
         if span_handle is not None:
             span_handle.close()

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import hashlib
 import json
 import sys
 from datetime import datetime, timezone
@@ -52,6 +53,21 @@ def _shard_iter(items: Iterable[str], shards: int, index: int) -> Iterator[str]:
     for position, item in enumerate(items):
         if position % shards == index:
             yield item
+
+
+def names_digest(names: Iterable[str]) -> str:
+    """SHA-256 over the input names, order-sensitive.
+
+    The checkpoint layer (:mod:`repro.framework.checkpoint`) folds this
+    into the scan config fingerprint: resuming a journal against a
+    different input list would replay the wrong rows, so the digest must
+    change when any name — or the order of names — changes.
+    """
+    digest = hashlib.sha256()
+    for name in names:
+        digest.update(name.encode("utf-8"))
+        digest.update(b"\n")
+    return digest.hexdigest()
 
 
 def clean_row(row: dict) -> dict:

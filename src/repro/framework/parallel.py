@@ -1,59 +1,89 @@
-"""Multi-process shard executor: true multi-core scans.
+"""Multi-process shard executor: true multi-core scans, durable and
+work-stealing.
 
 The paper's headline result is ZDNS saturating a 24-core server with
 tens of thousands of goroutines.  A single CPython interpreter cannot —
 the GIL serialises the simulator's pure-Python hot loop — so this module
-supplies the missing layer: ``--processes N`` forks N workers, each
-running a disjoint *logical shard* of the corpus through its own
-``SimNetwork``/engine, and the parent merges the per-shard JSONL streams
-and telemetry into one fleet-wide result.
+supplies the missing layer: ``--processes N`` forks N workers and the
+parent dispatches *tasks* to them over duplex pipes, merging the
+per-task JSONL streams and telemetry into one fleet-wide result.
 
 Design invariants, in order:
 
-1. **Shard decomposition is independent of process count.**  The corpus
-   is split into ``shards`` logical shards (``i % shards``, exactly as
-   ZMap-style ``--shards/--shard`` manual sharding does); processes only
-   decide *where* each shard runs.  Every shard is hermetic — its own
-   simulated Internet (same ecosystem seed, so the same universe), its
-   own network/driver/cache RNG streams derived via
-   :func:`repro.net.derive_seed` — so a run with 1 process and a run
-   with 8 produce byte-identical merged output for the same
-   ``(seed, shards)``.
-2. **Merged output is order-normalized.**  Rows are emitted grouped by
-   shard index, each shard in its deterministic completion order: shard
-   0 streams live while later shards buffer, and each shard's stream is
-   flushed the moment every earlier shard has finished.  The merged file
-   equals the concatenation of the per-shard files a manual
-   ``--shards S --shard k`` fleet would have produced.
+1. **Task decomposition is independent of process count and schedule.**
+   The corpus is split into ``shards`` logical shards (``i % shards``,
+   exactly as ZMap-style ``--shards/--shard`` manual sharding does);
+   ``steal_quantum`` optionally pre-segments each shard's name list at
+   fixed boundaries (``0, Q, 2Q, …``), giving ``(shard, segment)``
+   tasks.  Every task is hermetic — its own simulated Internet (same
+   ecosystem seed, so the same universe), its own network/driver/cache
+   RNG streams derived via :func:`repro.net.derive_seed` — so the
+   merged bytes are a pure function of ``(seed, shards, quantum)``:
+   identical for any process count *and any steal schedule*.  Without a
+   quantum each shard is one task with the same seed streams as ever,
+   so default output is unchanged.
+2. **Merged output is order-normalized.**  Rows are emitted in canonical
+   ``(shard, segment)`` order, each task in its deterministic completion
+   order: the head task streams live while later tasks buffer, and each
+   task's stream is flushed the moment every earlier task has finished.
+   The merged file equals the concatenation of the per-shard files a
+   manual ``--shards S --shard k`` fleet would have produced.
 3. **Telemetry merges, not samples.**  ``ScanStats`` fold together
    (status counts, completion times, retries), metrics registries merge
    (counter/gauge sums, histogram bucket adds), and fault-injection /
    server-health scopes are relabelled per shard
    (``faults.* -> faults.shardK.*``) so a post-mortem can still tell
    which slice of the fleet saw the trouble.
+4. **Scheduling is dynamic; bytes are not.**  Workers *pull*: each sends
+   ``ready`` and the parent hands it the lowest pending segment of a
+   shard it owns (``shard % processes``), or — when its own shards are
+   drained — *steals* the tail segment of the shard with the most
+   pending work.  Stealing moves wall-clock, never bytes (invariant 1),
+   and every steal boundary is a task boundary, so stealing composes
+   with checkpoint/resume.
+5. **Durability is at task granularity.**  With ``checkpoint_dir`` the
+   parent spools each task's row/span bytes and journals its mergeable
+   payload on completion (plus periodic progress deltas on a cadence) —
+   see :mod:`repro.framework.checkpoint`.  ``resume=True`` validates
+   the journal against the scan's config fingerprint, replays durable
+   tasks from the spool byte-for-byte, re-runs only the incomplete ones
+   with re-derived RNG streams, and folds stats/metrics in canonical
+   task order — an interrupted-then-resumed scan is byte-identical to
+   an uninterrupted one (rows, stats, metrics, spans).
 
-Workers stream row batches over pipes as they complete, so the parent
-overlaps merging with scanning; a final per-shard payload carries the
-mergeable stats/metrics state.  Between batches, workers also stream
+Workers stream row batches over the pipes as they complete, so the
+parent overlaps merging with scanning; a final per-task payload carries
+the mergeable stats/metrics state.  Between batches, workers also stream
 :class:`~repro.framework.telemetry.TelemetryDelta` snapshots (periodic
-on each shard's virtual clock) that the parent folds into a live
+on each task's virtual clock) that the parent annotates with scheduling
+state (owner/worker/stolen_from) and folds into a live
 :class:`~repro.framework.telemetry.FleetView` — the fleet status line
 and the HTTP control plane read the view; the authoritative end-of-scan
-merge still comes only from the final ``shard_done`` payloads, so the
+merge still comes only from the final ``task_done`` payloads, so the
 live path can never perturb the determinism contract.  Span rows
-(``--spans-file``) travel shard-tagged over the same pipes and are
-merged with the same shard-ordered buffering as output rows.  ``fork``
-is preferred (the corpus is inherited copy-on-write); the spec is
-picklable, so ``spawn`` platforms work too, just with a higher start-up
-cost.
+(``--spans-file``) travel task-tagged over the same pipes and are merged
+with the same ordered buffering as output rows.  ``fork`` is preferred
+(the corpus is inherited copy-on-write); the spec is picklable, so
+``spawn`` platforms work too, just with a higher start-up cost.
+
+Test hooks (deterministic crash injection for the durability suite):
+``REPRO_TEST_CRASH=worker:W:after:N`` SIGKILLs worker ``W`` after its
+``N``-th completed task; ``worker:W:during:N`` SIGKILLs it at the first
+telemetry emission of its ``N``-th task; ``parent:after:N`` SIGKILLs
+the parent right after journaling its ``N``-th task record of the
+session.  ``REPRO_TEST_TASK_DELAY=W:SECONDS`` slows worker ``W`` down
+before each task, to force steals deterministically.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
+import signal
 import sys
 import time
 import traceback
+from collections import deque
 from dataclasses import dataclass, field, replace
 from multiprocessing.connection import wait as _connection_wait
 from typing import Iterable, TextIO
@@ -61,18 +91,20 @@ from typing import Iterable, TextIO
 from ..net import derive_seed
 from ..obs import MetricsRegistry, format_status_line
 from ..obs.status import estimate_eta
-from .io import encode_row, shard
+from .checkpoint import CheckpointJournal, CheckpointWriter, config_fingerprint
+from .io import encode_row, names_digest, shard
 from .runner import ScanConfig, ScanRunner
 from .stats import ScanStats
 from .telemetry import FleetView, TelemetryDelta
 
 __all__ = [
+    "DEFAULT_CHECKPOINT_INTERVAL",
     "DEFAULT_LOGICAL_SHARDS",
     "ParallelReport",
     "run_parallel_scan",
 ]
 
-#: Default interval, in *virtual* seconds on each shard's clock, between
+#: Default interval, in *virtual* seconds on each task's clock, between
 #: streamed telemetry deltas.  Deterministic for a fixed corpus (virtual
 #: timers fire at the same points regardless of wall-clock load), so the
 #: message sequence itself is reproducible.
@@ -85,14 +117,63 @@ DEFAULT_DELTA_INTERVAL = 0.5
 #: worker pick up a second shard while a slow one finishes its first.
 DEFAULT_LOGICAL_SHARDS = 8
 
+#: Default wall-clock seconds between cadence checkpoints (journal
+#: progress deltas + atomic ``state.json`` rewrite).
+DEFAULT_CHECKPOINT_INTERVAL = 5.0
+
 #: Rows per pipe message.  Large enough to amortise pickling, small
 #: enough that the parent's merge (and status line) stays live.
 _ROW_BATCH = 256
 
 
+@dataclass(frozen=True)
+class _ShardTask:
+    """One hermetic unit of work: a contiguous slice of one shard.
+
+    ``start``/``stop`` index into the shard's own name list (after the
+    ``i % shards`` partition).  A whole-shard task (``segments == 1``)
+    derives the exact RNG streams the pre-quantum executor used, so the
+    default decomposition's bytes are unchanged; segment tasks fold the
+    slice start into the derivation so every segment is an independent,
+    reproducible sub-scan.
+    """
+
+    shard: int
+    segment: int
+    start: int
+    stop: int
+    segments: int
+
+    @property
+    def key(self) -> tuple[int, int]:
+        return (self.shard, self.segment)
+
+    def seed_streams(self) -> tuple:
+        if self.segments == 1:
+            return (self.shard,)
+        return (self.shard, "seg", self.start)
+
+
+def _plan_tasks(shard_sizes: list[int], quantum: int | None) -> list[_ShardTask]:
+    """The canonical task list: shards in order, segments in order."""
+    tasks = []
+    for shard_index, size in enumerate(shard_sizes):
+        if quantum is None or quantum >= size or size == 0:
+            tasks.append(_ShardTask(shard_index, 0, 0, size, 1))
+            continue
+        starts = list(range(0, size, quantum))
+        for segment, start in enumerate(starts):
+            tasks.append(
+                _ShardTask(
+                    shard_index, segment, start, min(start + quantum, size), len(starts)
+                )
+            )
+    return tasks
+
+
 @dataclass
 class _ShardSpec:
-    """Everything a worker needs to run its shards (picklable)."""
+    """Everything a worker needs to run tasks (picklable)."""
 
     names: list[str]
     shards: int
@@ -103,7 +184,7 @@ class _ShardSpec:
     fault_plan: str | None = None
     chaos_seed: int | None = None
     add_timestamp: bool = True
-    #: Stream resolution spans back shard-tagged (lifts the old
+    #: Stream resolution spans back task-tagged (lifts the old
     #: ``--spans-file × --processes`` restriction).
     collect_spans: bool = False
     #: Virtual seconds between telemetry deltas; None = no streaming.
@@ -115,13 +196,13 @@ class _PipeSink:
 
     Encoding happens in the worker — that is the point of the exercise:
     JSON serialisation parallelises across cores instead of serialising
-    in the parent.  Alongside each batch travel the shard's cumulative
+    in the parent.  Alongside each batch travel the task's cumulative
     progress counters, which the parent sums into the fleet status line.
     """
 
-    def __init__(self, conn, shard_index: int, add_timestamp: bool):
+    def __init__(self, conn, key: tuple[int, int], add_timestamp: bool):
         self._conn = conn
-        self._shard = shard_index
+        self._key = key
         self._add_timestamp = add_timestamp
         self._lines: list[str] = []
         self.total = 0
@@ -142,7 +223,7 @@ class _PipeSink:
     def flush(self) -> None:
         if self._lines:
             self._conn.send(
-                ("rows", self._shard, self._lines,
+                ("rows", self._key, self._lines,
                  (self.total, self.successes, self.timeouts))
             )
             self._lines = []
@@ -153,18 +234,18 @@ class _SpanPipeSink:
 
     Spans ride the same pipe as output rows but under their own message
     kind, so the parent can merge them into the spans file with the same
-    shard-ordered buffering — a merged multi-process spans file is the
+    task-ordered buffering — a merged multi-process spans file is the
     concatenation of the per-shard spans files, shard 0 first.
     """
 
-    def __init__(self, conn, shard_index: int):
+    def __init__(self, conn, key: tuple[int, int]):
         self._conn = conn
-        self._shard = shard_index
+        self._key = key
         self._lines: list[str] = []
         self.count = 0
 
     def __call__(self, span_row: dict) -> None:
-        span_row["shard"] = self._shard
+        span_row["shard"] = self._key[0]
         self._lines.append(encode_row(span_row))
         self.count += 1
         if len(self._lines) >= _ROW_BATCH:
@@ -172,27 +253,28 @@ class _SpanPipeSink:
 
     def flush(self) -> None:
         if self._lines:
-            self._conn.send(("spans", self._shard, self._lines))
+            self._conn.send(("spans", self._key, self._lines))
             self._lines = []
 
 
-def _run_shard(shard_index: int, spec: _ShardSpec, conn) -> None:
+def _run_task(task: _ShardTask, spec: _ShardSpec, conn, kill_on_progress: bool = False) -> None:
     """One hermetic sub-scan: own Internet, own RNG streams, own cache."""
     from ..dnslib import clear_codec_caches
     from ..ecosystem import EcosystemParams, build_internet
     from ..modules import get_module
 
-    # codec memos are process-global: start each shard cold so its
-    # codec.* metrics depend only on the shard's own traffic — the same
-    # numbers whether 8 shards share one process or get one each
+    # codec memos are process-global: start each task cold so its
+    # codec.* metrics depend only on the task's own traffic — the same
+    # numbers whether the tasks share one process or get one each
     clear_codec_caches()
 
     base_seed = spec.config.seed
+    streams = task.seed_streams()
     internet = build_internet(
         params=EcosystemParams(seed=base_seed),
         wire_mode=spec.wire_mode,
         wire_sample=spec.wire_sample,
-        net_seed=derive_seed(base_seed, "net", shard_index),
+        net_seed=derive_seed(base_seed, "net", *streams),
     )
     if spec.fault_plan is not None:
         from ..faults import FaultInjector, resolve_plan
@@ -201,36 +283,47 @@ def _run_shard(shard_index: int, spec: _ShardSpec, conn) -> None:
         FaultInjector(
             resolve_plan(spec.fault_plan),
             sim=internet.sim,
-            seed=derive_seed(chaos_base, "chaos", shard_index),
+            seed=derive_seed(chaos_base, "chaos", *streams),
         ).attach(internet.network)
 
     config = replace(
         spec.config,
-        seed=derive_seed(base_seed, "scan", shard_index),
+        seed=derive_seed(base_seed, "scan", *streams),
         metrics=spec.collect_metrics,
         status_interval=None,  # the parent emits the fleet-wide line
         collect_spans=False,  # spans flow through the pipe sink instead
     )
-    sink = _PipeSink(conn, shard_index, spec.add_timestamp)
-    span_sink = _SpanPipeSink(conn, shard_index) if spec.collect_spans else None
-    shard_names = list(shard(spec.names, spec.shards, shard_index))
+    sink = _PipeSink(conn, task.key, spec.add_timestamp)
+    span_sink = _SpanPipeSink(conn, task.key) if spec.collect_spans else None
+    shard_names = list(shard(spec.names, spec.shards, task.shard))
+    task_names = shard_names[task.start:task.stop]
 
     progress = None
     if spec.delta_interval is not None:
         seq = [0]
-        target = len(shard_names)
+        target = len(task_names)
 
         def progress(*, stats, registry, in_flight, now, complete):
+            if kill_on_progress:
+                # deterministic mid-task crash for the durability suite:
+                # die before anything about this emission hits the pipe
+                os.kill(os.getpid(), signal.SIGKILL)
             seq[0] += 1
-            timeouts = sum(
-                stats.by_status.get(s, 0) for s in ("TIMEOUT", "ITERATIVE_TIMEOUT")
-            )
+            if complete:
+                # flush row/span batches *before* the complete delta, so
+                # its cursor never undercounts delivered rows and the
+                # delta always reaches the parent ahead of task_done
+                sink.flush()
+                if span_sink is not None:
+                    span_sink.flush()
             delta = TelemetryDelta(
-                shard=shard_index,
+                shard=task.shard,
+                segment=task.segment,
+                segments=task.segments,
                 seq=seq[0],
                 done=stats.total,
                 successes=stats.successes,
-                timeouts=timeouts,
+                timeouts=stats.timeouts,
                 retries=stats.retries_used,
                 queries_sent=stats.queries_sent,
                 in_flight=in_flight,
@@ -239,11 +332,11 @@ def _run_shard(shard_index: int, spec: _ShardSpec, conn) -> None:
                 target=target,
                 complete=complete,
                 # cumulative mergeable state: the final (complete) delta
-                # is exactly a shard checkpoint
+                # is exactly a task checkpoint
                 stats=stats.to_state(),
                 metrics=registry.dump() if registry.enabled else [],
             )
-            conn.send(("delta", shard_index, delta.to_payload()))
+            conn.send(("delta", task.key, delta.to_payload()))
 
     report = ScanRunner(
         internet,
@@ -253,16 +346,16 @@ def _run_shard(shard_index: int, spec: _ShardSpec, conn) -> None:
         span_sink=span_sink,
         progress=progress,
         progress_interval=spec.delta_interval,
-        target=len(shard_names),
-    ).run(shard_names)
+        target=len(task_names),
+    ).run(task_names)
     sink.flush()
     if span_sink is not None:
         span_sink.flush()
     registry = report.registry
     conn.send(
         (
-            "shard_done",
-            shard_index,
+            "task_done",
+            task.key,
             {
                 "stats": report.stats.to_state(),
                 "metrics": registry.dump() if registry is not None and registry.enabled else [],
@@ -273,15 +366,88 @@ def _run_shard(shard_index: int, spec: _ShardSpec, conn) -> None:
     )
 
 
-def _worker_main(worker_index: int, shard_indices: list[int], spec: _ShardSpec, conn) -> None:
-    """Worker process entry point: run assigned shards, lowest first."""
+def _worker_crash_spec(worker_index: int) -> tuple[str, int] | None:
+    """Parse ``REPRO_TEST_CRASH`` for this worker, if it targets it."""
+    spec = os.environ.get("REPRO_TEST_CRASH", "")
+    parts = spec.split(":")
+    if len(parts) == 4 and parts[0] == "worker":
+        try:
+            if int(parts[1]) == worker_index and parts[2] in ("after", "during"):
+                return parts[2], int(parts[3])
+        except ValueError:
+            return None
+    return None
+
+
+def _parent_crash_after() -> int | None:
+    """Parse ``REPRO_TEST_CRASH=parent:after:N`` in the parent."""
+    spec = os.environ.get("REPRO_TEST_CRASH", "")
+    parts = spec.split(":")
+    if len(parts) == 3 and parts[0] == "parent" and parts[1] == "after":
+        try:
+            return int(parts[2])
+        except ValueError:
+            return None
+    return None
+
+
+def _worker_delay(worker_index: int) -> float:
+    """Parse ``REPRO_TEST_TASK_DELAY=W:SECONDS`` (steal-forcing hook)."""
+    spec = os.environ.get("REPRO_TEST_TASK_DELAY", "")
+    parts = spec.split(":")
+    if len(parts) == 2:
+        try:
+            if int(parts[0]) == worker_index:
+                return float(parts[1])
+        except ValueError:
+            return 0.0
+    return 0.0
+
+
+def _worker_main(worker_index: int, spec: _ShardSpec, conn, inherited=()) -> None:
+    """Worker process entry point: pull tasks until the parent says stop.
+
+    The worker is stateless between tasks — each task builds its own
+    simulated Internet — which is what makes dynamic dispatch and
+    stealing free of correctness consequences.
+
+    ``inherited`` holds parent-side pipe ends this fork inherited (its
+    own, plus earlier workers').  They MUST be closed here: a leaked
+    parent end keeps a sibling's pipe open after the parent dies, so no
+    worker would ever see EOF and orphans would hang forever — exactly
+    the failure mode the durability suite's parent-kill tests exercise.
+    """
+    for extra in inherited:
+        extra.close()
+    crash = _worker_crash_spec(worker_index)
+    delay = _worker_delay(worker_index)
+    completed = 0
     try:
-        for shard_index in shard_indices:
-            _run_shard(shard_index, spec, conn)
+        while True:
+            conn.send(("ready", worker_index, None))
+            directive = conn.recv()
+            if not directive or directive[0] != "task":
+                break
+            task = directive[1]
+            if delay:
+                time.sleep(delay)
+            kill_during = crash == ("during", completed + 1)
+            _run_task(task, spec, conn, kill_on_progress=kill_during)
+            completed += 1
+            if crash == ("after", completed):
+                os.kill(os.getpid(), signal.SIGKILL)
+    except EOFError:  # parent went away: nothing left to report to
+        pass
     except BaseException:
-        conn.send(("error", worker_index, traceback.format_exc()))
+        try:
+            conn.send(("error", worker_index, traceback.format_exc()))
+        except OSError:  # pragma: no cover - parent already gone
+            pass
     else:
-        conn.send(("done", worker_index, None))
+        try:
+            conn.send(("done", worker_index, None))
+        except OSError:  # pragma: no cover - parent already gone
+            pass
     finally:
         conn.close()
 
@@ -293,29 +459,43 @@ class ParallelReport:
     Duck-compatible with :class:`repro.framework.runner.ScanReport`
     where the CLI needs it (``stats``, ``registry``, ``metrics``,
     ``cache_stats``, ``cpu_utilisation``, ``profile``) plus the
-    executor's own shape: per-shard summaries and the process/shard
-    topology.
+    executor's own shape: per-shard summaries, the process/shard/task
+    topology, and the durability outcome (steals, resumed tasks).
     """
 
     stats: ScanStats
     registry: MetricsRegistry | None = None
     metrics: dict = field(default_factory=dict)
     cache_stats: dict | None = None
-    #: Mean across shards — each shard models its own core pool.
+    #: Mean across tasks — each task models its own core pool.
     cpu_utilisation: float = 0.0
     shard_summaries: list[dict] = field(default_factory=list)
     processes: int = 0
     shards: int = 0
+    #: Total tasks in the decomposition (== shards unless steal_quantum
+    #: segmented some shards).
+    tasks: int = 0
     rows_written: int = 0
     #: Shard-tagged span rows merged into the spans file.
     spans_written: int = 0
+    #: Tasks handed to a worker other than their shard's owner.
+    steals: int = 0
+    steal_events: list[dict] = field(default_factory=list)
+    #: Tasks replayed from a checkpoint journal instead of re-run.
+    resumed_tasks: int = 0
+    checkpoint_dir: str | None = None
     #: The mp executor never profiles (cProfile per worker would need
     #: per-process files); present for ScanReport duck-compatibility.
     profile: dict | None = None
 
     def summary(self) -> dict:
         """The CLI's stderr summary, same shape as a single-process run
-        plus an ``mp`` topology block."""
+        plus an ``mp`` topology block.
+
+        Deliberately silent about steals and resume: the summary (like
+        the rows, stats, and metrics) must be byte-identical whether the
+        scan ran straight through, was stolen from, or was resumed.
+        """
         summary = self.stats.to_json()
         summary["cache"] = self.cache_stats
         summary["cpu_utilisation"] = round(self.cpu_utilisation, 3)
@@ -367,37 +547,131 @@ def run_parallel_scan(
     span_out: TextIO | None = None,
     fleet_view: FleetView | None = None,
     delta_interval: float | None = None,
+    steal_quantum: int | None = None,
+    checkpoint_dir: str | None = None,
+    checkpoint_interval: float | None = None,
+    checkpoint_fsync: str = "always",
+    resume: bool = False,
 ) -> ParallelReport:
     """Run one scan across ``processes`` OS processes.
 
-    ``names`` is materialised once; ``shards`` logical shards (default
-    :data:`DEFAULT_LOGICAL_SHARDS`) are distributed round-robin over the
-    workers, so shard 0 starts immediately and the merged output can
-    stream.  Merged rows are written to ``out`` grouped by shard index
-    (see the module docstring for why that order is the normal form).
-    ``collect_spans`` streams shard-tagged resolution spans to
-    ``span_out`` with the same shard-ordered merge.  ``fleet_view``
-    (when given) receives streamed telemetry deltas — hang the HTTP
-    control plane off it; the fleet status line reads the same view.
+    ``names`` is materialised once and decomposed into ``shards``
+    logical shards (default :data:`DEFAULT_LOGICAL_SHARDS`), each
+    optionally pre-segmented every ``steal_quantum`` names into
+    independent tasks.  Workers pull tasks dynamically — owners first,
+    then stealing from stragglers — and merged rows are written to
+    ``out`` in canonical task order (see the module docstring for why
+    that order is the normal form).  ``collect_spans`` streams
+    task-tagged resolution spans to ``span_out`` with the same ordered
+    merge.  ``fleet_view`` (when given) receives streamed telemetry
+    deltas — hang the HTTP control plane off it; the fleet status line
+    reads the same view.
 
-    Determinism contract: for a fixed ``(config.seed, shards)`` the
-    merged output bytes, merged stats, and merged metrics are identical
-    for *any* process count — ``processes`` is purely a wall-clock knob.
+    ``checkpoint_dir`` journals every completed task (and periodic
+    progress, every ``checkpoint_interval`` wall seconds, fsync per
+    ``checkpoint_fsync``); ``resume=True`` loads that journal, replays
+    durable tasks byte-for-byte and re-runs only the rest.
+
+    Determinism contract: for a fixed ``(config.seed, shards,
+    steal_quantum)`` the merged output bytes, merged stats, and merged
+    metrics are identical for *any* process count, steal schedule, or
+    interrupt/resume history — those are purely wall-clock knobs.
     """
     if processes < 1:
         raise ValueError("processes must be >= 1")
     shards = DEFAULT_LOGICAL_SHARDS if shards is None else shards
     if shards < 1:
         raise ValueError("shards must be >= 1")
+    if steal_quantum is not None and steal_quantum < 1:
+        raise ValueError("steal_quantum must be >= 1")
+    if resume and checkpoint_dir is None:
+        raise ValueError("resume requires a checkpoint_dir")
     names = list(names)
-    processes = min(processes, shards)
-    # deltas power both the fleet view and the parent status line; when
-    # neither consumer exists the workers skip streaming entirely
-    if delta_interval is None and (fleet_view is not None or status_interval is not None):
+    total_names = len(names)
+    shard_sizes = [len(range(k, total_names, shards)) for k in range(shards)]
+    tasks = _plan_tasks(shard_sizes, steal_quantum)
+    order = [task.key for task in tasks]
+    #: topology clamp — also what the mp.processes gauge and the summary
+    #: report, *independent* of how many workers a resume actually forks
+    #: (a resumed run must publish the same metrics as an uninterrupted
+    #: one)
+    processes = min(processes, len(tasks))
+
+    # ---- durability: journal / resume -------------------------------------
+    writer = None
+    journal = None
+    restored: dict[tuple[int, int], dict] = {}
+    if checkpoint_dir is not None:
+        fingerprint = config_fingerprint(
+            config=config,
+            shards=shards,
+            steal_quantum=steal_quantum,
+            wire_mode=wire_mode,
+            wire_sample=wire_sample,
+            collect_metrics=collect_metrics,
+            fault_plan=fault_plan,
+            chaos_seed=chaos_seed,
+            add_timestamp=add_timestamp,
+            collect_spans=collect_spans and span_out is not None,
+            names_digest=names_digest(names),
+        )
+        plan = {
+            "shards": shards,
+            "quantum": steal_quantum,
+            "names": total_names,
+            "tasks": [[t.shard, t.segment, t.start, t.stop] for t in tasks],
+        }
+        if resume:
+            journal = CheckpointJournal.load(checkpoint_dir)
+            journal.validate(fingerprint=fingerprint, plan=plan)
+            restored = journal.tasks
+        writer = CheckpointWriter(
+            checkpoint_dir,
+            fingerprint=fingerprint,
+            plan=plan,
+            fsync=checkpoint_fsync,
+            resume=resume,
+        )
+    if checkpoint_interval is None:
+        checkpoint_interval = DEFAULT_CHECKPOINT_INTERVAL
+
+    # deltas power the fleet view, the parent status line, and the
+    # cadence checkpoints; when no consumer exists the workers skip
+    # streaming entirely
+    if delta_interval is None and (
+        fleet_view is not None or status_interval is not None or writer is not None
+    ):
         delta_interval = DEFAULT_DELTA_INTERVAL
+
     fleet = fleet_view if fleet_view is not None else FleetView()
     fleet.shards = shards
-    fleet.target = len(names)
+    fleet.target = total_names
+    owner = {s: s % processes for s in range(shards)}
+    fleet.set_plan(
+        {
+            s: {
+                "segments": sum(1 for t in tasks if t.shard == s),
+                "target": shard_sizes[s],
+                "owner": owner[s],
+            }
+            for s in range(shards)
+        }
+    )
+    if resume:
+        fleet.run_info["resumed_from"] = os.fspath(checkpoint_dir)
+        fleet.run_info["resumed_tasks"] = len(restored)
+        # replay the durable tasks' final deltas so the view (and the
+        # status line's done counter) starts where the journal left off
+        for key in sorted(restored):
+            payload = restored[key].get("delta")
+            if payload:
+                delta = TelemetryDelta.from_payload(payload)
+                delta.resumed = True
+                delta.owner = owner.get(delta.shard)
+                delta.worker = None
+                delta.stolen_from = None
+                fleet.update(delta)
+
     spec = _ShardSpec(
         names=names,
         shards=shards,
@@ -412,37 +686,92 @@ def run_parallel_scan(
         delta_interval=delta_interval,
     )
 
+    pending: dict[int, deque[_ShardTask]] = {
+        s: deque(t for t in tasks if t.shard == s and t.key not in restored)
+        for s in range(shards)
+    }
+    live_tasks = sum(len(queue) for queue in pending.values())
+    spawn = min(processes, live_tasks)
+
     ctx = _mp_context()
     workers, connections = [], []
-    for index in range(processes):
-        # round-robin: worker w owns shards w, w+P, w+2P, ... — shard 0
-        # belongs to the first worker, so the head of the merged stream
-        # flushes while the tail is still scanning
-        assigned = list(range(index, shards, processes))
-        parent_conn, child_conn = ctx.Pipe(duplex=False)
+    for index in range(spawn):
+        parent_conn, child_conn = ctx.Pipe()
         process = ctx.Process(
             target=_worker_main,
-            args=(index, assigned, spec, child_conn),
+            # every parent-side end alive at this fork rides along so the
+            # child can close its inherited copies (see _worker_main)
+            args=(index, spec, child_conn, tuple(connections) + (parent_conn,)),
             daemon=True,
         )
         process.start()
-        child_conn.close()  # the parent only reads; the child holds the write end
+        child_conn.close()  # each end belongs to exactly one side
         workers.append(process)
         connections.append(parent_conn)
 
-    buffers: dict[int, list[str]] = {k: [] for k in range(shards)}
-    span_buffers: dict[int, list[str]] = {k: [] for k in range(shards)}
-    payloads: dict[int, dict] = {}
-    done_shards: set[int] = set()
+    buffers: dict[tuple[int, int], list[str]] = {}
+    span_buffers: dict[tuple[int, int], list[str]] = {}
+    payloads: dict[tuple[int, int], dict] = {
+        key: record["payload"] for key, record in restored.items()
+    }
+    done_keys: set[tuple[int, int]] = set(restored)
+    latest_delta: dict[tuple[int, int], dict] = {}
+    assignments: dict[tuple[int, int], tuple[int, int | None]] = {}
+    steal_events: list[dict] = []
     errors: list[tuple[int, str]] = []
-    next_flush = 0
+    flush_index = 0
     rows_written = 0
     spans_written = 0
     started = time.monotonic()
     last_status_total = 0
     next_status = started + status_interval if status_interval else None
+    next_checkpoint = started + checkpoint_interval if writer is not None else None
+    crash_after = _parent_crash_after() if writer is not None else None
+    session_records = 0
     stream = status_stream if status_stream is not None else sys.stderr
-    target = len(names)
+
+    def advance() -> None:
+        """Flush every consecutively finished task in canonical order,
+        then let the new head task's buffer catch up so its subsequent
+        batches stream directly."""
+        nonlocal flush_index, rows_written, spans_written
+        while flush_index < len(order) and order[flush_index] in done_keys:
+            key = order[flush_index]
+            if key in restored:
+                lines = journal.rows_for(key)
+                rows_written += len(lines)
+                out.writelines(lines)
+                if span_out is not None:
+                    span_lines = journal.spans_for(key)
+                    spans_written += len(span_lines)
+                    span_out.writelines(span_lines)
+            else:
+                out.writelines(buffers.pop(key, []))
+                if span_out is not None:
+                    span_out.writelines(span_buffers.pop(key, []))
+            flush_index += 1
+        if flush_index < len(order):
+            head = order[flush_index]
+            if head in buffers:
+                out.writelines(buffers.pop(head))
+                buffers[head] = []
+            if span_out is not None and head in span_buffers:
+                span_out.writelines(span_buffers.pop(head))
+                span_buffers[head] = []
+
+    def next_task(worker: int) -> tuple[_ShardTask | None, int | None]:
+        """Dispatch: lowest pending segment of an owned shard, else
+        steal the *tail* segment of the shard with the most pending work
+        (the straggler keeps its head, the thief takes the far end — a
+        deterministic cursor boundary, because segments are pre-cut)."""
+        for shard_index in range(shards):
+            if owner[shard_index] == worker and pending[shard_index]:
+                return pending[shard_index].popleft(), None
+        victims = [s for s in range(shards) if pending[s]]
+        if not victims:
+            return None, None
+        victim = max(victims, key=lambda s: (len(pending[s]), s))
+        return pending[victim].pop(), owner[victim]
 
     def emit_status() -> None:
         nonlocal last_status_total
@@ -461,72 +790,107 @@ def run_parallel_scan(
                 timeouts=counters["timeouts"],
                 retries=counters["retries"],
                 cache_hit_rate=None,
-                target=target,
-                eta=estimate_eta(total, target, average_rate),
+                target=total_names,
+                eta=estimate_eta(total, total_names, average_rate),
             ),
             file=stream,
         )
         last_status_total = total
 
+    advance()  # restored prefix replays immediately; output streams from it
     try:
         live = set(connections)
         while live:
             timeout = None
-            if next_status is not None:
-                timeout = max(0.0, next_status - time.monotonic())
+            now = time.monotonic()
+            for deadline in (next_status, next_checkpoint):
+                if deadline is not None:
+                    remaining = max(0.0, deadline - now)
+                    timeout = remaining if timeout is None else min(timeout, remaining)
             for conn in _connection_wait(list(live), timeout):
                 try:
                     message = conn.recv()
-                except EOFError:
+                except (EOFError, OSError):
+                    # a SIGKILLed worker closes mid-protocol: drop it;
+                    # its unfinished assignment surfaces at the end
                     live.discard(conn)
                     continue
                 kind = message[0]
-                if kind == "rows":
-                    _, shard_index, lines, _counters = message
+                if kind == "ready":
+                    _, worker_index, _ = message
+                    task, stolen_from = next_task(worker_index)
+                    if task is None:
+                        conn.send(("stop", None))
+                    else:
+                        if stolen_from == worker_index:
+                            stolen_from = None
+                        assignments[task.key] = (worker_index, stolen_from)
+                        if stolen_from is not None:
+                            steal_events.append(
+                                {
+                                    "shard": task.shard,
+                                    "segment": task.segment,
+                                    "start": task.start,
+                                    "stop": task.stop,
+                                    "from": stolen_from,
+                                    "to": worker_index,
+                                }
+                            )
+                        conn.send(("task", task))
+                elif kind == "rows":
+                    _, key, lines, _counters = message
                     rows_written += len(lines)
-                    if shard_index == next_flush:
+                    if writer is not None:
+                        writer.spool_rows(key, lines)
+                    if flush_index < len(order) and key == order[flush_index]:
                         out.writelines(lines)
                     else:
-                        buffers[shard_index].extend(lines)
-                elif kind == "delta":
-                    _, shard_index, payload = message
-                    fleet.update(TelemetryDelta.from_payload(payload))
+                        buffers.setdefault(key, []).extend(lines)
                 elif kind == "spans":
-                    _, shard_index, lines = message
+                    _, key, lines = message
                     spans_written += len(lines)
+                    if writer is not None:
+                        writer.spool_spans(key, lines)
                     if span_out is not None:
-                        if shard_index == next_flush:
+                        if flush_index < len(order) and key == order[flush_index]:
                             span_out.writelines(lines)
                         else:
-                            span_buffers[shard_index].extend(lines)
-                elif kind == "shard_done":
-                    _, shard_index, payload = message
-                    payloads[shard_index] = payload
-                    done_shards.add(shard_index)
-                    # advance past every consecutively finished shard,
-                    # then let the new head shard's buffer catch up so
-                    # its subsequent batches stream directly
-                    while next_flush in done_shards:
-                        out.writelines(buffers.pop(next_flush, []))
-                        if span_out is not None:
-                            span_out.writelines(span_buffers.pop(next_flush, []))
-                        next_flush += 1
-                    if next_flush < shards:
-                        if next_flush in buffers:
-                            out.writelines(buffers.pop(next_flush))
-                            buffers[next_flush] = []
-                        if span_out is not None and next_flush in span_buffers:
-                            span_out.writelines(span_buffers.pop(next_flush))
-                            span_buffers[next_flush] = []
+                            span_buffers.setdefault(key, []).extend(lines)
+                elif kind == "delta":
+                    _, key, payload = message
+                    delta = TelemetryDelta.from_payload(payload)
+                    worker_index, stolen_from = assignments.get(key, (None, None))
+                    delta.worker = worker_index
+                    delta.owner = owner.get(delta.shard)
+                    delta.stolen_from = stolen_from
+                    fleet.update(delta)
+                    annotated = delta.to_payload()
+                    latest_delta[key] = annotated
+                    if writer is not None:
+                        writer.note_delta(key, annotated)
+                elif kind == "task_done":
+                    _, key, payload = message
+                    payloads[key] = payload
+                    done_keys.add(key)
+                    if writer is not None:
+                        writer.task_done(key, payload)
+                        session_records += 1
+                        if crash_after is not None and session_records == crash_after:
+                            os.kill(os.getpid(), signal.SIGKILL)
+                    advance()
                 elif kind == "done":
                     live.discard(conn)
                 elif kind == "error":
                     _, worker_index, formatted = message
                     errors.append((worker_index, formatted))
                     live.discard(conn)
-            if next_status is not None and time.monotonic() >= next_status:
+            now = time.monotonic()
+            if next_status is not None and now >= next_status:
                 emit_status()
                 next_status += status_interval
+            if next_checkpoint is not None and now >= next_checkpoint:
+                writer.checkpoint(counters=fleet.fleet_counters())
+                next_checkpoint += checkpoint_interval
         for process in workers:
             process.join()
     finally:
@@ -534,44 +898,62 @@ def run_parallel_scan(
             if process.is_alive():  # pragma: no cover - error unwind only
                 process.terminate()
                 process.join()
+        if writer is not None:
+            writer.finalize(
+                complete=len(done_keys) == len(order),
+                counters=fleet.fleet_counters(),
+            )
 
     if errors:
         details = "\n\n".join(
             f"[worker {index}]\n{formatted}" for index, formatted in errors
         )
         raise RuntimeError(f"parallel scan worker(s) crashed:\n{details}")
-    if len(payloads) != shards:
-        missing = sorted(set(range(shards)) - set(payloads))
-        raise RuntimeError(f"workers exited without finishing shards {missing}")
+    if len(done_keys) != len(order):
+        missing = [key for key in order if key not in done_keys]
+        hint = (
+            f" (checkpoint journal at {checkpoint_dir} — resume to continue)"
+            if checkpoint_dir is not None
+            else ""
+        )
+        raise RuntimeError(
+            f"workers exited without finishing tasks {missing}{hint}"
+        )
+    advance()
     fleet.finish()
 
-    # ---- fold the fleet together -----------------------------------------
+    # ---- fold the fleet together ------------------------------------------
+    # canonical task order everywhere: a resumed run folds journal
+    # payloads and live payloads through the identical sequence, so the
+    # merged stats/metrics are byte-identical to an uninterrupted run's
     merged_stats = ScanStats()
     registry = MetricsRegistry(enabled=collect_metrics)
     cache_totals: dict[str, int] = {}
     cache_seen = False
     utilisations = []
-    shard_summaries = []
-    for shard_index in sorted(payloads):
-        payload = payloads[shard_index]
-        shard_stats = ScanStats.from_state(payload["stats"])
-        merged_stats.merge(shard_stats)
-        registry.merge_dump(payload["metrics"], rename=_relabel_for(shard_index))
+    per_shard_stats: dict[int, ScanStats] = {}
+    for task in tasks:
+        payload = payloads[task.key]
+        task_stats = ScanStats.from_state(payload["stats"])
+        merged_stats.merge(task_stats)
+        per_shard_stats.setdefault(task.shard, ScanStats()).merge(task_stats)
+        registry.merge_dump(payload["metrics"], rename=_relabel_for(task.shard))
         utilisations.append(payload["cpu_utilisation"])
         if payload["cache"] is not None:
             cache_seen = True
-            for key, value in payload["cache"].items():
-                if key != "hit_rate":
-                    cache_totals[key] = cache_totals.get(key, 0) + value
-        shard_summaries.append(
-            {
-                "shard": shard_index,
-                "total": shard_stats.total,
-                "successes": shard_stats.successes,
-                "duration_s": round(shard_stats.duration, 3),
-                "queries_sent": shard_stats.queries_sent,
-            }
-        )
+            for cache_key, value in payload["cache"].items():
+                if cache_key != "hit_rate":
+                    cache_totals[cache_key] = cache_totals.get(cache_key, 0) + value
+    shard_summaries = [
+        {
+            "shard": shard_index,
+            "total": shard_stats.total,
+            "successes": shard_stats.successes,
+            "duration_s": round(shard_stats.duration, 3),
+            "queries_sent": shard_stats.queries_sent,
+        }
+        for shard_index, shard_stats in sorted(per_shard_stats.items())
+    ]
     cache_stats = None
     if cache_seen:
         probes = cache_totals.get("hits", 0) + cache_totals.get("misses", 0)
@@ -595,6 +977,11 @@ def run_parallel_scan(
         shard_summaries=shard_summaries,
         processes=processes,
         shards=shards,
+        tasks=len(tasks),
         rows_written=rows_written,
         spans_written=spans_written,
+        steals=len(steal_events),
+        steal_events=steal_events,
+        resumed_tasks=len(restored),
+        checkpoint_dir=checkpoint_dir,
     )

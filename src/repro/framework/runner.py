@@ -348,6 +348,7 @@ class ScanRunner:
             ).start()
             finishers.append(emitter.stop)
 
+        emit_final_progress = None
         if self.progress is not None:
             progress = self.progress
             interval = self.progress_interval or 1.0
@@ -369,13 +370,19 @@ class ScanRunner:
             progress_timer[0] = sim.call_later(interval, _progress_tick)
 
             def _progress_finish() -> None:
+                # only stop the repeating timer here: the final,
+                # complete=True emission happens after the end-of-run
+                # metric publishing below, so the delta it carries is
+                # the task's actual checkpoint state — emitting it from
+                # this finisher raced the end-of-run work (no scheduler/
+                # cache/net scopes yet, sinks not flushed) and shipped a
+                # checkpoint that undercounted the shard
                 if progress_timer[0] is not None:
                     progress_timer[0].cancel()
                     progress_timer[0] = None
-                # the final, complete delta: doubles as a shard checkpoint
-                _emit_progress(True)
 
             finishers.append(_progress_finish)
+            emit_final_progress = _emit_progress
 
         if self.view is not None:
             finishers.append(self.view.finish)
@@ -431,6 +438,11 @@ class ScanRunner:
         if registry.enabled:
             engine_scope.gauge("cpu_utilisation").set(round(cpu_utilisation, 4))
             engine_scope.gauge("threads_running").set(stats.threads_running)
+        if emit_final_progress is not None:
+            # the final, complete delta — a true task checkpoint: every
+            # end-of-run scope is published and (in the shard executor)
+            # the row/span sinks flush before the delta goes on the pipe
+            emit_final_progress(True)
         return ScanReport(
             stats=stats,
             cache_stats=(

@@ -15,6 +15,10 @@ from bisect import bisect_right
 from collections import Counter
 from dataclasses import dataclass, field
 
+#: Statuses counted as timeouts by :attr:`ScanStats.timeouts`, the
+#: status line, and the telemetry views — one definition for all three.
+TIMEOUT_STATUSES = ("TIMEOUT", "ITERATIVE_TIMEOUT")
+
 
 class _StatsInstruments:
     """The registry instruments one scan's ScanStats mirrors into."""
@@ -145,6 +149,11 @@ class ScanStats:
     @property
     def duration(self) -> float:
         return max(0.0, self.finished_at - self.started_at)
+
+    @property
+    def timeouts(self) -> int:
+        """Lookups that ended in any timeout status."""
+        return sum(self.by_status.get(status, 0) for status in TIMEOUT_STATUSES)
 
     @property
     def success_rate(self) -> float:

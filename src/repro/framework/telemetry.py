@@ -5,17 +5,22 @@ what lets an operator *watch* one from outside the process.  Three
 pieces:
 
 * :class:`TelemetryDelta` — the versioned message shard workers stream
-  to the parent over the executor's pipes: a cumulative snapshot of the
-  shard's progress counters, its :class:`~repro.framework.stats.ScanStats`
-  state, its metrics-registry dump, and its cursor (rows emitted so
-  far).  *Cumulative* is the load-bearing property: a lost or coalesced
-  delta costs freshness, never correctness, and the final delta of a
-  shard is exactly the state a future checkpoint/resume needs.
+  to the parent over the executor's pipes: a cumulative snapshot of one
+  *task*'s progress counters, its
+  :class:`~repro.framework.stats.ScanStats` state, its metrics-registry
+  dump, and its cursor (rows emitted so far).  *Cumulative* is the
+  load-bearing property: a lost or coalesced delta costs freshness,
+  never correctness, and the final delta of a task is exactly the state
+  a checkpoint persists (:mod:`repro.framework.checkpoint`).  Since v2 a
+  delta is keyed by ``(shard, segment)`` — work stealing splits a shard
+  into segment tasks — and carries the scheduling annotations the
+  parent stamps on receipt (``owner``, ``worker``, ``stolen_from``,
+  ``resumed``).
 * :class:`FleetView` — the parent-side fold.  It keeps the latest delta
-  per shard and rebuilds the fleet aggregate on demand (via
-  :meth:`ScanStats.merge` / :meth:`MetricsRegistry.merge_dump`), so the
-  HTTP control plane and the fleet status line read one consistent
-  snapshot without ever touching worker state.
+  per task and rebuilds both the fleet aggregate and per-*shard* rows
+  (segments grouped back together) on demand, so the HTTP control plane
+  and the fleet status line read one consistent snapshot without ever
+  touching worker state.
 * :class:`ScanView` — the single-process equivalent: a thin, lock-free
   view over the runner's *live* stats/registry/cache objects, shaped
   like a one-shard fleet so ``/status.json`` looks the same either way.
@@ -29,53 +34,77 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass
 
 from ..obs import MetricsRegistry
+from .stats import TIMEOUT_STATUSES as _TIMEOUT_STATUSES
 from .stats import ScanStats
 
 __all__ = ["DELTA_VERSION", "FleetView", "ScanView", "TelemetryDelta"]
 
 #: Wire version of :class:`TelemetryDelta`.  Bump when fields change
-#: meaning; consumers (the parent fold today, checkpoint files tomorrow)
-#: must reject versions they do not understand rather than misread them.
-DELTA_VERSION = 1
+#: meaning; consumers (the parent fold, the checkpoint journal) must
+#: reject versions they do not understand rather than misread them.
+#: v2: deltas are per ``(shard, segment)`` task and carry
+#: owner/worker/stolen_from/resumed scheduling state.
+DELTA_VERSION = 2
 
 
 @dataclass
 class TelemetryDelta:
-    """One shard's cumulative progress snapshot (pipe message).
+    """One task's cumulative progress snapshot (pipe message).
 
-    Everything is *cumulative since shard start*, so the parent can
-    always overwrite its previous view of the shard; ``seq`` orders
+    Everything is *cumulative since task start*, so the parent can
+    always overwrite its previous view of the task; ``seq`` orders
     deltas and exposes gaps.  ``stats`` is ``ScanStats.to_state()`` and
     ``metrics`` is ``MetricsRegistry.dump()`` — both already the
     mergeable cross-process formats the end-of-scan fold uses, which is
     deliberate: the live fleet view and the final merge are the same
     computation at different times, and a ``complete=True`` delta is a
-    shard checkpoint.
+    task checkpoint.
+
+    Workers fill the progress fields; the executor parent stamps the
+    scheduling fields (``owner``/``worker``/``stolen_from``) on receipt
+    and sets ``resumed`` on deltas replayed from a checkpoint journal.
     """
 
     shard: int
     seq: int
+    #: Segment index of this task within its shard (``--steal-quantum``
+    #: pre-segments shards at fixed boundaries; 0 for whole-shard tasks).
+    segment: int = 0
+    #: Total segments in this shard's decomposition.
+    segments: int = 1
     done: int = 0
     successes: int = 0
     timeouts: int = 0
     retries: int = 0
     queries_sent: int = 0
     in_flight: int = 0
-    #: Virtual-clock reading in the shard's simulator at emission time.
+    #: Virtual-clock reading in the task's simulator at emission time.
     virtual_now: float = 0.0
-    #: Rows emitted so far — the shard's resume cursor: merged output is
-    #: ordered per shard, so a restart replays the shard and skips this
-    #: many completions.
+    #: Rows emitted so far.  The durable resume cursor is the *task
+    #: boundary* (completed tasks replay from the spool, incomplete
+    #: tasks re-run whole); this counter is the live progress within.
     cursor: int = 0
-    #: Names assigned to this shard (the shard-local total target).
+    #: Names assigned to this task (the task-local total target).
     target: int | None = None
     complete: bool = False
+    #: Worker index that nominally owns the task's shard.
+    owner: int | None = None
+    #: Worker index actually running the task.
+    worker: int | None = None
+    #: When stolen: the owner the task was reassigned away from.
+    stolen_from: int | None = None
+    #: True when this delta was replayed from a checkpoint journal.
+    resumed: bool = False
     stats: dict | None = None
     metrics: list | None = None
     version: int = DELTA_VERSION
+
+    @property
+    def key(self) -> tuple[int, int]:
+        return (self.shard, self.segment)
 
     def to_payload(self) -> dict:
         """Plain-dict form (JSON-safe apart from the metrics tuples)."""
@@ -91,30 +120,9 @@ class TelemetryDelta:
         return cls(**payload)
 
 
-#: Statuses the views count as timeouts (mirrors the status line).
-_TIMEOUT_STATUSES = ("TIMEOUT", "ITERATIVE_TIMEOUT")
-
 #: Registry scopes surfaced verbatim in ``/status.json`` so an operator
 #: sees *where* the fleet is hurting without scraping ``/metrics``.
 _STATUS_SCOPES = ("faults", "health")
-
-
-def _shard_row(delta: TelemetryDelta, elapsed: float) -> dict:
-    """One per-shard row of the ``/status.json`` fleet snapshot."""
-    return {
-        "shard": delta.shard,
-        "seq": delta.seq,
-        "done": delta.done,
-        "target": delta.target,
-        "successes": delta.successes,
-        "timeouts": delta.timeouts,
-        "retries": delta.retries,
-        "queries_sent": delta.queries_sent,
-        "in_flight": delta.in_flight,
-        "virtual_now": round(delta.virtual_now, 6),
-        "rate_per_s": round(delta.done / elapsed, 2) if elapsed > 0 else 0.0,
-        "complete": delta.complete,
-    }
 
 
 def _scope_tree(registry: MetricsRegistry) -> dict:
@@ -123,14 +131,58 @@ def _scope_tree(registry: MetricsRegistry) -> dict:
     return {scope: tree[scope] for scope in _STATUS_SCOPES if scope in tree}
 
 
+def _shard_group_row(
+    shard: int, deltas: list[TelemetryDelta], info: dict, elapsed: float
+) -> dict:
+    """One per-shard row of ``/status.json``: the shard's segment tasks
+    folded back together, plus ownership/steal/resume state."""
+    segments_total = info.get("segments")
+    if segments_total is None:
+        segments_total = max(d.segments for d in deltas)
+    segments_done = sum(1 for d in deltas if d.complete)
+    target = info.get("target")
+    if target is None:
+        known = [d.target for d in deltas if d.target is not None]
+        target = sum(known) if known else None
+    done = sum(d.done for d in deltas)
+    owner = info.get("owner")
+    if owner is None:
+        owner = next((d.owner for d in deltas if d.owner is not None), None)
+    return {
+        "shard": shard,
+        "seq": max(d.seq for d in deltas),
+        "done": done,
+        "target": target,
+        "successes": sum(d.successes for d in deltas),
+        "timeouts": sum(d.timeouts for d in deltas),
+        "retries": sum(d.retries for d in deltas),
+        "queries_sent": sum(d.queries_sent for d in deltas),
+        "in_flight": sum(d.in_flight for d in deltas),
+        "virtual_now": round(max(d.virtual_now for d in deltas), 6),
+        "rate_per_s": round(done / elapsed, 2) if elapsed > 0 else 0.0,
+        "complete": segments_done >= segments_total,
+        "segments": segments_total,
+        "segments_done": segments_done,
+        "owner": owner,
+        "workers": sorted({d.worker for d in deltas if d.worker is not None}),
+        "steals": sum(1 for d in deltas if d.stolen_from is not None),
+        "stolen_from": next(
+            (d.stolen_from for d in deltas if d.stolen_from is not None), None
+        ),
+        "resumed": any(d.resumed for d in deltas),
+    }
+
+
 class FleetView:
     """Thread-safe live state of a multi-process scan.
 
     The executor's parent loop feeds it (:meth:`update` per delta,
     :meth:`finish` at the end); the HTTP server and the fleet status
     line read consistent snapshots.  All aggregation happens at read
-    time from the latest per-shard deltas — updates are a dict store
+    time from the latest per-task deltas — updates are a dict store
     under a lock, so feeding the view never slows the merge loop.
+    ``set_plan`` tells the view the shard decomposition up front, so a
+    shard with unreported segments never shows as complete early.
     """
 
     def __init__(
@@ -141,7 +193,9 @@ class FleetView:
         clock=time.monotonic,
     ):
         self._lock = threading.Lock()
-        self._deltas: dict[int, TelemetryDelta] = {}
+        self._deltas: dict[tuple[int, int], TelemetryDelta] = {}
+        #: per-shard plan: ``{shard: {"segments", "target", "owner"}}``.
+        self._plan: dict[int, dict] = {}
         self.run_info = dict(run_info or {})
         self.shards = shards
         self.target = target
@@ -149,16 +203,22 @@ class FleetView:
         self._started = clock()
         self.complete = False
 
+    def set_plan(self, plan: dict[int, dict]) -> None:
+        """Install the executor's shard decomposition (segment counts,
+        per-shard targets, nominal owners)."""
+        with self._lock:
+            self._plan = {shard: dict(info) for shard, info in plan.items()}
+
     def update(self, delta: TelemetryDelta) -> None:
-        """Fold one shard delta in (latest-wins per shard)."""
+        """Fold one task delta in (latest-wins per task)."""
         if delta.version != DELTA_VERSION:
             raise ValueError(
                 f"telemetry delta version {delta.version} != supported {DELTA_VERSION}"
             )
         with self._lock:
-            previous = self._deltas.get(delta.shard)
+            previous = self._deltas.get(delta.key)
             if previous is None or delta.seq >= previous.seq:
-                self._deltas[delta.shard] = delta
+                self._deltas[delta.key] = delta
 
     def finish(self) -> None:
         """Mark the scan complete (post-scan scrapes see a final view)."""
@@ -169,11 +229,25 @@ class FleetView:
     def elapsed(self) -> float:
         return max(0.0, self._clock() - self._started)
 
+    def _grouped(self, deltas: list[TelemetryDelta]) -> dict[int, list[TelemetryDelta]]:
+        groups: dict[int, list[TelemetryDelta]] = {}
+        for delta in sorted(deltas, key=lambda d: d.key):
+            groups.setdefault(delta.shard, []).append(delta)
+        return groups
+
+    def _shard_complete(self, shard: int, deltas: list[TelemetryDelta], plan: dict) -> bool:
+        total = plan.get(shard, {}).get("segments")
+        if total is None:
+            total = max(d.segments for d in deltas)
+        return sum(1 for d in deltas if d.complete) >= total
+
     def fleet_counters(self) -> dict:
         """Cheap fleet totals (no stats/metrics folding) — what the
         parent's periodic status line reads."""
         with self._lock:
             deltas = list(self._deltas.values())
+            plan = self._plan
+        groups = self._grouped(deltas)
         return {
             "done": sum(d.done for d in deltas),
             "successes": sum(d.successes for d in deltas),
@@ -181,11 +255,16 @@ class FleetView:
             "retries": sum(d.retries for d in deltas),
             "queries_sent": sum(d.queries_sent for d in deltas),
             "in_flight": sum(d.in_flight for d in deltas),
-            "shards_complete": sum(1 for d in deltas if d.complete),
+            "shards_complete": sum(
+                1 for shard, ds in groups.items()
+                if self._shard_complete(shard, ds, plan)
+            ),
+            "steals": sum(1 for d in deltas if d.stolen_from is not None),
+            "resumed_tasks": sum(1 for d in deltas if d.resumed),
         }
 
     def fleet_stats(self) -> ScanStats:
-        """Merged :class:`ScanStats` from the latest per-shard states."""
+        """Merged :class:`ScanStats` from the latest per-task states."""
         merged = ScanStats()
         with self._lock:
             states = [d.stats for d in self._deltas.values() if d.stats]
@@ -194,15 +273,15 @@ class FleetView:
         return merged
 
     def merged_registry(self) -> MetricsRegistry:
-        """Live fleet registry: latest per-shard dumps folded together
+        """Live fleet registry: latest per-task dumps folded together
         with the same per-shard relabelling the end-of-scan merge uses."""
         from .parallel import _relabel_for  # local: avoid an import cycle
 
         registry = MetricsRegistry(enabled=True)
         with self._lock:
             dumps = [
-                (shard, delta.metrics)
-                for shard, delta in sorted(self._deltas.items())
+                (key[0], delta.metrics)
+                for key, delta in sorted(self._deltas.items())
                 if delta.metrics
             ]
         for shard, dump in dumps:
@@ -214,12 +293,15 @@ class FleetView:
 
     def status_snapshot(self) -> dict:
         """The ``/status.json`` document: run metadata, fleet totals,
-        per-shard progress rows, and the fault/health scopes."""
+        per-shard progress rows (segments folded back together), and the
+        fault/health scopes."""
         from ..obs.status import estimate_eta
 
         with self._lock:
-            deltas = sorted(self._deltas.values(), key=lambda d: d.shard)
+            deltas = list(self._deltas.values())
+            plan = {shard: dict(info) for shard, info in self._plan.items()}
             complete = self.complete
+        groups = self._grouped(deltas)
         elapsed = self.elapsed
         done = sum(d.done for d in deltas)
         successes = sum(d.successes for d in deltas)
@@ -242,11 +324,19 @@ class FleetView:
                 "eta_s": None if eta is None else round(eta, 1),
                 "virtual_now": round(max((d.virtual_now for d in deltas), default=0.0), 6),
                 "shards": self.shards,
-                "shards_reporting": len(deltas),
-                "shards_complete": sum(1 for d in deltas if d.complete),
+                "shards_reporting": len(groups),
+                "shards_complete": sum(
+                    1 for shard, ds in groups.items()
+                    if self._shard_complete(shard, ds, plan)
+                ),
+                "steals": sum(1 for d in deltas if d.stolen_from is not None),
+                "resumed_tasks": sum(1 for d in deltas if d.resumed),
                 "complete": complete,
             },
-            "shards": [_shard_row(d, elapsed) for d in deltas],
+            "shards": [
+                _shard_group_row(shard, ds, plan.get(shard, {}), elapsed)
+                for shard, ds in sorted(groups.items())
+            ],
             "scopes": _scope_tree(self.merged_registry()),
         }
 
@@ -336,6 +426,13 @@ class ScanView:
             "virtual_now": round(virtual_now, 6),
             "rate_per_s": round(average_rate, 2),
             "complete": complete,
+            "segments": 1,
+            "segments_done": 1 if complete else 0,
+            "owner": 0,
+            "workers": [0],
+            "steals": 0,
+            "stolen_from": None,
+            "resumed": False,
         }
         scopes = {}
         if self._registry is not None and self._registry.enabled:
@@ -359,6 +456,8 @@ class ScanView:
                 "shards": 1,
                 "shards_reporting": 1 if stats is not None else 0,
                 "shards_complete": 1 if complete else 0,
+                "steals": 0,
+                "resumed_tasks": 0,
                 "complete": complete,
             },
             "shards": [shard_row] if stats is not None else [],

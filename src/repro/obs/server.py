@@ -207,7 +207,7 @@ DASHBOARD_HTML = """<!DOCTYPE html>
     <th>shard</th><th>progress</th><th class="num">done</th>
     <th class="num">ok %</th><th class="num">rate/s</th>
     <th class="num">in-flight</th><th class="num">retries</th>
-    <th class="num">virtual t</th><th>state</th>
+    <th class="num">virtual t</th><th>owner</th><th>state</th>
   </tr></thead>
   <tbody id="shards"></tbody>
 </table>
@@ -261,14 +261,25 @@ function shardRows(shards) {
   document.getElementById("shards").innerHTML = shards.map(s => {
     const pct = s.target ? Math.min(100, 100 * s.done / s.target) : 0;
     const ok = s.done ? (100 * s.successes / s.done).toFixed(1) : "0.0";
-    const state = s.complete ? '<span class="done-flag">&#10003; complete</span>'
-                             : '<span class="muted">running</span>';
+    // ownership: nominal owner, the workers actually running it, and
+    // steal/resume provenance
+    const workers = (s.workers && s.workers.length) ? s.workers.join(",") : "\\u2013";
+    let owner = `w${s.owner ?? "?"} <span class="muted">run w[${workers}]</span>`;
+    const marks = [];
+    if (s.steals) marks.push(`<span class="err">\\u21af stolen\\u00d7${s.steals}</span>`);
+    if (s.resumed) marks.push('<span class="muted">\\u21bb resumed</span>');
+    const segs = s.segments > 1
+      ? ` <span class="muted">${s.segments_done}/${s.segments} seg</span>` : "";
+    const state = (s.complete ? '<span class="done-flag">&#10003; complete</span>'
+                              : '<span class="muted">running</span>')
+      + segs + (marks.length ? " " + marks.join(" ") : "");
     return `<tr><td>${s.shard}</td>
       <td><div class="bar"><i style="width:${pct.toFixed(1)}%"></i></div></td>
       <td class="num">${fmt(s.done)}${s.target ? '<span class="muted"> / ' + fmt(s.target) + "</span>" : ""}</td>
       <td class="num">${ok}</td><td class="num">${fmt(s.rate_per_s)}</td>
       <td class="num">${fmt(s.in_flight)}</td><td class="num">${fmt(s.retries)}</td>
-      <td class="num">${s.virtual_now.toFixed(1)}s</td><td>${state}</td></tr>`;
+      <td class="num">${s.virtual_now.toFixed(1)}s</td>
+      <td>${owner}</td><td>${state}</td></tr>`;
   }).join("");
 }
 
@@ -281,6 +292,8 @@ async function poll() {
       `module ${run.module ?? "?"} \\u00b7 mode ${run.mode ?? "?"} \\u00b7 ` +
       `seed ${run.seed ?? "?"} \\u00b7 ${run.processes ?? 1} process(es) \\u00b7 ` +
       `${s.fleet.shards} shard(s) \\u00b7 wall ${s.wall_elapsed_s.toFixed(1)}s` +
+      (run.resumed_from ? ` \\u00b7 resumed from ${run.resumed_from}` : "") +
+      (s.fleet.steals ? ` \\u00b7 ${s.fleet.steals} steal(s)` : "") +
       (s.fleet.complete ? " \\u00b7 complete" : "");
     hist.push([s.wall_elapsed_s, s.fleet.done]);
     if (hist.length > HIST_MAX + 1) hist.shift();

@@ -1,0 +1,641 @@
+"""Durability tests: checkpoint journal, exact resume, work stealing.
+
+The heart of this file is the crash matrix: real scans run as
+subprocesses, get SIGKILLed at chosen points (a worker mid-task, the
+parent right after journaling its Nth task), are resumed from the
+checkpoint directory, and the resumed output — rows, stderr stats
+summary, metrics dump, spans — must be *byte-identical* to an
+uninterrupted run of the same configuration.  Around it: journal
+round-trip units, config-fingerprint rejection, corruption detection,
+and the steal-boundary determinism property (any steal schedule, any
+process count → identical bytes).
+
+Baselines are always runs with checkpointing enabled: streaming
+telemetry schedules virtual-clock timers, so (exactly like
+``--status-interval`` and ``--http-port``) it is part of the scan
+configuration the fingerprint pins.
+"""
+
+import io as io_module
+import json
+import os
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.framework import ScanConfig, run_parallel_scan
+from repro.framework.checkpoint import (
+    JOURNAL_NAME,
+    JOURNAL_VERSION,
+    SPOOL_DIR,
+    CheckpointError,
+    CheckpointJournal,
+    CheckpointWriter,
+    config_fingerprint,
+    restore_metrics_dump,
+)
+from repro.framework.io import names_digest
+from repro.framework.stats import ScanStats
+from repro.obs import MetricsRegistry
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+NAMES = 60
+SHARDS = 4
+QUANTUM = 4  # 15 names/shard -> 4 segments/shard -> 16 tasks
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def _corpus():
+    tlds = ("com", "net", "org")
+    return [f"host{i}.zone{i % 7}.{tlds[i % 3]}" for i in range(NAMES)]
+
+
+@pytest.fixture(scope="module")
+def names_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("corpus") / "names.txt"
+    path.write_text("\n".join(_corpus()) + "\n")
+    return path
+
+
+def _cli_env(crash=None, delay=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    env.pop("REPRO_TEST_CRASH", None)
+    env.pop("REPRO_TEST_TASK_DELAY", None)
+    if crash is not None:
+        env["REPRO_TEST_CRASH"] = crash
+    if delay is not None:
+        env["REPRO_TEST_TASK_DELAY"] = delay
+    return env
+
+
+def _cli_scan(names_file, workdir, tag, *, processes, checkpoint=None,
+              resume=None, crash=None, delay=None, extra=()):
+    """One CLI scan as a subprocess; returns (returncode, stderr, paths)."""
+    out = workdir / f"{tag}.jsonl"
+    prom = workdir / f"{tag}.prom"
+    spans = workdir / f"{tag}.spans"
+    argv = [
+        sys.executable, "-m", "repro.framework.cli", "A",
+        "-f", str(names_file), "-o", str(out),
+        "--processes", str(processes),
+        "--mp-shards", str(SHARDS),
+        "--steal-quantum", str(QUANTUM),
+        "--no-timestamps",
+        "--seed", "7", "--threads", "50",
+        "--metrics-out", str(prom),
+        "--spans-file", str(spans),
+        *extra,
+    ]
+    if checkpoint is not None:
+        argv += ["--checkpoint-dir", str(checkpoint)]
+    if resume is not None:
+        argv += ["--resume", str(resume)]
+    proc = subprocess.run(
+        argv, env=_cli_env(crash=crash, delay=delay),
+        capture_output=True, text=True, timeout=120, cwd=str(REPO_ROOT),
+    )
+    return proc, {"rows": out, "prom": prom, "spans": spans}
+
+
+def _summary_line(stderr: str) -> str:
+    """The stats summary is the last JSON-object line on stderr."""
+    lines = [l for l in stderr.splitlines() if l.startswith("{")]
+    assert lines, f"no summary on stderr: {stderr!r}"
+    return lines[-1]
+
+
+@pytest.fixture(scope="module")
+def baseline_for(names_file, tmp_path_factory):
+    """Uninterrupted checkpointed runs, one per process count: the
+    byte-identity references.  (The metrics dump and summary include the
+    ``mp.processes`` topology gauge, so references are per-p.)"""
+    cache = {}
+
+    def build(processes):
+        if processes not in cache:
+            workdir = tmp_path_factory.mktemp(f"baseline-p{processes}")
+            proc, paths = _cli_scan(
+                names_file, workdir, "base",
+                processes=processes, checkpoint=workdir / "ck",
+            )
+            assert proc.returncode == 0, proc.stderr
+            cache[processes] = {
+                "rows": paths["rows"].read_bytes(),
+                "prom": paths["prom"].read_bytes(),
+                "spans": paths["spans"].read_bytes(),
+                "summary": _summary_line(proc.stderr),
+            }
+        return cache[processes]
+
+    return build
+
+
+def _assert_identical(paths, proc, baseline):
+    assert paths["rows"].read_bytes() == baseline["rows"]
+    assert paths["prom"].read_bytes() == baseline["prom"]
+    assert paths["spans"].read_bytes() == baseline["spans"]
+    assert _summary_line(proc.stderr) == baseline["summary"]
+
+
+# ---------------------------------------------------------------------------
+# journal round-trip units
+# ---------------------------------------------------------------------------
+
+
+def _sample_payload():
+    stats = ScanStats()
+    stats.record("NOERROR", 1.5, queries=2)
+    stats.record("TIMEOUT", 9.0, queries=3, retries=2)
+    registry = MetricsRegistry(enabled=True)
+    registry.counter("engine.lookups").inc(2)
+    registry.histogram("engine.latency").observe(0.25)
+    registry.histogram("engine.latency").observe(90.0)
+    return {
+        "stats": stats.to_state(),
+        "metrics": registry.dump(),
+        "cache": {"hits": 3, "misses": 1},
+        "cpu_utilisation": 0.5,
+    }
+
+
+class TestJournalRoundTrip:
+    def _write_session(self, directory, *, fsync="always"):
+        writer = CheckpointWriter(
+            str(directory), fingerprint="fp-1", plan={"tasks": [[0, 0, 0, 2]]},
+            fsync=fsync,
+        )
+        writer.spool_rows((0, 0), ['{"name": "a"}\n'])
+        writer.spool_rows((0, 0), ['{"name": "b"}\n'])
+        writer.spool_spans((0, 0), ['{"span": "lookup"}\n'])
+        writer.note_delta((0, 0), {"shard": 0, "seq": 3, "version": 2})
+        writer.task_done((0, 0), _sample_payload())
+        writer.finalize(complete=True, counters={"done": 2})
+        return writer
+
+    def test_task_record_round_trips(self, tmp_path):
+        self._write_session(tmp_path)
+        journal = CheckpointJournal.load(str(tmp_path))
+        assert journal.fingerprint == "fp-1"
+        assert set(journal.tasks) == {(0, 0)}
+        record = journal.tasks[(0, 0)]
+        assert record["rows"] == 2
+        assert record["spans"] == 1
+        assert record["delta"]["seq"] == 3
+        assert journal.rows_for((0, 0)) == ['{"name": "a"}\n', '{"name": "b"}\n']
+        assert journal.spans_for((0, 0)) == ['{"span": "lookup"}\n']
+
+    @pytest.mark.parametrize("fsync", ["always", "interval", "never"])
+    def test_all_fsync_policies_produce_loadable_journals(self, tmp_path, fsync):
+        directory = tmp_path / fsync
+        self._write_session(directory, fsync=fsync)
+        journal = CheckpointJournal.load(str(directory))
+        assert set(journal.tasks) == {(0, 0)}
+
+    def test_restored_payload_matches_live_format_exactly(self, tmp_path):
+        """The JSON round-trip must not corrupt the mergeable payload —
+        histogram buckets especially, whose int keys JSON stringifies."""
+        self._write_session(tmp_path)
+        journal = CheckpointJournal.load(str(tmp_path))
+        payload = journal.tasks[(0, 0)]["payload"]
+        original = _sample_payload()
+        assert payload["stats"] == original["stats"]
+        assert restore_metrics_dump(original["metrics"]) == payload["metrics"]
+        merged = MetricsRegistry(enabled=True)
+        merged.merge_dump(payload["metrics"])
+        hist = merged.snapshot()["engine.latency"]
+        assert hist["count"] == 2
+        assert hist["max"] == pytest.approx(90.0)
+
+    def test_fresh_writer_refuses_existing_journal(self, tmp_path):
+        self._write_session(tmp_path)
+        with pytest.raises(CheckpointError, match="already holds a journal"):
+            CheckpointWriter(str(tmp_path), fingerprint="fp-2", plan={})
+
+    def test_bad_fsync_policy_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="fsync policy"):
+            CheckpointWriter(str(tmp_path), fingerprint="f", plan={}, fsync="sometimes")
+
+    def test_rerun_truncates_stale_spool(self, tmp_path):
+        """A resumed session re-running a task must overwrite, not
+        append to, the crashed attempt's partial spool."""
+        writer = CheckpointWriter(str(tmp_path), fingerprint="f", plan={})
+        writer.spool_rows((0, 0), ["stale-line-1\n", "stale-line-2\n"])
+        writer.finalize(complete=False)  # crash before task_done
+        resumed = CheckpointWriter(
+            str(tmp_path), fingerprint="f", plan={}, resume=True
+        )
+        resumed.spool_rows((0, 0), ["fresh\n"])
+        resumed.task_done((0, 0), _sample_payload())
+        resumed.finalize(complete=True)
+        journal = CheckpointJournal.load(str(tmp_path))
+        assert journal.rows_for((0, 0)) == ["fresh\n"]
+
+
+class TestJournalRejection:
+    def _journal_path(self, directory):
+        return directory / JOURNAL_NAME
+
+    def _valid_dir(self, tmp_path):
+        writer = CheckpointWriter(
+            str(tmp_path), fingerprint="fp-good", plan={"tasks": [[0, 0, 0, 1]]}
+        )
+        writer.spool_rows((0, 0), ['{"name": "x"}\n'])
+        writer.task_done((0, 0), _sample_payload())
+        writer.finalize(complete=False)
+        return tmp_path
+
+    def test_missing_journal(self, tmp_path):
+        with pytest.raises(CheckpointError, match="no checkpoint journal"):
+            CheckpointJournal.load(str(tmp_path / "nowhere"))
+
+    def test_fingerprint_mismatch_rejected(self, tmp_path):
+        journal = CheckpointJournal.load(str(self._valid_dir(tmp_path)))
+        with pytest.raises(CheckpointError, match="different scan configuration"):
+            journal.validate(fingerprint="fp-other", plan=journal.plan)
+
+    def test_plan_mismatch_rejected(self, tmp_path):
+        journal = CheckpointJournal.load(str(self._valid_dir(tmp_path)))
+        with pytest.raises(CheckpointError, match="plan does not match"):
+            journal.validate(
+                fingerprint="fp-good", plan={"tasks": [[0, 0, 0, 99]]}
+            )
+
+    def test_torn_final_line_is_tolerated(self, tmp_path):
+        """A crash mid-append tears exactly the last line; resume must
+        treat the journal as valid minus that record."""
+        self._valid_dir(tmp_path)
+        path = self._journal_path(tmp_path)
+        with open(path, "a") as handle:
+            handle.write('{"kind": "task", "key": [9, 9], "truncat')
+        journal = CheckpointJournal.load(str(tmp_path))
+        assert set(journal.tasks) == {(0, 0)}  # torn record discarded
+
+    def test_mid_file_corruption_rejected(self, tmp_path):
+        self._valid_dir(tmp_path)
+        path = self._journal_path(tmp_path)
+        lines = path.read_text().splitlines(keepends=True)
+        lines.insert(1, "NOT JSON AT ALL\n")
+        path.write_text("".join(lines))
+        with pytest.raises(CheckpointError, match="corrupt journal record"):
+            CheckpointJournal.load(str(tmp_path))
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        self._valid_dir(tmp_path)
+        path = self._journal_path(tmp_path)
+        lines = path.read_text().splitlines(keepends=True)
+        header = json.loads(lines[0])
+        header["version"] = JOURNAL_VERSION + 1
+        lines[0] = json.dumps(header) + "\n"
+        path.write_text("".join(lines))
+        with pytest.raises(CheckpointError, match="journal version"):
+            CheckpointJournal.load(str(tmp_path))
+
+    def test_headerless_journal_rejected(self, tmp_path):
+        (tmp_path / SPOOL_DIR).mkdir()
+        self._journal_path(tmp_path).write_text('{"kind": "task"}\n')
+        with pytest.raises(CheckpointError, match="header"):
+            CheckpointJournal.load(str(tmp_path))
+
+    def test_truncated_spool_rejected(self, tmp_path):
+        self._valid_dir(tmp_path)
+        spool = tmp_path / SPOOL_DIR / "shard-0.seg-0.rows"
+        spool.write_bytes(spool.read_bytes()[:3])
+        with pytest.raises(CheckpointError, match="truncated checkpoint spool"):
+            CheckpointJournal.load(str(tmp_path))
+
+
+class TestConfigFingerprint:
+    def _fingerprint(self, *, seed=7, shards=4, quantum=4, digest="d", **extra):
+        defaults = dict(
+            wire_mode="always", wire_sample=16, collect_metrics=False,
+            fault_plan=None, chaos_seed=None, add_timestamp=False,
+            collect_spans=False,
+        )
+        defaults.update(extra)
+        return config_fingerprint(
+            config=ScanConfig(module="A", seed=seed),
+            shards=shards, steal_quantum=quantum, names_digest=digest,
+            **defaults,
+        )
+
+    def test_sensitive_to_everything_that_shapes_bytes(self):
+        base = self._fingerprint()
+        assert base != self._fingerprint(seed=8)
+        assert base != self._fingerprint(shards=5)
+        assert base != self._fingerprint(quantum=None)
+        assert base != self._fingerprint(digest="other")
+        assert base != self._fingerprint(fault_plan="mild")
+        assert base != self._fingerprint(add_timestamp=True)
+
+    def test_insensitive_to_wall_clock_knobs(self):
+        """status_interval only shapes stderr; it must not block resume."""
+        quiet = ScanConfig(module="A", seed=7, status_interval=None)
+        chatty = ScanConfig(module="A", seed=7, status_interval=0.5)
+        kwargs = dict(
+            shards=4, steal_quantum=4, wire_mode="always", wire_sample=16,
+            collect_metrics=False, fault_plan=None, chaos_seed=None,
+            add_timestamp=False, collect_spans=False, names_digest="d",
+        )
+        assert config_fingerprint(config=quiet, **kwargs) == config_fingerprint(
+            config=chatty, **kwargs
+        )
+
+    def test_names_digest_is_order_sensitive(self):
+        assert names_digest(["a", "b"]) != names_digest(["b", "a"])
+        assert names_digest(["ab"]) != names_digest(["a", "b"])
+        assert names_digest(["a", "b"]) == names_digest(iter(["a", "b"]))
+
+
+# ---------------------------------------------------------------------------
+# steal-boundary determinism (in-process)
+# ---------------------------------------------------------------------------
+
+
+def _run_in_process(corpus, *, processes, quantum=None, delay=None,
+                    checkpoint_dir=None, resume=False, monkeypatch=None):
+    if delay is not None:
+        monkeypatch.setenv("REPRO_TEST_TASK_DELAY", delay)
+    elif monkeypatch is not None:
+        monkeypatch.delenv("REPRO_TEST_TASK_DELAY", raising=False)
+    out = io_module.StringIO()
+    report = run_parallel_scan(
+        corpus,
+        ScanConfig(module="A", mode="iterative", threads=50, seed=11),
+        processes=processes,
+        out=out,
+        shards=SHARDS,
+        add_timestamp=False,
+        steal_quantum=quantum,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+    )
+    return out.getvalue(), report
+
+
+class TestStealDeterminism:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return _corpus()
+
+    def test_any_steal_schedule_yields_identical_bytes(self, corpus, monkeypatch):
+        """The property the whole design rests on: bytes are a function
+        of (seed, shards, quantum) — never of which worker ran what.
+        Different worker delays force different steal schedules."""
+        reference, _ = _run_in_process(
+            corpus, processes=1, quantum=QUANTUM, monkeypatch=monkeypatch
+        )
+        stolen = 0
+        for schedule in (None, "0:0.3", "1:0.2", "2:0.25"):
+            text, report = _run_in_process(
+                corpus, processes=3, quantum=QUANTUM,
+                delay=schedule, monkeypatch=monkeypatch,
+            )
+            assert text == reference, f"schedule {schedule} changed bytes"
+            stolen += report.steals
+        assert stolen >= 1  # at least one schedule actually stole
+
+    def test_forced_steal_is_observable(self, corpus, monkeypatch):
+        """Slowing worker 0 to a crawl guarantees the other workers
+        drain its shards: steals must be reported, with provenance."""
+        text, report = _run_in_process(
+            corpus, processes=3, quantum=QUANTUM,
+            delay="0:0.5", monkeypatch=monkeypatch,
+        )
+        assert report.steals >= 1
+        assert report.tasks == SHARDS * 4
+        for event in report.steal_events:
+            assert event["to"] != event["from"]
+            assert event["stop"] > event["start"]
+
+    def test_quantum_covering_shard_matches_legacy_decomposition(self, corpus, monkeypatch):
+        """steal_quantum >= shard size degenerates to whole-shard tasks,
+        which must reproduce the historical (no-quantum) bytes exactly —
+        the legacy per-shard RNG stream contract."""
+        legacy, legacy_report = _run_in_process(
+            corpus, processes=2, monkeypatch=monkeypatch
+        )
+        huge, huge_report = _run_in_process(
+            corpus, processes=2, quantum=10_000, monkeypatch=monkeypatch
+        )
+        assert huge == legacy
+        assert legacy_report.tasks == SHARDS
+        assert huge_report.tasks == SHARDS
+
+    def test_worker_death_between_tasks_self_heals(self, corpus, monkeypatch):
+        """A worker SIGKILLed between tasks is not fatal: survivors
+        steal its queue and the scan completes with identical bytes."""
+        reference, _ = _run_in_process(
+            corpus, processes=2, quantum=QUANTUM, monkeypatch=monkeypatch
+        )
+        monkeypatch.setenv("REPRO_TEST_CRASH", "worker:0:after:1")
+        out = io_module.StringIO()
+        report = run_parallel_scan(
+            _corpus(),
+            ScanConfig(module="A", mode="iterative", threads=50, seed=11),
+            processes=2, out=out, shards=SHARDS,
+            add_timestamp=False, steal_quantum=QUANTUM,
+        )
+        assert out.getvalue() == reference
+        assert report.stats.total == NAMES
+
+
+# ---------------------------------------------------------------------------
+# in-process resume round trip
+# ---------------------------------------------------------------------------
+
+
+class TestResumeInProcess:
+    def test_resume_of_complete_journal_replays_everything(self, tmp_path, monkeypatch):
+        corpus = _corpus()
+        first, first_report = _run_in_process(
+            corpus, processes=2, quantum=QUANTUM,
+            checkpoint_dir=str(tmp_path), monkeypatch=monkeypatch,
+        )
+        second, second_report = _run_in_process(
+            corpus, processes=2, quantum=QUANTUM,
+            checkpoint_dir=str(tmp_path), resume=True, monkeypatch=monkeypatch,
+        )
+        assert second == first
+        assert first_report.resumed_tasks == 0
+        assert second_report.resumed_tasks == second_report.tasks == SHARDS * 4
+        assert second_report.stats.to_json() == first_report.stats.to_json()
+
+    def test_resume_against_wrong_corpus_is_rejected(self, tmp_path, monkeypatch):
+        corpus = _corpus()
+        _run_in_process(
+            corpus, processes=1, quantum=QUANTUM,
+            checkpoint_dir=str(tmp_path), monkeypatch=monkeypatch,
+        )
+        with pytest.raises(CheckpointError, match="different scan configuration"):
+            _run_in_process(
+                corpus[:-1] + ["sneaky.extra.com"], processes=1, quantum=QUANTUM,
+                checkpoint_dir=str(tmp_path), resume=True, monkeypatch=monkeypatch,
+            )
+
+    def test_resume_without_journal_is_rejected(self, tmp_path, monkeypatch):
+        with pytest.raises(CheckpointError, match="no checkpoint journal"):
+            _run_in_process(
+                _corpus(), processes=1, quantum=QUANTUM,
+                checkpoint_dir=str(tmp_path), resume=True, monkeypatch=monkeypatch,
+            )
+
+
+# ---------------------------------------------------------------------------
+# the crash matrix (subprocess SIGKILL + resume, byte-identity)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.crash
+class TestCrashMatrix:
+    """SIGKILL at every interesting point; resume; demand exact bytes."""
+
+    @pytest.mark.parametrize("processes", [1, 4])
+    @pytest.mark.parametrize("kill_after", [1, 3, 5])
+    def test_parent_killed_after_kth_checkpoint(
+        self, names_file, tmp_path, baseline_for, processes, kill_after
+    ):
+        baseline = baseline_for(processes)
+        ck = tmp_path / "ck"
+        proc, _ = _cli_scan(
+            names_file, tmp_path, "int", processes=processes,
+            checkpoint=ck, crash=f"parent:after:{kill_after}",
+        )
+        assert proc.returncode == -9  # SIGKILL, no cleanup ran
+        journal = CheckpointJournal.load(str(ck))
+        assert len(journal.tasks) >= kill_after
+        resumed, paths = _cli_scan(
+            names_file, tmp_path, "res", processes=processes, resume=ck
+        )
+        assert resumed.returncode == 0, resumed.stderr
+        _assert_identical(paths, resumed, baseline)
+
+    @pytest.mark.parametrize("processes", [1, 4])
+    @pytest.mark.parametrize("kill_during", [1, 2])
+    def test_worker_killed_mid_task(
+        self, names_file, tmp_path, baseline_for, processes, kill_during
+    ):
+        """SIGKILL a worker inside a task (before its delta reaches the
+        pipe).  The session fails fast with a resume hint; the journal
+        holds every task completed so far; resume is exact."""
+        baseline = baseline_for(processes)
+        ck = tmp_path / "ck"
+        proc, _ = _cli_scan(
+            names_file, tmp_path, "int", processes=processes,
+            checkpoint=ck, crash=f"worker:0:during:{kill_during}",
+        )
+        assert proc.returncode != 0
+        assert "resume to continue" in proc.stderr
+        resumed, paths = _cli_scan(
+            names_file, tmp_path, "res", processes=processes, resume=ck
+        )
+        assert resumed.returncode == 0, resumed.stderr
+        _assert_identical(paths, resumed, baseline)
+
+    def test_double_crash_chain(self, names_file, tmp_path, baseline_for):
+        """Parent killed mid-scan; then the *resume session's parent* is
+        killed too; the second resume still lands on exact bytes.
+
+        Both kills use ``parent:after:N`` so they fire deterministically:
+        a worker-kill first would let the surviving worker steal and
+        drain nearly every task, leaving the resume session too short
+        for its own kill to trigger."""
+        baseline = baseline_for(2)
+        ck = tmp_path / "ck"
+        first, _ = _cli_scan(
+            names_file, tmp_path, "int1", processes=2,
+            checkpoint=ck, crash="parent:after:3",
+        )
+        assert first.returncode == -9
+        assert len(CheckpointJournal.load(ck).tasks) >= 3
+        second, _ = _cli_scan(
+            names_file, tmp_path, "int2", processes=2,
+            resume=ck, crash="parent:after:3",
+        )
+        assert second.returncode == -9
+        final, paths = _cli_scan(
+            names_file, tmp_path, "res", processes=2, resume=ck
+        )
+        assert final.returncode == 0, final.stderr
+        _assert_identical(paths, final, baseline)
+
+    def test_crash_after_forced_steal_resumes_exactly(self, names_file, tmp_path, baseline_for):
+        baseline = baseline_for(2)
+        """Steal boundaries are checkpoints: a scan that stole work and
+        then lost its parent resumes to the same bytes."""
+        ck = tmp_path / "ck"
+        proc, _ = _cli_scan(
+            names_file, tmp_path, "int", processes=2, checkpoint=ck,
+            crash="parent:after:6", delay="0:0.15",
+        )
+        assert proc.returncode == -9
+        resumed, paths = _cli_scan(
+            names_file, tmp_path, "res", processes=2, resume=ck
+        )
+        assert resumed.returncode == 0, resumed.stderr
+        _assert_identical(paths, resumed, baseline)
+
+    def test_resume_under_different_process_count(
+        self, names_file, tmp_path, baseline_for
+    ):
+        """The process count is a wall-clock knob, not scan config: a
+        4-process scan may resume with 1 process.  Rows and spans are
+        byte-identical; the metrics dump and summary match except for
+        the ``mp.processes`` topology gauge, which honestly reports the
+        resume session's own process count."""
+        baseline = baseline_for(4)
+        ck = tmp_path / "ck"
+        proc, _ = _cli_scan(
+            names_file, tmp_path, "int", processes=4,
+            checkpoint=ck, crash="parent:after:3",
+        )
+        assert proc.returncode == -9
+        resumed, paths = _cli_scan(
+            names_file, tmp_path, "res", processes=1, resume=ck
+        )
+        assert resumed.returncode == 0, resumed.stderr
+        assert paths["rows"].read_bytes() == baseline["rows"]
+        assert paths["spans"].read_bytes() == baseline["spans"]
+
+        def strip_mp_processes(prom_bytes):
+            return [
+                line for line in prom_bytes.splitlines()
+                if b"mp_processes" not in line
+            ]
+
+        assert strip_mp_processes(paths["prom"].read_bytes()) == (
+            strip_mp_processes(baseline["prom"])
+        )
+        resumed_summary = json.loads(_summary_line(resumed.stderr))
+        base_summary = json.loads(baseline["summary"])
+        assert resumed_summary["mp"]["processes"] == 1
+        assert base_summary["mp"]["processes"] == 4
+        resumed_summary["mp"].pop("processes")
+        base_summary["mp"].pop("processes")
+        assert resumed_summary == base_summary
+
+    def test_corrupted_journal_fails_resume_cleanly(self, names_file, tmp_path):
+        ck = tmp_path / "ck"
+        proc, _ = _cli_scan(
+            names_file, tmp_path, "int", processes=2,
+            checkpoint=ck, crash="parent:after:3",
+        )
+        assert proc.returncode == -9
+        journal = ck / JOURNAL_NAME
+        lines = journal.read_text().splitlines(keepends=True)
+        lines[1] = "garbage not json\n"
+        journal.write_text("".join(lines))
+        resumed, _ = _cli_scan(
+            names_file, tmp_path, "res", processes=2, resume=ck
+        )
+        assert resumed.returncode != 0
+        assert "corrupt journal record" in resumed.stderr

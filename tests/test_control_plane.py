@@ -50,6 +50,20 @@ class TestTelemetryDelta:
         with pytest.raises(ValueError, match="version"):
             FleetView().update(delta)
 
+    def test_v2_scheduling_fields_round_trip(self):
+        """v2 deltas are per (shard, segment) task and carry the
+        ownership/steal/resume annotations end to end."""
+        delta = TelemetryDelta(
+            shard=2, segment=1, segments=4, seq=3, done=40, target=60,
+            owner=2, worker=0, stolen_from=1, resumed=True, complete=True,
+        )
+        clone = TelemetryDelta.from_payload(delta.to_payload())
+        assert clone == delta
+        assert clone.key == (2, 1)
+        assert (clone.owner, clone.worker, clone.stolen_from, clone.resumed) == (
+            2, 0, 1, True,
+        )
+
 
 # ---------------------------------------------------------------------------
 # FleetView: latest-wins folding and fleet aggregation
@@ -123,6 +137,63 @@ class TestFleetView:
         snapshot = fleet.status_snapshot()
         assert snapshot["fleet"]["complete"] is True
         assert snapshot["fleet"]["eta_s"] is None
+
+    def test_set_plan_holds_shard_incomplete_until_all_segments(self):
+        """A shard pre-segmented for work stealing must not show complete
+        until *every* segment task has reported complete — even if all
+        segments seen so far are done."""
+        fleet = FleetView(shards=1, target=30)
+        fleet.set_plan({0: {"segments": 3, "target": 30, "owner": 0}})
+        for segment in (0, 1):
+            fleet.update(TelemetryDelta(
+                shard=0, segment=segment, segments=3, seq=1, done=10,
+                target=10, complete=True,
+            ))
+        snapshot = fleet.status_snapshot()
+        row = snapshot["shards"][0]
+        assert row["complete"] is False
+        assert row["segments_done"] == 2 and row["segments"] == 3
+        assert snapshot["fleet"]["shards_complete"] == 0
+        fleet.update(TelemetryDelta(
+            shard=0, segment=2, segments=3, seq=1, done=10,
+            target=10, complete=True,
+        ))
+        snapshot = fleet.status_snapshot()
+        assert snapshot["shards"][0]["complete"] is True
+        assert snapshot["fleet"]["shards_complete"] == 1
+
+    def test_status_rows_carry_ownership_steal_and_resume_state(self):
+        fleet = FleetView(shards=2, target=40, run_info={"module": "A"})
+        fleet.run_info["resumed_from"] = "/scans/ck"
+        fleet.update(TelemetryDelta(
+            shard=0, segment=0, segments=2, seq=1, done=10, target=10,
+            owner=0, worker=0, complete=True, resumed=True,
+        ))
+        fleet.update(TelemetryDelta(
+            shard=0, segment=1, segments=2, seq=1, done=10, target=10,
+            owner=0, worker=1, stolen_from=0, complete=True,
+        ))
+        fleet.update(TelemetryDelta(
+            shard=1, segment=0, segments=1, seq=1, done=20, target=20,
+            owner=1, worker=1, complete=True,
+        ))
+        snapshot = fleet.status_snapshot()
+        assert snapshot["run"]["resumed_from"] == "/scans/ck"
+        assert snapshot["fleet"]["steals"] == 1
+        assert snapshot["fleet"]["resumed_tasks"] == 1
+        by_shard = {row["shard"]: row for row in snapshot["shards"]}
+        assert by_shard[0]["owner"] == 0
+        assert by_shard[0]["workers"] == [0, 1]
+        assert by_shard[0]["steals"] == 1
+        assert by_shard[0]["stolen_from"] == 0
+        assert by_shard[0]["resumed"] is True
+        assert by_shard[1]["steals"] == 0
+        assert by_shard[1]["stolen_from"] is None
+        assert by_shard[1]["resumed"] is False
+        counters = fleet.fleet_counters()
+        assert counters["steals"] == 1
+        assert counters["resumed_tasks"] == 1
+        assert json.dumps(snapshot)  # stays JSON-serialisable
 
 
 # ---------------------------------------------------------------------------
@@ -216,6 +287,40 @@ class TestServerEndpoints:
             status, _, _ = _get(f"{server.url}/metrics")
             assert status == 200
 
+    def test_status_json_reports_resume_and_steal_state(self):
+        """During a resumed scan, /status.json must expose where the run
+        came from and per-shard ownership/steal annotations — the bits
+        an operator checks after restarting a crashed fleet."""
+        fleet = FleetView(
+            shards=2, target=40,
+            run_info={"module": "A", "resumed_from": "/scans/ck"},
+        )
+        fleet.set_plan({
+            0: {"segments": 2, "target": 20, "owner": 0},
+            1: {"segments": 2, "target": 20, "owner": 1},
+        })
+        fleet.update(TelemetryDelta(
+            shard=0, segment=0, segments=2, seq=1, done=10, target=10,
+            owner=0, worker=0, complete=True, resumed=True,
+        ))
+        fleet.update(TelemetryDelta(
+            shard=1, segment=1, segments=2, seq=1, done=4, target=10,
+            owner=1, worker=0, stolen_from=1,
+        ))
+        with TelemetryServer(
+            status=fleet.status_snapshot, metrics=fleet.prometheus
+        ) as server:
+            status, _, body = _get(f"{server.url}/status.json")
+        assert status == 200
+        snapshot = json.loads(body)
+        assert snapshot["run"]["resumed_from"] == "/scans/ck"
+        assert snapshot["fleet"]["steals"] == 1
+        assert snapshot["fleet"]["resumed_tasks"] == 1
+        by_shard = {row["shard"]: row for row in snapshot["shards"]}
+        assert by_shard[0]["owner"] == 0 and by_shard[0]["resumed"] is True
+        assert by_shard[0]["complete"] is False  # 1 of 2 segments reported
+        assert by_shard[1]["stolen_from"] == 1
+
     def test_stop_is_idempotent_and_start_rebinds(self):
         view = ScanView()
         server = TelemetryServer(status=view.status_snapshot, metrics=view.prometheus)
@@ -245,3 +350,12 @@ class TestDashboard:
         assert 'fetch("status.json"' in DASHBOARD_HTML
         assert "shards" in DASHBOARD_HTML
         assert "prefers-color-scheme: dark" in DASHBOARD_HTML
+
+    def test_dashboard_renders_ownership_and_resume_state(self):
+        """The fleet table draws the v2 scheduling columns: owner, steal
+        and resume badges, segment progress, and the resumed-from line."""
+        assert "<th>owner</th>" in DASHBOARD_HTML
+        assert "stolen" in DASHBOARD_HTML
+        assert "resumed" in DASHBOARD_HTML
+        assert "resumed_from" in DASHBOARD_HTML
+        assert "segments_done" in DASHBOARD_HTML

@@ -366,6 +366,43 @@ class TestFleetTelemetry:
         )
         assert out.getvalue() == plain
 
+    def test_every_task_final_delta_observed(self, corpus):
+        """Regression for the final-delta race: each worker must flush
+        its complete=True delta *before* the pipe sentinel, and the
+        runner must emit that final delta after end-of-run metric
+        publishing.  If either ordering slips, the fastest-finishing
+        task's terminal state silently never reaches the fleet."""
+        for processes in (1, 2):
+            fleet = FleetView()
+            out = io_module.StringIO()
+            run_parallel_scan(
+                corpus,
+                _config(),
+                processes=processes,
+                out=out,
+                shards=4,
+                steal_quantum=4,
+                add_timestamp=False,
+                fleet_view=fleet,
+            )
+            snapshot = fleet.status_snapshot()
+            assert snapshot["fleet"]["complete"] is True
+            assert snapshot["fleet"]["done"] == NAMES
+            rows = snapshot["shards"]
+            assert len(rows) == 4
+            for row in rows:
+                assert row["complete"] is True, row
+                assert row["done"] == row["target"]
+                assert row["segments_done"] == row["segments"] == 3
+            # The merged live registry is built purely from deltas; a
+            # dropped final delta loses that task's tail of lookups.
+            families = parse_prometheus(fleet.prometheus())
+            lookups = sum(
+                value
+                for _, _, value in families["pyzdns_engine_lookups"]["samples"]
+            )
+            assert lookups == float(NAMES)
+
     def test_fleet_status_line_carries_target(self, corpus):
         """The parent's fleet-wide status line shows done/target (and an
         eta once a rate exists)."""
