@@ -859,6 +859,155 @@ def codec_smoke(profile: str, repeats: int, write: bool = True) -> int:
     return status
 
 
+def service_smoke(profile: str, repeats: int) -> int:
+    """The resolver service daemon's acceptance gate, in four steps:
+
+    1. **Replay** — a fixed-seed 60-virtual-minute soak (diurnal load,
+       a mid-run upstream blackout, two zone deltas, sampled oracle
+       shadow checks) run twice must produce byte-identical reports:
+       same determinism digest, same event log, same counters;
+    2. **Correctness** — the sampled shadow checks against the
+       differential oracle must record zero divergences even though
+       zones mutate mid-run;
+    3. **Serve-stale** — during the blackout, eligible availability
+       (names the service had served before, per RFC 8767) must hold
+       at >= 99%, with stale answers actually doing the serving, and
+       the counters must stay internally consistent;
+    4. **Revalidation cost** — the same soak under ``flush``
+       revalidation must cost strictly more upstream queries than
+       ``incremental``; the observed ratio is reported (this is the
+       figure EXPERIMENTS.md records).
+
+    ``repeats`` is ignored — determinism does the work.  Returns a
+    process exit status (0 = gate passes).
+    """
+    from bench_wallclock_hotpath import BENCH_SEED, _timed
+
+    from repro.service import ServiceConfig, run_service
+
+    catalog, qps = (200, 8.0) if profile == "full" else (80, 4.0)
+
+    def soak(revalidation):
+        return ServiceConfig(
+            seed=BENCH_SEED,
+            duration=3600.0,
+            catalog_size=catalog,
+            base_qps=qps,
+            workers=8,
+            blackouts=((1200.0, 2400.0),),
+            deltas=2,
+            delta_times=(900.0, 2700.0),  # outside the blackout
+            revalidation=revalidation,
+            oracle_check_every=5,
+            prefetch_min_hits=2,
+            status_interval=300.0,
+        )
+
+    print(f"service smoke: 60-minute soak, {catalog} names at {qps:g} q/s, "
+          "blackout 1200-2400s, 2 zone deltas ...")
+    wall_a, report_a = _timed(lambda: run_service(soak("incremental")))
+    wall_b, report_b = _timed(lambda: run_service(soak("incremental")))
+
+    status = 0
+    if report_a.determinism_digest() != report_b.determinism_digest():
+        print("FAIL: two identical soaks produced different reports "
+              f"({report_a.determinism_digest()[:16]} != "
+              f"{report_b.determinism_digest()[:16]})")
+        status = 1
+    if report_a.events != report_b.events:
+        print("FAIL: the deterministic event logs differ between replays")
+        status = 1
+
+    oracle = report_a.oracle
+    if not oracle.get("checked"):
+        print("FAIL: the soak never shadow-checked an upstream resolution")
+        status = 1
+    if oracle.get("divergences") or report_a.divergences:
+        print(f"FAIL: {oracle.get('divergences')} oracle divergence(s) — the "
+              "service served answers the reference universe disowns")
+        for row in report_a.divergences[:3]:
+            print(f"  {row}")
+        status = 1
+
+    counters = report_a.counters
+    availability = report_a.availability
+    eligible = availability["eligible_availability"]
+    if availability["eligible"] < 100:
+        print(f"FAIL: only {availability['eligible']} eligible blackout queries "
+              "— the soak never meaningfully exercised serve-stale")
+        status = 1
+    if eligible is None or eligible < 0.99:
+        print(f"FAIL: eligible availability {eligible} under the blackout "
+              "(RFC 8767 floor is 0.99)")
+        status = 1
+    if counters["stale_answers_served"] == 0:
+        print("FAIL: the blackout was survived without serving anything stale")
+        status = 1
+
+    # counter consistency: every client query is accounted for exactly
+    # once, the per-path breakdown covers every served query (warm,
+    # revalidate, and successful prefetch jobs share the breakdown, so
+    # it may exceed ``served`` by at most their count), the cache and
+    # service agree on stale traffic, and prefetch outcomes never
+    # exceed what was scheduled
+    served_breakdown = (
+        counters["fresh_hits"] + counters["negative_hits"]
+        + counters["resolved"] + counters["resolved_negative"]
+        + counters["stale_answers_served"] + counters["stale_negatives_served"]
+    )
+    if counters["served"] + counters["failed"] != counters["queries"]:
+        print("FAIL: served + failed != queries")
+        status = 1
+    background = (
+        counters["warm_jobs"] + counters["revalidate_jobs"]
+        + counters["prefetch_refreshed"]
+    )
+    if not (counters["served"]
+            <= served_breakdown
+            <= counters["served"] + background):
+        print("FAIL: per-path serve counters out of bounds "
+              f"({served_breakdown} vs served {counters['served']} "
+              f"+ background <= {background})")
+        status = 1
+    if report_a.cache["stale_hits"] != (
+        counters["stale_answers_served"] + counters["stale_negatives_served"]
+    ):
+        print("FAIL: cache stale_hits disagree with the service's stale serves")
+        status = 1
+    if (counters["prefetch_refreshed"] + counters["prefetch_failed"]
+            > counters["prefetch_scheduled"]):
+        print("FAIL: more prefetch outcomes than scheduled prefetches")
+        status = 1
+    if counters["deltas_published"] != 2:
+        print(f"FAIL: {counters['deltas_published']} deltas published, wanted 2")
+        status = 1
+
+    print("service smoke: flush-revalidation baseline ...")
+    wall_c, report_c = _timed(lambda: run_service(soak("flush")))
+    queries = lambda r: r.network["udp_queries"] + r.network["tcp_queries"]  # noqa: E731
+    incremental_q, flush_q = queries(report_a), queries(report_c)
+    ratio = incremental_q / flush_q if flush_q else 0.0
+    if incremental_q >= flush_q:
+        print(f"FAIL: incremental revalidation ({incremental_q} upstream queries) "
+              f"is not cheaper than full flush ({flush_q})")
+        status = 1
+
+    print(f"  queries served              {counters['served']:>8,} / "
+          f"{counters['queries']:,}  ({counters['stale_answers_served']:,} stale)")
+    print(f"  eligible availability       {eligible!r:>8}  (floor 0.99)")
+    print(f"  oracle checks               {oracle.get('checked', 0):>8,}  "
+          f"({oracle.get('divergences', 0)} divergences)")
+    print(f"  upstream, incremental       {incremental_q:>8,} queries")
+    print(f"  upstream, full flush        {flush_q:>8,} queries  "
+          f"(incremental/flush ratio {ratio:.3f})")
+    print(f"  soak wall                   {wall_a:>8.3f} s  "
+          f"(replay {wall_b:.3f} s, flush {wall_c:.3f} s)")
+    if status == 0:
+        print("\nOK — resolver service gate passes (byte-identical replay, "
+              "zero divergences, serve-stale holds the blackout)")
+    return status
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--check", action="store_true", help="compare only; write nothing")
@@ -926,7 +1075,19 @@ def main(argv: list[str] | None = None) -> int:
         "wire vs structured mode, and an e2e wire-mode wall-clock "
         "improvement check (skips the regular suite)",
     )
+    parser.add_argument(
+        "--service-smoke",
+        action="store_true",
+        help="resolver-service gate: a fixed-seed 60-virtual-minute soak "
+        "with blackout and zone deltas must replay byte-identically, "
+        "record zero oracle divergences, hold >=99%% eligible "
+        "availability via serve-stale, and show incremental "
+        "revalidation beating a full flush (skips the regular suite)",
+    )
     args = parser.parse_args(argv)
+
+    if args.service_smoke:
+        return service_smoke(args.profile, max(1, args.repeat))
 
     if args.resume_smoke:
         return resume_smoke(args.profile, max(1, args.repeat))
@@ -1005,6 +1166,8 @@ def main(argv: list[str] | None = None) -> int:
     status |= http_smoke(args.profile, 1)
     print("\ndurability smoke gate ...")
     status |= resume_smoke(args.profile, 1)
+    print("\nresolver service smoke gate ...")
+    status |= service_smoke(args.profile, 1)
     print("\nobs selfcheck ...")
     try:
         from repro.obs.selfcheck import main as obs_selfcheck

@@ -14,6 +14,37 @@ minimum RR TTL of the cached records against the supplied virtual
 clock, and a probe that finds an expired entry treats it as a miss and
 drops it lazily (``CacheStats.expired`` counts those drops).  Without a
 clock — the standalone/legacy construction — entries never expire.
+
+The boundary rule is uniform across every lifetime path: at exactly
+``clock() == expires_at`` an entry is dead — on the probe path, on the
+``best_delegation`` walk, on the eviction path (an already-expired
+victim counts as ``expired``, not ``evictions``), and in the stale
+window arithmetic below.
+
+Service-mode extensions (all inert for batch scans):
+
+* ``stale_ttl`` — an RFC 8767 serve-stale window.  Expired leaf
+  answers and negative entries are *retained* for up to ``stale_ttl``
+  seconds past ``expires_at`` and readable only through the explicit
+  ``get_stale_answer``/``get_stale_negative`` APIs, which a resolver
+  service may consult **only after upstream resolution failed**.
+  Stale reads are strictly read-only: they never refresh recency or
+  lifetime, so a served-stale entry keeps ageing until a *successful*
+  upstream refresh overwrites it.  Delegations are exempt — the fresh
+  paths (``_probe``/``best_delegation``/``get_answer``) treat a
+  stale-retained entry exactly like a miss.
+* heat tracking (``track_heat=True``) — per-answer hit counts backing
+  prefetch decisions: ``answer_heat`` reports (remaining TTL, hits
+  since last store) so a service can refresh hot, about-to-expire
+  entries.  A store resets the count: new data starts cold.
+* revalidation hooks — ``invalidate_subtree(zone)`` drops every
+  delegation, answer, and negative entry at/below a zone cut (the
+  Janus-style incremental path after a zone delta) and ``flush()``
+  drops everything (the full-flush comparison baseline); both count
+  into ``CacheStats.invalidated``.
+* negative entries (``put_negative``/``get_negative``) — RFC 2308
+  negative caching for NXDOMAIN/NODATA outcomes, policy="all" only,
+  keyed separately so they never collide with positive answers.
 """
 
 from __future__ import annotations
@@ -57,6 +88,8 @@ class CacheStats:
     expired: int = 0  # entries dropped because their TTL ran out
     answer_hits: int = 0  # leaf-answer lookups (policy="all" only)
     answer_misses: int = 0
+    stale_hits: int = 0  # expired entries served from the stale window
+    invalidated: int = 0  # entries dropped by revalidation hooks
 
     @property
     def hit_rate(self) -> float:
@@ -84,6 +117,8 @@ class SelectiveCache:
         eviction: str = "random",
         seed: int = 0,
         clock: Callable[[], float] | None = None,
+        stale_ttl: float | None = None,
+        track_heat: bool = False,
     ):
         if capacity < 1:
             raise ValueError("capacity must be positive")
@@ -91,12 +126,20 @@ class SelectiveCache:
             raise ValueError(f"unknown policy {policy!r}")
         if eviction not in ("random", "lru"):
             raise ValueError(f"unknown eviction {eviction!r}")
+        if stale_ttl is not None and stale_ttl <= 0:
+            raise ValueError("stale_ttl must be positive (or None to disable)")
+        if stale_ttl is not None and clock is None:
+            raise ValueError("stale_ttl needs a clock")
         self.capacity = capacity
         self.policy = policy
         self.eviction = eviction
+        self.stale_ttl = stale_ttl
         self.stats = CacheStats()
         self._rng = random.Random(seed)
         self._clock = clock
+        #: Per-key hit counts since last store (prefetch heat); None
+        #: keeps the tracking entirely off the batch-scan hot path.
+        self._heat: dict[tuple, int] | None = {} if track_heat else None
         #: One table for delegations *and* leaf answers, in one recency
         #: order: keys are ("ns", canonical_key) or ("ans",
         #: canonical_key, qtype), values are (payload, expires_at|None).
@@ -128,6 +171,8 @@ class SelectiveCache:
         scope.gauge("updates").set(stats.updates)
         scope.gauge("expired").set(stats.expired)
         scope.gauge("evictions").set(stats.evictions)
+        scope.gauge("stale_hits").set(stats.stale_hits)
+        scope.gauge("invalidated").set(stats.invalidated)
         scope.gauge("hit_rate").set(round(stats.hit_rate, 4))
         scope.gauge("size").set(len(self))
         scope.gauge("capacity").set(self.capacity)
@@ -144,6 +189,8 @@ class SelectiveCache:
             # an overwrite refreshes recency; capacity is unchanged
             entries.move_to_end(key)
             self.stats.updates += 1
+            if self._heat is not None:
+                self._heat[key] = 0  # fresh data starts cold
             return
         self._register_key(key)
         entries[key] = (value, expires)
@@ -152,18 +199,49 @@ class SelectiveCache:
 
     def _probe(self, key: tuple):
         """The live payload at ``key``, or None.  An expired entry is
-        indistinguishable from a miss — it is dropped on the spot."""
+        indistinguishable from a miss — dropped on the spot, unless a
+        leaf entry sits inside the serve-stale window, in which case it
+        is retained (still a miss here) for ``get_stale_*``."""
         entry = self._entries.get(key)
         if entry is None:
             return None
         value, expires = entry
         if expires is not None and self._clock() >= expires:
+            if (
+                self.stale_ttl is not None
+                and key[0] != "ns"
+                and self._clock() < expires + self.stale_ttl
+            ):
+                return None
             self._drop_key(key)
             self.stats.expired += 1
             return None
         if self.eviction == "lru":
             self._entries.move_to_end(key)
         return value
+
+    def _stale_probe(self, key: tuple) -> tuple | None:
+        """An expired-but-within-stale-cap payload as ``(value, age)``,
+        or None.  Read-only: no recency refresh, no lifetime extension —
+        serving stale must never make an entry *younger* (the upstream
+        refresh path is the only way back to freshness).  A probe past
+        the cap finalises the entry: dropped and counted ``expired``."""
+        if self.stale_ttl is None:
+            return None
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        value, expires = entry
+        if expires is None:
+            return None
+        now = self._clock()
+        if now < expires:
+            return None  # still fresh: belongs to the normal path
+        if now >= expires + self.stale_ttl:
+            self._drop_key(key)
+            self.stats.expired += 1
+            return None
+        return value, now - expires
 
     # -- delegations -----------------------------------------------------
 
@@ -224,12 +302,101 @@ class SelectiveCache:
     def get_answer(self, qname: Name, qtype: int) -> list[ResourceRecord] | None:
         if self.policy != "all":
             return None
-        value = self._probe(("ans", qname.canonical_key(), int(qtype)))
+        key = ("ans", qname.canonical_key(), int(qtype))
+        value = self._probe(key)
+        if value is None:
+            self.stats.answer_misses += 1
+            return None
+        self.stats.answer_hits += 1
+        heat = self._heat
+        if heat is not None:
+            heat[key] = heat.get(key, 0) + 1
+        return value
+
+    # -- negative entries (RFC 2308, policy="all" only) --------------------
+
+    def put_negative(self, qname: Name, qtype: int, status: str, ttl: int | None) -> None:
+        """Cache an NXDOMAIN/NODATA outcome under its own key space."""
+        if self.policy != "all":
+            return
+        self._store(("neg", qname.canonical_key(), int(qtype)), str(status), ttl)
+
+    def get_negative(self, qname: Name, qtype: int) -> str | None:
+        """The cached negative status for a question, or None."""
+        if self.policy != "all":
+            return None
+        value = self._probe(("neg", qname.canonical_key(), int(qtype)))
         if value is None:
             self.stats.answer_misses += 1
             return None
         self.stats.answer_hits += 1
         return value
+
+    # -- serve-stale (RFC 8767) and prefetch state -------------------------
+
+    def get_stale_answer(self, qname: Name, qtype: int) -> tuple[list[ResourceRecord], float] | None:
+        """An expired answer still inside the stale window, as
+        ``(records, age_past_expiry)``.  Only meaningful after upstream
+        resolution failed — the caller enforces RFC 8767's "only on
+        failure" rule; the cache enforces the bounded lifetime."""
+        out = self._stale_probe(("ans", qname.canonical_key(), int(qtype)))
+        if out is None:
+            return None
+        self.stats.stale_hits += 1
+        return out
+
+    def get_stale_negative(self, qname: Name, qtype: int) -> tuple[str, float] | None:
+        """The stale-window counterpart of :meth:`get_negative`."""
+        out = self._stale_probe(("neg", qname.canonical_key(), int(qtype)))
+        if out is None:
+            return None
+        self.stats.stale_hits += 1
+        return out
+
+    def answer_heat(self, qname: Name, qtype: int) -> tuple[float, int] | None:
+        """Prefetch introspection: ``(remaining_ttl, hits since last
+        store)`` for a cached positive answer, or None when absent or
+        never-expiring.  Stale-retained entries report ``remaining <=
+        0`` — prefetch must only refresh *live* entries, so callers gate
+        on ``0 < remaining``.  Pure read: no stats, no recency."""
+        key = ("ans", qname.canonical_key(), int(qtype))
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        _, expires = entry
+        if expires is None:
+            return None
+        hits = self._heat.get(key, 0) if self._heat is not None else 0
+        return expires - self._clock(), hits
+
+    # -- revalidation hooks ------------------------------------------------
+
+    def invalidate_subtree(self, zone: Name) -> int:
+        """Drop every delegation, answer, and negative entry at or
+        below ``zone`` — the incremental (Janus-style) revalidation
+        path after a zone delta.  Canonical keys are label tuples, so
+        the suffix test aligns on label boundaries by construction.
+        Returns the number of entries dropped (``stats.invalidated``)."""
+        suffix = zone.canonical_key()
+        n = len(suffix)
+        if n == 0:
+            return self.flush()
+        victims = [key for key in self._keys if key[1][-n:] == suffix]
+        for key in victims:
+            self._drop_key(key)
+        self.stats.invalidated += len(victims)
+        return len(victims)
+
+    def flush(self) -> int:
+        """Drop everything — the full-flush revalidation baseline."""
+        count = len(self._entries)
+        self._entries.clear()
+        self._keys.clear()
+        self._key_pos.clear()
+        if self._heat is not None:
+            self._heat.clear()
+        self.stats.invalidated += count
+        return count
 
     # -- eviction ---------------------------------------------------------
 
@@ -244,6 +411,8 @@ class SelectiveCache:
             self._keys[position] = last
             self._key_pos[last] = position
         self._entries.pop(key, None)
+        if self._heat is not None:
+            self._heat.pop(key, None)
 
     def _enforce_capacity(self) -> None:
         while len(self._entries) > self.capacity:
@@ -251,5 +420,13 @@ class SelectiveCache:
                 victim = self._keys[self._rng.randrange(len(self._keys))]
             else:  # lru: the globally least-recently-touched entry
                 victim = next(iter(self._entries))
+            _, expires = self._entries[victim]
             self._drop_key(victim)
-            self.stats.evictions += 1
+            if expires is not None and self._clock() >= expires:
+                # the victim was already dead when evicted: same
+                # boundary rule (>= at exactly expires_at) as the probe
+                # path, and the same stats classification — an expiry,
+                # not a capacity casualty
+                self.stats.expired += 1
+            else:
+                self.stats.evictions += 1

@@ -5,6 +5,7 @@ plus the in-addr.arpa hierarchy), authoritative server models with the
 paper's observed misbehaviours, and public recursive resolver models.
 """
 
+from .deltas import ZoneDelta, publish_zone_delta
 from .params import (
     CLOUDFLARE_RESOLVER_IP,
     GOOGLE_RESOLVER_IP,
@@ -43,8 +44,10 @@ __all__ = [
     "RootServer",
     "SimInternet",
     "TLDServer",
+    "ZoneDelta",
     "ZoneSynthesizer",
     "all_tlds",
     "build_internet",
+    "publish_zone_delta",
     "tld_class",
 ]

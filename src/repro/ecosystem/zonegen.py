@@ -101,6 +101,12 @@ class ZoneSynthesizer:
     def __init__(self, params: EcosystemParams | None = None):
         self.params = params or EcosystemParams()
         self._providers = list(self.params.providers)
+        #: Zone-delta generations: base domain -> mutation count.  Empty
+        #: for every batch scan (the common case), and the hot-path
+        #: guard is a single truthiness check, so profiles and answers
+        #: stay byte-identical until someone publishes a delta
+        #: (:func:`repro.ecosystem.deltas.publish_zone_delta`).
+        self._generations: dict[Name, int] = {}
         self._provider_weights = [(i, p.weight) for i, p in enumerate(self._providers)]
         self._tlds = (
             [(t, "legacy") for t, _ in LEGACY_GTLDS]
@@ -189,12 +195,40 @@ class ZoneSynthesizer:
         # the shared instance turns its cache key into a pointer compare
         return Name.intern(name.labels[-2:])
 
-    @lru_cache(maxsize=262_144)
+    def generation_of(self, base: Name) -> int:
+        """How many zone deltas ``base`` has absorbed (0 = pristine)."""
+        return self._generations.get(base, 0) if self._generations else 0
+
+    def bump_generation(self, base: Name) -> int:
+        """Advance a base domain's zone generation (one published zone
+        delta): delegation and content draws re-roll under the new
+        generation while registration (exists/dead) stays fixed, so the
+        domain changes hands/records without blinking out of the
+        namespace.  Callers normally go through
+        :func:`repro.ecosystem.deltas.publish_zone_delta`, which also
+        clears the affected servers' response memos."""
+        base = Name.intern(base.labels)
+        gen = self._generations.get(base, 0) + 1
+        self._generations[base] = gen
+        return gen
+
     def profile(self, base: Name) -> DomainProfile:
-        """The deterministic profile of a base domain."""
+        """The deterministic profile of a base domain (at its current
+        zone generation)."""
+        if self._generations:
+            return self._profile(base, self._generations.get(base, 0))
+        return self._profile(base, 0)
+
+    @lru_cache(maxsize=262_144)
+    def _profile(self, base: Name, generation: int) -> DomainProfile:
         seed = self.params.seed
         p = self.params
         key = base.key_text()
+        #: Registration draws (exists/dead) stay on the unsalted key —
+        #: a zone delta re-delegates and rewrites content, it does not
+        #: unregister the domain.  Everything else re-rolls per
+        #: generation.
+        gkey = key if generation == 0 else f"{key}#gen{generation}"
         tld = base.labels[-1].decode("ascii", "replace").lower()
         cls = tld_class(tld) or "legacy"
 
@@ -203,25 +237,25 @@ class ZoneSynthesizer:
         if not exists:
             dead = rand.uniform(seed, key, "dead") < p.p_dead_given_unresolved
 
-        provider_index = rand.weighted_choice(seed, self._provider_weights, key, "provider")
+        provider_index = rand.weighted_choice(seed, self._provider_weights, gkey, "provider")
         provider = self._providers[provider_index]
 
-        ns_count = rand.randint(seed, 2, min(4, provider.ns_pool), key, "nscount")
+        ns_count = rand.randint(seed, 2, min(4, provider.ns_pool), gkey, "nscount")
         pool = list(range(provider.ns_pool))
         nameservers = []
         flaky_rate = p.p_flaky_base + provider.flaky_rate + FLAKY_CCTLDS.get(tld, 0.0)
         for slot in range(ns_count):
-            k = pool[rand.h64(seed, key, "nspick", slot) % len(pool)]
+            k = pool[rand.h64(seed, gkey, "nspick", slot) % len(pool)]
             pool.remove(k)
             drop_prob = 0.0
             lame = False
-            if rand.uniform(seed, key, "flaky", k) < flaky_rate:
+            if rand.uniform(seed, gkey, "flaky", k) < flaky_rate:
                 severe = (
-                    rand.uniform(seed, key, "severe", k)
+                    rand.uniform(seed, gkey, "severe", k)
                     < p.p_severe_given_flaky + provider.severe_flaky_rate
                 )
                 drop_prob = p.severe_drop_prob if severe else p.flaky_drop_prob
-            elif rand.uniform(seed, key, "lame", k) < provider.lame_rate:
+            elif rand.uniform(seed, gkey, "lame", k) < provider.lame_rate:
                 lame = True
             nameservers.append(
                 NameserverInfo(
@@ -232,7 +266,7 @@ class ZoneSynthesizer:
                 )
             )
 
-        caa = self._caa_profile(key, tld, cls) if exists else None
+        caa = self._caa_profile(gkey, tld, cls) if exists else None
 
         return DomainProfile(
             base=base,
@@ -244,12 +278,12 @@ class ZoneSynthesizer:
             provider_index=provider_index,
             nameservers=tuple(nameservers),
             consistent_answers=provider.consistent_answers
-            or rand.uniform(seed, key, "consistent") < 0.999,
-            truncates=rand.uniform(seed, key, "trunc") < p.p_truncated,
-            has_mx=rand.uniform(seed, key, "mx") < 0.72,
-            has_spf=rand.uniform(seed, key, "spf") < 0.60,
-            has_dmarc=rand.uniform(seed, key, "dmarc") < 0.42,
-            www_is_cname=rand.uniform(seed, key, "wwwcname") < 0.5,
+            or rand.uniform(seed, gkey, "consistent") < 0.999,
+            truncates=rand.uniform(seed, gkey, "trunc") < p.p_truncated,
+            has_mx=rand.uniform(seed, gkey, "mx") < 0.72,
+            has_spf=rand.uniform(seed, gkey, "spf") < 0.60,
+            has_dmarc=rand.uniform(seed, gkey, "dmarc") < 0.42,
+            www_is_cname=rand.uniform(seed, gkey, "wwwcname") < 0.5,
             caa=caa,
         )
 
@@ -324,10 +358,21 @@ class ZoneSynthesizer:
                 return profile.has_mx
         return rand.uniform(self.params.seed, key, "sub") < 0.85
 
-    @lru_cache(maxsize=131_072)
     def host_addresses(self, fqdn: Name, count_tag: str = "a") -> list[str]:
-        """Deterministic public IPv4 addresses for a hostname."""
+        """Deterministic public IPv4 addresses for a hostname (re-drawn
+        when the owning base domain's zone generation advances)."""
+        generation = 0
+        if self._generations:
+            base = self.base_domain_of(fqdn)
+            if base is not None:
+                generation = self._generations.get(base, 0)
+        return self._host_addresses(fqdn, count_tag, generation)
+
+    @lru_cache(maxsize=131_072)
+    def _host_addresses(self, fqdn: Name, count_tag: str, generation: int) -> list[str]:
         key = fqdn.key_text()
+        if generation:
+            key = f"{key}#gen{generation}"
         seed = self.params.seed
         count = 1 + rand.h64(seed, key, count_tag, "count") % 3
         addresses = []

@@ -136,9 +136,15 @@ def _shard_group_row(
 ) -> dict:
     """One per-shard row of ``/status.json``: the shard's segment tasks
     folded back together, plus ownership/steal/resume state."""
-    segments_total = info.get("segments")
-    if segments_total is None:
-        segments_total = max(d.segments for d in deltas)
+    # Trust whichever source knows about *more* segments: a replayed
+    # final delta can arrive before the executor installs the plan
+    # (--resume replays the journal while the plan is still being laid
+    # out), and a shard must never read as complete just because every
+    # delta seen *so far* is — the plan may still announce more
+    # segments, and the deltas themselves carry the decomposition size.
+    segments_total = max(
+        info.get("segments") or 0, max(d.segments for d in deltas), 1
+    )
     segments_done = sum(1 for d in deltas if d.complete)
     target = info.get("target")
     if target is None:
@@ -205,9 +211,16 @@ class FleetView:
 
     def set_plan(self, plan: dict[int, dict]) -> None:
         """Install the executor's shard decomposition (segment counts,
-        per-shard targets, nominal owners)."""
+        per-shard targets, nominal owners).
+
+        Merges per shard rather than replacing wholesale: deltas — in
+        particular journal replays during ``--resume`` — may legally
+        arrive *before* the plan, and a later (or repeated) ``set_plan``
+        must refine what the view knows, never erase shards it already
+        learned about from another call."""
         with self._lock:
-            self._plan = {shard: dict(info) for shard, info in plan.items()}
+            for shard, info in plan.items():
+                self._plan.setdefault(shard, {}).update(info)
 
     def update(self, delta: TelemetryDelta) -> None:
         """Fold one task delta in (latest-wins per task)."""
@@ -236,9 +249,13 @@ class FleetView:
         return groups
 
     def _shard_complete(self, shard: int, deltas: list[TelemetryDelta], plan: dict) -> bool:
-        total = plan.get(shard, {}).get("segments")
-        if total is None:
-            total = max(d.segments for d in deltas)
+        # same max-of-both-sources rule as _shard_group_row: an early
+        # delta must not shrink the shard, a late plan must not either
+        total = max(
+            plan.get(shard, {}).get("segments") or 0,
+            max(d.segments for d in deltas),
+            1,
+        )
         return sum(1 for d in deltas if d.complete) >= total
 
     def fleet_counters(self) -> dict:

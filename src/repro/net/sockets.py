@@ -186,6 +186,20 @@ class SimNetwork:
         destination = self._servers.get(ip)
         return destination.server if destination else None
 
+    def servers(self) -> list[SimServer]:
+        """Every registered server object, deduplicated (a server bound
+        to several IPs — the 13-address root, dual-homed TLDs — appears
+        once), in registration order.  The zone-delta publisher walks
+        this to clear response memos after a mutation."""
+        seen: set[int] = set()
+        out: list[SimServer] = []
+        for destination in self._servers.values():
+            marker = id(destination.server)
+            if marker not in seen:
+                seen.add(marker)
+                out.append(destination.server)
+        return out
+
     # -- query paths ----------------------------------------------------------
 
     def query_udp(self, src_ip: str, dst_ip: str, message: Message, timeout: float) -> SimFuture:

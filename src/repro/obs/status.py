@@ -11,6 +11,7 @@ repeating timer would otherwise keep the event loop alive forever).
 
 from __future__ import annotations
 
+import math
 import sys
 from typing import Callable, TextIO
 
@@ -25,15 +26,26 @@ def estimate_eta(total: int, target: int | None, average_rate: float) -> float |
 
     ``None`` when there is no target or no rate to extrapolate from;
     0.0 once the target is reached (the scan is draining, not behind).
+
+    Defensive about degenerate rate math: a zero, negative, NaN, or
+    infinite ``average_rate`` — an empty window, a stalled fleet, a
+    poisoned upstream division — yields None rather than a negative,
+    ``inf``, or NaN ETA.  NaN in particular fails every ``<=``
+    comparison, so without the explicit finiteness guard it would sail
+    through into ``/status.json``, where ``json.dumps`` emits a bare
+    ``NaN`` token that breaks strict JSON consumers.
     """
     if target is None or target <= 0:
         return None
     remaining = target - total
     if remaining <= 0:
         return 0.0
-    if average_rate <= 0:
+    if not math.isfinite(average_rate) or average_rate <= 0:
         return None
-    return remaining / average_rate
+    eta = remaining / average_rate
+    if not math.isfinite(eta) or eta < 0:
+        return None
+    return eta
 
 
 def format_status_line(
@@ -57,7 +69,9 @@ def format_status_line(
     """
     done = f"{total}/{target} done" if target is not None else f"{total} done"
     parts = [f"t={elapsed:.1f}s", done]
-    if eta is not None:
+    if eta is not None and math.isfinite(eta) and eta >= 0:
+        # a non-finite ETA must never render ("eta infs"/"eta nans");
+        # omitting the segment is the honest display for "unknown"
         parts.append(f"eta {eta:.0f}s")
     parts += [
         f"{interval_rate:.1f}/s now",

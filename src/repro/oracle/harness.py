@@ -184,6 +184,38 @@ class DifferentialOracle:
             cached = self._memo[key] = self.reference.resolve(qname, qtype)
         return cached
 
+    def note_zone_change(self, base: Name | str) -> int:
+        """Mirror a zone delta into the reference universe.
+
+        The service publishes deltas into the *production* universe; the
+        oracle's private universe must see the identical mutation or
+        every post-delta shadow check under the mutated zone would
+        read as a divergence.  Both universes are built from the same
+        seed, so bumping the same base's generation keeps them in
+        lockstep.  Memoised verdicts at or below ``base`` are evicted
+        (suffix match on the canonical label tuple — label-boundary
+        exact, so ``oo.example`` does not match a delta to
+        ``o.example``); verdicts for unrelated names stay cached.
+        Returns the reference universe's new generation for ``base``.
+        """
+        from ..ecosystem import publish_zone_delta
+
+        if isinstance(base, str):
+            base = Name.from_text(base)
+        generation = publish_zone_delta(self.reference.internet, base)
+        # Evict below the *registrable* domain — the unit that actually
+        # mutated — even when handed a deeper name inside the zone.
+        registrable = self.reference.internet.synth.base_domain_of(base)
+        suffix = (registrable or base).canonical_key()
+        n = len(suffix)
+        if n:
+            stale = [key for key in self._memo if key[0][-n:] == suffix]
+            for key in stale:
+                del self._memo[key]
+        else:
+            self._memo.clear()
+        return generation
+
     def check(self, qname: Name, qtype, result, combo: dict | None = None) -> Divergence | None:
         """Compare one finished production lookup against the oracle.
         Returns the :class:`Divergence` (and counts it), or None."""

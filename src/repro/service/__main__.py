@@ -1,0 +1,134 @@
+"""``python -m repro.service`` — run the resolver daemon from the CLI.
+
+Prints the final :class:`~repro.service.daemon.ServiceReport` as JSON
+on stdout; ``--events-out`` additionally streams the deterministic
+event log as JSONL.  ``--http-port`` serves the live control plane
+(``/status.json`` service view, ``/metrics``) while the run executes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .config import ServiceConfig
+from .daemon import ResolverService
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="long-lived resolver daemon on the simulated substrate",
+    )
+    parser.add_argument("--seed", type=int, default=2022)
+    parser.add_argument("--duration", type=float, default=3600.0,
+                        help="virtual seconds to serve (default 3600)")
+    parser.add_argument("--catalog-size", type=int, default=400)
+    parser.add_argument("--zipf-s", type=float, default=1.1)
+    parser.add_argument("--base-qps", type=float, default=8.0)
+    parser.add_argument("--diurnal-period", type=float, default=1800.0)
+    parser.add_argument("--diurnal-depth", type=float, default=0.5)
+    parser.add_argument("--workers", type=int, default=8)
+    parser.add_argument("--cache-capacity", type=int, default=8192)
+    parser.add_argument("--cache-eviction", choices=("random", "lru"), default="lru")
+    parser.add_argument("--stale-ttl", type=float, default=3600.0,
+                        help="RFC 8767 serve-stale window; 0 disables")
+    parser.add_argument("--negative-ttl", type=float, default=900.0)
+    parser.add_argument("--prefetch-interval", type=float, default=30.0,
+                        help="prefetch sweep cadence; 0 disables")
+    parser.add_argument("--prefetch-threshold", type=float, default=60.0)
+    parser.add_argument("--prefetch-min-hits", type=int, default=3)
+    parser.add_argument("--deltas", type=int, default=0,
+                        help="zone deltas to publish, evenly spaced")
+    parser.add_argument("--revalidation", choices=("incremental", "flush", "off"),
+                        default="incremental")
+    parser.add_argument("--blackout", action="append", default=[],
+                        metavar="START:END",
+                        help="upstream blackout window in virtual seconds "
+                             "(repeatable), e.g. --blackout 1200:1800")
+    parser.add_argument("--oracle-check", type=int, default=0, metavar="K",
+                        help="shadow every Kth upstream resolution against "
+                             "the differential oracle (0 = off)")
+    parser.add_argument("--status-interval", type=float, default=60.0)
+    parser.add_argument("--no-warm", action="store_true",
+                        help="skip the t=0 catalog warm-up")
+    parser.add_argument("--events-out", metavar="PATH",
+                        help="write the event log as JSONL")
+    parser.add_argument("--http-port", type=int, default=None,
+                        help="serve the live control plane on this port "
+                             "(0 = ephemeral)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the report on stdout")
+    return parser
+
+
+def config_from_args(args: argparse.Namespace) -> ServiceConfig:
+    blackouts = []
+    for spec in args.blackout:
+        try:
+            start_text, _, end_text = spec.partition(":")
+            blackouts.append((float(start_text), float(end_text)))
+        except ValueError:
+            raise SystemExit(f"bad --blackout window {spec!r} (want START:END)")
+    return ServiceConfig(
+        seed=args.seed,
+        duration=args.duration,
+        catalog_size=args.catalog_size,
+        zipf_s=args.zipf_s,
+        base_qps=args.base_qps,
+        diurnal_period=args.diurnal_period,
+        diurnal_depth=args.diurnal_depth,
+        workers=args.workers,
+        cache_capacity=args.cache_capacity,
+        cache_eviction=args.cache_eviction,
+        stale_ttl=args.stale_ttl if args.stale_ttl > 0 else None,
+        negative_ttl=args.negative_ttl,
+        prefetch_interval=args.prefetch_interval,
+        prefetch_threshold=args.prefetch_threshold,
+        prefetch_min_hits=args.prefetch_min_hits,
+        deltas=args.deltas,
+        revalidation=args.revalidation,
+        blackouts=tuple(blackouts),
+        oracle_check_every=args.oracle_check,
+        status_interval=args.status_interval,
+        warm_catalog=not args.no_warm,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    service = ResolverService(config_from_args(args))
+
+    telemetry = None
+    if args.http_port is not None:
+        from ..obs.server import TelemetryServer
+
+        telemetry = TelemetryServer(
+            status=service.status_snapshot,
+            metrics=lambda: (
+                service.publish_metrics()
+                or service.registry.render_prometheus()
+            ),
+            port=args.http_port,
+        ).start()
+        print(f"control plane: {telemetry.url}", file=sys.stderr)
+
+    try:
+        report = service.run()
+    finally:
+        if telemetry is not None:
+            telemetry.stop()
+
+    if args.events_out:
+        with open(args.events_out, "w", encoding="utf-8") as handle:
+            for row in report.events:
+                handle.write(json.dumps(row, sort_keys=True) + "\n")
+    if not args.quiet:
+        json.dump(report.to_json(), sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    return 1 if report.divergences else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

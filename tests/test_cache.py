@@ -314,3 +314,321 @@ class TestExpiry:
         )
         now[0] = 15.0  # past the first deadline, inside the second
         assert cache.get_delegation(N("com")) is not None
+
+
+class TestExpiryBoundary:
+    """Satellite regression suite: the ``clock() == expires_at`` instant.
+
+    The boundary rule must be *uniform*: at exactly the expiry instant
+    an entry is dead on the probe path, on the ``best_delegation``
+    walk, and on the eviction path — and the drop is always accounted
+    as ``expired``, never ``evictions``.  FP-exact: the tests pin the
+    exact boundary and its ``math.nextafter`` neighbour."""
+
+    def _clocked(self, **kwargs):
+        now = [0.0]
+        cache = SelectiveCache(clock=lambda: now[0], **kwargs)
+        return cache, now
+
+    def _with_ttl(self, zone: str, ttl: int) -> Delegation:
+        entry = delegation(zone, "1.1.1.1")
+        return Delegation(zone=entry.zone, ns_names=entry.ns_names,
+                          glue=entry.glue, ttl=ttl)
+
+    def test_probe_boundary_is_fp_exact(self):
+        import math
+
+        cache, now = self._clocked(capacity=10)
+        cache.put_delegation(self._with_ttl("com", 60))
+        now[0] = math.nextafter(60.0, 0.0)  # largest float below the boundary
+        assert cache.get_delegation(N("com")) is not None
+        assert cache.stats.expired == 0
+        now[0] = 60.0  # the boundary itself: dead
+        assert cache.get_delegation(N("com")) is None
+        assert cache.stats.expired == 1
+
+    def test_best_delegation_walk_uses_the_same_boundary(self):
+        import math
+
+        cache, now = self._clocked(capacity=10)
+        cache.put_delegation(self._with_ttl("example.com", 30))
+        now[0] = math.nextafter(30.0, 0.0)
+        assert cache.best_delegation(N("www.example.com")) is not None
+        now[0] = 30.0
+        assert cache.best_delegation(N("www.example.com")) is None
+        assert cache.stats.expired == 1
+        assert cache.stats.misses == 1
+
+    def test_eviction_of_expired_victim_counts_as_expired(self):
+        """Regression: a capacity eviction whose victim had already
+        passed its deadline used to count as ``evictions`` — the same
+        dead entry was classified differently depending on whether a
+        probe or the capacity sweep found it first."""
+        cache, now = self._clocked(capacity=1, eviction="lru")
+        cache.put_delegation(self._with_ttl("a.com", 10))
+        now[0] = 10.0  # victim is dead at exactly its deadline
+        cache.put_delegation(self._with_ttl("b.com", 10))
+        assert cache.stats.expired == 1
+        assert cache.stats.evictions == 0
+
+    def test_eviction_of_live_victim_still_counts_as_eviction(self):
+        import math
+
+        cache, now = self._clocked(capacity=1, eviction="lru")
+        cache.put_delegation(self._with_ttl("a.com", 10))
+        now[0] = math.nextafter(10.0, 0.0)  # victim still (barely) alive
+        cache.put_delegation(self._with_ttl("b.com", 10))
+        assert cache.stats.evictions == 1
+        assert cache.stats.expired == 0
+
+    def test_boundary_identical_across_probe_and_eviction(self):
+        """The three lifetime paths agree at the exact boundary: same
+        clock reading, same classification."""
+        for probe_first in (True, False):
+            cache, now = self._clocked(capacity=1, eviction="lru")
+            cache.put_delegation(self._with_ttl("x.com", 25))
+            now[0] = 25.0
+            if probe_first:
+                assert cache.get_delegation(N("x.com")) is None
+                assert (cache.stats.expired, cache.stats.evictions) == (1, 0)
+            else:
+                cache.put_delegation(self._with_ttl("y.com", 25))
+                assert (cache.stats.expired, cache.stats.evictions) == (1, 0)
+
+
+class TestServeStale:
+    """RFC 8767: expired answers stay servable — bounded, read-only,
+    and only through the explicit stale APIs."""
+
+    def _cache(self, stale_ttl=600.0, **kwargs):
+        now = [0.0]
+        cache = SelectiveCache(
+            capacity=32, policy="all", clock=lambda: now[0],
+            stale_ttl=stale_ttl, **kwargs
+        )
+        return cache, now
+
+    def _record(self, name="a.com", ttl=300, ip="1.2.3.4"):
+        return ResourceRecord(N(name), RRType.A, DNSClass.IN, ttl, A(ip))
+
+    def test_stale_ttl_requires_clock(self):
+        with pytest.raises(ValueError):
+            SelectiveCache(stale_ttl=60.0)
+
+    def test_stale_ttl_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SelectiveCache(stale_ttl=0.0, clock=lambda: 0.0)
+
+    def test_expired_answer_is_a_fresh_miss_but_stale_hit(self):
+        cache, now = self._cache()
+        record = self._record()
+        cache.put_answer(N("a.com"), RRType.A, [record])
+        now[0] = 300.0  # boundary: dead on the fresh path...
+        assert cache.get_answer(N("a.com"), RRType.A) is None
+        # ...but retained, not dropped: age 0.0 through the stale API
+        stale = cache.get_stale_answer(N("a.com"), RRType.A)
+        assert stale == ([record], 0.0)
+        assert cache.stats.stale_hits == 1
+        assert cache.stats.expired == 0
+
+    def test_stale_read_never_rejuvenates(self):
+        """Serving stale must not make the entry younger: the reported
+        age keeps growing across reads."""
+        cache, now = self._cache()
+        cache.put_answer(N("a.com"), RRType.A, [self._record()])
+        now[0] = 400.0
+        _, age1 = cache.get_stale_answer(N("a.com"), RRType.A)
+        now[0] = 500.0
+        _, age2 = cache.get_stale_answer(N("a.com"), RRType.A)
+        assert (age1, age2) == (100.0, 200.0)
+
+    def test_stale_window_cap_finalises_the_entry(self):
+        cache, now = self._cache(stale_ttl=600.0)
+        cache.put_answer(N("a.com"), RRType.A, [self._record()])
+        import math
+
+        now[0] = math.nextafter(900.0, 0.0)  # 300 + 600, just inside
+        assert cache.get_stale_answer(N("a.com"), RRType.A) is not None
+        now[0] = 900.0  # at the cap: same >= boundary rule, finalised
+        assert cache.get_stale_answer(N("a.com"), RRType.A) is None
+        assert cache.stats.expired == 1
+        assert len(cache) == 0
+
+    def test_fresh_entry_is_not_stale(self):
+        cache, now = self._cache()
+        cache.put_answer(N("a.com"), RRType.A, [self._record()])
+        now[0] = 100.0
+        assert cache.get_stale_answer(N("a.com"), RRType.A) is None
+        assert cache.stats.stale_hits == 0
+
+    def test_delegations_are_exempt_from_serve_stale(self):
+        """RFC 8767 staleness applies to answers; the delegation walk
+        must keep dropping expired cuts (a stale NS set would steer
+        every future query at dead servers)."""
+        cache, now = self._cache()
+        entry = delegation("com", "1.1.1.1")
+        cache.put_delegation(Delegation(zone=entry.zone, ns_names=entry.ns_names,
+                                        glue=entry.glue, ttl=60))
+        now[0] = 60.0
+        assert cache.get_delegation(N("com")) is None
+        assert cache.stats.expired == 1
+        assert len(cache) == 0
+
+    def test_upstream_refresh_restores_freshness(self):
+        cache, now = self._cache()
+        cache.put_answer(N("a.com"), RRType.A, [self._record()])
+        now[0] = 400.0  # stale
+        assert cache.get_answer(N("a.com"), RRType.A) is None
+        cache.put_answer(N("a.com"), RRType.A, [self._record(ip="9.9.9.9")])
+        fresh = cache.get_answer(N("a.com"), RRType.A)
+        assert fresh is not None and fresh[0].rdata.address == "9.9.9.9"
+        assert cache.get_stale_answer(N("a.com"), RRType.A) is None
+
+
+class TestNegativeCache:
+    def _cache(self, **kwargs):
+        now = [0.0]
+        cache = SelectiveCache(capacity=32, policy="all",
+                               clock=lambda: now[0], **kwargs)
+        return cache, now
+
+    def test_put_and_get_negative(self):
+        cache, now = self._cache()
+        cache.put_negative(N("gone.com"), RRType.A, "NXDOMAIN", 900)
+        assert cache.get_negative(N("gone.com"), RRType.A) == "NXDOMAIN"
+        assert cache.stats.answer_hits == 1
+
+    def test_negative_expires_on_boundary(self):
+        cache, now = self._cache()
+        cache.put_negative(N("gone.com"), RRType.A, "NXDOMAIN", 900)
+        now[0] = 900.0
+        assert cache.get_negative(N("gone.com"), RRType.A) is None
+
+    def test_negative_stale_window(self):
+        cache, now = self._cache(stale_ttl=600.0)
+        cache.put_negative(N("gone.com"), RRType.A, "NXDOMAIN", 900)
+        now[0] = 1000.0
+        assert cache.get_negative(N("gone.com"), RRType.A) is None
+        assert cache.get_stale_negative(N("gone.com"), RRType.A) == ("NXDOMAIN", 100.0)
+
+    def test_negative_needs_all_policy(self):
+        cache = SelectiveCache(capacity=8, policy="selective")
+        cache.put_negative(N("gone.com"), RRType.A, "NXDOMAIN", 900)
+        assert cache.get_negative(N("gone.com"), RRType.A) is None
+        assert len(cache) == 0
+
+    def test_negative_does_not_collide_with_positive(self):
+        cache, now = self._cache()
+        record = ResourceRecord(N("a.com"), RRType.A, DNSClass.IN, 300, A("1.2.3.4"))
+        cache.put_answer(N("a.com"), RRType.A, [record])
+        cache.put_negative(N("a.com"), RRType.A, "NXDOMAIN", 900)
+        assert cache.get_answer(N("a.com"), RRType.A) == [record]
+        assert cache.get_negative(N("a.com"), RRType.A) == "NXDOMAIN"
+        assert len(cache) == 2
+
+
+class TestHeatAndPrefetchState:
+    def _cache(self, **kwargs):
+        now = [0.0]
+        cache = SelectiveCache(capacity=32, policy="all", track_heat=True,
+                               clock=lambda: now[0], **kwargs)
+        return cache, now
+
+    def _record(self, ip="1.2.3.4"):
+        return ResourceRecord(N("a.com"), RRType.A, DNSClass.IN, 300, A(ip))
+
+    def test_hits_accumulate_and_store_resets(self):
+        cache, now = self._cache()
+        cache.put_answer(N("a.com"), RRType.A, [self._record()])
+        for _ in range(3):
+            cache.get_answer(N("a.com"), RRType.A)
+        assert cache.answer_heat(N("a.com"), RRType.A) == (300.0, 3)
+        cache.put_answer(N("a.com"), RRType.A, [self._record("9.9.9.9")])
+        remaining, hits = cache.answer_heat(N("a.com"), RRType.A)
+        assert hits == 0  # fresh data starts cold
+
+    def test_remaining_ttl_counts_down(self):
+        cache, now = self._cache()
+        cache.put_answer(N("a.com"), RRType.A, [self._record()])
+        now[0] = 120.0
+        remaining, _ = cache.answer_heat(N("a.com"), RRType.A)
+        assert remaining == 180.0
+
+    def test_stale_entry_reports_nonpositive_remaining(self):
+        """Prefetch gates on ``0 < remaining``: a stale-retained entry
+        must never qualify (refreshing it is the failure path's job)."""
+        cache, now = self._cache(stale_ttl=600.0)
+        cache.put_answer(N("a.com"), RRType.A, [self._record()])
+        now[0] = 350.0
+        remaining, _ = cache.answer_heat(N("a.com"), RRType.A)
+        assert remaining == -50.0
+
+    def test_absent_and_heatless(self):
+        cache, now = self._cache()
+        assert cache.answer_heat(N("nope.com"), RRType.A) is None
+        assert cache.stats.answer_misses == 0  # pure read: no stats
+
+
+class TestRevalidationHooks:
+    def _cache(self, **kwargs):
+        now = [0.0]
+        cache = SelectiveCache(capacity=64, policy="all",
+                               clock=lambda: now[0], **kwargs)
+        return cache, now
+
+    def _fill(self, cache):
+        record = ResourceRecord(N("x"), RRType.A, DNSClass.IN, 300, A("1.2.3.4"))
+        cache.put_delegation(delegation("example.com", "1.1.1.1"))
+        cache.put_delegation(delegation("www.example.com", "2.2.2.2"))
+        cache.put_delegation(delegation("other.com", "3.3.3.3"))
+        cache.put_answer(N("a.example.com"), RRType.A, [record])
+        cache.put_answer(N("a.other.com"), RRType.A, [record])
+        cache.put_negative(N("gone.example.com"), RRType.A, "NXDOMAIN", 900)
+
+    def test_invalidate_subtree_scopes_to_the_zone(self):
+        cache, now = self._cache()
+        self._fill(cache)
+        dropped = cache.invalidate_subtree(N("example.com"))
+        # the cut itself, the deeper cut, the answer, and the negative
+        assert dropped == 4
+        assert cache.stats.invalidated == 4
+        assert cache.get_delegation(N("other.com")) is not None
+        assert cache.get_answer(N("a.other.com"), RRType.A) is not None
+        assert cache.get_delegation(N("example.com")) is None
+        assert cache.get_negative(N("gone.example.com"), RRType.A) is None
+
+    def test_invalidate_subtree_respects_label_boundaries(self):
+        """A suffix match on text would wrongly drop ``oo.com`` entries
+        for a delta to ``o.com``; the canonical-key tuple match cannot."""
+        cache, now = self._cache()
+        cache.put_delegation(delegation("oo.com", "1.1.1.1"))
+        assert cache.invalidate_subtree(N("o.com")) == 0
+        assert cache.get_delegation(N("oo.com")) is not None
+
+    def test_invalidate_subtree_drops_stale_entries_too(self):
+        """Revalidation during a blackout must not leave known-changed
+        stale data servable: the subtree drop takes the stale copies
+        with it, and the stale path cannot resurrect them."""
+        cache, now = self._cache(stale_ttl=600.0)
+        record = ResourceRecord(N("a.example.com"), RRType.A, DNSClass.IN, 300,
+                                A("1.2.3.4"))
+        cache.put_answer(N("a.example.com"), RRType.A, [record])
+        now[0] = 400.0  # stale but servable
+        assert cache.get_stale_answer(N("a.example.com"), RRType.A) is not None
+        cache.invalidate_subtree(N("example.com"))
+        assert cache.get_stale_answer(N("a.example.com"), RRType.A) is None
+
+    def test_flush_drops_everything(self):
+        cache, now = self._cache()
+        self._fill(cache)
+        count = len(cache)
+        assert cache.flush() == count
+        assert len(cache) == 0
+        assert cache.stats.invalidated == count
+
+    def test_root_subtree_is_a_flush(self):
+        cache, now = self._cache()
+        self._fill(cache)
+        count = len(cache)
+        assert cache.invalidate_subtree(Name.root()) == count
+        assert len(cache) == 0

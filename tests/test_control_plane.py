@@ -359,3 +359,132 @@ class TestDashboard:
         assert "resumed" in DASHBOARD_HTML
         assert "resumed_from" in DASHBOARD_HTML
         assert "segments_done" in DASHBOARD_HTML
+
+
+# ---------------------------------------------------------------------------
+# degenerate rate math and out-of-order resume folding (regression)
+# ---------------------------------------------------------------------------
+
+
+class TestEstimateEtaDegenerateRates:
+    """ZeroDivision/NaN/inf hardening: a poisoned rate must yield None,
+    never a negative, infinite, or NaN ETA — NaN fails every ``<=``
+    comparison, so it used to sail straight into ``/status.json`` where
+    ``json.dumps`` emits an invalid bare ``NaN`` token."""
+
+    def test_nan_rate_is_none(self):
+        assert estimate_eta(100, 500, float("nan")) is None
+
+    def test_inf_rate_is_none(self):
+        assert estimate_eta(100, 500, float("inf")) is None
+        assert estimate_eta(100, 500, float("-inf")) is None
+
+    def test_negative_rate_is_none(self):
+        assert estimate_eta(100, 500, -3.0) is None
+
+    def test_tiny_rate_overflowing_to_inf_is_none(self):
+        assert estimate_eta(0, 10**9, 5e-324) is None
+
+    def test_eta_segment_omitted_for_degenerate_values(self):
+        from repro.obs import format_status_line
+
+        for eta in (float("nan"), float("inf"), -1.0):
+            line = format_status_line(
+                elapsed=1.0, total=10, interval_rate=1.0, average_rate=1.0,
+                success_rate=1.0, in_flight=0, timeouts=0, retries=0,
+                cache_hit_rate=None, target=100, eta=eta,
+            )
+            assert "eta" not in line
+        line = format_status_line(
+            elapsed=1.0, total=10, interval_rate=1.0, average_rate=1.0,
+            success_rate=1.0, in_flight=0, timeouts=0, retries=0,
+            cache_hit_rate=None, target=100, eta=45.0,
+        )
+        assert "eta 45s" in line
+
+    def test_snapshot_with_zero_elapsed_and_empty_window_is_json_safe(self):
+        """A snapshot taken before any time passed (or any delta landed)
+        must still serialise: no ZeroDivisionError, no NaN leak."""
+        fleet = FleetView(shards=1, target=100, clock=lambda: 0.0)
+        snapshot = fleet.status_snapshot()
+        assert snapshot["fleet"]["eta_s"] is None
+        assert snapshot["fleet"]["rate_per_s"] == 0.0
+        text = json.dumps(snapshot)
+        assert "NaN" not in text and "Infinity" not in text
+
+
+class TestResumeFoldOrdering:
+    """Regression (--resume): a resumed run replays the journal before
+    the executor lays out the plan, so a replayed shard's *final* delta
+    can reach the FleetView before its ``set_plan`` segments.  The fold
+    must trust whichever source knows about more segments, and a later
+    ``set_plan`` must refine — never erase — what replay taught it."""
+
+    def _replayed_final(self, shard, segment, segments, done):
+        return TelemetryDelta(
+            shard=shard, segment=segment, segments=segments, seq=9,
+            done=done, successes=done, target=done, owner=shard, worker=1,
+            stolen_from=0 if segment else None, resumed=True, complete=True,
+        )
+
+    def test_final_delta_before_set_plan_keeps_shard_incomplete(self):
+        fleet = FleetView(shards=1, target=30)
+        # replay: segment 0 of 3 arrives complete, before any plan
+        fleet.update(self._replayed_final(0, segment=0, segments=3, done=10))
+        row = fleet.status_snapshot()["shards"][0]
+        assert row["complete"] is False  # 1 of 3 segments
+        assert row["segments"] == 3
+        # the plan lands afterwards: must not shrink or reset anything
+        fleet.set_plan({0: {"segments": 3, "target": 30, "owner": 0}})
+        row = fleet.status_snapshot()["shards"][0]
+        assert row["complete"] is False
+        assert (row["segments"], row["segments_done"]) == (3, 1)
+
+    def test_counters_survive_out_of_order_fold(self):
+        fleet = FleetView(shards=1, target=30)
+        fleet.update(self._replayed_final(0, segment=1, segments=2, done=10))
+        fleet.set_plan({0: {"segments": 2, "target": 30, "owner": 0}})
+        fleet.update(self._replayed_final(0, segment=0, segments=2, done=20))
+        counters = fleet.fleet_counters()
+        assert counters["done"] == 30
+        assert counters["resumed_tasks"] == 2
+        assert counters["steals"] == 1  # segment 1 carried stolen_from=0
+        assert counters["shards_complete"] == 1
+        row = fleet.status_snapshot()["shards"][0]
+        assert row["complete"] is True
+        assert row["resumed"] is True
+
+    def test_set_plan_merges_instead_of_replacing(self):
+        """A second set_plan (the executor refreshing owners) must not
+        drop shards or fields learned earlier."""
+        fleet = FleetView(shards=2, target=40)
+        fleet.set_plan({0: {"segments": 2, "target": 20, "owner": 0}})
+        fleet.set_plan({1: {"segments": 1, "target": 20, "owner": 1}})
+        fleet.set_plan({0: {"owner": 5}})  # partial refinement
+        fleet.update(TelemetryDelta(shard=0, segment=0, segments=2, seq=1,
+                                    done=10, target=10, complete=True))
+        fleet.update(TelemetryDelta(shard=1, segment=0, segments=1, seq=1,
+                                    done=20, target=20, complete=True))
+        snapshot = fleet.status_snapshot()
+        by_shard = {row["shard"]: row for row in snapshot["shards"]}
+        assert by_shard[0]["owner"] == 5  # refined
+        assert by_shard[0]["segments"] == 2  # preserved from the first call
+        assert by_shard[0]["complete"] is False
+        assert by_shard[1]["complete"] is True
+
+    def test_merged_registry_folds_replayed_metrics(self):
+        def dump_for(value):
+            registry = MetricsRegistry(enabled=True)
+            registry.scope("engine").counter("lookups").inc(value)
+            return registry.dump()
+
+        fleet = FleetView(shards=1)
+        # replayed metrics land before the plan; both must fold
+        fleet.update(TelemetryDelta(shard=0, segment=0, segments=2, seq=1,
+                                    done=5, complete=True,
+                                    metrics=dump_for(5)))
+        fleet.set_plan({0: {"segments": 2}})
+        fleet.update(TelemetryDelta(shard=0, segment=1, segments=2, seq=1,
+                                    done=7, complete=True,
+                                    metrics=dump_for(7)))
+        assert fleet.merged_registry().snapshot()["engine.lookups"] == 12

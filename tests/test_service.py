@@ -1,0 +1,327 @@
+"""Tests for the resolver service daemon, zone-delta publication, and
+the serve-stale x prefetch x revalidation interactions."""
+
+import json
+
+import pytest
+
+from repro.dnslib import DNSClass, Name, ResourceRecord, RRType
+from repro.dnslib.rdata.address import A
+from repro.ecosystem import EcosystemParams, build_internet, publish_zone_delta
+from repro.oracle import DifferentialOracle
+from repro.service import ResolverService, ServiceConfig, run_service
+from repro.service.__main__ import build_parser, config_from_args
+
+N = Name.from_text
+
+
+def small_config(**overrides):
+    base = dict(
+        seed=7,
+        duration=300.0,
+        catalog_size=40,
+        base_qps=3.0,
+        workers=4,
+        status_interval=100.0,
+        prefetch_interval=30.0,
+    )
+    base.update(overrides)
+    return ServiceConfig(**base)
+
+
+# ---------------------------------------------------------------------------
+# configuration
+# ---------------------------------------------------------------------------
+
+
+class TestServiceConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(duration=0)
+        with pytest.raises(ValueError):
+            ServiceConfig(diurnal_depth=1.0)
+        with pytest.raises(ValueError):
+            ServiceConfig(revalidation="sometimes")
+        with pytest.raises(ValueError):
+            ServiceConfig(blackouts=((100.0, 100.0),))
+
+    def test_delta_times_spread_evenly(self):
+        cfg = ServiceConfig(duration=400.0, deltas=3)
+        assert cfg.resolved_delta_times() == (100.0, 200.0, 300.0)
+        pinned = ServiceConfig(duration=400.0, delta_times=(250.0, 50.0))
+        assert pinned.resolved_delta_times() == (50.0, 250.0)
+
+    def test_cli_round_trip(self):
+        args = build_parser().parse_args(
+            [
+                "--seed", "3", "--duration", "120", "--catalog-size", "10",
+                "--blackout", "30:60", "--deltas", "2",
+                "--revalidation", "flush", "--stale-ttl", "0",
+            ]
+        )
+        cfg = config_from_args(args)
+        assert cfg.seed == 3
+        assert cfg.blackouts == ((30.0, 60.0),)
+        assert cfg.revalidation == "flush"
+        assert cfg.stale_ttl is None  # 0 disables serve-stale
+
+    def test_bad_blackout_spec_rejected(self):
+        args = build_parser().parse_args(["--blackout", "oops"])
+        with pytest.raises(SystemExit):
+            config_from_args(args)
+
+
+# ---------------------------------------------------------------------------
+# zone-delta publication
+# ---------------------------------------------------------------------------
+
+
+class TestZoneDeltas:
+    def test_generations_advance_and_change_the_zone(self):
+        internet = build_internet(params=EcosystemParams(seed=11), wire_mode="never")
+        synth = internet.synth
+        base = synth.base_domain_of(N("www.d1-0.com"))
+        before = synth.profile(base)
+        assert publish_zone_delta(internet, base) == 1
+        assert publish_zone_delta(internet, base) == 2
+        assert synth.generation_of(base) == 2
+        # over a handful of generations the delegation/content must
+        # actually move (every draw is salted by the generation)
+        changed = False
+        for generation in range(3, 8):
+            publish_zone_delta(internet, base)
+            after = synth.profile(base)
+            if (
+                after.provider != before.provider
+                or after.nameservers != before.nameservers
+            ):
+                changed = True
+                break
+        assert changed
+
+    def test_registration_survives_a_delta(self):
+        """A delta models a zone update, not a takedown: existence is
+        drawn from the unsalted key, so it is generation-invariant."""
+        internet = build_internet(params=EcosystemParams(seed=11), wire_mode="never")
+        synth = internet.synth
+        base = synth.base_domain_of(N("www.d1-0.com"))
+        exists_before = synth.profile(base).exists
+        for _ in range(4):
+            publish_zone_delta(internet, base)
+        assert synth.profile(base).exists == exists_before
+
+    def test_delta_clears_every_server_memo(self):
+        internet = build_internet(params=EcosystemParams(seed=11), wire_mode="never")
+        base = internet.synth.base_domain_of(N("www.d1-0.com"))
+        memos = [
+            server.memo
+            for server in internet.network.servers()
+            if getattr(server, "memo", None) is not None
+        ]
+        assert memos  # the universe has memoised servers
+        for memo in memos:
+            memo._entries["sentinel"] = object()
+        publish_zone_delta(internet, base)
+        assert all(len(memo._entries) == 0 for memo in memos)
+
+    def test_unknown_tld_rejected(self):
+        internet = build_internet(params=EcosystemParams(seed=11), wire_mode="never")
+        with pytest.raises(ValueError):
+            publish_zone_delta(internet, N("host.invalid-tld-zz"))
+
+    def test_oracle_note_zone_change_mirrors_and_evicts(self):
+        oracle = DifferentialOracle(seed=11)
+        synth = oracle.reference.internet.synth
+        base = synth.base_domain_of(N("www.d1-0.com"))
+        inside = N("www.d1-0.com")
+        outside = N("www.d2-0.com")
+        oracle.oracle_result(inside, RRType.A)
+        oracle.oracle_result(outside, RRType.A)
+        assert len(oracle._memo) == 2
+        generation = oracle.note_zone_change(base)
+        assert generation == 1
+        assert synth.generation_of(base) == 1
+        keys = {key[0] for key in oracle._memo}
+        assert inside.canonical_key() not in keys  # evicted: under base
+        assert outside.canonical_key() in keys  # untouched
+
+
+# ---------------------------------------------------------------------------
+# the daemon: determinism, serve-stale, revalidation
+# ---------------------------------------------------------------------------
+
+
+class TestServiceRun:
+    def test_byte_identical_replay(self):
+        """The acceptance bar: two runs of the same config produce
+        identical event logs, counters, and metrics dumps."""
+        cfg = dict(deltas=2, blackouts=((120.0, 200.0),), oracle_check_every=7)
+        a = run_service(small_config(**cfg))
+        b = run_service(small_config(**cfg))
+        assert a.determinism_digest() == b.determinism_digest()
+        assert json.dumps(a.events) == json.dumps(b.events)
+
+    def test_different_seed_diverges(self):
+        a = run_service(small_config(duration=120.0))
+        b = run_service(small_config(duration=120.0, seed=8))
+        assert a.determinism_digest() != b.determinism_digest()
+
+    def test_serve_stale_keeps_eligible_availability_during_blackout(self):
+        """An upstream blackout longer than the answer TTL: every name
+        the service ever served stays answerable (fresh, negative, or
+        stale), so eligible availability holds at >= 99%."""
+        report = run_service(
+            small_config(duration=900.0, blackouts=((300.0, 720.0),))
+        )
+        availability = report.availability
+        assert availability["eligible"] > 50
+        assert availability["eligible_availability"] >= 0.99
+        counters = report.counters
+        assert counters["stale_answers_served"] > 0
+        # stale serving happened through the cache's bounded window
+        assert report.cache["stale_hits"] == (
+            counters["stale_answers_served"] + counters["stale_negatives_served"]
+        )
+
+    def test_without_serve_stale_blackout_availability_collapses(self):
+        """The control: same blackout, stale_ttl disabled — queries that
+        would have been served stale now fail."""
+        with_stale = run_service(
+            small_config(duration=900.0, blackouts=((300.0, 720.0),))
+        )
+        without = run_service(
+            small_config(duration=900.0, blackouts=((300.0, 720.0),), stale_ttl=None)
+        )
+        assert without.counters["stale_answers_served"] == 0
+        assert without.counters["failed"] > with_stale.counters["failed"]
+        assert (
+            without.availability["eligible_availability"]
+            < with_stale.availability["eligible_availability"]
+        )
+
+    def test_incremental_revalidation_is_cheaper_than_flush(self):
+        base = dict(duration=600.0, deltas=3, catalog_size=60)
+        incremental = run_service(small_config(revalidation="incremental", **base))
+        flush = run_service(small_config(revalidation="flush", **base))
+        # the flush baseline throws the whole cache away per delta...
+        assert flush.cache["invalidated"] > incremental.cache["invalidated"]
+        # ...and pays for it upstream: strictly more re-resolution traffic
+        queries = lambda r: r.network["udp_queries"] + r.network["tcp_queries"]  # noqa: E731
+        assert queries(incremental) < queries(flush)
+        # both revalidated the same affected names
+        assert [d["revalidate_names"] for d in incremental.deltas] == [
+            d["revalidate_names"] for d in flush.deltas
+        ]
+
+    def test_shadow_oracle_agrees_across_deltas(self):
+        """Zone deltas are mirrored into the oracle's universe, so the
+        sampled shadow checks stay divergence-free as zones mutate."""
+        report = run_service(
+            small_config(duration=600.0, deltas=3, oracle_check_every=4)
+        )
+        assert report.counters["deltas_published"] == 3
+        assert report.oracle["checked"] > 10
+        assert report.oracle["divergences"] == 0
+        assert report.divergences == []
+
+    def test_prefetch_refreshes_hot_entries(self):
+        report = run_service(
+            small_config(duration=900.0, base_qps=6.0, prefetch_min_hits=2)
+        )
+        assert report.counters["prefetch_scheduled"] > 0
+        assert report.counters["prefetch_refreshed"] > 0
+
+    def test_status_snapshot_is_json_safe(self):
+        service = ResolverService(small_config(duration=60.0))
+        service.run()
+        snapshot = service.status_snapshot()
+        assert snapshot["service"]["counters"]["queries"] > 0
+        text = json.dumps(snapshot)
+        assert "NaN" not in text
+
+    def test_service_metrics_published_under_service_scope(self):
+        service = ResolverService(small_config(duration=120.0))
+        report = service.run()
+        assert report.metrics["service.queries"] == report.counters["queries"]
+        assert report.metrics["service.cache.stale_hits"] == report.cache["stale_hits"]
+        assert report.metrics["service.latency"]["count"] > 0
+        rendered = service.registry.render_prometheus()
+        assert "pyzdns_service_queries" in rendered
+
+
+# ---------------------------------------------------------------------------
+# serve-stale x prefetch x revalidation (the interaction suite)
+# ---------------------------------------------------------------------------
+
+
+def _answer(name, ttl, ip="192.0.2.55"):
+    return ResourceRecord(N(name), RRType.A, DNSClass.IN, ttl, A(ip))
+
+
+class TestStalePrefetchInteraction:
+    def _seeded_service(self, **overrides):
+        """A one-name service under a full-run blackout, with a hot,
+        short-TTL answer seeded before start: the entry goes stale at
+        t=10 and nothing upstream can ever refresh it."""
+        cfg = small_config(
+            catalog_size=1,
+            duration=240.0,
+            base_qps=2.0,
+            warm_catalog=False,
+            blackouts=((0.0, 1e9),),  # outlasts the post-duration drain
+            prefetch_interval=30.0,
+            prefetch_min_hits=1,
+            prefetch_threshold=60.0,
+            **overrides,
+        )
+        service = ResolverService(cfg)
+        qname = service._catalog[0]
+        service.cache.put_answer(qname, RRType.A, [_answer(str(qname), 10)])
+        for _ in range(3):  # make it hot enough to qualify for prefetch
+            service.cache.get_answer(qname, RRType.A)
+        return service, qname
+
+    def test_stale_entry_is_never_prefetched_younger(self):
+        """The core satellite invariant: a served-stale entry must
+        never be prefetch-refreshed into a *younger* stale entry.  The
+        sweep skips non-live entries, failed refreshes store nothing,
+        and the recorded expiry never moves."""
+        service, qname = self._seeded_service()
+        key = ("ans", qname.canonical_key(), int(RRType.A))
+        expires_before = service.cache._entries[key][1]
+        report = service.run()
+        # the entry was served stale repeatedly during the blackout...
+        assert report.counters["stale_answers_served"] > 0
+        # ...the sweep never scheduled it (remaining <= 0 gate) and no
+        # other name exists to prefetch
+        assert report.counters["prefetch_scheduled"] == 0
+        # ...and its lifetime never moved: same expiry, ageing honestly
+        assert service.cache._entries[key][1] == expires_before == 10.0
+
+    def test_revalidation_during_blackout_does_not_resurrect(self):
+        """A zone delta mid-blackout invalidates the stale copy; with
+        upstream dark, the re-resolution fails and the name goes
+        honestly unanswered — the stale cap is never bypassed."""
+        service, qname = self._seeded_service(
+            deltas=1, delta_times=(120.0,), revalidation="incremental"
+        )
+        key = ("ans", qname.canonical_key(), int(RRType.A))
+        report = service.run()
+        # before the delta: stale serving worked
+        assert report.counters["stale_answers_served"] > 0
+        # the delta dropped the (stale) subtree...
+        assert report.cache["invalidated"] >= 1
+        assert key not in service.cache._entries
+        # ...and afterwards the name failed rather than resurrecting
+        assert report.counters["failed"] > 0
+        assert service.cache.get_stale_answer(qname, RRType.A) is None
+
+    def test_stale_cap_ends_service_during_long_blackout(self):
+        """Past ``expires_at + stale_ttl`` the entry is finalised: a
+        blackout outliving the stale window turns serves into failures."""
+        service, qname = self._seeded_service(stale_ttl=50.0)
+        report = service.run()
+        assert report.counters["stale_answers_served"] > 0  # inside the window
+        assert report.counters["failed"] > 0  # after the cap (t >= 60)
+        assert service.cache.get_stale_answer(qname, RRType.A) is None
+        assert report.cache["expired"] >= 1
