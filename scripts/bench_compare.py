@@ -1008,6 +1008,94 @@ def service_smoke(profile: str, repeats: int) -> int:
     return status
 
 
+def dnssec_smoke(profile: str, repeats: int) -> int:
+    """The DNSSEC validating path's acceptance gate, in three steps:
+
+    1. **Determinism** — the deployment-study scan over the signed
+       universe, run twice, must serialise to byte-identical JSON;
+    2. **Planted vs measured** — the study's measured Secure/Insecure/
+       Bogus counts must equal the zone generator's planted ground
+       truth exactly (zero mismatches), and the planted anomalies must
+       actually fire: a run that never sees a broken chain proves
+       nothing by passing;
+    3. **Off-switch no-op** — with validation off no query carries the
+       DO bit, so the fig1/fig2/table2 smoke scans must reproduce the
+       pre-DNSSEC fingerprints stored under ``codec.smoke_fingerprints``
+       byte-for-byte.
+
+    ``repeats`` is ignored — determinism does the work.  Returns a
+    process exit status (0 = gate passes).
+    """
+    import bench_codec
+    from bench_wallclock_hotpath import BENCH_SEED, _timed
+
+    from repro.analysis import run_dnssec_study
+    from repro.ecosystem import EcosystemParams, build_internet
+    from repro.workloads import DomainCorpus
+
+    count = 5000 if profile == "full" else 2500
+    bases = list(DomainCorpus().base_domains(count))
+
+    def study():
+        internet = build_internet(params=EcosystemParams(seed=BENCH_SEED))
+        return run_dnssec_study(internet, bases, threads=800, seed=BENCH_SEED)
+
+    print(f"dnssec smoke: deployment study over {count} bases, twice ...")
+    wall_a, first = _timed(study)
+    wall_b, second = _timed(study)
+
+    status = 0
+    if json.dumps(first.to_json(), sort_keys=True) != json.dumps(
+        second.to_json(), sort_keys=True
+    ):
+        print("FAIL: two identical deployment studies serialised differently")
+        status = 1
+    if first.mismatches:
+        print(f"FAIL: {first.mismatches} lookup(s) validated differently than "
+              "the zone generator planted")
+        status = 1
+    if first.measured["bogus"] == 0 or first.planted["bogus"] == 0:
+        print("FAIL: no Bogus outcome planted or measured — the broken-chain "
+              "anomalies were never exercised")
+        status = 1
+    for state in ("secure", "insecure", "bogus"):
+        if first.measured[state] != first.planted[state]:
+            print(f"FAIL: measured {state} count {first.measured[state]} != "
+                  f"planted {first.planted[state]}")
+            status = 1
+    if not 0.0 < first.signed_fraction < 1.0:
+        print(f"FAIL: implausible signed fraction {first.signed_fraction:.3f}")
+        status = 1
+
+    stored = json.loads(RESULTS_PATH.read_text()) if RESULTS_PATH.exists() else {}
+    reference = stored.get("codec", {}).get("smoke_fingerprints")
+    if reference is None:
+        print("FAIL: no stored smoke-fingerprint reference to prove the "
+              "validation-off no-op against")
+        status = 1
+    else:
+        for shape in bench_codec.SMOKE_SHAPES:
+            print(f"dnssec off: {shape} smoke scan vs pre-DNSSEC reference ...")
+            current = bench_codec.smoke_fingerprint(shape, "always")
+            if current != reference.get(shape):
+                print(f"FAIL: {shape} scan without validation drifted from the "
+                      f"pre-DNSSEC reference: {current} != {reference.get(shape)}")
+                status = 1
+
+    print(f"  signed fraction             {100 * first.signed_fraction:>7.2f} %  "
+          f"({first.signed_domains}/{first.existing_domains} existing bases)")
+    for state in ("secure", "insecure", "bogus", "indeterminate"):
+        print(f"  measured {state:<13}      {100 * first.measured_rate(state):>7.2f} %  "
+              f"(planted {100 * first.planted_rate(state):.2f}%)")
+    print(f"  anomalies exercised         {first.islands} islands, "
+          f"{first.broken_ds} broken DS, {first.expired_sigs} expired")
+    print(f"  study wall                  {wall_a:>8.3f} s  (replay {wall_b:.3f} s)")
+    if status == 0:
+        print("\nOK — DNSSEC gate passes (byte-identical replay, measured == "
+              "planted, validation-off scans match the pre-DNSSEC reference)")
+    return status
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--check", action="store_true", help="compare only; write nothing")
@@ -1076,6 +1164,14 @@ def main(argv: list[str] | None = None) -> int:
         "improvement check (skips the regular suite)",
     )
     parser.add_argument(
+        "--dnssec-smoke",
+        action="store_true",
+        help="DNSSEC gate: the signed-universe deployment study must "
+        "replay byte-identically with measured outcomes equal to the "
+        "planted ground truth, and validation-off scans must match the "
+        "pre-DNSSEC smoke fingerprints (skips the regular suite)",
+    )
+    parser.add_argument(
         "--service-smoke",
         action="store_true",
         help="resolver-service gate: a fixed-seed 60-virtual-minute soak "
@@ -1085,6 +1181,9 @@ def main(argv: list[str] | None = None) -> int:
         "revalidation beating a full flush (skips the regular suite)",
     )
     args = parser.parse_args(argv)
+
+    if args.dnssec_smoke:
+        return dnssec_smoke(args.profile, max(1, args.repeat))
 
     if args.service_smoke:
         return service_smoke(args.profile, max(1, args.repeat))
@@ -1168,6 +1267,8 @@ def main(argv: list[str] | None = None) -> int:
     status |= resume_smoke(args.profile, 1)
     print("\nresolver service smoke gate ...")
     status |= service_smoke(args.profile, 1)
+    print("\ndnssec smoke gate ...")
+    status |= dnssec_smoke(args.profile, 1)
     print("\nobs selfcheck ...")
     try:
         from repro.obs.selfcheck import main as obs_selfcheck

@@ -1,11 +1,15 @@
-"""repro.analysis — the paper's two case studies as reusable analyses."""
+"""repro.analysis — the paper's case studies as reusable analyses."""
 
 from .caastudy import CAAFindings, run_caa_study
+from .dnssecstudy import DNSSECFindings, expected_outcome, run_dnssec_study
 from .nsconsistency import NSConsistencyFindings, run_ns_consistency_study
 
 __all__ = [
     "CAAFindings",
+    "DNSSECFindings",
     "NSConsistencyFindings",
+    "expected_outcome",
     "run_caa_study",
+    "run_dnssec_study",
     "run_ns_consistency_study",
 ]

@@ -53,3 +53,23 @@ __all__ += [
     "validate_answer_chain",
     "validate_response_shape",
 ]
+
+from .dnssec import (  # noqa: E402
+    BOGUS,
+    INDETERMINATE,
+    INSECURE,
+    SECURE,
+    SECURITY_STATES,
+    Validator,
+    trust_anchor_for,
+)
+
+__all__ += [
+    "BOGUS",
+    "INDETERMINATE",
+    "INSECURE",
+    "SECURE",
+    "SECURITY_STATES",
+    "Validator",
+    "trust_anchor_for",
+]

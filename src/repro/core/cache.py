@@ -45,6 +45,20 @@ Service-mode extensions (all inert for batch scans):
 * negative entries (``put_negative``/``get_negative``) — RFC 2308
   negative caching for NXDOMAIN/NODATA outcomes, policy="all" only,
   keyed separately so they never collide with positive answers.
+
+DNSSEC extensions (inert unless ``epoch_base`` is supplied):
+
+* RRSIG-aware lifetimes — a cached answer whose RRset carries an RRSIG
+  expires at ``min(TTL, signature expiration − now)``: serving a record
+  past its signature's validity would flip a Secure answer to Bogus
+  mid-TTL.  ``epoch_base`` maps the virtual clock onto the absolute
+  epoch RRSIG timestamps are expressed in.
+* validation state (``put_security``/``get_security``) — per-zone
+  chain-of-trust outcomes plus validated DNSKEY material, stored under
+  ``("sec", canonical_key)`` regardless of policy so that
+  ``invalidate_subtree`` drops them together with the delegations and
+  answers below a delta'd cut (a rolled key must never leave the old
+  chain pinned).
 """
 
 from __future__ import annotations
@@ -54,7 +68,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable
 
-from ..dnslib import Name, ResourceRecord
+from ..dnslib import Name, ResourceRecord, RRType
 
 
 @dataclass(frozen=True)
@@ -119,6 +133,7 @@ class SelectiveCache:
         clock: Callable[[], float] | None = None,
         stale_ttl: float | None = None,
         track_heat: bool = False,
+        epoch_base: int | None = None,
     ):
         if capacity < 1:
             raise ValueError("capacity must be positive")
@@ -130,10 +145,16 @@ class SelectiveCache:
             raise ValueError("stale_ttl must be positive (or None to disable)")
         if stale_ttl is not None and clock is None:
             raise ValueError("stale_ttl needs a clock")
+        if epoch_base is not None and clock is None:
+            raise ValueError("epoch_base needs a clock")
         self.capacity = capacity
         self.policy = policy
         self.eviction = eviction
         self.stale_ttl = stale_ttl
+        #: Absolute epoch the virtual clock's zero maps to.  Set (by
+        #: DNSSEC-enabled runs) it activates RRSIG-aware answer
+        #: lifetimes; None keeps the pre-DNSSEC behaviour exactly.
+        self.epoch_base = epoch_base
         self.stats = CacheStats()
         self._rng = random.Random(seed)
         self._clock = clock
@@ -297,6 +318,17 @@ class SelectiveCache:
         for record in records:
             if ttl is None or record.ttl < ttl:
                 ttl = record.ttl
+        if self.epoch_base is not None:
+            # A signed RRset is only servable while its signature is
+            # valid: clamp the lifetime to the earliest RRSIG expiry.
+            now_epoch = self.epoch_base + self._clock()
+            for record in records:
+                if int(record.rrtype) == int(RRType.RRSIG):
+                    remaining = record.rdata.expiration - now_epoch
+                    if ttl is None or remaining < ttl:
+                        ttl = remaining
+            if ttl is not None and ttl <= 0:
+                return  # signature already expired: never cacheable
         self._store(key, list(records), ttl)
 
     def get_answer(self, qname: Name, qtype: int) -> list[ResourceRecord] | None:
@@ -331,6 +363,26 @@ class SelectiveCache:
             return None
         self.stats.answer_hits += 1
         return value
+
+    # -- DNSSEC validation state -------------------------------------------
+
+    def epoch_now(self) -> float:
+        """Absolute DNSSEC time: ``epoch_base`` plus the virtual clock
+        (zero when neither is configured)."""
+        base = self.epoch_base or 0
+        return base + (self._clock() if self._clock is not None else 0.0)
+
+    def put_security(self, zone: Name, status: str, key: bytes, ttl: int | None) -> None:
+        """Cache a zone's validated chain-of-trust outcome plus its
+        validated DNSKEY material (empty for non-secure zones).  Stored
+        regardless of policy — this is resolver validation state, not a
+        leaf answer — and keyed ``("sec", canonical_key)`` so subtree
+        invalidation drops it along with everything below the cut."""
+        self._store(("sec", zone.canonical_key()), (str(status), bytes(key)), ttl)
+
+    def get_security(self, zone: Name) -> tuple[str, bytes] | None:
+        """The cached (status, key) validation outcome for a zone."""
+        return self._probe(("sec", zone.canonical_key()))
 
     # -- serve-stale (RFC 8767) and prefetch state -------------------------
 
@@ -372,8 +424,8 @@ class SelectiveCache:
     # -- revalidation hooks ------------------------------------------------
 
     def invalidate_subtree(self, zone: Name) -> int:
-        """Drop every delegation, answer, and negative entry at or
-        below ``zone`` — the incremental (Janus-style) revalidation
+        """Drop every delegation, answer, negative, and validation
+        entry at or below ``zone`` — the incremental (Janus-style) revalidation
         path after a zone delta.  Canonical keys are label tuples, so
         the suffix test aligns on label boundaries by construction.
         Returns the number of entries dropped (``stats.invalidated``)."""

@@ -59,6 +59,18 @@ class ResolverConfig:
     backoff_base: float = 0.0
     #: Upper bound on one backoff pause, seconds.
     backoff_cap: float = 10.0
+    #: DNSSEC validation (iterative mode).  When on, every query is
+    #: sent with EDNS DO, answers collect their RRSIGs, and after each
+    #: lookup the machine walks the chain of trust from the root and
+    #: attaches a security status (secure/insecure/bogus/indeterminate)
+    #: to the result.  Off (the default) is byte-identical to a
+    #: pre-DNSSEC build: no DO bit, no signed material on the wire.
+    dnssec: bool = False
+    #: Root trust anchor: the DS-style digest of the root zone's
+    #: DNSKEY.  None means trust-on-first-use (accept whatever root
+    #: DNSKEY arrives) — fine in simulation, where the runner normally
+    #: pins the real anchor derived from the zone synthesiser.
+    trust_anchor: bytes | None = None
     #: A :class:`repro.core.health.ServerHealthTracker` (or None).  When
     #: set, the iterative machine records per-server successes/failures
     #: and orders each layer's candidate servers healthy-first, shedding

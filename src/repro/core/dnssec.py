@@ -1,0 +1,310 @@
+"""DNSSEC chain-of-trust validation for the iterative resolver.
+
+The validator runs as a post-pass over a finished lookup (RFC 4035
+section 4 shape, simplified to the synthetic universe's single-key
+zones): it walks the chain of trust from the root trust anchor down to
+each answer RRset's signer, fetching DS/DNSKEY RRsets through the same
+sans-IO machine that produced the answer, and classifies the lookup as
+
+* ``secure`` — every answer RRset verifies under an unbroken chain,
+* ``insecure`` — the chain ends at a proven unsigned delegation (an
+  authenticated NSEC denial of DS, or an island of trust whose parent
+  never published a DS),
+* ``bogus`` — a broken chain: DS/DNSKEY mismatch, failed or expired
+  signature, or signed-zone data arriving without its RRSIGs,
+* ``indeterminate`` — validation could not complete (query budget
+  exhausted, chain fetches timed out).
+
+Per-zone outcomes (and the validated DNSKEY material) are memoised in
+the shared cache under ``("sec", zone)`` keys, so warm lookups
+revalidate from cache without re-walking the chain — and so a zone
+delta's ``invalidate_subtree`` drops the memo together with the stale
+delegations below the cut.
+
+The crypto primitives are the synthetic hash-signature scheme from
+:mod:`repro.ecosystem.dnssec`; the *state machine* here is the part the
+paper's toolkit would run against real RSA/ECDSA material.
+"""
+
+from __future__ import annotations
+
+from ..dnslib import Name, RRType
+from ..ecosystem.dnssec import DNSKEY_TTL, ds_digest, ds_matches, verify_rrsig
+from .status import Status
+
+#: Every RRset verified under an unbroken chain from the trust anchor.
+SECURE = "secure"
+#: The chain ends at a proven unsigned delegation.
+INSECURE = "insecure"
+#: Broken chain: bad DS, failed/expired signature, or stripped RRSIGs.
+BOGUS = "bogus"
+#: Validation could not complete.
+INDETERMINATE = "indeterminate"
+
+SECURITY_STATES = (SECURE, INSECURE, BOGUS, INDETERMINATE)
+
+#: Internal zone-walk outcome: the DS probe proved the name is not a
+#: zone cut at all (nodata NSEC without the NS type bit, or the name
+#: does not exist) — the enclosing zone's status carries through.
+_TRANSPARENT = "transparent"
+
+#: Aggregation severity: one bogus RRset poisons the lookup, one
+#: incomplete check degrades it, one insecure RRset caps it.
+_SEVERITY = {SECURE: 0, INSECURE: 1, INDETERMINATE: 2, BOGUS: 3}
+
+_NSEC = int(RRType.NSEC)
+_RRSIG = int(RRType.RRSIG)
+_DNSKEY = int(RRType.DNSKEY)
+_DS = int(RRType.DS)
+_NS = int(RRType.NS)
+
+
+def aggregate(outcomes) -> str:
+    """Fold per-RRset outcomes into one lookup-level status."""
+    worst = SECURE
+    for outcome in outcomes:
+        if _SEVERITY[outcome] > _SEVERITY[worst]:
+            worst = outcome
+    return worst
+
+
+class Validator:
+    """One chain-of-trust walk over one finished lookup.
+
+    Drives sub-resolutions (DS/DNSKEY fetches) through the owning
+    :class:`IterativeMachine`'s ``_resolve_once`` against the lookup's
+    own query budget, so validation cost is bounded by the same
+    ``max_queries`` cap as resolution itself.
+    """
+
+    def __init__(self, machine):
+        self.machine = machine
+        self.cache = machine.cache
+        self.config = machine.config
+        #: Validated DNSKEY material for secure zones, by key_text.
+        self._keys: dict[str, bytes] = {}
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _now(self) -> int | None:
+        """Absolute validation time, or None when the cache has no
+        epoch mapping (then signature windows are not checked)."""
+        if self.cache.epoch_base is None:
+            return None
+        return int(self.cache.epoch_now())
+
+    def _fetch(self, name: Name, qtype: RRType, result, budget):
+        """A chain fetch through the owning machine (answers, status)."""
+        return (yield from self.machine._resolve_once(name, qtype, result, budget))
+
+    def _signer_key(self, signer: Name) -> bytes | None:
+        return self._keys.get(signer.key_text())
+
+    # -- entry point -------------------------------------------------------
+
+    def validate(self, qname: Name, qtype: RRType, result, budget):
+        """The lookup-level security status for ``result``."""
+        self._result = result
+        self._budget = budget
+        status = result.status
+        if status not in (Status.NOERROR, Status.NXDOMAIN):
+            return INDETERMINATE  # nothing resolvable to validate
+        rrsets, rrsigs = _group_answers(result.answers)
+        if not rrsets:
+            # Negative answer (NXDOMAIN or NODATA): the walk down the
+            # query name decides — denial from inside a secure chain is
+            # authenticated, from below an unsigned cut it is insecure.
+            return (yield from self._chain_security(qname))
+        outcomes = []
+        for (owner_key, rtype), records in rrsets.items():
+            sigs = rrsigs.get((owner_key, rtype), [])
+            outcome = yield from self._rrset_security(records, sigs)
+            outcomes.append(outcome)
+        if status == Status.NXDOMAIN:
+            # A denial at the end of a CNAME chain: the chase target's
+            # chain decides the denial's status, on top of the RRsets.
+            final = qname
+            seen: set[str] = set()
+            while final.key_text() not in seen:
+                seen.add(final.key_text())
+                chained = rrsets.get((final.key_text(), int(RRType.CNAME)))
+                if not chained:
+                    break
+                final = chained[0].rdata.target
+            outcomes.append((yield from self._chain_security(final)))
+        return aggregate(outcomes)
+
+    # -- RRset-level validation --------------------------------------------
+
+    def _rrset_security(self, records, sigs):
+        """Validate one (owner, type) RRset against its RRSIGs."""
+        if not sigs:
+            # Unsigned data: fine below an insecure cut, bogus (stripped)
+            # under a fully secure chain.
+            return (yield from self._chain_security(records[0].name, unsigned_data=True))
+        sig = sigs[0]
+        signer = sig.rdata.signer
+        status = yield from self._zone_security(signer)
+        if status in (INSECURE, _TRANSPARENT):
+            return INSECURE
+        if status != SECURE:
+            return status
+        key = self._signer_key(signer)
+        if key is None:
+            return INDETERMINATE
+        if verify_rrsig(sig.rdata, records, key, self._now()):
+            return SECURE
+        return BOGUS
+
+    def _chain_security(self, name: Name, unsigned_data: bool = False):
+        """Walk every cut from the root down to ``name``."""
+        labels = name.labels
+        for depth in range(len(labels) + 1):
+            zone = Name.intern(labels[len(labels) - depth :])
+            status = yield from self._zone_security(zone)
+            if status is _TRANSPARENT:
+                continue  # not a cut: still inside the enclosing zone
+            if status != SECURE:
+                return status
+        # Every cut on the path is secure (or transparent).  A negative
+        # answer from inside that chain is an authenticated denial;
+        # unsigned *positive* data under it means the RRSIGs were lost.
+        return BOGUS if unsigned_data else SECURE
+
+    # -- zone-level chain walk ---------------------------------------------
+
+    def _zone_security(self, zone: Name):
+        """The chain-of-trust status of one zone cut, memoised."""
+        cached = self.cache.get_security(zone)
+        if cached is not None:
+            status, key = cached
+            if key:
+                self._keys[zone.key_text()] = key
+            return status
+        status, key = yield from self._walk_zone(zone)
+        if key:
+            self._keys[zone.key_text()] = key
+        if status != INDETERMINATE:
+            # transient failures are not cacheable chain state
+            self.cache.put_security(zone, status, key, DNSKEY_TTL)
+        return status
+
+    def _walk_zone(self, zone: Name):
+        if zone.is_root:
+            return (yield from self._walk_root())
+
+        parent = zone.parent()
+        parent_status = yield from self._zone_security(parent)
+        while parent_status is _TRANSPARENT and parent.labels:
+            parent = parent.parent()
+            parent_status = yield from self._zone_security(parent)
+        if parent_status != SECURE:
+            # Below an insecure or broken cut every descendant inherits
+            # the parent's fate; nothing deeper can upgrade it.
+            return parent_status, b""
+
+        answers, status = yield from self._fetch(zone, RRType.DS, self._result, self._budget)
+        if status == Status.NXDOMAIN:
+            return _TRANSPARENT, b""  # name doesn't exist: not a cut
+        if status != Status.NOERROR:
+            return INDETERMINATE, b""
+        ds_records = [r for r in answers if int(r.rrtype) == _DS]
+        if not ds_records:
+            return self._classify_ds_denial(answers), b""
+
+        ds_sigs = [
+            r for r in answers if int(r.rrtype) == _RRSIG and r.rdata.type_covered == _DS
+        ]
+        if not self._verify_with_known_signer(ds_sigs, ds_records):
+            return BOGUS, b""  # DS set unsigned or unverifiable
+
+        key_answers, key_status = yield from self._fetch(
+            zone, RRType.DNSKEY, self._result, self._budget
+        )
+        if key_status != Status.NOERROR:
+            return INDETERMINATE, b""
+        dnskeys = [r for r in key_answers if int(r.rrtype) == _DNSKEY]
+        if not dnskeys:
+            return BOGUS, b""  # DS promises a key the zone won't serve
+        key = dnskeys[0].rdata.public_key
+        if not any(ds_matches(ds.rdata, key, zone) for ds in ds_records):
+            return BOGUS, b""  # botched rollover: DS↔DNSKEY mismatch
+        key_sigs = [
+            r for r in key_answers if int(r.rrtype) == _RRSIG and r.rdata.type_covered == _DNSKEY
+        ]
+        if not any(verify_rrsig(s.rdata, dnskeys, key, self._now()) for s in key_sigs):
+            return BOGUS, b""
+        return SECURE, key
+
+    def _walk_root(self):
+        """Bootstrap: the root DNSKEY against the configured anchor."""
+        answers, status = yield from self._fetch(
+            Name.root(), RRType.DNSKEY, self._result, self._budget
+        )
+        if status != Status.NOERROR:
+            return INDETERMINATE, b""
+        dnskeys = [r for r in answers if int(r.rrtype) == _DNSKEY]
+        if not dnskeys:
+            return BOGUS, b""
+        key = dnskeys[0].rdata.public_key
+        anchor = self.config.trust_anchor
+        if anchor is not None and ds_digest(Name.root(), key) != anchor:
+            return BOGUS, b""
+        sigs = [
+            r for r in answers if int(r.rrtype) == _RRSIG and r.rdata.type_covered == _DNSKEY
+        ]
+        if not any(verify_rrsig(s.rdata, dnskeys, key, self._now()) for s in sigs):
+            return BOGUS, b""
+        return SECURE, key
+
+    def _classify_ds_denial(self, answers) -> str:
+        """A DS nodata from the (secure) parent: NSEC decides.
+
+        The NS type bit present means the name *is* a delegation with no
+        DS — a proven insecure cut.  No NS bit means the name is not a
+        zone cut (the walk continues through it).  No verifiable NSEC at
+        all means the denial could have been forged or stripped: bogus.
+        """
+        nsecs = [r for r in answers if int(r.rrtype) == _NSEC]
+        sigs = [
+            r for r in answers if int(r.rrtype) == _RRSIG and r.rdata.type_covered == _NSEC
+        ]
+        if not nsecs or not self._verify_with_known_signer(sigs, nsecs):
+            return BOGUS
+        if _NS in nsecs[0].rdata.types:
+            return INSECURE
+        return _TRANSPARENT
+
+    def _verify_with_known_signer(self, sigs, records) -> bool:
+        """Does any RRSIG verify under an already-validated zone key?"""
+        now = self._now()
+        for sig in sigs:
+            key = self._signer_key(sig.rdata.signer)
+            if key is not None and verify_rrsig(sig.rdata, records, key, now):
+                return True
+        return False
+
+
+def _group_answers(answers):
+    """Split a lookup's answers into RRsets and their covering RRSIGs.
+
+    Both maps are keyed ``(owner key_text, type)`` — for RRSIGs the
+    type is the *covered* type, so lookup is a direct join.
+    """
+    rrsets: dict[tuple, list] = {}
+    rrsigs: dict[tuple, list] = {}
+    for record in answers:
+        if int(record.rrtype) == _RRSIG:
+            key = (record.name.key_text(), int(record.rdata.type_covered))
+            rrsigs.setdefault(key, []).append(record)
+        else:
+            key = (record.name.key_text(), int(record.rrtype))
+            rrsets.setdefault(key, []).append(record)
+    return rrsets, rrsigs
+
+
+def trust_anchor_for(synth) -> bytes:
+    """The root trust anchor for a :class:`ZoneSynthesizer`'s universe —
+    what a real deployment would carry as the IANA root anchor file."""
+    root = Name.root()
+    return ds_digest(root, synth.dnssec_profile(root).key)

@@ -54,6 +54,13 @@ class SimDriver:
             if edns_payload is not None
             else None
         )
+        #: Its DO-bit twin (OPT TTL bit 15 set), for queries whose
+        #: effect asks for DNSSEC material.  Same build-once sharing.
+        self._opt_record_do = (
+            ResourceRecord(Name.root(), RRType.OPT, edns_payload, 0x8000, OPT(()))
+            if edns_payload is not None
+            else None
+        )
 
     def _build_query(self, effect: SendQuery) -> Message:
         message = Message.make_query(
@@ -64,7 +71,9 @@ class SimDriver:
             recursion_desired=effect.recursion_desired,
         )
         if self._opt_record is not None:
-            message.additionals.append(self._opt_record)
+            message.additionals.append(
+                self._opt_record_do if effect.dnssec_ok else self._opt_record
+            )
         return message
 
     def execute(self, machine_gen, socket: SimUDPSocket, pool: SourceIPPool | None = None) -> Routine:
@@ -155,7 +164,7 @@ class LiveDriver:
                 recursion_desired=effect.recursion_desired,
             )
             if self.edns_payload is not None:
-                add_edns(message, payload_size=self.edns_payload)
+                add_edns(message, payload_size=self.edns_payload, dnssec_ok=effect.dnssec_ok)
             port = self.port_override if self.port_override is not None else 53
             response = self.transport.query(message, (effect.server_ip, port), effect.timeout)
             try:
@@ -175,7 +184,7 @@ class Resolver:
     def __init__(self, internet, mode: str = "iterative", config: ResolverConfig | None = None,
                  cache: SelectiveCache | None = None, resolver_ips: list[str] | None = None,
                  record_trace: bool = False):
-        from ..ecosystem import SimInternet  # local import to avoid cycles
+        from ..ecosystem import EPOCH_BASE, SimInternet  # local import to avoid cycles
 
         if not isinstance(internet, SimInternet):
             raise TypeError("Resolver expects a SimInternet (see build_internet)")
@@ -185,8 +194,14 @@ class Resolver:
             self.config.record_trace_results = True
         # "cache or ..." would wrongly discard an empty cache (it has __len__)
         self.cache = cache if cache is not None else SelectiveCache(
-            capacity=600_000, clock=lambda: internet.sim.now
+            capacity=600_000,
+            clock=lambda: internet.sim.now,
+            epoch_base=EPOCH_BASE if self.config.dnssec else None,
         )
+        if self.config.dnssec and self.config.trust_anchor is None:
+            from .dnssec import trust_anchor_for
+
+            self.config.trust_anchor = trust_anchor_for(internet.synth)
         self.mode = mode
         self._pool = SourceIPPool(prefix_length=32)
         self._driver = SimDriver(internet.network)

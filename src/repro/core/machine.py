@@ -34,6 +34,9 @@ class SendQuery:
     protocol: str = "udp"
     recursion_desired: bool = False
     qclass: int = 1  # IN; CH for e.g. version.bind
+    #: Set the EDNS DO bit: ask the server for DNSSEC material
+    #: (RRSIGs, NSEC denials, DNSKEY/DS at the right cuts).
+    dnssec_ok: bool = False
 
 
 @dataclass(frozen=True)
@@ -62,6 +65,9 @@ class LookupResult:
     retries_used: int = 0
     resolver: str = ""
     protocol: str = "udp"
+    #: DNSSEC validation outcome (secure/insecure/bogus/indeterminate),
+    #: or None when validation was not enabled for this lookup.
+    security: str | None = None
 
     @property
     def is_success(self) -> bool:
@@ -78,6 +84,8 @@ class LookupResult:
             data["authorities"] = [record.to_json() for record in self.authorities]
         if self.additionals:
             data["additionals"] = [record.to_json() for record in self.additionals]
+        if self.security is not None:
+            data["dnssec"] = self.security
         out = {
             "name": self.name,
             "class": "IN",
@@ -104,7 +112,9 @@ def _match_answers(response: Message, name: Name, qtype: int) -> list[ResourceRe
             continue
         if int(record.rrtype) == int(qtype) or int(qtype) == int(RRType.ANY):
             wanted.append(record)
-        elif int(record.rrtype) == int(RRType.CNAME):
+        elif int(record.rrtype) in (int(RRType.CNAME), int(RRType.RRSIG)):
+            # RRSIGs only ever appear when the query carried DO, so
+            # collecting them here leaves DO-less lookups untouched.
             wanted.append(record)
     return wanted
 
@@ -177,6 +187,8 @@ class IterativeMachine:
             result.answers = answers
         except _Abort as abort:
             result.status = abort.status
+        if self.config.dnssec:
+            yield from self._validate(name, qtype, result, budget)
         result.queries_sent = budget.sent
         result.retries_used = budget.retries
         if span is not None:
@@ -188,6 +200,18 @@ class IterativeMachine:
         return result
 
     # ------------------------------------------------------------------
+
+    def _validate(self, name, qtype, result, budget):
+        """DNSSEC post-pass: walk the chain of trust and stamp
+        ``result.security``.  Validation never clobbers the semantic
+        status — running out of query budget mid-walk leaves the answer
+        intact and marks it indeterminate."""
+        from .dnssec import INDETERMINATE, Validator
+
+        try:
+            result.security = yield from Validator(self).validate(name, qtype, result, budget)
+        except _Abort:
+            result.security = INDETERMINATE
 
     def _resolve_with_cnames(self, name: Name, qtype: RRType, result, budget, span=None):
         answers: list[ResourceRecord] = []
@@ -256,7 +280,13 @@ class IterativeMachine:
                 )
             return list(cached_answers), Status.NOERROR
 
-        cached = self.cache.best_delegation(name)
+        start = name
+        if self.config.dnssec and int(qtype) == int(RRType.DS) and name.labels:
+            # DS lives on the parent side of the cut: starting the walk
+            # from a cached delegation for the name itself would route
+            # the query to the child zone, which cannot answer it.
+            start = name.parent()
+        cached = self.cache.best_delegation(start)
         if probe is not None:
             hit = cached is not None and bool(cached.addresses())
             probe.finish(
@@ -322,6 +352,16 @@ class IterativeMachine:
                 continue
 
             # authoritative NOERROR with no answers: NODATA
+            if self.config.dnssec and int(qtype) == int(RRType.DS):
+                # surface the parent's authenticated denial (NSEC plus
+                # its RRSIG) so the validator can tell a proven insecure
+                # delegation apart from a stripped response
+                denial = [
+                    record
+                    for record in response.authorities
+                    if int(record.rrtype) in (int(RRType.NSEC), int(RRType.RRSIG))
+                ]
+                return denial, Status.NOERROR
             return [], Status.NOERROR
 
         return [], Status.ITER_LIMIT
@@ -340,6 +380,7 @@ class IterativeMachine:
         tracer = config.tracer
         tries = config.retries + 1
         timeout = config.iteration_timeout
+        dnssec_ok = config.dnssec
         backoff_base = config.backoff_base
         backoff_cap = config.backoff_cap
         last_pause = 0.0
@@ -386,6 +427,7 @@ class IterativeMachine:
                 name=name,
                 qtype=qtype,
                 timeout=timeout,
+                dnssec_ok=dnssec_ok,
             )
             if response is None:
                 if qspan is not None:
@@ -455,6 +497,7 @@ class IterativeMachine:
                     qtype=qtype,
                     timeout=timeout,
                     protocol="tcp",
+                    dnssec_ok=dnssec_ok,
                 )
                 if response_tcp is None:
                     if qspan is not None:
@@ -639,6 +682,7 @@ class ExternalMachine:
                 qtype=qtype,
                 timeout=config.external_timeout,
                 recursion_desired=True,
+                dnssec_ok=config.dnssec,
             )
             if response is None:
                 if qspan is not None:
@@ -673,6 +717,7 @@ class ExternalMachine:
                     timeout=config.external_timeout,
                     protocol="tcp",
                     recursion_desired=True,
+                    dnssec_ok=config.dnssec,
                 )
                 if response is None:
                     if qspan is not None:

@@ -6,6 +6,7 @@ paper's observed misbehaviours, and public recursive resolver models.
 """
 
 from .deltas import ZoneDelta, publish_zone_delta
+from .dnssec import EPOCH_BASE
 from .params import (
     CLOUDFLARE_RESOLVER_IP,
     GOOGLE_RESOLVER_IP,
@@ -25,13 +26,15 @@ from .servers import (
     TLDServer,
 )
 from .universe import SimInternet, build_internet
-from .zonegen import CAAProfile, DomainProfile, NameserverInfo, ZoneSynthesizer
+from .zonegen import CAAProfile, DnssecProfile, DomainProfile, NameserverInfo, ZoneSynthesizer
 
 __all__ = [
     "ArpaServer",
     "CAAProfile",
     "CLOUDFLARE_RESOLVER_IP",
+    "DnssecProfile",
     "DomainProfile",
+    "EPOCH_BASE",
     "EcosystemParams",
     "GOOGLE_RESOLVER_IP",
     "InfraServer",

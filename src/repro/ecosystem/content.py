@@ -12,7 +12,8 @@ from ..dnslib.rdata.names import CNAME, NS, SOA
 from ..dnslib.rdata.security import CAA
 from ..dnslib.rdata.text import TXT
 from . import rand
-from .zonegen import DomainProfile, NameserverInfo, ZoneSynthesizer
+from .dnssec import make_dnskey, make_ds, make_nsec, sign_rrset
+from .zonegen import DnssecProfile, DomainProfile, NameserverInfo, ZoneSynthesizer
 
 REFERRAL_TTL = 172_800
 ANSWER_TTL = 300
@@ -52,25 +53,106 @@ def nodata(query: Message, zone: Name) -> Message:
     return response
 
 
+def sign_sections(response: Message, zone: Name, dp: DnssecProfile) -> None:
+    """Append an RRSIG per (owner, type) RRset in answers/authorities."""
+    for section in (response.answers, response.authorities):
+        groups: dict[tuple, list] = {}
+        for record in section:
+            groups.setdefault((record.name, int(record.rrtype)), []).append(record)
+        for records in groups.values():
+            section.append(sign_rrset(records, zone, dp.key, dp.inception, dp.expiration))
+
+
+def ds_answer(synth: ZoneSynthesizer, query: Message, parent: Name, child: Name) -> Message:
+    """The parent-side authoritative answer for a DS query (DO set).
+
+    DS lives only at the parent: a signed, non-island child gets its DS
+    RRset (digest deliberately wrong for ``broken_ds`` zones); unsigned
+    and island children get an authenticated denial — signed NSEC proof
+    that no DS exists, which is what lets a validator conclude
+    *Insecure* rather than *Bogus*.
+    """
+    parent_dp = synth.dnssec_profile(parent)
+    child_dp = synth.dnssec_profile(child)
+    response = query.make_response(authoritative=True)
+    if child_dp.signed and not child_dp.island:
+        response.answers.append(make_ds(child, child_dp.key, broken=child_dp.broken_ds))
+    else:
+        response.authorities.append(soa_for(parent))
+        response.authorities.append(make_nsec(child, parent, (int(RRType.NS),)))
+    if parent_dp.signed:
+        sign_sections(response, parent, parent_dp)
+    return response
+
+
+def apex_answer(
+    synth: ZoneSynthesizer, query: Message, zone: Name, do: bool
+) -> Message | None:
+    """DNSSEC-aware apex answer for infrastructure zones (root, TLDs).
+
+    Returns a DNSKEY answer or a signed nodata when DO is set and the
+    zone is signed; ``None`` means the caller should fall back to its
+    pre-DNSSEC behaviour (plain nodata) — the byte-identical path.
+    """
+    if not do:
+        return None
+    dp = synth.dnssec_profile(zone)
+    if not dp.signed:
+        return None
+    qtype = int(query.question.rrtype)
+    response = query.make_response(authoritative=True)
+    if qtype in (int(RRType.DNSKEY), int(RRType.ANY)):
+        response.answers.append(make_dnskey(zone, dp.key))
+    else:
+        response.authorities.append(soa_for(zone))
+        response.authorities.append(
+            make_nsec(query.question.name, zone, (int(RRType.SOA), int(RRType.NS)))
+        )
+    sign_sections(response, zone, dp)
+    return response
+
+
+def signed_nxdomain(synth: ZoneSynthesizer, query: Message, zone: Name, do: bool) -> Message:
+    """NXDOMAIN from ``zone``, with NSEC denial when DO and signed."""
+    response = nxdomain(query, zone)
+    if do:
+        dp = synth.dnssec_profile(zone)
+        if dp.signed:
+            response.authorities.append(make_nsec(query.question.name, zone, ()))
+            sign_sections(response, zone, dp)
+    return response
+
+
 def build_answer(
     synth: ZoneSynthesizer,
     query: Message,
     profile: DomainProfile,
     ns: NameserverInfo | None = None,
     protocol: str = "udp",
+    do: bool = False,
 ) -> Message:
     """The authoritative answer for a question about an existing domain.
 
     ``ns`` is the responding nameserver, used to produce per-nameserver
     inconsistent answers for providers that have them (Section 5);
-    ``None`` means the canonical (consistent) answer.
+    ``None`` means the canonical (consistent) answer.  ``do`` is the
+    query's EDNS DO bit: when set and the zone is signed, answers gain
+    RRSIGs, denials gain NSEC, and DNSKEY is served at the apex —
+    queries without DO get pre-DNSSEC bytes, unconditionally.
     """
     question = query.question
     name = question.name
     qtype = int(question.rrtype)
+    dp = synth.dnssec_profile(profile.base) if do else None
+    if dp is not None and not dp.signed:
+        dp = None
 
     if not synth.subdomain_exists(name, profile):
-        return nxdomain(query, profile.base)
+        response = nxdomain(query, profile.base)
+        if dp is not None:
+            response.authorities.append(make_nsec(name, profile.base, ()))
+            sign_sections(response, profile.base, dp)
+        return response
 
     if profile.truncates and qtype == int(RRType.A) and protocol == "udp" and ns is not None:
         # Oversized response (0.4% in the paper): TC bit forces TCP retry.
@@ -102,9 +184,17 @@ def build_answer(
         _add_caa_records(response, name, profile)
     if qtype == int(RRType.HTTPS):
         _add_https_records(synth, response, name, profile)
+    if dp is not None and apex and qtype in (int(RRType.DNSKEY), int(RRType.ANY)):
+        response.answers.append(make_dnskey(profile.base, dp.key))
 
     if not response.answers:
-        return nodata(query, profile.base)
+        response = nodata(query, profile.base)
+        if dp is not None:
+            response.authorities.append(make_nsec(name, profile.base, ()))
+            sign_sections(response, profile.base, dp)
+        return response
+    if dp is not None:
+        sign_sections(response, profile.base, dp)
     return response
 
 

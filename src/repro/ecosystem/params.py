@@ -170,6 +170,28 @@ class EcosystemParams:
     #: /24 zone NS RRsets remain per-zone for cache realism).
     rdns_operators: int = 512
 
+    # -- DNSSEC deployment (atlas-dnssec-style rates) ----------------------------
+    #: Fraction of TLD zones that are signed (real-world registries sign
+    #: near-universally; a handful of ccTLDs lag).
+    p_tld_signed: float = 0.90
+    #: Fraction of registrable base domains that are signed.  Real-world
+    #: second-level deployment sits in the low single digits.
+    p_domain_signed: float = 0.04
+    #: Of signed base domains: chance the zone is an *island of trust* —
+    #: signed but with no DS in the parent, so a validator can only
+    #: reach Insecure, never Secure.
+    p_island: float = 0.12
+    #: Of signed base domains: chance the parent DS does not match the
+    #: child DNSKEY (botched rollover) — validation lands Bogus.
+    p_broken_ds: float = 0.02
+    #: Of signed base domains: chance the zone's signatures are expired
+    #: (unattended signer) — validation lands Bogus.
+    p_expired_sig: float = 0.015
+    #: RRSIG validity window (seconds of virtual time past the signing
+    #: epoch); expired-signature zones instead signed this far *before*
+    #: the epoch so their signatures are already stale at scan start.
+    dnssec_validity: int = 30 * 86_400
+
     # -- timing ------------------------------------------------------------------
     #: Authoritative-server RTT medians by tier (seconds).
     root_rtt: float = 0.012

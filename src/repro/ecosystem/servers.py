@@ -10,7 +10,18 @@ from ..dnslib import Message, Name, Rcode, RRType
 from ..dnslib.rdata.address import A
 from ..dnslib.rdata.names import NS, PTR
 from ..net import ServerReply
-from .content import ANSWER_TTL, REFERRAL_TTL, build_answer, nodata, nxdomain, rr, soa_for
+from .content import (
+    ANSWER_TTL,
+    REFERRAL_TTL,
+    apex_answer,
+    build_answer,
+    ds_answer,
+    nodata,
+    nxdomain,
+    rr,
+    signed_nxdomain,
+    soa_for,
+)
 from .zonegen import ZoneSynthesizer
 
 _IN_ADDR = Name.from_text("in-addr.arpa")
@@ -80,6 +91,14 @@ class ResponseMemo:
             entries.popitem(last=False)
 
 
+def _query_do(query: Message) -> bool:
+    """The query's EDNS DO bit (False when there is no OPT record)."""
+    for record in query.additionals:
+        if int(record.rrtype) == int(RRType.OPT):
+            return bool(record.ttl & 0x8000)
+    return False
+
+
 class _MemoisedServer:
     """Mixin: cache ``_respond`` results per question.
 
@@ -94,11 +113,14 @@ class _MemoisedServer:
         if question is None:
             return ServerReply(_refused(query))
         memo = self.memo
-        key = ResponseMemo.key(query)
+        # DO folds into the memo key only when set, so queries without
+        # it keep their pre-DNSSEC key shape (and response bytes).
+        do = _query_do(query)
+        key = ResponseMemo.key(query, extra=True if do else None)
         cached = memo.get(key, query)
         if cached is not None:
             return ServerReply(cached)
-        reply = self._respond(query, client_ip, now, protocol)
+        reply = self._respond(query, client_ip, now, protocol, do)
         if reply is not None and reply.delay == 0.0:
             memo.put(key, reply.message)
         return reply
@@ -140,9 +162,12 @@ class RootServer(_MemoisedServer):
         }
         self._init_memo()
 
-    def _respond(self, query, client_ip, now, protocol):
+    def _respond(self, query, client_ip, now, protocol, do=False):
         name = query.question.name
         if name.is_root:
+            signed = apex_answer(self.synth, query, Name.root(), do)
+            if signed is not None:
+                return ServerReply(signed)
             return ServerReply(nodata(query, Name.root()))
         tld = name.labels[-1].decode("ascii", "replace").lower()
         if tld == "arpa":
@@ -153,8 +178,11 @@ class RootServer(_MemoisedServer):
         pairs = self._tld_pairs.get(tld)
         if pairs is not None:
             zone = Name((name.labels[-1],))
+            if do and len(name.labels) == 1 and int(query.question.rrtype) == int(RRType.DS):
+                # DS lives at the parent: the root answers it, not the TLD
+                return ServerReply(ds_answer(self.synth, query, Name.root(), zone))
             return ServerReply(_referral(query, zone, pairs))
-        return ServerReply(nxdomain(query, Name.root()))
+        return ServerReply(signed_nxdomain(self.synth, query, Name.root(), do))
 
 
 class TLDServer(_MemoisedServer):
@@ -169,18 +197,21 @@ class TLDServer(_MemoisedServer):
         self.zone = Name.from_text(tld)
         self._init_memo()
 
-    def _respond(self, query, client_ip, now, protocol):
+    def _respond(self, query, client_ip, now, protocol, do=False):
         question = query.question
         if not question.name.is_subdomain_of(self.zone):
             return ServerReply(_refused(query))
         if question.name == self.zone:
+            signed = apex_answer(self.synth, query, self.zone, do)
+            if signed is not None:
+                return ServerReply(signed)
             return ServerReply(nodata(query, self.zone))
         base = self.synth.base_domain_of(question.name)
         if base is None:
-            return ServerReply(nxdomain(query, self.zone))
+            return ServerReply(signed_nxdomain(self.synth, query, self.zone, do))
         profile = self.synth.profile(base)
         if not profile.exists and not profile.dead:
-            return ServerReply(nxdomain(query, self.zone))
+            return ServerReply(signed_nxdomain(self.synth, query, self.zone, do))
         if profile.dead:
             # registered, but its nameservers are unreachable
             pairs = [
@@ -188,6 +219,9 @@ class TLDServer(_MemoisedServer):
                 for k in range(2)
             ]
             return ServerReply(_referral(query, base, pairs))
+        if do and question.name == base and int(question.rrtype) == int(RRType.DS):
+            # parent-side DS for a delegated child, answered here
+            return ServerReply(ds_answer(self.synth, query, self.zone, base))
         pairs = [(ns.name, ns.ip) for ns in profile.nameservers]
         return ServerReply(_referral(query, base, pairs))
 
@@ -200,7 +234,7 @@ class InfraServer(_MemoisedServer):
         self.synth = synth
         self._init_memo()
 
-    def _respond(self, query, client_ip, now, protocol):
+    def _respond(self, query, client_ip, now, protocol, do=False):
         question = query.question
         if not question.name.is_subdomain_of(_EXAMPLE):
             return ServerReply(_refused(query))
@@ -281,12 +315,15 @@ class ProviderAuthServer:
             return None
         # Memoised *after* the drop draw so the RNG sequence (and hence
         # the simulated universe) is untouched; answers can differ per
-        # protocol (UDP truncation), so the key carries it.
-        key = ResponseMemo.key(query, extra=protocol)
+        # protocol (UDP truncation), so the key carries it.  DO widens
+        # the key only when set: DO-less keys keep their pre-DNSSEC
+        # shape, so those cached responses stay byte-identical.
+        do = _query_do(query)
+        key = ResponseMemo.key(query, extra=(protocol, True) if do else protocol)
         cached = self.memo.get(key, query)
         if cached is not None:
             return ServerReply(cached)
-        response = build_answer(self.synth, query, profile, ns=me, protocol=protocol)
+        response = build_answer(self.synth, query, profile, ns=me, protocol=protocol, do=do)
         self.memo.put(key, response)
         return ServerReply(response)
 
@@ -298,7 +335,7 @@ class ArpaServer(_MemoisedServer):
         self.synth = synth
         self._init_memo()
 
-    def _respond(self, query, client_ip, now, protocol):
+    def _respond(self, query, client_ip, now, protocol, do=False):
         question = query.question
         if not question.name.is_subdomain_of(_ARPA):
             return ServerReply(_refused(query))
@@ -330,7 +367,7 @@ class RdnsOperatorServer(_MemoisedServer):
         self.pool_slot = pool_slot
         self._init_memo()
 
-    def _respond(self, query, client_ip, now, protocol):
+    def _respond(self, query, client_ip, now, protocol, do=False):
         question = query.question
         if not question.name.is_subdomain_of(_IN_ADDR):
             return ServerReply(_refused(query))

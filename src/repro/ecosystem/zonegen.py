@@ -13,6 +13,7 @@ from functools import lru_cache
 
 from ..dnslib import Name, RRType
 from . import rand
+from .dnssec import EPOCH_BASE, zone_key_bytes
 from .params import (
     CCTLDS,
     FLAKY_CCTLDS,
@@ -54,6 +55,33 @@ class CAAProfile:
     @property
     def record_count(self) -> int:
         return len(self.issue) + len(self.issuewild) + len(self.iodef) + len(self.invalid_tags)
+
+
+@dataclass(frozen=True)
+class DnssecProfile:
+    """A zone's DNSSEC deployment (or lack of it).
+
+    ``signed`` zones carry a DNSKEY at the apex and RRSIGs over every
+    RRset they serve.  The anomaly flags are mutually exclusive and
+    model the real-world failure modes a validator distinguishes:
+    ``island`` (signed, no DS at the parent → Insecure), ``broken_ds``
+    (parent DS mismatches the DNSKEY → Bogus), ``expired`` (signature
+    validity window already past → Bogus).
+    """
+
+    signed: bool
+    island: bool = False
+    broken_ds: bool = False
+    expired: bool = False
+    #: Seed-derived key material; rolls when the zone generation bumps.
+    key: bytes = b""
+    #: RRSIG validity window, in absolute epoch seconds.
+    inception: int = 0
+    expiration: int = 0
+
+
+#: Shared profile for every unsigned zone.
+UNSIGNED = DnssecProfile(signed=False)
 
 
 @dataclass(frozen=True)
@@ -211,6 +239,74 @@ class ZoneSynthesizer:
         gen = self._generations.get(base, 0) + 1
         self._generations[base] = gen
         return gen
+
+    def dnssec_profile(self, zone: Name) -> DnssecProfile:
+        """The zone's DNSSEC deployment at its current generation.
+
+        Root is always signed and clean; TLDs sign at ``p_tld_signed``
+        with no anomalies (registries run tight ships); base domains
+        sign at ``p_domain_signed`` with islands/broken chains/expired
+        signatures planted at their configured rates.  Signed-ness and
+        anomaly draws use the *unsalted* key so a zone delta never
+        flips a zone's deployment class — but the key material is
+        generation-salted, so a delta rolls the keys.
+        """
+        zone = Name.intern(zone.labels)
+        generation = 0
+        if self._generations and len(zone.labels) == 2:
+            generation = self._generations.get(zone, 0)
+        return self._dnssec_profile(zone, generation)
+
+    @lru_cache(maxsize=262_144)
+    def _dnssec_profile(self, zone: Name, generation: int) -> DnssecProfile:
+        seed = self.params.seed
+        p = self.params
+        labels = zone.labels
+        validity = p.dnssec_validity
+        if not labels:
+            return DnssecProfile(
+                signed=True,
+                key=zone_key_bytes(seed, zone, generation),
+                inception=EPOCH_BASE - validity,
+                expiration=EPOCH_BASE + validity,
+            )
+        tld = labels[-1].decode("ascii", "replace").lower()
+        if tld not in self._tld_index or len(labels) > 2:
+            return UNSIGNED
+        key = zone.key_text()
+        if len(labels) == 1:
+            if rand.uniform(seed, key, "dnssec-signed") >= p.p_tld_signed:
+                return UNSIGNED
+            return DnssecProfile(
+                signed=True,
+                key=zone_key_bytes(seed, zone, generation),
+                inception=EPOCH_BASE - validity,
+                expiration=EPOCH_BASE + validity,
+            )
+        if rand.uniform(seed, key, "dnssec-signed") >= p.p_domain_signed:
+            return UNSIGNED
+        roll = rand.uniform(seed, key, "dnssec-anomaly")
+        island = roll < p.p_island
+        broken = not island and roll < p.p_island + p.p_broken_ds
+        expired = (
+            not island and not broken
+            and roll < p.p_island + p.p_broken_ds + p.p_expired_sig
+        )
+        if expired:
+            inception = EPOCH_BASE - validity - 3600
+            expiration = EPOCH_BASE - 3600
+        else:
+            inception = EPOCH_BASE - validity
+            expiration = EPOCH_BASE + validity
+        return DnssecProfile(
+            signed=True,
+            island=island,
+            broken_ds=broken,
+            expired=expired,
+            key=zone_key_bytes(seed, zone, generation),
+            inception=inception,
+            expiration=expiration,
+        )
 
     def profile(self, base: Name) -> DomainProfile:
         """The deterministic profile of a base domain (at its current

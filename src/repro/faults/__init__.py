@@ -32,6 +32,8 @@ from .plan import (
     Loss,
     PlanError,
     RcodeStorm,
+    RolloverDesync,
+    StripRrsig,
     Truncate,
     directive_from_json,
 )
@@ -50,7 +52,9 @@ __all__ = [
     "Loss",
     "PlanError",
     "RcodeStorm",
+    "RolloverDesync",
     "SendVerdict",
+    "StripRrsig",
     "Truncate",
     "directive_from_json",
     "escalation_ladder",

@@ -28,7 +28,8 @@ from __future__ import annotations
 import random
 from dataclasses import replace
 
-from ..dnslib import Flags, Message, Name, Question, Rcode
+from ..dnslib import Flags, Message, Name, Question, Rcode, RRType
+from ..dnslib.message import ResourceRecord
 from ..net.links import GilbertElliottLoss
 from .plan import (
     Blackout,
@@ -40,6 +41,8 @@ from .plan import (
     LatencySpike,
     Loss,
     RcodeStorm,
+    RolloverDesync,
+    StripRrsig,
     Truncate,
 )
 
@@ -206,6 +209,19 @@ class FaultInjector:
                             flags=replace(response.flags, truncated=True),
                             questions=list(response.questions),
                         )
+            elif kind is StripRrsig:
+                # Gate on the reply actually carrying signatures BEFORE
+                # drawing: DNSSEC-oblivious traffic must not perturb the
+                # RNG stream (byte-identical replays without --dnssec).
+                if _carries_rrsig(response):
+                    if directive.probability >= 1.0 or self.rng.random() < directive.probability:
+                        self._hit(index)
+                        response = _strip_rrsigs(response)
+            elif kind is RolloverDesync:
+                if _carries_rrsig(response):
+                    if directive.probability >= 1.0 or self.rng.random() < directive.probability:
+                        self._hit(index)
+                        response = _desync_rrsigs(response)
             elif kind is Garbage:
                 if directive.probability >= 1.0 or self.rng.random() < directive.probability:
                     self._hit(index)
@@ -241,3 +257,77 @@ class FaultInjector:
             scope.gauge(key).set(value)
         scope.gauge("total_activations").set(self.total_activations())
         scope.gauge("directives").set(len(self.plan))
+
+
+# -- DNSSEC reply transforms ------------------------------------------------
+
+_RRSIG = int(RRType.RRSIG)
+
+
+def _carries_rrsig(response: Message) -> bool:
+    return any(
+        int(record.rrtype) == _RRSIG
+        for section in (response.answers, response.authorities, response.additionals)
+        for record in section
+    )
+
+
+def _strip_rrsigs(response: Message) -> Message:
+    """A clone of ``response`` with every RRSIG removed."""
+
+    def keep(section):
+        return [r for r in section if int(r.rrtype) != _RRSIG]
+
+    return Message(
+        id=response.id,
+        flags=response.flags,
+        questions=list(response.questions),
+        answers=keep(response.answers),
+        authorities=keep(response.authorities),
+        additionals=keep(response.additionals),
+    )
+
+
+def _desync_rrsigs(response: Message) -> Message:
+    """A clone whose RRSIGs were made by a key the zone retired: the
+    key tag is flipped and the signature bytes perturbed, so nothing
+    verifies under the currently published DNSKEY."""
+
+    def corrupt(section):
+        out = []
+        for record in section:
+            if int(record.rrtype) != _RRSIG:
+                out.append(record)
+                continue
+            rd = record.rdata
+            signature = bytes(rd.signature)
+            signature = bytes([signature[0] ^ 0xFF]) + signature[1:] if signature else b"\xff"
+            out.append(
+                ResourceRecord(
+                    record.name,
+                    record.rrtype,
+                    record.rrclass,
+                    record.ttl,
+                    type(rd)(
+                        rd.type_covered,
+                        rd.algorithm,
+                        rd.labels,
+                        rd.original_ttl,
+                        rd.expiration,
+                        rd.inception,
+                        rd.key_tag ^ 0xFFFF,
+                        rd.signer,
+                        signature,
+                    ),
+                )
+            )
+        return out
+
+    return Message(
+        id=response.id,
+        flags=response.flags,
+        questions=list(response.questions),
+        answers=corrupt(response.answers),
+        authorities=corrupt(response.authorities),
+        additionals=corrupt(response.additionals),
+    )

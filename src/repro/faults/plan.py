@@ -3,8 +3,8 @@
 A :class:`FaultPlan` is an ordered list of :class:`Directive` objects,
 each describing one adversity the simulated Internet should exhibit —
 correlated packet loss, server blackouts/brownouts, rcode storms,
-forced truncation, malformed replies, latency spikes, or periodic
-flapping.  Plans are pure data: deterministic given a chaos seed,
+forced truncation, malformed replies, latency spikes, periodic
+flapping, or DNSSEC sabotage (RRSIG stripping, rollover desync).  Plans are pure data: deterministic given a chaos seed,
 loadable from JSON (``--fault-plan plan.json``), and composable (later
 directives stack on earlier ones).
 
@@ -44,6 +44,8 @@ __all__ = [
     "Loss",
     "PlanError",
     "RcodeStorm",
+    "RolloverDesync",
+    "StripRrsig",
     "Truncate",
 ]
 
@@ -181,6 +183,37 @@ class Truncate(Directive):
 
 
 @dataclass(frozen=True)
+class StripRrsig(Directive):
+    """An on-path attacker (or broken middlebox) removing RRSIG records
+    from replies.  Only replies that actually carry signatures are
+    touched — DNSSEC-oblivious traffic is byte-identically unaffected —
+    so a validator must flag the stripped answers Bogus while plain
+    resolution sails on none the wiser."""
+
+    kind: ClassVar[str] = "strip_rrsig"
+    probability: float = 1.0
+
+    def __post_init__(self):
+        super().__post_init__()
+        _check_probability(self.kind, "probability", self.probability)
+
+
+@dataclass(frozen=True)
+class RolloverDesync(Directive):
+    """A botched key rollover: RRSIGs in flight no longer verify under
+    the published DNSKEY (signature bytes and key tag are perturbed, as
+    if signed by a key the zone already retired).  Signed replies turn
+    Bogus; unsigned traffic is untouched."""
+
+    kind: ClassVar[str] = "rollover_desync"
+    probability: float = 1.0
+
+    def __post_init__(self):
+        super().__post_init__()
+        _check_probability(self.kind, "probability", self.probability)
+
+
+@dataclass(frozen=True)
 class Garbage(Directive):
     """Structurally invalid replies (wrong question echoed / non-response),
     the malformed-payload class the validation layer must reject."""
@@ -231,7 +264,7 @@ class Flap(Directive):
 _DIRECTIVE_TYPES: dict[str, type[Directive]] = {
     cls.kind: cls
     for cls in (Loss, BurstLoss, Blackout, Brownout, RcodeStorm, Truncate,
-                Garbage, LatencySpike, Flap)
+                Garbage, LatencySpike, Flap, StripRrsig, RolloverDesync)
 }
 
 

@@ -196,6 +196,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="omit wall-clock timestamps from result rows (for "
         "byte-identical replay comparisons)",
     )
+    parser.add_argument(
+        "--dnssec",
+        action="store_true",
+        help="set the DO bit on every query and validate each answer "
+        "against the chain of trust; rows gain data.dnssec "
+        "(secure/insecure/bogus/indeterminate) and the metrics registry "
+        "a dnssec.* scope (simulated iterative scans only)",
+    )
     return parser
 
 
@@ -267,6 +275,12 @@ def main(argv: list[str] | None = None) -> int:
         if args.mode != "iterative":
             parser.error("--oracle-check requires --mode iterative")
 
+    if args.dnssec:
+        if args.live_resolver:
+            parser.error("--dnssec applies to simulated scans only")
+        if args.mode != "iterative":
+            parser.error("--dnssec requires --mode iterative")
+
     names = read_names(args.input_file)
     if args.shards > 1:
         names = shard(names, args.shards, args.shard)
@@ -334,6 +348,7 @@ def _scan_config(args) -> ScanConfig:
         backoff_base=args.backoff,
         server_health=args.server_health,
         oracle_check=getattr(args, "oracle_check", None),
+        dnssec=getattr(args, "dnssec", False),
     )
 
 

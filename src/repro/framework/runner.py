@@ -83,6 +83,11 @@ class ScanConfig:
     #: and ``oracle.*`` counters.  None/0 = off.  Simulated iterative
     #: scans of single-qtype modules only.
     oracle_check: int | None = None
+    #: DNSSEC validation (iterative mode only): send DO on every query,
+    #: walk the chain of trust per lookup, attach ``data.dnssec`` to
+    #: output rows and publish ``dnssec.*`` outcome counters.  Off by
+    #: default — a non-DNSSEC scan stays byte-identical.
+    dnssec: bool = False
 
     def resolver_config(self) -> ResolverConfig:
         return ResolverConfig(
@@ -93,6 +98,7 @@ class ScanConfig:
             retry_servfail=self.retry_servfail,
             backoff_base=self.backoff_base,
             backoff_cap=self.backoff_cap,
+            dnssec=self.dnssec,
         )
 
 
@@ -116,6 +122,9 @@ class ScanReport:
     #: Differential-oracle counters (``--oracle-check`` scans only):
     #: checked / agreed / inconclusive / divergences.
     oracle_stats: dict | None = None
+    #: Validation-outcome tallies (``dnssec`` scans only):
+    #: secure / insecure / bogus / indeterminate lookup counts.
+    dnssec_stats: dict | None = None
 
 
 class ScanRunner:
@@ -226,6 +235,8 @@ class ScanRunner:
             reuse_sockets=config.reuse_sockets,
             seed=config.seed,
         )
+        if config.dnssec and mode != "iterative":
+            raise ValueError("dnssec validation requires iterative mode")
         if mode == "iterative":
             self.cache = SelectiveCache(
                 capacity=config.cache_size,
@@ -233,8 +244,13 @@ class ScanRunner:
                 eviction=config.cache_eviction,
                 seed=config.seed,
                 clock=lambda: sim.now,
+                epoch_base=_dnssec_epoch_base() if config.dnssec else None,
             )
         resolver_config = config.resolver_config()
+        if config.dnssec:
+            from ..core import trust_anchor_for
+
+            resolver_config.trust_anchor = trust_anchor_for(internet.synth)
         health = None
         if config.server_health:
             health = ServerHealthTracker(clock=lambda: sim.now)
@@ -267,8 +283,13 @@ class ScanRunner:
                 )
             from ..oracle import DifferentialOracle
 
-            oracle = DifferentialOracle(seed=config.seed)
+            oracle = DifferentialOracle(seed=config.seed, dnssec=config.dnssec)
         oracle_seen = [0]
+        security_counts: dict[str, int] | None = None
+        if config.dnssec:
+            from ..core import SECURITY_STATES
+
+            security_counts = {state: 0 for state in SECURITY_STATES}
 
         stats = ScanStats(threads_requested=config.threads, started_at=sim.now)
         inflight = None
@@ -311,6 +332,12 @@ class ScanRunner:
                 if inflight is not None:
                     inflight.dec()
                 stats.record(row.get("status", "ERROR"), sim.now, queries, retries)
+                if (
+                    security_counts is not None
+                    and result is not None
+                    and result.security is not None
+                ):
+                    security_counts[result.security] += 1
                 if oracle is not None and result is not None:
                     oracle_seen[0] += 1
                     if (oracle_seen[0] - 1) % oracle_every == 0:
@@ -421,6 +448,10 @@ class ScanRunner:
                 health.publish_metrics(registry.scope("health"))
             if oracle is not None:
                 oracle.publish_metrics(registry.scope("oracle"))
+            if security_counts is not None:
+                dnssec_scope = registry.scope("dnssec")
+                for state, count in security_counts.items():
+                    dnssec_scope.gauge(state).set(count)
             # wire-codec work this run paid for: counters are the delta
             # against the process-global baseline taken at run start, so
             # a shard's numbers are its own even when several scans share
@@ -467,7 +498,14 @@ class ScanRunner:
             tracer=tracer if self.span_sink is None else None,
             profile=profile,
             oracle_stats=oracle.stats() if oracle is not None else None,
+            dnssec_stats=dict(security_counts) if security_counts is not None else None,
         )
+
+
+def _dnssec_epoch_base() -> int:
+    from ..ecosystem import EPOCH_BASE
+
+    return EPOCH_BASE
 
 
 def _run_with_optional_profile(sim, max_events: int | None = None) -> dict | None:

@@ -28,7 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
-from ..core import Resolver, SelectiveCache
+from ..core import Resolver, ResolverConfig, SelectiveCache
 from ..dnslib import Name, RRType
 from ..ecosystem import EcosystemParams, build_internet
 from ..workloads import CorpusConfig, DomainCorpus
@@ -46,17 +46,22 @@ class ProductionView:
     final_key: str
     final_name: str
     terminal: tuple[str, ...]
+    #: The validator's verdict, when the lookup ran with DNSSEC on.
+    security: str | None = None
 
     @property
     def is_semantic(self) -> bool:
         return self.status in SEMANTIC_STATUSES
 
     def to_json(self) -> dict:
-        return {
+        out = {
             "status": self.status,
             "final_name": self.final_name,
             "answers": list(self.terminal),
         }
+        if self.security is not None:
+            out["security"] = self.security
+        return out
 
 
 def production_view(result, qname: Name, qtype) -> ProductionView:
@@ -98,6 +103,7 @@ def production_view(result, qname: Name, qtype) -> ProductionView:
         final_key=current.canonical_key(),
         final_name=current.to_text(omit_final_dot=True),
         terminal=terminal,
+        security=getattr(result, "security", None),
     )
 
 
@@ -144,6 +150,16 @@ def compare_views(view: ProductionView, oracle: OracleResult) -> tuple[str, str 
         )
     if view.status != oracle.status:
         return ("diverge", f"status {view.status} != oracle {oracle.status}")
+    if (
+        view.security is not None
+        and view.security != "indeterminate"  # chain fetches may have died
+        and oracle.security is not None
+        and view.security != oracle.security
+    ):
+        return (
+            "diverge",
+            f"validation {view.security} != expected {oracle.security}",
+        )
     if view.status == "NXDOMAIN":
         return ("agree", None)
     if view.final_key != oracle.final_key:
@@ -165,9 +181,10 @@ class DifferentialOracle:
     ``--oracle-check`` scan mode): owns a reference resolver, memoises
     its verdicts per (name, qtype), and keeps running counters."""
 
-    def __init__(self, seed: int = 2022, memo_limit: int = 65_536):
+    def __init__(self, seed: int = 2022, memo_limit: int = 65_536, dnssec: bool = False):
         self.seed = seed
-        self.reference = ReferenceResolver(seed=seed)
+        self.dnssec = dnssec
+        self.reference = ReferenceResolver(seed=seed, dnssec=dnssec)
         self.checked = 0
         self.agreed = 0
         self.inconclusive = 0
@@ -279,6 +296,9 @@ class DifferentialConfig:
     #: Small on purpose: a sweep should exercise eviction, not avoid it.
     cache_capacity: int = 512
     retries: int = 2
+    #: Validate every production lookup and assert its verdict against
+    #: the oracle's white-box expectation.
+    dnssec: bool = False
 
 
 @dataclass
@@ -369,7 +389,7 @@ def run_differential(
     bugs in tests); ``names`` overrides the generated corpus slice (the
     same names are then used for every combination)."""
     config = config or DifferentialConfig()
-    reference = ReferenceResolver(seed=config.seed)
+    reference = ReferenceResolver(seed=config.seed, dnssec=config.dnssec)
     oracle_memo: dict[tuple, OracleResult] = {}
 
     def oracle_for(qname: Name) -> OracleResult:
@@ -423,14 +443,22 @@ def _run_combo(combo, combo_names, config, oracle_for, cache_factory, plan_spec)
             combo.policy, combo.eviction, config.cache_capacity, internet
         )
     else:
+        epoch_base = None
+        if config.dnssec:
+            from ..ecosystem import EPOCH_BASE
+
+            epoch_base = EPOCH_BASE
         cache = SelectiveCache(
             capacity=config.cache_capacity,
             policy=combo.policy,
             eviction=combo.eviction,
             seed=config.seed,
             clock=lambda: internet.sim.now,
+            epoch_base=epoch_base,
         )
-    resolver = Resolver(internet, cache=cache)
+    resolver = Resolver(
+        internet, cache=cache, config=ResolverConfig(dnssec=config.dnssec)
+    )
     resolver.config.retries = config.retries
     combo_info = {
         "policy": combo.policy,

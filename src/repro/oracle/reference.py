@@ -75,13 +75,18 @@ class OracleResult:
     #: Acceptable terminal rdata sets: one sorted tuple per responding
     #: nameserver (deduplicated).  A NODATA answer is the empty tuple.
     acceptable: tuple[tuple[str, ...], ...] = field(default_factory=tuple)
+    #: Expected DNSSEC validation outcome (dnssec oracles only), derived
+    #: *white-box* from the reference universe's zone profiles rather
+    #: than by running a second validator.  None = not computed / the
+    #: name is outside the signed-universe scope (infra, reverse zones).
+    security: str | None = None
 
     @property
     def is_semantic(self) -> bool:
         return self.status in SEMANTIC_STATUSES
 
     def to_json(self) -> dict:
-        return {
+        out = {
             "name": self.name,
             "qtype": self.qtype,
             "status": self.status,
@@ -89,6 +94,9 @@ class OracleResult:
             "chain": list(self.chain),
             "acceptable": [list(s) for s in self.acceptable],
         }
+        if self.security is not None:
+            out["security"] = self.security
+        return out
 
 
 @dataclass(frozen=True)
@@ -114,11 +122,16 @@ class ReferenceResolver:
         max_referrals: int = 30,
         max_cname_chase: int = 10,
         max_glueless_depth: int = 6,
+        dnssec: bool = False,
     ):
         self.seed = seed
         self.max_referrals = max_referrals
         self.max_cname_chase = max_cname_chase
         self.max_glueless_depth = max_glueless_depth
+        #: When on, semantic results carry the *expected* validation
+        #: outcome read straight off the zone profiles (white-box: the
+        #: oracle must not share the production validator's bugs).
+        self.dnssec = dnssec
         #: A private universe: content is a pure function of the seed,
         #: so this carries the same zones as the scan's universe while
         #: sharing no objects (querying the scan's servers would advance
@@ -130,6 +143,47 @@ class ReferenceResolver:
             server.rng = _NeverFires()
         self._network = self.internet.network
         self._root_ips = list(self.internet.root_ips)
+        self._tld_names = {t for t, _ in self.internet.synth.tlds()}
+
+    # -- white-box DNSSEC expectation --------------------------------------
+
+    def expected_security(self, name: Name) -> str | None:
+        """The validation outcome a correct validator must reach for a
+        semantic answer at ``name``, read off the zone profiles.
+
+        This is deliberately *not* a second validator: it mirrors the
+        universe's ground truth (which zones are signed, which anomalies
+        were planted) so a validator bug cannot hide by being shared.
+        None means the name is outside the signed universe's scope
+        (infra/reverse namespaces) and no expectation is asserted.
+        """
+        synth = self.internet.synth
+        labels = name.labels
+        if not labels:
+            return "secure"  # the root is always signed and clean
+        tld = labels[-1].decode("ascii", "replace").lower()
+        if tld in ("arpa", "example"):
+            return None  # infra namespaces: never signed, not studied
+        if tld not in self._tld_names:
+            # Unknown TLD: the NXDOMAIN comes from the signed root, so
+            # the denial is authenticated.
+            return "secure"
+        if not synth.dnssec_profile(Name.intern(labels[-1:])).signed:
+            # Everything at or below an unsigned TLD cut — answers and
+            # denials alike — is provably insecure, never bogus.
+            return "insecure"
+        if len(labels) == 1:
+            return "secure"  # the signed TLD apex itself
+        base = Name.intern(labels[-2:])
+        if not synth.profile(base).exists:
+            # Nonexistent base under a signed TLD: authenticated denial.
+            return "secure"
+        dp = synth.dnssec_profile(base)
+        if not dp.signed or dp.island:
+            return "insecure"
+        if dp.broken_ds or dp.expired:
+            return "bogus"
+        return "secure"
 
     # -- wire-less querying ------------------------------------------------
 
@@ -154,6 +208,9 @@ class ReferenceResolver:
         current = name
 
         def done(status: str, acceptable: tuple = ()) -> OracleResult:
+            security = None
+            if self.dnssec and status in SEMANTIC_STATUSES:
+                security = self.expected_security(current)
             return OracleResult(
                 name=name.to_text(omit_final_dot=True),
                 qtype=qt,
@@ -162,6 +219,7 @@ class ReferenceResolver:
                 final_name=current.to_text(omit_final_dot=True),
                 chain=tuple(n.to_text(omit_final_dot=True) for n in chain),
                 acceptable=acceptable,
+                security=security,
             )
 
         for _hop in range(self.max_cname_chase + 1):

@@ -43,6 +43,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="zone deltas to publish, evenly spaced")
     parser.add_argument("--revalidation", choices=("incremental", "flush", "off"),
                         default="incremental")
+    parser.add_argument("--dnssec", action="store_true",
+                        help="validate every upstream resolution against the "
+                             "chain of trust")
     parser.add_argument("--blackout", action="append", default=[],
                         metavar="START:END",
                         help="upstream blackout window in virtual seconds "
@@ -89,6 +92,7 @@ def config_from_args(args: argparse.Namespace) -> ServiceConfig:
         prefetch_min_hits=args.prefetch_min_hits,
         deltas=args.deltas,
         revalidation=args.revalidation,
+        dnssec=args.dnssec,
         blackouts=tuple(blackouts),
         oracle_check_every=args.oracle_check,
         status_interval=args.status_interval,

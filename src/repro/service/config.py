@@ -66,6 +66,12 @@ class ServiceConfig:
     #: baseline), or ``off`` (publish but do not revalidate).
     revalidation: str = "incremental"
 
+    # -- DNSSEC ------------------------------------------------------------
+    #: Validate every upstream resolution against the chain of trust
+    #: (DO bit on every query, security memos in the cache, RRSIG-aware
+    #: answer TTLs).  Off = byte-identical pre-DNSSEC behaviour.
+    dnssec: bool = False
+
     # -- adversity ---------------------------------------------------------
     #: Upstream blackout windows ``(start, end)``: every authoritative
     #: server stops answering inside each window.
@@ -130,6 +136,7 @@ class ServiceConfig:
             "prefetch_min_hits": self.prefetch_min_hits,
             "deltas": list(self.resolved_delta_times()),
             "revalidation": self.revalidation,
+            "dnssec": self.dnssec,
             "blackouts": [list(w) for w in self.blackouts],
             "oracle_check_every": self.oracle_check_every,
         }

@@ -46,7 +46,13 @@ from dataclasses import dataclass, field
 
 from ..core import ClientCostModel, IterativeMachine, ResolverConfig, SelectiveCache, SimDriver
 from ..dnslib import Name, RRType
-from ..ecosystem import EcosystemParams, ZoneDelta, build_internet, publish_zone_delta
+from ..ecosystem import (
+    EPOCH_BASE,
+    EcosystemParams,
+    ZoneDelta,
+    build_internet,
+    publish_zone_delta,
+)
 from ..faults import Blackout, FaultInjector, FaultPlan
 from ..net import CPUModel, SimFuture, SimUDPSocket, SourceIPPool, derive_seed
 from ..obs.metrics import NULL_REGISTRY, MetricsRegistry
@@ -152,6 +158,7 @@ class ResolverService:
             clock=lambda: self.sim.now,
             stale_ttl=cfg.stale_ttl,
             track_heat=cfg.prefetch_interval > 0,
+            epoch_base=EPOCH_BASE if cfg.dnssec else None,
         )
         corpus = DomainCorpus(CorpusConfig(seed=cfg.seed))
         self._catalog_text: list[str] = list(corpus.fqdns(cfg.catalog_size))
@@ -175,7 +182,13 @@ class ResolverService:
             costs=ClientCostModel.for_iterative(),
             seed=derive_seed(cfg.seed, "driver") % (2**31),
         )
-        self._resolver_config = ResolverConfig(retries=cfg.retries, collect_trace=False)
+        self._resolver_config = ResolverConfig(
+            retries=cfg.retries, collect_trace=False, dnssec=cfg.dnssec
+        )
+        if cfg.dnssec:
+            from ..core import trust_anchor_for
+
+            self._resolver_config.trust_anchor = trust_anchor_for(self.internet.synth)
 
         if cfg.blackouts:
             plan = FaultPlan(
@@ -190,7 +203,9 @@ class ResolverService:
             ).attach(self.internet.network)
 
         self.oracle = (
-            DifferentialOracle(seed=cfg.seed) if cfg.oracle_check_every > 0 else None
+            DifferentialOracle(seed=cfg.seed, dnssec=cfg.dnssec)
+            if cfg.oracle_check_every > 0
+            else None
         )
 
         # -- run state -----------------------------------------------------

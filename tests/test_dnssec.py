@@ -1,0 +1,534 @@
+"""DNSSEC: the validating resolver path over the signed universe —
+validation outcomes, RRSIG-aware cache lifetimes, zone-delta chain
+invalidation, sabotage fault directives, the deployment study, and the
+oracle's security cross-check.
+
+Fixture domains are deterministic in the seed-2022 universe (found by
+probing ``synth.dnssec_profile``): ``smoke-124.org`` signs cleanly,
+``smoke-203.org`` is an island of trust, ``smoke-687.org`` has a broken
+parent DS, ``smoke-3206.org`` serves expired signatures, and the
+``com`` TLD is one of the unsigned registries.
+"""
+
+import random
+
+import pytest
+
+from repro.core import (
+    BOGUS,
+    INDETERMINATE,
+    INSECURE,
+    SECURE,
+    SECURITY_STATES,
+    Resolver,
+    ResolverConfig,
+    SelectiveCache,
+    Status,
+    trust_anchor_for,
+)
+from repro.dnslib import DNSClass, Name, ResourceRecord, RRType
+from repro.dnslib.rdata.address import A
+from repro.ecosystem import (
+    EPOCH_BASE,
+    EcosystemParams,
+    build_internet,
+    publish_zone_delta,
+)
+from repro.ecosystem.dnssec import sign_rrset, zone_key_bytes
+from repro.faults import FaultInjector, FaultPlan, RolloverDesync, StripRrsig
+from repro.net import derive_seed
+from repro.oracle import (
+    DifferentialConfig,
+    DifferentialOracle,
+    OracleResult,
+    ProductionView,
+    compare_views,
+    run_differential,
+)
+from repro.service import ResolverService, ServiceConfig
+from repro.workloads import CorpusConfig, DomainCorpus
+
+N = Name.from_text
+SEED = 2022
+
+CLEAN = N("smoke-124.org")
+ISLAND = N("smoke-203.org")
+BROKEN_DS = N("smoke-687.org")
+EXPIRED = N("smoke-3206.org")
+UNSIGNED_ORG = N("smoke-0.org")
+UNSIGNED_TLD = N("smoke-0.com")
+NXDOMAIN_ORG = N("nope-1.org")
+
+
+@pytest.fixture(scope="module")
+def internet():
+    return build_internet(params=EcosystemParams(seed=SEED))
+
+
+@pytest.fixture(scope="module")
+def synth(internet):
+    return internet.synth
+
+
+def validating_resolver(internet, **config_overrides):
+    return Resolver(
+        internet, config=ResolverConfig(dnssec=True, **config_overrides)
+    )
+
+
+# ---------------------------------------------------------------------------
+# the planted universe
+# ---------------------------------------------------------------------------
+
+
+class TestPlantedProfiles:
+    """Pin the fixture domains' ground truth so a zone-generator change
+    that silently moves them shows up here, not as a validator 'bug'."""
+
+    def test_root_and_org_signed(self, synth):
+        assert synth.dnssec_profile(Name.root()).signed
+        assert synth.dnssec_profile(N("org")).signed
+        assert not synth.dnssec_profile(N("com")).signed
+
+    def test_fixture_classes(self, synth):
+        clean = synth.dnssec_profile(CLEAN)
+        assert clean.signed and not (clean.island or clean.broken_ds or clean.expired)
+        assert synth.dnssec_profile(ISLAND).island
+        assert synth.dnssec_profile(BROKEN_DS).broken_ds
+        assert synth.dnssec_profile(EXPIRED).expired
+        assert not synth.dnssec_profile(UNSIGNED_ORG).signed
+        assert synth.profile(UNSIGNED_ORG).exists
+        assert not synth.profile(NXDOMAIN_ORG).exists
+
+    def test_generation_rolls_keys_but_not_deployment(self):
+        internet = build_internet(params=EcosystemParams(seed=SEED), wire_mode="never")
+        before = internet.synth.dnssec_profile(CLEAN)
+        publish_zone_delta(internet, CLEAN)
+        after = internet.synth.dnssec_profile(CLEAN)
+        assert after.signed == before.signed
+        assert after.island == before.island
+        assert after.key != before.key
+        assert after.key == zone_key_bytes(SEED, CLEAN, 1)
+
+
+# ---------------------------------------------------------------------------
+# validation outcomes (the tentpole state machine)
+# ---------------------------------------------------------------------------
+
+
+class TestValidationOutcomes:
+    def test_clean_chain_secure(self, internet):
+        result = validating_resolver(internet).lookup(CLEAN, RRType.A)
+        assert result.status == Status.NOERROR
+        assert result.security == SECURE
+
+    def test_island_of_trust_insecure(self, internet):
+        result = validating_resolver(internet).lookup(ISLAND, RRType.A)
+        assert result.status == Status.NOERROR
+        assert result.security == INSECURE
+
+    def test_broken_ds_bogus(self, internet):
+        result = validating_resolver(internet).lookup(BROKEN_DS, RRType.A)
+        assert result.status == Status.NOERROR
+        assert result.security == BOGUS
+
+    def test_expired_signature_bogus(self, internet):
+        result = validating_resolver(internet).lookup(EXPIRED, RRType.A)
+        assert result.status == Status.NOERROR
+        assert result.security == BOGUS
+
+    def test_unsigned_base_under_signed_tld_insecure(self, internet):
+        result = validating_resolver(internet).lookup(UNSIGNED_ORG, RRType.A)
+        assert result.status == Status.NOERROR
+        assert result.security == INSECURE
+
+    def test_unsigned_tld_insecure(self, internet):
+        result = validating_resolver(internet).lookup(UNSIGNED_TLD, RRType.A)
+        assert result.status == Status.NOERROR
+        assert result.security == INSECURE
+
+    def test_nxdomain_under_signed_tld_is_authenticated(self, internet):
+        result = validating_resolver(internet).lookup(NXDOMAIN_ORG, RRType.A)
+        assert result.status == Status.NXDOMAIN
+        assert result.security == SECURE
+
+    def test_dnssec_off_reports_nothing(self, internet):
+        result = Resolver(internet).lookup(CLEAN, RRType.A)
+        assert result.security is None
+        assert "dnssec" not in result.to_json().get("data", {})
+
+    def test_security_in_result_json(self, internet):
+        row = validating_resolver(internet).lookup(CLEAN, RRType.A).to_json()
+        assert row["data"]["dnssec"] == SECURE
+
+    def test_chain_memoised_in_cache(self, internet):
+        resolver = validating_resolver(internet)
+        resolver.lookup(CLEAN, RRType.A)
+        assert resolver.cache.get_security(Name.root()) == (
+            SECURE, zone_key_bytes(SEED, Name.root(), 0)
+        )
+        assert resolver.cache.get_security(N("org")) == (
+            SECURE, zone_key_bytes(SEED, N("org"), 0)
+        )
+        assert resolver.cache.get_security(CLEAN) == (
+            SECURE, zone_key_bytes(SEED, CLEAN, 0)
+        )
+
+    def test_warm_lookup_reuses_memo(self, internet):
+        resolver = validating_resolver(internet)
+        resolver.lookup(CLEAN, RRType.A)
+        cold_queries = internet.network.stats.udp_queries
+        second = resolver.lookup(N("smoke-137.org"), RRType.A)
+        warm_queries = internet.network.stats.udp_queries - cold_queries
+        assert second.security == SECURE
+        # the org/root chain comes from the memo: the warm lookup only
+        # walks the new base's own cut (DS + DNSKEY), not the whole chain
+        assert warm_queries < cold_queries
+
+    def test_trust_anchor_mismatch_bogus(self, internet):
+        resolver = validating_resolver(internet)
+        resolver.config.trust_anchor = b"\x00" * 16
+        result = resolver.lookup(CLEAN, RRType.A)
+        assert result.security == BOGUS
+
+
+# ---------------------------------------------------------------------------
+# satellite 2: RRSIG-aware cache lifetimes
+# ---------------------------------------------------------------------------
+
+
+class TestRrsigAwareLifetimes:
+    def _cache(self, now, **kw):
+        kw.setdefault("epoch_base", EPOCH_BASE)
+        return SelectiveCache(
+            capacity=100, policy="all", clock=lambda: now[0], **kw
+        )
+
+    def _signed_rrset(self, ttl=300, expires_in=50):
+        owner = N("www.signed-ttl.org")
+        record = ResourceRecord(owner, RRType.A, DNSClass.IN, ttl, A("192.0.2.7"))
+        rrsig = sign_rrset(
+            [record], N("org"), b"k" * 16,
+            inception=EPOCH_BASE - 10, expiration=EPOCH_BASE + expires_in,
+        )
+        return owner, [record, rrsig]
+
+    def test_answer_expires_at_signature_not_ttl(self):
+        now = [0.0]
+        cache = self._cache(now)
+        owner, records = self._signed_rrset(ttl=300, expires_in=50)
+        cache.put_answer(owner, RRType.A, records)
+        now[0] = 49.0  # signature still valid
+        assert cache.get_answer(owner, RRType.A) is not None
+        now[0] = 50.0  # virtual clock crosses the RRSIG expiration
+        assert cache.get_answer(owner, RRType.A) is None
+        assert cache.stats.expired == 1
+
+    def test_unsigned_answer_keeps_full_ttl(self):
+        now = [0.0]
+        cache = self._cache(now)
+        owner = N("www.unsigned-ttl.com")
+        record = ResourceRecord(owner, RRType.A, DNSClass.IN, 300, A("192.0.2.8"))
+        cache.put_answer(owner, RRType.A, [record])
+        now[0] = 299.0
+        assert cache.get_answer(owner, RRType.A) is not None
+
+    def test_already_expired_signature_never_stored(self):
+        now = [0.0]
+        cache = self._cache(now)
+        owner, records = self._signed_rrset(expires_in=-1)
+        cache.put_answer(owner, RRType.A, records)
+        assert len(cache) == 0
+        assert cache.get_answer(owner, RRType.A) is None
+
+    def test_without_epoch_base_behaviour_is_pre_dnssec(self):
+        """``epoch_base=None`` pins the exact pre-DNSSEC lifetime: the
+        RRSIG is cached like any record and only the TTL counts."""
+        now = [0.0]
+        cache = self._cache(now, epoch_base=None)
+        owner, records = self._signed_rrset(ttl=300, expires_in=50)
+        cache.put_answer(owner, RRType.A, records)
+        now[0] = 250.0  # far past the signature, inside the TTL
+        assert cache.get_answer(owner, RRType.A) is not None
+
+
+# ---------------------------------------------------------------------------
+# satellite 3: zone deltas must drop the chain memos below the cut
+# ---------------------------------------------------------------------------
+
+
+class TestDeltaDropsChainMemos:
+    def test_stale_memo_is_load_bearing(self):
+        """A delta rolls the zone key.  If invalidation missed the
+        ``("sec", ...)`` memo, the next lookup would validate gen-1
+        signatures against the pinned gen-0 key and land Bogus — the
+        exact regression ``invalidate_subtree`` exists to prevent."""
+        internet = build_internet(params=EcosystemParams(seed=SEED))
+        cache = SelectiveCache(
+            capacity=10_000, policy="selective",
+            clock=lambda: internet.sim.now, epoch_base=EPOCH_BASE,
+        )
+        resolver = Resolver(internet, cache=cache, config=ResolverConfig(dnssec=True))
+        first = resolver.lookup(CLEAN, RRType.A)
+        assert first.security == SECURE
+        assert cache.get_security(CLEAN) == (SECURE, zone_key_bytes(SEED, CLEAN, 0))
+
+        publish_zone_delta(internet, CLEAN)
+        # simulate a buggy invalidation: delegations and answers below
+        # the cut are dropped, but the security memos are left pinned
+        suffix = CLEAN.canonical_key()
+        for key in [
+            k for k in cache._keys
+            if k[0] != "sec" and k[1][-len(suffix):] == suffix
+        ]:
+            cache._drop_key(key)
+        stale = resolver.lookup(CLEAN, RRType.A)
+        assert stale.status == Status.NOERROR
+        assert stale.security == BOGUS  # gen-1 RRSIGs vs pinned gen-0 key
+
+        dropped = cache.invalidate_subtree(CLEAN)
+        assert dropped > 0
+        fresh = resolver.lookup(CLEAN, RRType.A)
+        assert fresh.status == Status.NOERROR
+        assert fresh.security == SECURE
+        assert cache.get_security(CLEAN) == (SECURE, zone_key_bytes(SEED, CLEAN, 1))
+
+    def test_invalidate_subtree_drops_sec_and_ds_state(self):
+        internet = build_internet(params=EcosystemParams(seed=SEED))
+        cache = SelectiveCache(
+            capacity=10_000, policy="all",
+            clock=lambda: internet.sim.now, epoch_base=EPOCH_BASE,
+        )
+        resolver = Resolver(internet, cache=cache, config=ResolverConfig(dnssec=True))
+        resolver.lookup(CLEAN, RRType.A)
+        assert cache.get_security(CLEAN) is not None
+        assert cache.get_answer(CLEAN, RRType.DS) is not None  # parent-side DS
+        cache.invalidate_subtree(CLEAN)
+        assert cache.get_security(CLEAN) is None
+        assert cache.get_answer(CLEAN, RRType.DS) is None
+        assert cache.get_security(N("org")) is not None  # above the cut: kept
+
+    def test_service_delta_routine_rolls_the_memo(self):
+        """Through the daemon's own delta machinery: seed 24's first
+        delta lands on ``d7198390-6.dev`` (signed, clean, in the
+        catalog), so after the run the cached chain memo must hold the
+        *generation-1* key — the gen-0 memo surviving the delta is the
+        regression this test pins."""
+        cfg = ServiceConfig(
+            seed=24, duration=240.0, catalog_size=40, base_qps=3.0,
+            workers=4, dnssec=True, delta_times=(100.0,),
+            revalidation="incremental", status_interval=100.0,
+        )
+        # recompute the delta target exactly like the daemon does
+        catalog = [
+            N(t) for t in DomainCorpus(CorpusConfig(seed=cfg.seed)).fqdns(cfg.catalog_size)
+        ]
+        rng = random.Random(derive_seed(cfg.seed, "deltas"))
+        service = ResolverService(cfg)
+        base = service.internet.synth.base_domain_of(catalog[rng.randrange(len(catalog))])
+        assert base == N("d7198390-6.dev")
+
+        report = service.run()
+        assert report.counters["deltas_published"] == 1
+        assert report.counters["revalidate_jobs"] > 0
+        assert service.cache.get_security(base) == (
+            SECURE, zone_key_bytes(cfg.seed, base, 1)
+        )
+
+
+# ---------------------------------------------------------------------------
+# fault directives: strip_rrsig / rollover_desync
+# ---------------------------------------------------------------------------
+
+
+class TestDnssecFaults:
+    def _lookup_under(self, plan, dnssec=True):
+        internet = build_internet(params=EcosystemParams(seed=SEED))
+        injector = FaultInjector(plan, sim=internet.sim, seed=5)
+        injector.attach(internet.network)
+        config = ResolverConfig(dnssec=dnssec)
+        result = Resolver(internet, config=config).lookup(CLEAN, RRType.A)
+        return result, injector
+
+    def test_strip_rrsig_turns_secure_into_bogus(self):
+        result, injector = self._lookup_under(FaultPlan([StripRrsig()]))
+        assert result.status == Status.NOERROR
+        assert result.security == BOGUS
+        assert injector.total_activations() > 0
+
+    def test_rollover_desync_turns_secure_into_bogus(self):
+        result, injector = self._lookup_under(FaultPlan([RolloverDesync()]))
+        assert result.status == Status.NOERROR
+        assert result.security == BOGUS
+        assert injector.total_activations() > 0
+
+    def test_directives_inert_without_do_bit(self):
+        """A DNSSEC-oblivious lookup carries no RRSIGs, so the sabotage
+        directives must neither fire nor perturb the reply stream."""
+        result, injector = self._lookup_under(FaultPlan([StripRrsig()]), dnssec=False)
+        assert result.status == Status.NOERROR
+        assert result.security is None
+        assert injector.total_activations() == 0
+
+    def test_plan_json_round_trip(self):
+        import json
+
+        plan = FaultPlan(
+            [StripRrsig(servers=("10.4.",)), RolloverDesync(probability=0.5)],
+            name="dnssec-sabotage",
+        )
+        again = FaultPlan.from_json(json.loads(json.dumps(plan.to_json())))
+        directives = list(again)
+        assert [d.kind for d in directives] == ["strip_rrsig", "rollover_desync"]
+        assert directives[1].probability == 0.5
+
+
+# ---------------------------------------------------------------------------
+# satellite 4: the oracle over the signed universe
+# ---------------------------------------------------------------------------
+
+
+class TestOracleSecurity:
+    def test_expected_security_white_box(self):
+        oracle = DifferentialOracle(seed=SEED, dnssec=True)
+        expected = oracle.reference.expected_security
+        assert expected(CLEAN) == SECURE
+        assert expected(ISLAND) == INSECURE
+        assert expected(BROKEN_DS) == BOGUS
+        assert expected(EXPIRED) == BOGUS
+        assert expected(UNSIGNED_TLD) == INSECURE
+        assert expected(NXDOMAIN_ORG) == SECURE
+
+    def test_compare_views_has_teeth(self):
+        """A validator that calls a planted-Bogus chain Secure must
+        diverge — otherwise the sweep proves nothing by passing."""
+        oracle = OracleResult(
+            name="smoke-687.org", qtype=int(RRType.A), status="NOERROR",
+            final_key="smoke-687.org.", final_name="smoke-687.org.",
+            chain=("smoke-687.org.",), acceptable=(("192.0.2.1",),),
+            security=BOGUS,
+        )
+        lying = ProductionView(
+            status="NOERROR", final_key="smoke-687.org.",
+            final_name="smoke-687.org.", terminal=("192.0.2.1",),
+            security=SECURE,
+        )
+        verdict, reason = compare_views(lying, oracle)
+        assert verdict == "diverge"
+        assert "validation" in reason
+        honest = ProductionView(
+            status="NOERROR", final_key="smoke-687.org.",
+            final_name="smoke-687.org.", terminal=("192.0.2.1",),
+            security=BOGUS,
+        )
+        assert compare_views(honest, oracle)[0] == "agree"
+        # indeterminate (chain fetches died) is never a divergence
+        unsure = ProductionView(
+            status="NOERROR", final_key="smoke-687.org.",
+            final_name="smoke-687.org.", terminal=("192.0.2.1",),
+            security=INDETERMINATE,
+        )
+        assert compare_views(unsure, oracle)[0] == "agree"
+
+    def test_differential_sweep_zero_divergences(self):
+        report = run_differential(
+            DifferentialConfig(
+                seed=SEED, names=25, policies=("selective", "all"),
+                evictions=("lru",), fault_plans=(None,), dnssec=True,
+            )
+        )
+        assert report.checks > 0
+        assert report.divergences == []
+
+    def test_differential_sweep_off_still_clean(self):
+        report = run_differential(
+            DifferentialConfig(
+                seed=SEED, names=15, policies=("selective",),
+                evictions=("lru",), fault_plans=(None,), dnssec=False,
+            )
+        )
+        assert report.divergences == []
+
+
+# ---------------------------------------------------------------------------
+# the deployment study
+# ---------------------------------------------------------------------------
+
+
+class TestDeploymentStudy:
+    def test_measured_equals_planted(self, internet):
+        from repro.analysis import run_dnssec_study
+
+        bases = list(DomainCorpus(CorpusConfig(seed=SEED)).base_domains(2000))
+        findings = run_dnssec_study(internet, bases, threads=500, seed=SEED)
+        assert findings.mismatches == 0
+        assert findings.domains_semantic > 0
+        assert findings.measured["secure"] == findings.planted["secure"]
+        assert findings.measured["bogus"] == findings.planted["bogus"]
+        assert findings.measured["bogus"] > 0  # the anomalies actually fired
+        assert 0.0 < findings.signed_fraction < 0.2
+        payload = findings.to_json()
+        assert payload["mismatches"] == 0
+        assert payload["measured_secure_pct"] == payload["planted_secure_pct"]
+
+
+# ---------------------------------------------------------------------------
+# framework / CLI wiring
+# ---------------------------------------------------------------------------
+
+
+class TestCliWiring:
+    def test_dnssec_requires_iterative(self, tmp_path):
+        from repro.framework.cli import main as cli_main
+
+        names = tmp_path / "names.txt"
+        names.write_text("smoke-124.org\n")
+        with pytest.raises(SystemExit):
+            cli_main([
+                "A", "-f", str(names), "--mode", "external", "--dnssec",
+                "-o", str(tmp_path / "out.jsonl"),
+            ])
+
+    def test_rows_carry_validation_state(self, tmp_path):
+        import json
+
+        from repro.framework.cli import main as cli_main
+
+        names = tmp_path / "names.txt"
+        names.write_text("smoke-124.org\nsmoke-0.com\nnope-1.org\n")
+        out = tmp_path / "out.jsonl"
+        code = cli_main([
+            "A", "-f", str(names), "--dnssec", "--seed", str(SEED),
+            "--threads", "3", "-o", str(out), "--quiet",
+        ])
+        assert code == 0
+        rows = {row["name"]: row for row in map(json.loads, out.read_text().splitlines())}
+        assert rows["smoke-124.org"]["data"]["dnssec"] == SECURE
+        assert rows["smoke-0.com"]["data"]["dnssec"] == INSECURE
+        assert rows["nope-1.org"]["data"]["dnssec"] == SECURE
+
+    def test_scan_stats_tally_outcomes(self, internet):
+        from repro.framework import ScanConfig, ScanRunner
+
+        config = ScanConfig(
+            module="A", mode="iterative", threads=4, seed=SEED, dnssec=True
+        )
+        report = ScanRunner(internet, config).run(
+            ["smoke-124.org", "smoke-203.org", "smoke-687.org"]
+        )
+        stats = report.dnssec_stats
+        assert stats is not None
+        assert stats.get(SECURE, 0) >= 1
+        assert stats.get(INSECURE, 0) >= 1
+        assert stats.get(BOGUS, 0) >= 1
+        assert set(stats) <= set(SECURITY_STATES)
+
+    def test_trust_anchor_helper_matches_root(self, synth):
+        from repro.ecosystem.dnssec import ds_digest
+
+        anchor = trust_anchor_for(synth)
+        assert anchor == ds_digest(Name.root(), synth.dnssec_profile(Name.root()).key)
+
+    def test_service_config_serialises_dnssec(self):
+        assert ServiceConfig(dnssec=True).to_json()["dnssec"] is True
+        assert ServiceConfig().to_json()["dnssec"] is False
